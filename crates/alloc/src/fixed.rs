@@ -1,0 +1,167 @@
+//! Fixed allocation policies of the baseline accelerators (§III-B,
+//! §VII-A of the paper).
+
+use crate::{AllocInput, AllocPlan};
+
+/// Pipelayer-style: every stage gets the same replica count — as many
+/// as the pool can fund uniformly.
+pub fn uniform(input: &AllocInput) -> AllocPlan {
+    input.validate();
+    let per_round: usize = input.crossbars_per_replica.iter().sum();
+    let extra = input
+        .unused_crossbars
+        .checked_div(per_round)
+        .unwrap_or(0)
+        .min(input.cap().saturating_sub(1));
+    AllocPlan {
+        replicas: (0..input.num_stages())
+            .map(|i| (1 + extra).min(input.stage_cap(i)))
+            .collect(),
+    }
+}
+
+/// SlimGNN-like: replicas in proportion to each stage's *space
+/// requirement* (crossbar footprint). Because a stage's replica cost
+/// equals its footprint, space-proportional shares buy the same replica
+/// count everywhere — i.e., this coincides with [`uniform`]; it is kept
+/// as its own entry point to mirror the paper's baseline taxonomy.
+pub fn space_proportional(input: &AllocInput) -> AllocPlan {
+    uniform(input)
+}
+
+/// ReGraphX: crossbars split between Combination-class and
+/// Aggregation-class stages at a fixed 1:2 ratio.
+///
+/// `is_aggregation[i]` marks the AG-class stages.
+///
+/// # Panics
+///
+/// Panics if `is_aggregation.len() != input.num_stages()`.
+pub fn regraphx_ratio(input: &AllocInput, is_aggregation: &[bool]) -> AllocPlan {
+    input.validate();
+    assert_eq!(
+        is_aggregation.len(),
+        input.num_stages(),
+        "one class flag per stage"
+    );
+    let co_budget = input.unused_crossbars / 3;
+    let ag_budget = input.unused_crossbars - co_budget;
+    let class_plan = |budget: usize, class: bool| -> usize {
+        // Uniform replicas within the class.
+        let per_round: usize = input
+            .crossbars_per_replica
+            .iter()
+            .zip(is_aggregation)
+            .filter(|&(_, &a)| a == class)
+            .map(|(&x, _)| x)
+            .sum();
+        budget
+            .checked_div(per_round)
+            .unwrap_or(0)
+            .min(input.cap().saturating_sub(1))
+    };
+    let co_extra = class_plan(co_budget, false);
+    let ag_extra = class_plan(ag_budget, true);
+    AllocPlan {
+        replicas: is_aggregation
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (1 + if a { ag_extra } else { co_extra }).min(input.stage_cap(i)))
+            .collect(),
+    }
+}
+
+/// ReFlip: replicas only in Combination phases.
+///
+/// # Panics
+///
+/// Panics if `is_combination.len() != input.num_stages()`.
+pub fn combination_only(input: &AllocInput, is_combination: &[bool]) -> AllocPlan {
+    input.validate();
+    assert_eq!(
+        is_combination.len(),
+        input.num_stages(),
+        "one class flag per stage"
+    );
+    let per_round: usize = input
+        .crossbars_per_replica
+        .iter()
+        .zip(is_combination)
+        .filter(|&(_, &c)| c)
+        .map(|(&x, _)| x)
+        .sum();
+    let extra = input
+        .unused_crossbars
+        .checked_div(per_round)
+        .unwrap_or(0)
+        .min(input.cap().saturating_sub(1));
+    AllocPlan {
+        replicas: is_combination
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if c { (1 + extra).min(input.stage_cap(i)) } else { 1 })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy_allocate;
+
+    fn input() -> AllocInput {
+        AllocInput {
+            compute_ns: vec![1.0, 6.0, 1.0, 6.0],
+            write_ns: vec![0.0; 4],
+            quantum_ns: vec![0.01; 4],
+            crossbars_per_replica: vec![1, 4, 1, 4],
+            unused_crossbars: 30,
+            num_microbatches: 8,
+            max_replicas: None,
+        }
+    }
+
+    const AG: [bool; 4] = [false, true, false, true];
+    const CO: [bool; 4] = [true, false, true, false];
+
+    #[test]
+    fn uniform_funds_equal_replicas() {
+        let plan = uniform(&input());
+        assert_eq!(plan.replicas, vec![4, 4, 4, 4]);
+        assert!(plan.extra_crossbars(&input().crossbars_per_replica) <= 30);
+    }
+
+    #[test]
+    fn regraphx_gives_aggregation_twice_the_budget() {
+        let plan = regraphx_ratio(&input(), &AG);
+        // CO budget 10 → 5 extra replicas each; AG budget 20 → 2 each.
+        assert_eq!(plan.replicas, vec![6, 3, 6, 3]);
+    }
+
+    #[test]
+    fn reflip_only_boosts_combination() {
+        let plan = combination_only(&input(), &CO);
+        assert_eq!(plan.replicas[1], 1);
+        assert_eq!(plan.replicas[3], 1);
+        assert!(plan.replicas[0] > 1);
+    }
+
+    #[test]
+    fn greedy_beats_every_fixed_policy_on_skewed_stages() {
+        let inp = input();
+        let greedy = greedy_allocate(&inp);
+        let t = |p: &AllocPlan| inp.pipeline_time(&p.replicas);
+        assert!(t(&greedy) <= t(&uniform(&inp)) + 1e-9);
+        assert!(t(&greedy) <= t(&regraphx_ratio(&inp, &AG)) + 1e-9);
+        assert!(t(&greedy) <= t(&combination_only(&inp, &CO)) + 1e-9);
+    }
+
+    #[test]
+    fn replica_cap_respected_by_fixed_policies() {
+        let mut inp = input();
+        inp.max_replicas = Some(2);
+        assert!(uniform(&inp).replicas.iter().all(|&r| r <= 2));
+        assert!(regraphx_ratio(&inp, &AG).replicas.iter().all(|&r| r <= 2));
+        assert!(combination_only(&inp, &CO).replicas.iter().all(|&r| r <= 2));
+    }
+}

@@ -1,0 +1,247 @@
+//! GoPIM's max-heap greedy allocator (Algorithm 1).
+//!
+//! Two heaps as in the paper: `H_v` orders stages by *adjust value*
+//! (the pipeline-time reduction per crossbar of granting one more
+//! replica) and `H_p` orders them by current effective duration. Each
+//! iteration grants replicas guided by the top of `H_v`; keys are
+//! recomputed and the heaps re-adjusted after every grant, until the
+//! unused-crossbar pool cannot fund any further replica.
+//!
+//! Implementation notes. The Rust version realizes the adjust-value
+//! heap with an exact marginal-gain evaluation of the Eq. 6 objective,
+//! and adds one refinement the paper's pseudo-code leaves implicit:
+//! when several stages *tie* at `T_max` (common — a GCN has identical
+//! AG stages in every layer), a single-stage grant cannot lower the
+//! `(M−1)·T_max` term, so the allocator also evaluates granting one
+//! replica to the whole bottleneck set and applies whichever move has
+//! the better gain per crossbar. Without this, coordinate-wise greedy
+//! stalls on the tie plateau.
+
+use crate::{AllocInput, AllocPlan};
+
+const TIE_EPS_REL: f64 = 1e-9;
+
+/// Runs the greedy allocation.
+///
+/// Returns one replica count per stage (≥ 1; the base mapping is always
+/// kept). The pool only funds *extra* replicas.
+///
+/// # Panics
+///
+/// Panics if the input vectors are inconsistent (see
+/// [`AllocInput::validate`]).
+pub fn greedy_allocate(input: &AllocInput) -> AllocPlan {
+    input.validate();
+    let n = input.num_stages();
+    let caps: Vec<usize> = (0..n).map(|i| input.stage_cap(i)).collect();
+    let m = input.num_microbatches.saturating_sub(1) as f64;
+    let mut replicas = vec![1usize; n];
+    let mut budget = input.unused_crossbars;
+    let mut times: Vec<f64> = (0..n).map(|i| input.stage_time(i, 1)).collect();
+
+    loop {
+        let t_max = times.iter().cloned().fold(0.0, f64::max);
+        // Runner-up: the largest time *outside* the bottleneck set.
+        let tie_eps = t_max * TIE_EPS_REL;
+        let bottleneck: Vec<usize> = (0..n)
+            .filter(|&i| times[i] >= t_max - tie_eps)
+            .collect();
+        let runner_up = times
+            .iter()
+            .cloned()
+            .filter(|&t| t < t_max - tie_eps)
+            .fold(0.0, f64::max);
+
+        // Candidate 1: best single-stage grant, gain per crossbar.
+        let mut best_single: Option<(f64, usize)> = None;
+        for i in 0..n {
+            if replicas[i] >= caps[i] || input.crossbars_per_replica[i] > budget {
+                continue;
+            }
+            let after = input.stage_time(i, replicas[i] + 1);
+            let mut gain = times[i] - after;
+            if gain <= 0.0 {
+                continue;
+            }
+            if bottleneck.len() == 1 && bottleneck[0] == i {
+                gain += m * (t_max - after.max(runner_up)).max(0.0);
+            }
+            let per_xbar = gain / input.crossbars_per_replica[i] as f64;
+            if best_single.is_none_or(|(g, _)| per_xbar > g) {
+                best_single = Some((per_xbar, i));
+            }
+        }
+
+        // Candidate 2: grant one replica to every tied bottleneck stage.
+        let mut best_set: Option<(f64, &[usize])> = None;
+        if bottleneck.len() > 1 {
+            let cost: usize = bottleneck
+                .iter()
+                .map(|&i| input.crossbars_per_replica[i])
+                .sum();
+            let feasible = cost <= budget
+                && bottleneck.iter().all(|&i| replicas[i] < caps[i]);
+            if feasible {
+                let mut sum_gain = 0.0;
+                let mut new_max: f64 = runner_up;
+                for &i in &bottleneck {
+                    let after = input.stage_time(i, replicas[i] + 1);
+                    sum_gain += times[i] - after;
+                    new_max = new_max.max(after);
+                }
+                let gain = sum_gain + m * (t_max - new_max).max(0.0);
+                if gain > 0.0 {
+                    best_set = Some((gain / cost as f64, &bottleneck[..]));
+                }
+            }
+        }
+
+        match (best_single, best_set) {
+            (None, None) => break,
+            (single, set) => {
+                let set_better = match (single, set) {
+                    (Some((gs, _)), Some((gg, _))) => gg > gs,
+                    (None, Some(_)) => true,
+                    _ => false,
+                };
+                if set_better {
+                    let members: Vec<usize> = set.unwrap().1.to_vec();
+                    for i in members {
+                        budget -= input.crossbars_per_replica[i];
+                        replicas[i] += 1;
+                        times[i] = input.stage_time(i, replicas[i]);
+                    }
+                } else {
+                    let i = single.unwrap().1;
+                    budget -= input.crossbars_per_replica[i];
+                    replicas[i] += 1;
+                    times[i] = input.stage_time(i, replicas[i]);
+                }
+            }
+        }
+    }
+    AllocPlan { replicas }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(budget: usize) -> AllocInput {
+        AllocInput {
+            compute_ns: vec![1.0, 6.0],
+            write_ns: vec![0.0, 0.0],
+            quantum_ns: vec![0.01, 0.01],
+            crossbars_per_replica: vec![1, 1],
+            unused_crossbars: budget,
+            num_microbatches: 4,
+            max_replicas: None,
+        }
+    }
+
+    #[test]
+    fn fig5_all_three_to_the_long_stage() {
+        let plan = greedy_allocate(&toy(3));
+        assert_eq!(plan.replicas, vec![1, 4]);
+        // And it beats the ReGraphX-style 1:2 split (Fig. 5(b) vs (c)).
+        let input = toy(3);
+        assert!(input.pipeline_time(&plan.replicas) < input.pipeline_time(&[2, 3]));
+    }
+
+    #[test]
+    fn eventually_balances_once_bottleneck_flips() {
+        let plan = greedy_allocate(&toy(12));
+        let input = toy(12);
+        let t0 = input.stage_time(0, plan.replicas[0]);
+        let t1 = input.stage_time(1, plan.replicas[1]);
+        assert!(t1 <= 6.0 / 8.0, "t1 {t1} replicas {:?}", plan.replicas);
+        assert!((t0 - t1).abs() < 1.0, "t0 {t0} t1 {t1}");
+    }
+
+    #[test]
+    fn respects_footprint_costs() {
+        // Stage 1 is long but each replica costs 10 crossbars; with a
+        // budget of 9 only stage 0 can be funded.
+        let input = AllocInput {
+            compute_ns: vec![1.0, 6.0],
+            write_ns: vec![0.0, 0.0],
+            quantum_ns: vec![0.01, 0.01],
+            crossbars_per_replica: vec![1, 10],
+            unused_crossbars: 9,
+            num_microbatches: 4,
+            max_replicas: None,
+        };
+        let plan = greedy_allocate(&input);
+        assert_eq!(plan.replicas[1], 1);
+        assert!(plan.replicas[0] > 1);
+    }
+
+    #[test]
+    fn respects_replica_cap() {
+        let mut input = toy(100);
+        input.max_replicas = Some(3);
+        let plan = greedy_allocate(&input);
+        assert!(plan.replicas.iter().all(|&r| r <= 3));
+    }
+
+    #[test]
+    fn zero_budget_returns_serial() {
+        let plan = greedy_allocate(&toy(0));
+        assert_eq!(plan.replicas, vec![1, 1]);
+    }
+
+    #[test]
+    fn quantum_floor_stops_wasted_grants() {
+        // One stage, huge budget: replication stops paying off at the
+        // quantum; budget should not all be burned.
+        let input = AllocInput {
+            compute_ns: vec![8.0],
+            write_ns: vec![0.0],
+            quantum_ns: vec![1.0],
+            crossbars_per_replica: vec![1],
+            unused_crossbars: 1000,
+            num_microbatches: 4,
+            max_replicas: None,
+        };
+        let plan = greedy_allocate(&input);
+        assert!(plan.replicas[0] <= 9, "replicas {}", plan.replicas[0]);
+        assert!(plan.replicas[0] >= 8);
+    }
+
+    #[test]
+    fn tied_bottlenecks_are_granted_together() {
+        // Two identical long stages: coordinate-wise greedy would stall
+        // after matching their times; the set move keeps going.
+        let input = AllocInput {
+            compute_ns: vec![1.0, 8.0, 8.0],
+            write_ns: vec![0.0; 3],
+            quantum_ns: vec![0.01; 3],
+            crossbars_per_replica: vec![1, 1, 1],
+            unused_crossbars: 14,
+            num_microbatches: 16,
+            max_replicas: None,
+        };
+        let plan = greedy_allocate(&input);
+        assert!(plan.replicas[1] >= 6, "{:?}", plan.replicas);
+        assert!(plan.replicas[2] >= 6, "{:?}", plan.replicas);
+    }
+
+    #[test]
+    fn monotone_in_budget() {
+        let small = greedy_allocate(&toy(2));
+        let large = greedy_allocate(&toy(6));
+        let input = toy(6);
+        assert!(
+            input.pipeline_time(&large.replicas) <= input.pipeline_time(&small.replicas) + 1e-9
+        );
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        for budget in [0, 1, 7, 100, 12345] {
+            let input = toy(budget);
+            let plan = greedy_allocate(&input);
+            assert!(plan.extra_crossbars(&input.crossbars_per_replica) <= budget);
+        }
+    }
+}

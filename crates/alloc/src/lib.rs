@@ -1,0 +1,237 @@
+//! Crossbar replica allocation (the paper's §V-B).
+//!
+//! Given per-stage execution-time estimates (from the Time Predictor)
+//! and per-replica crossbar footprints, an allocator decides how many
+//! replicas each of the `4L` stages receives from the chip's unused
+//! crossbar pool. This crate provides:
+//!
+//! - [`greedy_allocate`]: GoPIM's max-heap greedy algorithm
+//!   (Algorithm 1) — repeatedly grants a replica to the stage whose
+//!   *adjust value* (pipeline-time reduction per crossbar spent) is
+//!   highest, with the heap keyed on those values and re-adjusted
+//!   top-down after every grant.
+//! - [`reference_allocate`]: the expensive reference the paper compares
+//!   against (dynamic-programming-class search): sweeps every achievable
+//!   bottleneck target and allocates optimally against each, keeping the
+//!   best plan. Used to check the greedy's quality.
+//! - [`fixed`]: the baseline policies — Pipelayer's uniform replicas,
+//!   ReGraphX's fixed 1:2 CO:AG split, ReFlip's Combination-only
+//!   replication, and SlimGNN's space-proportional allocation.
+//!
+//! The allocator's model of the pipeline is the paper's Eq. 6:
+//! `T_A = Σ T_i + (M−1)·T_max` with `T_i(R) = max(compute_i / R,
+//! quantum_i) + write_i` — writes are not replica-parallelizable.
+//!
+//! # Example
+//!
+//! ```
+//! use gopim_alloc::{AllocInput, greedy_allocate};
+//!
+//! // The paper's Fig. 5 toy: two stages with times 1:6, three spare
+//! // crossbars, one crossbar per replica.
+//! let input = AllocInput {
+//!     compute_ns: vec![1.0, 6.0],
+//!     write_ns: vec![0.0, 0.0],
+//!     quantum_ns: vec![0.01, 0.01],
+//!     crossbars_per_replica: vec![1, 1],
+//!     unused_crossbars: 3,
+//!     num_microbatches: 4,
+//!     max_replicas: None,
+//! };
+//! let plan = greedy_allocate(&input);
+//! // All three crossbars go to the long stage (Fig. 5(c) beats the
+//! // fixed 1:2 split of Fig. 5(b)).
+//! assert_eq!(plan.replicas, vec![1, 4]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fixed;
+mod greedy;
+mod reference;
+
+pub use greedy::greedy_allocate;
+pub use reference::reference_allocate;
+
+/// Inputs to an allocation decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocInput {
+    /// Replica-parallelizable per-micro-batch time of each stage, ns
+    /// (`P` in Algorithm 1, minus the write share).
+    pub compute_ns: Vec<f64>,
+    /// Non-parallelizable write time of each stage, ns.
+    pub write_ns: Vec<f64>,
+    /// Floor on the effective compute time (a single input's issue
+    /// latency) — replication cannot go below this.
+    pub quantum_ns: Vec<f64>,
+    /// Crossbars one replica of each stage occupies (`X`).
+    pub crossbars_per_replica: Vec<usize>,
+    /// Free crossbars to distribute (`C_PIM`).
+    pub unused_crossbars: usize,
+    /// Micro-batches per batch (`B` in Eq. 6, the pipeline depth).
+    pub num_microbatches: usize,
+    /// Optional cap on replicas per stage. Defaults to 65,536 — in
+    /// practice the quantum floor stops replication far earlier.
+    pub max_replicas: Option<usize>,
+}
+
+impl AllocInput {
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.compute_ns.len()
+    }
+
+    /// Effective per-micro-batch time of stage `i` at `r` replicas.
+    pub fn stage_time(&self, i: usize, r: usize) -> f64 {
+        (self.compute_ns[i] / r as f64).max(self.quantum_ns[i]) + self.write_ns[i]
+    }
+
+    /// The pipeline-time objective (Eq. 6) for a replica vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas.len() != num_stages()` or any entry is zero.
+    pub fn pipeline_time(&self, replicas: &[usize]) -> f64 {
+        assert_eq!(replicas.len(), self.num_stages(), "replica count per stage");
+        assert!(replicas.iter().all(|&r| r > 0), "replicas must be positive");
+        let times: Vec<f64> = (0..self.num_stages())
+            .map(|i| self.stage_time(i, replicas[i]))
+            .collect();
+        let t_max = times.iter().cloned().fold(0.0, f64::max);
+        times.iter().sum::<f64>() + (self.num_microbatches.saturating_sub(1)) as f64 * t_max
+    }
+
+    /// Effective global replica cap.
+    pub fn cap(&self) -> usize {
+        self.max_replicas.unwrap_or(1 << 16).max(1)
+    }
+
+    /// Per-stage replica cap: replication stops paying off once the
+    /// compute share drops well below the stage's non-replicable floor
+    /// (its write/dispatch time, or the single-issue quantum), so
+    /// grants beyond that only burn crossbars and write-broadcast
+    /// energy. This is what keeps the allocator at the paper's
+    /// Table VI replica scale instead of draining the chip.
+    pub fn stage_cap(&self, i: usize) -> usize {
+        let floor = (0.5 * self.write_ns[i]).max(self.quantum_ns[i]).max(1e-9);
+        let useful = (self.compute_ns[i] / floor).ceil() as usize;
+        useful.clamp(1, self.cap())
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-stage vectors disagree in length or any
+    /// footprint is zero.
+    pub fn validate(&self) {
+        let n = self.num_stages();
+        assert_eq!(self.write_ns.len(), n, "write_ns length");
+        assert_eq!(self.quantum_ns.len(), n, "quantum_ns length");
+        assert_eq!(self.crossbars_per_replica.len(), n, "footprint length");
+        assert!(
+            self.crossbars_per_replica.iter().all(|&x| x > 0),
+            "replica footprints must be positive"
+        );
+    }
+}
+
+/// A replica assignment, including the base (first) replica of every
+/// stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocPlan {
+    /// Replicas per stage (≥ 1 each).
+    pub replicas: Vec<usize>,
+}
+
+impl AllocPlan {
+    /// One replica everywhere — the `Serial` footprint.
+    pub fn serial(num_stages: usize) -> Self {
+        AllocPlan {
+            replicas: vec![1; num_stages],
+        }
+    }
+
+    /// Total crossbars the plan occupies (paper Table VI's last
+    /// column), given per-replica footprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree.
+    pub fn total_crossbars(&self, footprints: &[usize]) -> usize {
+        assert_eq!(self.replicas.len(), footprints.len(), "length mismatch");
+        self.replicas
+            .iter()
+            .zip(footprints)
+            .map(|(&r, &x)| r * x)
+            .sum()
+    }
+
+    /// Extra crossbars beyond the base replica of every stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree.
+    pub fn extra_crossbars(&self, footprints: &[usize]) -> usize {
+        assert_eq!(self.replicas.len(), footprints.len(), "length mismatch");
+        self.replicas
+            .iter()
+            .zip(footprints)
+            .map(|(&r, &x)| (r - 1) * x)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn toy() -> AllocInput {
+        AllocInput {
+            compute_ns: vec![1.0, 6.0],
+            write_ns: vec![0.0, 0.0],
+            quantum_ns: vec![0.01, 0.01],
+            crossbars_per_replica: vec![1, 1],
+            unused_crossbars: 3,
+            num_microbatches: 4,
+            max_replicas: None,
+        }
+    }
+
+    #[test]
+    fn pipeline_time_matches_eq6() {
+        let input = toy();
+        // R = [1,1]: ΣT = 7, T_max = 6, M−1 = 3 ⇒ 7 + 18 = 25.
+        assert!((input.pipeline_time(&[1, 1]) - 25.0).abs() < 1e-9);
+        // R = [2,3] (Fig. 5(b) flavor): 0.5 + 2 + 3·2 = 8.5.
+        assert!((input.pipeline_time(&[2, 3]) - 8.5).abs() < 1e-9);
+        // R = [1,4] (Fig. 5(c) flavor): 1 + 1.5 + 3·1.5 = 7.
+        assert!((input.pipeline_time(&[1, 4]) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writes_are_not_parallelizable() {
+        let mut input = toy();
+        input.write_ns = vec![0.5, 0.5];
+        let t1 = input.stage_time(1, 1);
+        let t6 = input.stage_time(1, 6000);
+        assert!((t1 - 6.5).abs() < 1e-9);
+        // Floor: quantum + write.
+        assert!((t6 - 0.51).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_crossbar_accounting() {
+        let plan = AllocPlan {
+            replicas: vec![2, 3],
+        };
+        assert_eq!(plan.total_crossbars(&[10, 100]), 320);
+        assert_eq!(plan.extra_crossbars(&[10, 100]), 210);
+    }
+
+    #[test]
+    #[should_panic(expected = "replicas must be positive")]
+    fn zero_replica_rejected() {
+        toy().pipeline_time(&[0, 1]);
+    }
+}

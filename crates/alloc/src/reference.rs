@@ -1,0 +1,168 @@
+//! Reference allocator: the expensive search GoPIM's greedy replaces.
+//!
+//! The paper notes that prior work uses dynamic-programming-class
+//! decision procedures that can take days on large inputs (§V-B). This
+//! reference sweeps every achievable bottleneck target τ (each stage's
+//! time at each feasible replica count is a candidate): for each τ it
+//! buys the minimum replicas making every stage ≤ τ (if affordable),
+//! then spends any leftover budget greedily on the `Σ T_i` term, and
+//! keeps the plan with the best Eq. 6 objective. On small instances it
+//! is exhaustive enough to certify the greedy's quality (see the
+//! property tests in `tests/`).
+
+use crate::{AllocInput, AllocPlan};
+
+/// Runs the reference (τ-sweep) allocation.
+///
+/// # Panics
+///
+/// Panics if the input vectors are inconsistent.
+pub fn reference_allocate(input: &AllocInput) -> AllocPlan {
+    input.validate();
+    let n = input.num_stages();
+    let caps: Vec<usize> = (0..n).map(|i| input.stage_cap(i)).collect();
+
+    // Candidate bottleneck targets: every stage time at every replica
+    // count up to the cap (deduplicated).
+    let mut candidates: Vec<f64> = Vec::new();
+    for (i, &cap_i) in caps.iter().enumerate() {
+        for r in 1..=cap_i {
+            candidates.push(input.stage_time(i, r));
+            if input.stage_time(i, r)
+                <= input.quantum_ns[i] + input.write_ns[i] + f64::EPSILON
+            {
+                break;
+            }
+        }
+    }
+    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for &tau in &candidates {
+        // Minimum replicas to bring every stage under tau.
+        let mut replicas = vec![1usize; n];
+        let mut cost = 0usize;
+        let mut feasible = true;
+        for i in 0..n {
+            let mut r = 1;
+            while input.stage_time(i, r) > tau + 1e-12 {
+                r += 1;
+                if r > caps[i] {
+                    feasible = false;
+                    break;
+                }
+            }
+            if !feasible {
+                break;
+            }
+            replicas[i] = r;
+            cost += (r - 1) * input.crossbars_per_replica[i];
+        }
+        if !feasible || cost > input.unused_crossbars {
+            continue;
+        }
+        // Spend leftovers on the largest per-crossbar ΣT reduction.
+        let mut budget = input.unused_crossbars - cost;
+        loop {
+            let mut best_gain = 0.0;
+            let mut best_stage = None;
+            for i in 0..n {
+                if replicas[i] >= caps[i] {
+                    continue;
+                }
+                let c = input.crossbars_per_replica[i];
+                if c > budget {
+                    continue;
+                }
+                let gain = (input.stage_time(i, replicas[i])
+                    - input.stage_time(i, replicas[i] + 1))
+                    / c as f64;
+                if gain > best_gain + 1e-15 {
+                    best_gain = gain;
+                    best_stage = Some(i);
+                }
+            }
+            match best_stage {
+                Some(i) => {
+                    budget -= input.crossbars_per_replica[i];
+                    replicas[i] += 1;
+                }
+                None => break,
+            }
+        }
+        let objective = input.pipeline_time(&replicas);
+        if best
+            .as_ref()
+            .is_none_or(|(b, _)| objective < *b - 1e-12)
+        {
+            best = Some((objective, replicas));
+        }
+    }
+    let replicas = best.map(|(_, r)| r).unwrap_or_else(|| vec![1; n]);
+    AllocPlan { replicas }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy_allocate;
+
+    fn toy(budget: usize) -> AllocInput {
+        AllocInput {
+            compute_ns: vec![1.0, 6.0],
+            write_ns: vec![0.0, 0.0],
+            quantum_ns: vec![0.01, 0.01],
+            crossbars_per_replica: vec![1, 1],
+            unused_crossbars: budget,
+            num_microbatches: 4,
+            max_replicas: Some(16),
+        }
+    }
+
+    #[test]
+    fn reference_matches_greedy_on_fig5() {
+        let input = toy(3);
+        let r = reference_allocate(&input);
+        assert_eq!(r.replicas, vec![1, 4]);
+    }
+
+    #[test]
+    fn reference_never_loses_to_greedy() {
+        for budget in [0, 1, 2, 3, 5, 8, 13, 21] {
+            let input = toy(budget);
+            let g = greedy_allocate(&input);
+            let r = reference_allocate(&input);
+            assert!(
+                input.pipeline_time(&r.replicas)
+                    <= input.pipeline_time(&g.replicas) + 1e-9,
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_is_close_to_reference_on_skewed_inputs() {
+        let input = AllocInput {
+            compute_ns: vec![15.0, 2480.0, 15.0, 2480.0, 15.0, 1240.0, 15.0, 1240.0],
+            write_ns: vec![0.4, 26.0, 0.4, 26.0, 0.4, 0.0, 0.4, 0.0],
+            quantum_ns: vec![0.3; 8],
+            crossbars_per_replica: vec![32, 536, 32, 536, 32, 536, 32, 536],
+            unused_crossbars: 100_000,
+            num_microbatches: 67,
+            max_replicas: Some(512),
+        };
+        let g = greedy_allocate(&input);
+        let r = reference_allocate(&input);
+        let tg = input.pipeline_time(&g.replicas);
+        let tr = input.pipeline_time(&r.replicas);
+        assert!(tg <= 1.1 * tr, "greedy {tg} vs reference {tr}");
+    }
+
+    #[test]
+    fn respects_budget() {
+        let input = toy(5);
+        let plan = reference_allocate(&input);
+        assert!(plan.extra_crossbars(&input.crossbars_per_replica) <= 5);
+    }
+}

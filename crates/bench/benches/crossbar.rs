@@ -1,0 +1,36 @@
+//! Microbenchmarks for the functional (bit-accurate) crossbar model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gopim_reram::crossbar::FunctionalCrossbar;
+use gopim_reram::spec::AcceleratorSpec;
+use std::hint::black_box;
+
+fn weights(rows: usize, cols: usize) -> Vec<Vec<f64>> {
+    (0..rows)
+        .map(|r| (0..cols).map(|c| ((r * cols + c) as f64).sin() * 0.8).collect())
+        .collect()
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    let spec = AcceleratorSpec::paper();
+    let mut group = c.benchmark_group("crossbar");
+    for &(rows, cols) in &[(64usize, 64usize), (256, 64), (256, 256)] {
+        let w = weights(rows, cols);
+        group.bench_with_input(
+            BenchmarkId::new("program", format!("{rows}x{cols}")),
+            &w,
+            |b, w| b.iter(|| black_box(FunctionalCrossbar::program(&spec, w, 1.0))),
+        );
+        let xbar = FunctionalCrossbar::program(&spec, &w, 1.0);
+        let input: Vec<f64> = (0..rows).map(|i| (i as f64 * 0.13).cos()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("mvm", format!("{rows}x{cols}")),
+            &xbar,
+            |b, xbar| b.iter(|| black_box(xbar.mvm(&input, 1.0))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossbar);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbenchmarks for the ISU data mapper (the CPU-side component of
+//! §IV-A(6)): degree-interleaved mapping and selective-update mask
+//! construction on full-size dataset profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gopim_graph::datasets::Dataset;
+use gopim_mapping::{index_based, interleaved, update_load, SelectivePolicy};
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping");
+    for dataset in [Dataset::Ddi, Dataset::Collab, Dataset::Proteins] {
+        let profile = dataset.profile(7);
+        group.bench_with_input(
+            BenchmarkId::new("interleaved", dataset.name()),
+            &profile,
+            |b, p| b.iter(|| black_box(interleaved(p, 64))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("index_based", dataset.name()),
+            &profile,
+            |b, p| b.iter(|| black_box(index_based(p.num_vertices(), 64))),
+        );
+        let mapping = interleaved(&profile, 64);
+        let policy = SelectivePolicy::adaptive(&profile);
+        group.bench_with_input(
+            BenchmarkId::new("selective_load", dataset.name()),
+            &(&mapping, &profile),
+            |b, (m, p)| {
+                b.iter(|| {
+                    let mask = policy.important_vertices(p);
+                    black_box(update_load(m, &mask))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Microbenchmarks for workload construction and schedule simulation —
+//! the inner loop of every experiment in the harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gopim_graph::datasets::Dataset;
+use gopim_pipeline::{simulate, GcnWorkload, PipelineOptions, WorkloadOptions};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    for dataset in [Dataset::Ddi, Dataset::Collab] {
+        group.bench_with_input(
+            BenchmarkId::new("build_workload", dataset.name()),
+            &dataset,
+            |b, &d| b.iter(|| black_box(GcnWorkload::build(d, &WorkloadOptions::default()))),
+        );
+        let wl = GcnWorkload::build(dataset, &WorkloadOptions::default());
+        let replicas = vec![8; wl.stages().len()];
+        group.bench_with_input(
+            BenchmarkId::new("simulate_pipelined", dataset.name()),
+            &wl,
+            |b, wl| {
+                b.iter(|| black_box(simulate(wl, &replicas, &PipelineOptions::default())))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Model-sensitivity ablation (reproduction extension, not a paper
+//! figure).
+//!
+//! The analytic latency model has three calibrated constants that the
+//! paper's NeuroSim setup fixes implicitly: the per-group aggregation
+//! issue cost, the per-edge streaming cost, and the per-micro-batch
+//! dispatch overhead. This binary sweeps each across a 4× range and
+//! reports the headline conclusion (GoPIM's speedup over Serial and
+//! over the strongest baseline) at every point — showing the paper's
+//! qualitative result does not hinge on the calibration.
+
+use gopim::report;
+use gopim::runner::RunConfig;
+use gopim_bench::{banner, BenchArgs};
+use gopim_graph::datasets::Dataset;
+use gopim_pipeline::latency::LatencyParams;
+
+/// Runs ddi with modified latency parameters and reports speedups.
+fn run_with(params: LatencyParams, config: &RunConfig) -> (f64, f64) {
+    // Reuse the runner by rebuilding workloads through a modified
+    // RunConfig is not possible (params live in WorkloadOptions), so we
+    // drive the pieces directly.
+    use gopim_alloc::{greedy_allocate, AllocInput, AllocPlan};
+    use gopim_mapping::SelectivePolicy;
+    use gopim_pipeline::energy::energy_of_run;
+    use gopim_pipeline::{
+        simulate, GcnWorkload, MappingKind, PipelineOptions, WorkloadOptions,
+    };
+    use gopim_reram::spec::AcceleratorSpec;
+
+    let dataset = Dataset::Ddi;
+    let profile = dataset.profile(config.profile_seed);
+    let spec = AcceleratorSpec::paper();
+    let total = config
+        .crossbar_budget
+        .unwrap_or_else(|| spec.total_crossbars());
+
+    let build = |gopim: bool| -> GcnWorkload {
+        let options = WorkloadOptions {
+            micro_batch: config.micro_batch,
+            mapping: if gopim {
+                MappingKind::Interleaved
+            } else {
+                MappingKind::IndexBased
+            },
+            selective: gopim.then(|| SelectivePolicy::adaptive(&profile)),
+            accounting: gopim_pipeline::workload::UpdateAccounting::Amortized,
+            params: params.clone(),
+            repeated_load_rows_per_edge: 0.0,
+            profile_seed: config.profile_seed,
+        };
+        GcnWorkload::build_custom(dataset.name(), &profile, &dataset.model(), &options)
+    };
+
+    let serial_wl = build(false);
+    let serial_plan = AllocPlan::serial(serial_wl.stages().len());
+    let serial = simulate(&serial_wl, &serial_plan.replicas, &PipelineOptions::serial());
+
+    // Strongest baseline under this calibration: uniform replicas
+    // (SlimGNN-like) with intra-batch pipelining.
+    let mk_input = |wl: &GcnWorkload| -> AllocInput {
+        let n_mb = wl.num_microbatches();
+        AllocInput {
+            compute_ns: wl.stages().iter().map(|s| s.compute_ns).collect(),
+            write_ns: (0..wl.stages().len())
+                .map(|i| {
+                    (0..n_mb).map(|j| wl.write_ns(i, j)).sum::<f64>() / n_mb as f64
+                        + wl.overhead_ns()
+                })
+                .collect(),
+            quantum_ns: vec![params.spec.mvm_latency_ns(); wl.stages().len()],
+            crossbars_per_replica: wl
+                .stages()
+                .iter()
+                .map(|s| s.crossbars_per_replica)
+                .collect(),
+            unused_crossbars: total.saturating_sub(wl.base_crossbars()),
+            num_microbatches: n_mb,
+            max_replicas: None,
+        }
+    };
+    let baseline_wl = build(false);
+    let baseline_plan = gopim_alloc::fixed::uniform(&mk_input(&baseline_wl));
+    let baseline = simulate(
+        &baseline_wl,
+        &baseline_plan.replicas,
+        &PipelineOptions::intra_only(),
+    );
+
+    let gopim_wl = build(true);
+    let gopim_plan = greedy_allocate(&mk_input(&gopim_wl));
+    let gopim = simulate(&gopim_wl, &gopim_plan.replicas, &PipelineOptions::default());
+    let _ = energy_of_run(&params.spec, &gopim_wl, &gopim_plan.replicas, &gopim, 1);
+
+    (
+        serial.makespan_ns / gopim.makespan_ns,
+        baseline.makespan_ns / gopim.makespan_ns,
+    )
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    banner(
+        "Ablation (extension)",
+        "Sensitivity of the headline result to the three calibrated latency\n\
+         constants, swept 0.5x-2x on ddi. The qualitative conclusion (GoPIM > all)\n\
+         must hold at every point.",
+    );
+    let config = args.run_config();
+    let base = LatencyParams::paper();
+    type Knob = Box<dyn Fn(f64) -> LatencyParams>;
+    let knobs: Vec<(&str, Knob)> = vec![
+        (
+            "group_issue_ns",
+            Box::new(|f| LatencyParams {
+                group_issue_ns: f * LatencyParams::paper().group_issue_ns,
+                ..LatencyParams::paper()
+            }),
+        ),
+        (
+            "edge_stream_ns",
+            Box::new(|f| LatencyParams {
+                edge_stream_ns: f * LatencyParams::paper().edge_stream_ns,
+                ..LatencyParams::paper()
+            }),
+        ),
+        (
+            "microbatch_overhead_ns",
+            Box::new(|f| LatencyParams {
+                microbatch_overhead_ns: f * LatencyParams::paper().microbatch_overhead_ns,
+                ..LatencyParams::paper()
+            }),
+        ),
+    ];
+    let factors = [0.5, 1.0, 2.0];
+    let mut rows = Vec::new();
+    for (name, make) in &knobs {
+        for &f in &factors {
+            let (vs_serial, vs_baseline) = run_with(make(f), &config);
+            rows.push(vec![
+                name.to_string(),
+                format!("{f:.1}x"),
+                report::speedup(vs_serial),
+                format!("{vs_baseline:.2}x"),
+            ]);
+            assert!(
+                vs_baseline > 1.0,
+                "conclusion violated at {name} x{f}: GoPIM only {vs_baseline}x vs baseline"
+            );
+        }
+    }
+    let _ = base;
+    println!(
+        "{}",
+        report::table(
+            &["knob", "factor", "GoPIM vs Serial", "GoPIM vs best baseline"],
+            &rows
+        )
+    );
+    println!("All points keep GoPIM ahead of the strongest baseline.");
+}

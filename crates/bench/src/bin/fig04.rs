@@ -1,0 +1,50 @@
+//! Regenerates Fig. 4: idle-time percentage of crossbars per forward
+//! stage under a SlimGNN-style pipeline, across the motivation
+//! datasets.
+
+use gopim::experiments::fig04;
+use gopim::report;
+use gopim_bench::{banner, BenchArgs};
+use gopim_graph::datasets::Dataset;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    banner(
+        "Fig. 4",
+        "Idle time of crossbars per stage (XBSi), SlimGNN-like pipeline.\n\
+         Paper: CO-stage crossbars (XBS1/3/5) idle 98.47/97.50/99.03% on average.",
+    );
+    let config = args.run_config();
+    let datasets: Vec<Dataset> = if args.quick {
+        vec![Dataset::Ddi, Dataset::Cora]
+    } else {
+        Dataset::MOTIVATION.to_vec()
+    };
+    let rows = fig04::run(&config, &datasets);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.stage.clone(),
+                r.kind.clone(),
+                report::percent(r.idle_fraction),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(&["dataset", "crossbar group", "stage", "idle time"], &table_rows)
+    );
+
+    // The paper's headline: average CO-stage idle across datasets.
+    let co: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.kind.starts_with("CO"))
+        .map(|r| r.idle_fraction)
+        .collect();
+    println!(
+        "Average Combination-crossbar idle: {} (paper: 97.5-99.0%)",
+        report::percent(co.iter().sum::<f64>() / co.len() as f64)
+    );
+}

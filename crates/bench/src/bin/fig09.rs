@@ -1,0 +1,69 @@
+//! Regenerates Fig. 9: Time-Predictor model selection — (a) regressor
+//! families, (b) MLP depth 2–6, (c) hidden width sweep.
+
+use gopim::experiments::fig09;
+use gopim::report;
+use gopim_bench::{banner, BenchArgs};
+use gopim_predictor::dataset_gen::generate_samples;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    banner(
+        "Fig. 9",
+        "RMSE of learning-based execution-time predictors (normalized log-time targets).\n\
+         Paper: the MLP wins; 3 layers and 256 hidden neurons are best; RMSE ~0.0022.",
+    );
+    let samples = generate_samples(args.scaled(2200, 400), 42);
+    println!("training samples: {}\n", samples.len());
+    let epochs = args.scaled(800, 40);
+
+    println!("(a) model families:");
+    let rows = fig09::model_comparison(&samples, epochs, 9);
+    let mut sorted = rows.clone();
+    sorted.sort_by(|a, b| a.rmse.partial_cmp(&b.rmse).unwrap());
+    let table_rows: Vec<Vec<String>> = sorted
+        .iter()
+        .map(|r| vec![r.model.clone(), format!("{:.5}", r.rmse)])
+        .collect();
+    println!("{}", report::table(&["model", "RMSE"], &table_rows));
+
+    println!("(b) MLP depth sweep (256 hidden):");
+    let depth_rows = fig09::depth_sweep(&samples, &[2, 3, 4, 5, 6], args.scaled(256, 32), epochs, 9);
+    let table_rows: Vec<Vec<String>> = depth_rows
+        .iter()
+        .map(|(d, r)| vec![format!("{d} layers"), format!("{r:.5}")])
+        .collect();
+    println!("{}", report::table(&["depth", "RMSE"], &table_rows));
+
+    println!("(d, SV-A) feature ablation — RMSE with one Table I feature removed:");
+    let ablation_epochs = args.scaled(150, 20);
+    let full_rmse = rows.iter().find(|r| r.model == "MLP").map(|r| r.rmse).unwrap_or(0.0);
+    let ab_rows = fig09::feature_ablation(&samples, ablation_epochs, 9);
+    let table_rows: Vec<Vec<String>> = ab_rows
+        .iter()
+        .map(|(name, r)| {
+            vec![
+                name.clone(),
+                format!("{r:.5}"),
+                format!("{:+.1}%", (r / full_rmse - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(&["removed feature", "RMSE", "vs full set"], &table_rows)
+    );
+
+    println!("(c) hidden-width sweep (3 layers):");
+    let widths: &[usize] = if args.quick {
+        &[16, 64, 256]
+    } else {
+        &[32, 64, 128, 256, 512]
+    };
+    let width_rows = fig09::width_sweep(&samples, widths, epochs, 9);
+    let table_rows: Vec<Vec<String>> = width_rows
+        .iter()
+        .map(|(w, r)| vec![format!("{w} neurons"), format!("{r:.5}")])
+        .collect();
+    println!("{}", report::table(&["hidden width", "RMSE"], &table_rows));
+}

@@ -1,0 +1,64 @@
+//! Regenerates Fig. 13: end-to-end speedup (a) and normalized energy
+//! (b) of all six systems on the headline datasets. Pass `--cora` to
+//! add the §VII-F sparse-dataset run.
+
+use gopim::experiments::fig13;
+use gopim::report;
+use gopim_bench::{banner, BenchArgs};
+use gopim_graph::datasets::Dataset;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    banner(
+        "Fig. 13",
+        "End-to-end comparison vs Serial. Paper averages: GoPIM 727.6x, SlimGNN-like\n\
+         gap 2.1x, ReGraphX gap 2.4x, ReFlip gap 45.1x, Vanilla gap 1.5x; energy 4.0x.",
+    );
+    let mut datasets: Vec<Dataset> = if args.quick {
+        vec![Dataset::Ddi, Dataset::Collab]
+    } else {
+        Dataset::HEADLINE.to_vec()
+    };
+    if args.rest.iter().any(|a| a == "--cora") {
+        datasets.push(Dataset::Cora);
+    }
+    let rows = fig13::run(&args.run_config(), &datasets);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.system.clone(),
+                report::time_ns(r.makespan_ns),
+                report::speedup(r.speedup),
+                format!("{:.2}x", r.energy_saving),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &["dataset", "system", "exec time", "speedup", "energy saving"],
+            &table_rows
+        )
+    );
+
+    // Summary: GoPIM's gap over each baseline (the paper's headline).
+    for baseline in ["Serial", "SlimGNN-like", "ReGraphX", "ReFlip", "GoPIM-Vanilla"] {
+        let gaps: Vec<f64> = datasets
+            .iter()
+            .map(|d| {
+                let g = fig13::cell(&rows, d.name(), "GoPIM").makespan_ns;
+                let b = fig13::cell(&rows, d.name(), baseline).makespan_ns;
+                b / g
+            })
+            .collect();
+        let geo = gaps.iter().map(|g| g.ln()).sum::<f64>() / gaps.len() as f64;
+        println!(
+            "GoPIM vs {baseline:>14}: geomean {:.1}x (range {:.1}x-{:.1}x)",
+            geo.exp(),
+            gaps.iter().cloned().fold(f64::INFINITY, f64::min),
+            gaps.iter().cloned().fold(0.0, f64::max),
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates Fig. 14: the technique ablation — Serial → +PP → +ISU →
+//! GoPIM, execution time and energy.
+
+use gopim::experiments::fig14;
+use gopim::report;
+use gopim_bench::{banner, BenchArgs};
+use gopim_graph::datasets::Dataset;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    banner(
+        "Fig. 14",
+        "Impact of individual techniques. Paper: +PP up to 2.6x on ddi; energy\n\
+         reductions up to 62% (+PP), 75% (+ISU), 79% (GoPIM).",
+    );
+    let datasets: Vec<Dataset> = if args.quick {
+        vec![Dataset::Ddi]
+    } else {
+        Dataset::HEADLINE.to_vec()
+    };
+    let rows = fig14::run(&args.run_config(), &datasets);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.variant.clone(),
+                report::time_ns(r.makespan_ns),
+                report::speedup(r.speedup),
+                report::percent(r.energy_reduction),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &["dataset", "variant", "exec time", "speedup", "energy reduction"],
+            &table_rows
+        )
+    );
+}

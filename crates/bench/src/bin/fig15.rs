@@ -1,0 +1,39 @@
+//! Regenerates Fig. 15: per-stage idle time, Naive vs GoPIM, at
+//! micro-batch sizes 32/64/128 on ddi.
+
+use gopim::experiments::fig15;
+use gopim::report;
+use gopim_bench::{banner, BenchArgs};
+use gopim_graph::datasets::Dataset;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    banner(
+        "Fig. 15",
+        "Idle time of crossbar groups, Naive (pipelined, index-mapped, no replicas)\n\
+         vs GoPIM, on ddi. Paper: average reductions 46.75/49.75/51.75% at B=32/64/128.",
+    );
+    let sizes: &[usize] = if args.quick { &[32, 64] } else { &[32, 64, 128] };
+    let rows = fig15::run(&args.run_config(), Dataset::Ddi, sizes);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.micro_batch.to_string(),
+                r.system.clone(),
+                r.stage.clone(),
+                report::percent(r.idle_fraction),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(&["micro-batch", "system", "group", "idle time"], &table_rows)
+    );
+    for &b in sizes {
+        println!(
+            "B={b}: mean idle reduction {} (paper ~46-52 points)",
+            report::percent(fig15::mean_reduction(&rows, b))
+        );
+    }
+}

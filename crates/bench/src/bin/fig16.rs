@@ -1,0 +1,56 @@
+//! Regenerates Fig. 16: (a) accuracy vs θ on a dense graph (ddi),
+//! (b) accuracy vs θ on a sparse graph (Cora), (c) speedup vs
+//! micro-batch size.
+
+use gopim::experiments::fig16;
+use gopim::report;
+use gopim_bench::{banner, BenchArgs};
+use gopim_gcn::train::TrainOptions;
+use gopim_graph::datasets::Dataset;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    banner(
+        "Fig. 16",
+        "Sensitivity studies. Paper: θ=50% safe for dense graphs (ddi), θ=80% for\n\
+         sparse graphs (Cora), both within 1% accuracy; speedup grows with micro-batch.",
+    );
+    let max_vertices = args.scaled(1200, 250);
+    let train = if args.quick {
+        TrainOptions::quick_test()
+    } else {
+        TrainOptions::experiment()
+    };
+    let thetas = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+    for (label, dataset) in [("(a) dense (ddi)", Dataset::Ddi), ("(b) sparse (Cora)", Dataset::Cora)] {
+        println!("{label}: accuracy vs update threshold θ");
+        let rows = fig16::theta_sweep(dataset, &thetas, max_vertices, &train, 17);
+        let table_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0}%", r.theta * 100.0),
+                    report::percent(r.test_accuracy),
+                ]
+            })
+            .collect();
+        println!("{}", report::table(&["θ", "test accuracy"], &table_rows));
+    }
+
+    println!("(c) GoPIM speedup vs micro-batch size (ddi):");
+    let sizes: &[usize] = if args.quick {
+        &[16, 64]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
+    let rows = fig16::batch_sweep(&args.run_config(), Dataset::Ddi, sizes);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.micro_batch.to_string(), report::speedup(r.speedup)])
+        .collect();
+    println!(
+        "{}",
+        report::table(&["micro-batch", "speedup vs Serial"], &table_rows)
+    );
+}

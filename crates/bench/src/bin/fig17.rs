@@ -1,0 +1,67 @@
+//! Regenerates Fig. 17: (a) speedup vs vertex-feature dimension
+//! (256→2048), (b) scalability on the full-size products dataset.
+
+use gopim::experiments::fig17;
+use gopim::report;
+use gopim_bench::{banner, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    banner(
+        "Fig. 17",
+        "Scalability. Paper: speedups persist but taper as dimensions grow;\n\
+         products: 5.9x speedup and 1.8x energy saving over Serial.",
+    );
+    println!("(a) GoPIM speedup vs vertex-feature dimension (ddi-like graph):");
+    let dims: &[usize] = if args.quick {
+        &[256, 512]
+    } else {
+        &[256, 512, 1024, 2048, 4096, 8192]
+    };
+    let rows = fig17::dimension_sweep(&args.run_config(), dims);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.dimension.to_string(), report::speedup(r.speedup)])
+        .collect();
+    println!(
+        "{}",
+        report::table(&["feature dim", "speedup vs Serial"], &table_rows)
+    );
+
+    if args.quick {
+        println!("(b) skipped in --quick mode (full-size products run).");
+        return;
+    }
+    println!("(b) products (2,449,029 vertices):");
+    let rows = fig17::products_run(&args.run_config());
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.clone(),
+                report::speedup(r.speedup),
+                format!("{:.2}x", r.energy_saving),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(&["system", "speedup", "energy saving"], &table_rows)
+    );
+
+    println!("(c, extension) products speedup vs chip count (SVII-F: 'augmenting the");
+    println!("crossbar resources' recovers big-graph speedups):");
+    let rows = fig17::budget_sweep(
+        &args.run_config(),
+        gopim_graph::datasets::Dataset::Products,
+        &[1.0, 2.0, 4.0],
+    );
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![format!("{:.0}x 16GB", r.chips), report::speedup(r.speedup)])
+        .collect();
+    println!(
+        "{}",
+        report::table(&["chips", "speedup vs Serial"], &table_rows)
+    );
+}

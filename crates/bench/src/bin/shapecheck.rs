@@ -1,0 +1,208 @@
+//! Shape check: runs the reproduction's experiments and verifies every
+//! *qualitative* claim of the paper programmatically — who wins, in
+//! which direction trends go, where the extremes sit. This is the
+//! acceptance test for the reproduction (EXPERIMENTS.md is its prose
+//! counterpart).
+
+use gopim::experiments::{fig13, fig15, fig16, table06};
+use gopim::paper;
+use gopim::runner::run_system;
+use gopim::system::System;
+use gopim_bench::{banner, BenchArgs};
+use gopim_gcn::train::TrainOptions;
+use gopim_graph::datasets::Dataset;
+use gopim_pipeline::{GcnWorkload, WorkloadOptions};
+
+struct Checker {
+    rows: Vec<(String, bool, String)>,
+}
+
+impl Checker {
+    fn new() -> Self {
+        Checker { rows: Vec::new() }
+    }
+
+    fn check(&mut self, claim: &str, ok: bool, detail: String) {
+        self.rows.push((claim.to_string(), ok, detail));
+    }
+
+    fn finish(self) -> bool {
+        let mut all_ok = true;
+        for (claim, ok, detail) in &self.rows {
+            println!("[{}] {claim}", if *ok { "PASS" } else { "FAIL" });
+            println!("       {detail}");
+            all_ok &= ok;
+        }
+        println!();
+        let passed = self.rows.iter().filter(|r| r.1).count();
+        println!("{passed}/{} shape checks passed", self.rows.len());
+        all_ok
+    }
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    banner(
+        "Shape check",
+        "Programmatic verification of the paper's qualitative claims against this\n\
+         reproduction. Every check names the paper source it encodes.",
+    );
+    let config = args.run_config();
+    let mut c = Checker::new();
+
+    // --- §III-A / Fig. 4: stage-time skew and CO idleness. ---
+    let wl = GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default());
+    let ratio = wl.stages()[1].compute_ns / wl.stages()[0].compute_ns;
+    c.check(
+        "SIII-A: Aggregation dwarfs Combination (paper avg 247x, max 888x)",
+        ratio > 40.0,
+        format!("ddi AG1/CO1 compute ratio {ratio:.0}x"),
+    );
+    let slim = run_system(Dataset::Ddi, System::SlimGnnLike, &config);
+    let co_idle = slim.schedule.stages[0].idle_fraction;
+    c.check(
+        "Fig. 4: Combination crossbars idle >90% under a plain pipeline (paper 97.5-99%)",
+        co_idle > 0.9,
+        format!("ddi CO1 crossbar idle {:.1}% (paper {:?}%)", co_idle * 100.0, paper::FIG04_CO_IDLE_PERCENT),
+    );
+
+    // --- Fig. 13: system ordering, per dataset. ---
+    let datasets: Vec<Dataset> = if args.quick {
+        vec![Dataset::Ddi, Dataset::Cora]
+    } else {
+        let mut d = Dataset::HEADLINE.to_vec();
+        d.push(Dataset::Cora);
+        d
+    };
+    let rows = fig13::run(&config, &datasets);
+    let gopim_wins = datasets.iter().all(|d| {
+        let g = fig13::cell(&rows, d.name(), "GoPIM").makespan_ns;
+        ["Serial", "SlimGNN-like", "ReGraphX", "ReFlip", "GoPIM-Vanilla"]
+            .iter()
+            .all(|s| fig13::cell(&rows, d.name(), s).makespan_ns >= g)
+    });
+    c.check(
+        "Fig. 13(a): GoPIM is fastest on every dataset",
+        gopim_wins,
+        format!("checked {} datasets", datasets.len()),
+    );
+    let ddi_speedup = fig13::cell(&rows, "ddi", "GoPIM").speedup;
+    let max_speedup = datasets
+        .iter()
+        .map(|d| fig13::cell(&rows, d.name(), "GoPIM").speedup)
+        .fold(0.0, f64::max);
+    c.check(
+        "Fig. 13(a): the smallest dataset (ddi) shows among the largest speedups",
+        ddi_speedup >= 0.5 * max_speedup,
+        format!("ddi {ddi_speedup:.0}x vs max {max_speedup:.0}x (paper: ddi is the 3454x maximum)"),
+    );
+    let reflip_worst_energy = datasets.iter().all(|d| {
+        let reflip = fig13::cell(&rows, d.name(), "ReFlip").energy_saving;
+        ["SlimGNN-like", "ReGraphX", "GoPIM-Vanilla", "GoPIM"]
+            .iter()
+            .all(|s| fig13::cell(&rows, d.name(), s).energy_saving >= reflip)
+    });
+    c.check(
+        "Fig. 13(b): ReFlip is the least energy-efficient system (paper: worse than Serial on dense graphs)",
+        reflip_worst_energy,
+        "ReFlip's repeated source-vertex loading burns writes".to_string(),
+    );
+    let gopim_saves = datasets
+        .iter()
+        .all(|d| fig13::cell(&rows, d.name(), "GoPIM").energy_saving > 1.0);
+    c.check(
+        "Fig. 13(b): GoPIM saves energy vs Serial everywhere (paper avg 4.0x)",
+        gopim_saves,
+        format!(
+            "savings: {}",
+            datasets
+                .iter()
+                .map(|d| format!("{} {:.1}x", d.name(), fig13::cell(&rows, d.name(), "GoPIM").energy_saving))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    );
+
+    // --- Fig. 15: idle reductions at every micro-batch size. ---
+    let sizes = [32usize, 64, 128];
+    let idle_rows = fig15::run(&config, Dataset::Ddi, &sizes);
+    let reductions: Vec<f64> = sizes
+        .iter()
+        .map(|&b| fig15::mean_reduction(&idle_rows, b) * 100.0)
+        .collect();
+    c.check(
+        "Fig. 15: GoPIM cuts mean idle time by tens of points at B=32/64/128 (paper 46.75/49.75/51.75)",
+        reductions.iter().all(|&r| r > 15.0),
+        format!("our reductions: {:.1}/{:.1}/{:.1} points", reductions[0], reductions[1], reductions[2]),
+    );
+
+    // --- Fig. 16(c): speedup grows with micro-batch size. ---
+    let batch_rows = fig16::batch_sweep(&config, Dataset::Ddi, &[16, 64, 256]);
+    c.check(
+        "Fig. 16(c): speedup grows with micro-batch size",
+        batch_rows[2].speedup > batch_rows[0].speedup,
+        format!(
+            "B=16: {:.0}x, B=64: {:.0}x, B=256: {:.0}x",
+            batch_rows[0].speedup, batch_rows[1].speedup, batch_rows[2].speedup
+        ),
+    );
+
+    // --- Fig. 16(a)/(b): the adaptive rule. ---
+    let theta_options = if args.quick {
+        TrainOptions::quick_test()
+    } else {
+        TrainOptions::experiment()
+    };
+    let sweep = fig16::theta_sweep(
+        Dataset::Cora,
+        &[0.2, 0.8],
+        args.scaled(800, 250),
+        &theta_options,
+        17,
+    );
+    c.check(
+        "Fig. 16(b): sparse graphs need a high theta (80% beats 20%)",
+        sweep[1].test_accuracy >= sweep[0].test_accuracy - 0.02,
+        format!(
+            "Cora accuracy at theta=20%: {:.1}%, at 80%: {:.1}%",
+            sweep[0].test_accuracy * 100.0,
+            sweep[1].test_accuracy * 100.0
+        ),
+    );
+
+    // --- Table VI: allocation concentrates on feature stages. ---
+    let details = table06::run(&config, Dataset::Ddi);
+    let gopim_detail = &details[1];
+    let feature_heavy = gopim_detail.replicas[1] > 5 * gopim_detail.replicas[0];
+    c.check(
+        "Table VI: AG stages get far more replicas than CO stages (paper 364-616 vs 59-61)",
+        feature_heavy,
+        format!("our replicas {:?} (paper {:?})", gopim_detail.replicas, paper::TABLE6.gopim_replicas),
+    );
+    if !args.quick {
+        // Only meaningful at the paper's full 16 GB budget.
+        let total_ratio = gopim_detail.total as f64 / paper::TABLE6.gopim_total as f64;
+        c.check(
+            "Table VI: total crossbars within 2x of the paper's 1,046,852",
+            (0.5..2.0).contains(&total_ratio),
+            format!("our total {} ({:.2}x of paper)", gopim_detail.total, total_ratio),
+        );
+    }
+
+    // --- Scalability (Fig. 17(b) direction). ---
+    if !args.quick {
+        let products = run_system(Dataset::Products, System::Gopim, &config);
+        let products_serial = run_system(Dataset::Products, System::Serial, &config);
+        let products_speedup = products_serial.makespan_ns / products.makespan_ns;
+        c.check(
+            "Fig. 17(b): products shows the smallest GoPIM speedup (paper 5.9x vs 3454x on ddi)",
+            products_speedup < ddi_speedup,
+            format!("products {products_speedup:.0}x vs ddi {ddi_speedup:.0}x"),
+        );
+    }
+
+    let ok = c.finish();
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Regenerates Table II: the ReRAM accelerator configuration — the
+//! published component catalog plus the quantities this reproduction
+//! derives from it (cycle counts, capacity, area composition, NoC).
+
+use gopim::report;
+use gopim_bench::{banner, BenchArgs};
+use gopim_reram::area::area_breakdown;
+use gopim_reram::energy::EnergyModel;
+use gopim_reram::noc::MeshNoc;
+use gopim_reram::spec::AcceleratorSpec;
+
+fn main() {
+    let _args = BenchArgs::from_env();
+    banner(
+        "Table II",
+        "Specifications of the ReRAM-based accelerator simulator (published values\n\
+         and the quantities derived from them).",
+    );
+    let spec = AcceleratorSpec::paper();
+
+    println!("published configuration:");
+    let rows = vec![
+        vec!["crossbar size".into(), format!("{}x{}", spec.crossbar_rows, spec.crossbar_cols)],
+        vec!["bits per cell".into(), spec.bits_per_cell.to_string()],
+        vec!["value precision".into(), format!("{} bits", spec.value_bits)],
+        vec!["DAC resolution".into(), format!("{} bits", spec.dac_bits)],
+        vec!["ADC resolution".into(), format!("{} bits", spec.adc_bits)],
+        vec!["crossbars / PE".into(), spec.crossbars_per_pe.to_string()],
+        vec!["PEs / tile".into(), spec.pes_per_tile.to_string()],
+        vec!["tiles / chip".into(), spec.tiles_per_chip.to_string()],
+        vec!["read latency".into(), format!("{} ns", spec.read_latency_ns)],
+        vec!["write latency".into(), format!("{} ns", spec.write_latency_ns)],
+    ];
+    println!("{}", report::table(&["parameter", "value"], &rows));
+
+    println!("derived quantities:");
+    let area = area_breakdown(&spec);
+    let energy = EnergyModel::new(&spec);
+    let noc = MeshNoc::paper(&spec);
+    let rows = vec![
+        vec!["total crossbars".into(), spec.total_crossbars().to_string()],
+        vec![
+            "total ReRAM capacity".into(),
+            format!("{} GiB", spec.total_bytes() / (1 << 30)),
+        ],
+        vec!["input cycles / MVM".into(), spec.input_cycles().to_string()],
+        vec!["write cycles / row".into(), spec.write_cycles().to_string()],
+        vec!["MVM issue latency".into(), format!("{:.1} ns", spec.mvm_latency_ns())],
+        vec![
+            "row program latency".into(),
+            format!("{:.1} ns", spec.row_write_latency_ns()),
+        ],
+        vec!["PE area".into(), format!("{:.4} mm2", area.pe_mm2)],
+        vec!["tile area".into(), format!("{:.3} mm2", area.tile_mm2)],
+        vec!["chip area".into(), format!("{:.0} mm2", area.chip_mm2)],
+        vec![
+            "row write energy".into(),
+            format!("{:.2} nJ", energy.row_write_energy_nj()),
+        ],
+        vec![
+            "MVM issue energy / crossbar".into(),
+            format!("{:.2} nJ", energy.mvm_energy_nj(1, 1)),
+        ],
+        vec!["NoC mesh".into(), format!("{0}x{0}", noc.side)],
+        vec![
+            "NoC sink service".into(),
+            format!("{:.1} ns", noc.sink_service_ns()),
+        ],
+    ];
+    println!("{}", report::table(&["quantity", "value"], &rows));
+}

@@ -1,0 +1,32 @@
+//! Regenerates Table VI: crossbar allocation details on ddi — replica
+//! and crossbar counts per stage, Serial vs GoPIM.
+
+use gopim::experiments::table06;
+use gopim::report;
+use gopim_bench::{banner, BenchArgs};
+use gopim_graph::datasets::Dataset;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    banner(
+        "Table VI",
+        "Crossbar allocation on ddi. Paper: Serial [1×8 replicas, 2264 crossbars];\n\
+         GoPIM [59,364,60,616,61,487,61,484] replicas, 1,046,852 crossbars.",
+    );
+    let details = table06::run(&args.run_config(), Dataset::Ddi);
+    for d in &details {
+        println!("{}:", d.system);
+        let rows: Vec<Vec<String>> = d
+            .stage_names
+            .iter()
+            .zip(&d.replicas)
+            .zip(&d.crossbars)
+            .map(|((name, &r), &x)| vec![name.clone(), r.to_string(), x.to_string()])
+            .collect();
+        println!(
+            "{}",
+            report::table(&["stage", "replicas", "crossbars"], &rows)
+        );
+        println!("total crossbars: {}\n", d.total);
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates Table VII: GoPIM speedups when the allocator is driven
+//! by the ML Time Predictor vs exact profiling-style estimates.
+
+use gopim::experiments::table07;
+use gopim::report;
+use gopim_bench::{banner, BenchArgs};
+use gopim_graph::datasets::Dataset;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    banner(
+        "Table VII",
+        "ML vs profiling stage-time estimates feeding Algorithm 1. Paper: speedups\n\
+         within 4.3% of each other (ddi 3454.31 vs 3469.17, collab 36.82 vs 36.82, ...).",
+    );
+    let datasets: Vec<Dataset> = if args.quick {
+        vec![Dataset::Ddi]
+    } else {
+        Dataset::HEADLINE.to_vec()
+    };
+    let rows = table07::run(
+        &args.run_config(),
+        &datasets,
+        args.scaled(2200, 400),
+        args.scaled(400, 60),
+        31,
+    );
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                report::speedup(r.ml_speedup),
+                report::speedup(r.profiling_speedup),
+                report::percent(r.relative_gap),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &["dataset", "ML speedup", "profiling speedup", "gap"],
+            &table_rows
+        )
+    );
+}

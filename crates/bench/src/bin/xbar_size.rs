@@ -1,0 +1,107 @@
+//! Crossbar-size design-space sweep (reproduction extension).
+//!
+//! The paper fixes 64×64 crossbars (Table II); its baseline ReGraphX
+//! explores heterogeneous sizes. This sweep re-runs the headline
+//! comparison at 32–256-row crossbars to show where 64×64 sits:
+//! smaller arrays mean more write parallelism (more groups) but more
+//! tiles to reduce over; bigger arrays amortize periphery but
+//! concentrate writes.
+
+use gopim::report;
+use gopim_alloc::{greedy_allocate, AllocInput, AllocPlan};
+use gopim_bench::{banner, BenchArgs};
+use gopim_graph::datasets::Dataset;
+use gopim_mapping::SelectivePolicy;
+use gopim_pipeline::latency::LatencyParams;
+use gopim_pipeline::{
+    simulate, GcnWorkload, MappingKind, PipelineOptions, WorkloadOptions,
+};
+use gopim_reram::spec::AcceleratorSpec;
+
+fn run_at_size(rows: usize, cols: usize, budget: Option<usize>) -> (f64, f64) {
+    let mut spec = AcceleratorSpec::paper();
+    // Keep total capacity constant: scale crossbars-per-PE inversely
+    // with array cells.
+    let cell_ratio = (rows * cols) as f64 / (64.0 * 64.0);
+    spec.crossbar_rows = rows;
+    spec.crossbar_cols = cols;
+    spec.crossbars_per_pe = ((32.0 / cell_ratio).round() as usize).max(1);
+    let total = budget.unwrap_or_else(|| spec.total_crossbars());
+    let params = LatencyParams {
+        spec: spec.clone(),
+        ..LatencyParams::paper()
+    };
+
+    let dataset = Dataset::Ddi;
+    let profile = dataset.profile(7);
+    let build = |gopim: bool| -> GcnWorkload {
+        let options = WorkloadOptions {
+            mapping: if gopim {
+                MappingKind::Interleaved
+            } else {
+                MappingKind::IndexBased
+            },
+            selective: gopim.then(|| SelectivePolicy::adaptive(&profile)),
+            params: params.clone(),
+            ..WorkloadOptions::default()
+        };
+        GcnWorkload::build_custom(dataset.name(), &profile, &dataset.model(), &options)
+    };
+
+    let serial_wl = build(false);
+    let serial_plan = AllocPlan::serial(serial_wl.stages().len());
+    let serial = simulate(&serial_wl, &serial_plan.replicas, &PipelineOptions::serial());
+
+    let wl = build(true);
+    let n_mb = wl.num_microbatches();
+    let input = AllocInput {
+        compute_ns: wl.stages().iter().map(|s| s.compute_ns).collect(),
+        write_ns: (0..wl.stages().len())
+            .map(|i| {
+                (0..n_mb).map(|j| wl.write_ns(i, j)).sum::<f64>() / n_mb as f64
+                    + wl.overhead_ns()
+            })
+            .collect(),
+        quantum_ns: vec![spec.mvm_latency_ns(); wl.stages().len()],
+        crossbars_per_replica: wl
+            .stages()
+            .iter()
+            .map(|s| s.crossbars_per_replica)
+            .collect(),
+        unused_crossbars: total.saturating_sub(wl.base_crossbars()),
+        num_microbatches: n_mb,
+        max_replicas: None,
+    };
+    let plan = greedy_allocate(&input);
+    let gopim = simulate(&wl, &plan.replicas, &PipelineOptions::default());
+    (
+        serial.makespan_ns / gopim.makespan_ns,
+        gopim.makespan_ns / 1e3,
+    )
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    banner(
+        "Crossbar-size sweep (extension)",
+        "GoPIM on ddi with 32x32 .. 256x256 crossbars at constant total ReRAM capacity\n\
+         (crossbars/PE scaled inversely). The paper's 64x64 choice is the reference.",
+    );
+    let sizes: &[usize] = if args.quick { &[32, 64, 128] } else { &[32, 64, 128, 256] };
+    let mut rows = Vec::new();
+    for &s in sizes {
+        let (speedup, makespan_us) = run_at_size(s, s, args.budget);
+        rows.push(vec![
+            format!("{s}x{s}"),
+            report::speedup(speedup),
+            format!("{makespan_us:.0} us"),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &["crossbar size", "GoPIM speedup vs Serial", "GoPIM makespan"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,122 @@
+//! Shared plumbing for the experiment binaries (`fig04` … `table07`).
+//!
+//! Every binary accepts:
+//!
+//! - `--quick` — run at reduced scale (smaller crossbar budget, fewer
+//!   samples/epochs) for smoke-testing;
+//! - `--budget <crossbars>` — override the crossbar budget (default:
+//!   the full 16 GB chip, 16,777,216 crossbars).
+//!
+//! Regenerate everything with:
+//!
+//! ```text
+//! for f in fig04 fig05 fig06 fig09 fig13 fig14 fig15 fig16 fig17 \
+//!          table05 table06 table07; do
+//!     cargo run --release -p gopim-bench --bin $f
+//! done
+//! ```
+
+use gopim::runner::RunConfig;
+
+/// Parsed command-line options shared by the experiment binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Reduced-scale smoke run.
+    pub quick: bool,
+    /// Crossbar budget override.
+    pub budget: Option<usize>,
+    /// Remaining free arguments.
+    pub rest: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`-style arguments (skips the binary name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut quick = false;
+        let mut budget = None;
+        let mut rest = Vec::new();
+        let mut iter = args.into_iter().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--budget" => {
+                    budget = iter
+                        .next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .or_else(|| {
+                            eprintln!("--budget expects an integer");
+                            None
+                        });
+                }
+                other => rest.push(other.to_string()),
+            }
+        }
+        BenchArgs { quick, budget, rest }
+    }
+
+    /// Parses the real process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args())
+    }
+
+    /// The run configuration these arguments imply.
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig {
+            crossbar_budget: self.budget.or(if self.quick {
+                Some(400_000)
+            } else {
+                None
+            }),
+            ..RunConfig::default()
+        }
+    }
+
+    /// Scales a sample/epoch count down in quick mode.
+    pub fn scaled(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, description: &str) {
+    println!("== GoPIM reproduction :: {id} ==");
+    println!("{description}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::parse(
+            std::iter::once("bin".to_string()).chain(args.iter().map(|s| s.to_string())),
+        )
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&["--quick", "--budget", "1000", "extra"]);
+        assert!(a.quick);
+        assert_eq!(a.budget, Some(1000));
+        assert_eq!(a.rest, vec!["extra"]);
+    }
+
+    #[test]
+    fn default_is_full_chip() {
+        let a = parse(&[]);
+        assert!(!a.quick);
+        assert_eq!(a.run_config().crossbar_budget, None);
+    }
+
+    #[test]
+    fn quick_mode_reduces_budget_and_counts() {
+        let a = parse(&["--quick"]);
+        assert_eq!(a.run_config().crossbar_budget, Some(400_000));
+        assert_eq!(a.scaled(2200, 300), 300);
+    }
+}

@@ -1,0 +1,89 @@
+//! Argument parsing for the `gopim` CLI binary (kept in the library so
+//! it is unit-testable).
+
+use gopim_graph::datasets::Dataset;
+
+use crate::system::System;
+
+/// Resolves a dataset by its paper name, case-insensitively.
+///
+/// # Errors
+///
+/// Returns a user-facing message listing the valid names.
+pub fn parse_dataset(name: &str) -> Result<Dataset, String> {
+    Dataset::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!(
+                "unknown dataset '{name}' (try: {})",
+                Dataset::ALL.map(|d| d.name()).join(", ")
+            )
+        })
+}
+
+/// Resolves a system by its paper name, case-insensitively.
+///
+/// # Errors
+///
+/// Returns a user-facing message listing the valid names.
+pub fn parse_system(name: &str) -> Result<System, String> {
+    System::ALL
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!(
+                "unknown system '{name}' (try: {})",
+                System::ALL.map(|s| s.name()).join(", ")
+            )
+        })
+}
+
+/// Parses an optional positional micro-batch argument (default 64).
+///
+/// # Errors
+///
+/// Returns a user-facing message for non-numeric or zero values.
+pub fn parse_micro_batch(arg: Option<&str>) -> Result<usize, String> {
+    match arg {
+        None => Ok(64),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("invalid micro-batch '{v}'"))
+            .and_then(|b| {
+                if b == 0 {
+                    Err("micro-batch must be positive".into())
+                } else {
+                    Ok(b)
+                }
+            }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_parse_case_insensitively() {
+        assert_eq!(parse_dataset("DDI").unwrap(), Dataset::Ddi);
+        assert_eq!(parse_dataset("cora").unwrap(), Dataset::Cora);
+        assert!(parse_dataset("imdb").unwrap_err().contains("unknown dataset"));
+    }
+
+    #[test]
+    fn systems_parse_by_paper_names() {
+        assert_eq!(parse_system("gopim").unwrap(), System::Gopim);
+        assert_eq!(parse_system("slimgnn-like").unwrap(), System::SlimGnnLike);
+        assert_eq!(parse_system("REFLIP").unwrap(), System::ReFlip);
+        assert!(parse_system("tpu").is_err());
+    }
+
+    #[test]
+    fn micro_batch_defaults_and_validates() {
+        assert_eq!(parse_micro_batch(None).unwrap(), 64);
+        assert_eq!(parse_micro_batch(Some("128")).unwrap(), 128);
+        assert!(parse_micro_batch(Some("0")).is_err());
+        assert!(parse_micro_batch(Some("lots")).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Fig. 9: choosing the Time Predictor model.
+//!
+//! (a) RMSE across regressor families (MLP wins in the paper);
+//! (b) MLP depth sweep, 2–6 layers (3 wins);
+//! (c) hidden-width sweep on the 3-layer MLP (256 wins).
+
+use gopim_predictor::dataset_gen::SampleSet;
+use gopim_predictor::eval::{rmse, split};
+use gopim_predictor::models::{
+    BayesianRidge, DecisionTree, GradientBoostedTrees, LinearRegression, LinearSvr, Regressor,
+};
+use gopim_predictor::{Normalizer, TimePredictor};
+
+/// RMSE of one model configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmseRow {
+    /// Model label (paper's Fig. 9 names).
+    pub model: String,
+    /// Test-set RMSE (normalized log-time target space).
+    pub rmse: f64,
+}
+
+/// Fig. 9(a): the regressor-family comparison. Every model receives
+/// z-scored features (as scikit-learn pipelines would), fitted on the
+/// training split.
+pub fn model_comparison(samples: &SampleSet, mlp_epochs: usize, seed: u64) -> Vec<RmseRow> {
+    let (train, test) = split(samples, 0.8, seed);
+    let norm = Normalizer::fit(&train.x);
+    let train_x = norm.transform(&train.x);
+    let test_x = norm.transform(&test.x);
+    let mut rows = Vec::new();
+
+    let mut run_model = |model: &mut dyn Regressor| {
+        model.fit(&train_x, &train.y);
+        rows.push(RmseRow {
+            model: model.name().to_string(),
+            rmse: rmse(&model.predict(&test_x), &test.y),
+        });
+    };
+    run_model(&mut GradientBoostedTrees::default());
+    run_model(&mut LinearSvr::default());
+    run_model(&mut DecisionTree::default());
+    run_model(&mut LinearRegression::new());
+    run_model(&mut BayesianRidge::new());
+
+    let predictor = TimePredictor::train_paper(&train, mlp_epochs, seed);
+    rows.push(RmseRow {
+        model: "MLP".to_string(),
+        rmse: rmse(&predictor.predict_normalized(&test.x), &test.y),
+    });
+    rows
+}
+
+/// §V-A's feature-selection ablation: retrain with one Table I feature
+/// zeroed out at a time and report the RMSE penalty — the procedure
+/// the paper used to settle on the ten features ("if the exclusion of
+/// some feature causes a large drop in the predictor's accuracy, then
+/// we need to keep that feature").
+///
+/// Returns `(feature name, RMSE with the feature removed)`; compare
+/// against the full-feature RMSE from [`model_comparison`].
+pub fn feature_ablation(samples: &SampleSet, epochs: usize, seed: u64) -> Vec<(String, f64)> {
+    const NAMES: [&str; 10] = [
+        "R_IFM_CO", "C_IFM_CO", "R_E_CO", "C_E_CO", "R_A_AG", "C_A_AG", "R_E_AG", "C_E_AG",
+        "s", "k",
+    ];
+    let (train, test) = split(samples, 0.8, seed);
+    let zero_column = |set: &SampleSet, col: usize| -> SampleSet {
+        let mut x = set.x.clone();
+        for r in 0..x.rows() {
+            x[(r, col)] = 0.0;
+        }
+        SampleSet { x, y: set.y.clone() }
+    };
+    NAMES
+        .iter()
+        .enumerate()
+        .map(|(col, name)| {
+            let ablated_train = zero_column(&train, col);
+            let ablated_test = zero_column(&test, col);
+            let p = TimePredictor::train_paper(&ablated_train, epochs, seed);
+            (
+                name.to_string(),
+                rmse(&p.predict_normalized(&ablated_test.x), &ablated_test.y),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 9(b): MLP depth sweep (total layers in the paper's counting).
+pub fn depth_sweep(
+    samples: &SampleSet,
+    depths: &[usize],
+    hidden: usize,
+    epochs: usize,
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    let (train, test) = split(samples, 0.8, seed);
+    depths
+        .iter()
+        .map(|&d| {
+            let p = TimePredictor::train(&train, d, hidden, epochs, seed);
+            (d, rmse(&p.predict_normalized(&test.x), &test.y))
+        })
+        .collect()
+}
+
+/// Fig. 9(c): hidden-width sweep on the 3-layer MLP.
+pub fn width_sweep(
+    samples: &SampleSet,
+    widths: &[usize],
+    epochs: usize,
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    let (train, test) = split(samples, 0.8, seed);
+    widths
+        .iter()
+        .map(|&w| {
+            let p = TimePredictor::train(&train, 3, w, epochs, seed);
+            (w, rmse(&p.predict_normalized(&test.x), &test.y))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopim_predictor::dataset_gen::generate_samples;
+
+    #[test]
+    fn mlp_is_competitive_with_every_family() {
+        let samples = generate_samples(350, 21);
+        let rows = model_comparison(&samples, 60, 3);
+        assert_eq!(rows.len(), 6);
+        let mlp = rows.iter().find(|r| r.model == "MLP").unwrap().rmse;
+        let linear = rows.iter().find(|r| r.model == "LR").unwrap().rmse;
+        // The paper's ranking: the MLP beats the linear families.
+        assert!(mlp < linear, "MLP {mlp} vs LR {linear}");
+        assert!(rows.iter().all(|r| r.rmse.is_finite() && r.rmse >= 0.0));
+    }
+
+    #[test]
+    fn feature_ablation_covers_every_feature() {
+        let samples = generate_samples(150, 23);
+        let rows = feature_ablation(&samples, 10, 3);
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|(_, r)| r.is_finite() && *r >= 0.0));
+        // Removing the dominant size features must hurt more than
+        // removing the layer index.
+        let get = |name: &str| rows.iter().find(|(n, _)| n == name).unwrap().1;
+        assert!(get("R_E_AG") >= get("k") * 0.5, "{rows:?}");
+    }
+
+    #[test]
+    fn sweeps_return_requested_points() {
+        let samples = generate_samples(200, 22);
+        let d = depth_sweep(&samples, &[2, 3, 4], 16, 15, 4);
+        assert_eq!(d.len(), 3);
+        let w = width_sweep(&samples, &[8, 32], 15, 4);
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|&(_, r)| r.is_finite()));
+    }
+}

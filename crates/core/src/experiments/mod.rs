@@ -1,0 +1,15 @@
+//! One module per paper table/figure (see DESIGN.md §3 for the full
+//! index). Each returns typed rows; the `gopim-bench` binaries format
+//! and print them.
+
+pub mod fig04;
+pub mod fig06;
+pub mod fig09;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod table05;
+pub mod table06;
+pub mod table07;

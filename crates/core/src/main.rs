@@ -1,0 +1,266 @@
+//! `gopim` — command-line front end to the GoPIM reproduction.
+//!
+//! ```text
+//! gopim datasets                         # Table III catalog
+//! gopim run <dataset> [system] [B]       # one simulation
+//! gopim compare <dataset>                # all six systems
+//! gopim gantt <dataset> [system] [B]     # schedule timeline
+//! gopim --help
+//! ```
+
+use gopim::report;
+use gopim::runner::{build_workload, run_system, RunConfig};
+use gopim::system::System;
+use gopim_graph::datasets::Dataset;
+use gopim_pipeline::schedule::simulate_traced;
+use gopim_pipeline::trace::render_gantt;
+use gopim_pipeline::PipelineOptions;
+
+const HELP: &str = "\
+gopim — GCN-oriented pipeline optimization for PIM accelerators (paper reproduction)
+
+USAGE:
+    gopim <COMMAND> [ARGS]
+
+COMMANDS:
+    datasets                      list the Table III dataset catalog
+    run <dataset> [system] [B]    simulate one system (default GoPIM, B=64)
+    compare <dataset> [B]         run all six systems and tabulate
+    gantt <dataset> [system] [B]  print the schedule timeline
+    custom <edge-file> [B]        run all systems on your own graph
+                                  (text edge list: 'u v' per line, # comments)
+    help                          show this message
+
+DATASETS:  ddi collab ppa proteins arxiv products Cora
+SYSTEMS:   Serial SlimGNN-like ReGraphX ReFlip GoPIM-Vanilla GoPIM
+
+The paper's full 16 GB chip is assumed; see the gopim-bench binaries
+(fig04..fig17, table05..table07) for the per-figure experiments.";
+
+use gopim::cli::{parse_dataset, parse_micro_batch, parse_system};
+
+fn cmd_datasets() {
+    let rows: Vec<Vec<String>> = Dataset::ALL
+        .iter()
+        .map(|d| {
+            let s = d.stats();
+            let m = d.model();
+            vec![
+                s.name.to_string(),
+                format!("{:?}", s.task),
+                s.num_vertices.to_string(),
+                s.num_edges.to_string(),
+                format!("{:.1}", s.avg_degree),
+                s.feature_dim.to_string(),
+                m.num_layers.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &["dataset", "task", "vertices", "edges", "avg deg", "feat dim", "layers"],
+            &rows
+        )
+    );
+}
+
+fn cmd_run(dataset: Dataset, system: System, micro_batch: usize) {
+    let config = RunConfig {
+        micro_batch,
+        ..RunConfig::default()
+    };
+    let serial = run_system(dataset, System::Serial, &config);
+    let run = run_system(dataset, system, &config);
+    println!(
+        "{} on {} (B={micro_batch}): {}  ({} vs Serial, energy saving {:.2}x)",
+        run.system_name,
+        dataset,
+        report::time_ns(run.makespan_ns),
+        report::speedup(serial.makespan_ns / run.makespan_ns),
+        serial.energy_nj() / run.energy_nj(),
+    );
+    let rows: Vec<Vec<String>> = run
+        .stage_names
+        .iter()
+        .zip(&run.replicas)
+        .zip(&run.footprints)
+        .zip(&run.schedule.stages)
+        .map(|(((name, &r), &fp), st)| {
+            vec![
+                name.clone(),
+                r.to_string(),
+                (r * fp).to_string(),
+                report::percent(st.idle_fraction),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(&["stage", "replicas", "crossbars", "crossbar idle"], &rows)
+    );
+}
+
+fn cmd_compare(dataset: Dataset, micro_batch: usize) {
+    let config = RunConfig {
+        micro_batch,
+        ..RunConfig::default()
+    };
+    let runs: Vec<_> = System::ALL
+        .iter()
+        .map(|&s| run_system(dataset, s, &config))
+        .collect();
+    let serial_time = runs[0].makespan_ns;
+    let serial_energy = runs[0].energy_nj();
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.system_name.clone(),
+                report::time_ns(r.makespan_ns),
+                report::speedup(serial_time / r.makespan_ns),
+                format!("{:.2}x", serial_energy / r.energy_nj()),
+                r.total_crossbars().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &["system", "exec time", "speedup", "energy saving", "crossbars"],
+            &rows
+        )
+    );
+}
+
+fn cmd_gantt(dataset: Dataset, system: System, micro_batch: usize) {
+    let config = RunConfig {
+        micro_batch,
+        ..RunConfig::default()
+    };
+    let run = run_system(dataset, system, &config);
+    let workload = build_workload(dataset, system, &config);
+    let options = if system.pipelined() {
+        PipelineOptions {
+            intra_batch: true,
+            inter_batch: system.inter_batch(),
+            num_batches: 1,
+        }
+    } else {
+        PipelineOptions::serial()
+    };
+    let (_, events) = simulate_traced(&workload, &run.replicas, &options);
+    println!(
+        "{system} on {dataset} (B={micro_batch}), makespan {} — # compute, w write, . dispatch:",
+        report::time_ns(run.makespan_ns)
+    );
+    print!("{}", render_gantt(&workload, &events, 100));
+}
+
+fn cmd_custom(path: &str, micro_batch: usize) -> Result<(), String> {
+    use gopim::runner::run_system_custom;
+    use gopim_graph::datasets::ModelConfig;
+    use gopim_graph::io::read_edge_list;
+
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
+    let graph = read_edge_list(std::io::BufReader::new(file))
+        .map_err(|e| format!("parse '{path}': {e}"))?;
+    let profile = graph.to_degree_profile();
+    println!(
+        "loaded '{path}': {} vertices, {} edges, avg degree {:.1} ({})",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.avg_degree(),
+        if profile.is_sparse() { "sparse: θ=80%" } else { "dense: θ=50%" },
+    );
+    // A default 2-layer, 128-dim GCN.
+    let model = ModelConfig {
+        num_layers: 2,
+        learning_rate: 0.01,
+        dropout: 0.0,
+        input_channels: 128,
+        hidden_channels: 128,
+        output_channels: 128,
+    };
+    let config = RunConfig {
+        micro_batch,
+        ..RunConfig::default()
+    };
+    let runs: Vec<_> = System::ALL
+        .iter()
+        .map(|&s| run_system_custom("custom", &profile, &model, s, &config))
+        .collect();
+    let serial_time = runs[0].makespan_ns;
+    let serial_energy = runs[0].energy_nj();
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.system_name.clone(),
+                report::time_ns(r.makespan_ns),
+                report::speedup(serial_time / r.makespan_ns),
+                format!("{:.2}x", serial_energy / r.energy_nj()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(&["system", "exec time", "speedup", "energy saving"], &rows)
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = dispatch(&args);
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        eprintln!();
+        eprintln!("{HELP}");
+        std::process::exit(2);
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let micro_batch_at =
+        |idx: usize| -> Result<usize, String> { parse_micro_batch(args.get(idx).map(String::as_str)) };
+    match cmd {
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        "datasets" => {
+            cmd_datasets();
+            Ok(())
+        }
+        "run" => {
+            let dataset = parse_dataset(args.get(1).ok_or("run needs a dataset")?)?;
+            let system = match args.get(2) {
+                Some(s) => parse_system(s)?,
+                None => System::Gopim,
+            };
+            cmd_run(dataset, system, micro_batch_at(3)?);
+            Ok(())
+        }
+        "compare" => {
+            let dataset = parse_dataset(args.get(1).ok_or("compare needs a dataset")?)?;
+            cmd_compare(dataset, micro_batch_at(2)?);
+            Ok(())
+        }
+        "gantt" => {
+            let dataset = parse_dataset(args.get(1).ok_or("gantt needs a dataset")?)?;
+            let system = match args.get(2) {
+                Some(s) => parse_system(s)?,
+                None => System::Gopim,
+            };
+            cmd_gantt(dataset, system, micro_batch_at(3)?);
+            Ok(())
+        }
+        "custom" => {
+            let path = args.get(1).ok_or("custom needs an edge-list file")?;
+            cmd_custom(path, micro_batch_at(2)?)
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}

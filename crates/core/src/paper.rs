@@ -1,0 +1,143 @@
+//! The paper's reported numbers, as data.
+//!
+//! Encoding the published results lets the harness compare *shape*
+//! programmatically (who wins, by roughly what factor, which direction
+//! a trend goes) instead of eyeballing — see the `shapecheck` binary
+//! and EXPERIMENTS.md.
+
+/// Average end-to-end speedup of GoPIM over each system (Fig. 13(a),
+/// §VII-B), with the reported min–max range.
+pub struct SpeedupClaim {
+    /// Baseline name.
+    pub baseline: &'static str,
+    /// Reported average speedup of GoPIM over the baseline.
+    pub average: f64,
+    /// Reported range.
+    pub range: (f64, f64),
+}
+
+/// Fig. 13(a): GoPIM's speedups over the five other systems.
+pub const FIG13_SPEEDUPS: [SpeedupClaim; 5] = [
+    SpeedupClaim { baseline: "Serial", average: 727.6, range: (10.2, 3454.3) },
+    SpeedupClaim { baseline: "SlimGNN-like", average: 2.1, range: (1.4, 2.9) },
+    SpeedupClaim { baseline: "ReGraphX", average: 2.4, range: (1.7, 2.9) },
+    SpeedupClaim { baseline: "ReFlip", average: 45.1, range: (1.1, 191.4) },
+    SpeedupClaim { baseline: "GoPIM-Vanilla", average: 1.5, range: (1.1, 2.0) },
+];
+
+/// Fig. 13(b): average energy-saving factors vs Serial, in system order
+/// (SlimGNN-like, ReGraphX, ReFlip, GoPIM-Vanilla, GoPIM).
+pub const FIG13_ENERGY_SAVINGS: [(&str, f64); 5] = [
+    ("SlimGNN-like", 2.6),
+    ("ReGraphX", 2.5),
+    ("ReFlip", 1.4),
+    ("GoPIM-Vanilla", 3.0),
+    ("GoPIM", 4.0),
+];
+
+/// Fig. 4: average idle percentage of the Combination-stage crossbar
+/// groups (XBS1/3/5) across the six motivation datasets.
+pub const FIG04_CO_IDLE_PERCENT: [f64; 3] = [98.47, 97.50, 99.03];
+
+/// §III-A / §III-B: the Aggregation:Combination stage-time ratio — up
+/// to 888× (products), average 247× across datasets.
+pub const AG_CO_RATIO_MAX: f64 = 888.0;
+
+/// §III-A: the AG:CO ratio averaged across datasets.
+pub const AG_CO_RATIO_AVG: f64 = 247.0;
+
+/// Fig. 15: average idle-percentage reductions (points) at micro-batch
+/// sizes 32/64/128 on ddi.
+pub const FIG15_IDLE_REDUCTIONS: [(usize, f64); 3] =
+    [(32, 46.75), (64, 49.75), (128, 51.75)];
+
+/// Table V: ISU accuracy impact in percentage points, per dataset.
+pub const TABLE5_ACCURACY_DELTAS: [(&str, f64); 5] = [
+    ("ddi", 4.01),
+    ("collab", -0.65),
+    ("ppa", 1.07),
+    ("proteins", 1.62),
+    ("arxiv", -0.20),
+];
+
+/// Table VI: ddi crossbar allocation — GoPIM's replica counts in stage
+/// order (CO1, AG1, CO2, AG2, LC2, GC2, LC1, GC1) and totals.
+pub struct Table6 {
+    /// GoPIM's per-stage replica counts.
+    pub gopim_replicas: [usize; 8],
+    /// Serial's per-stage crossbar counts.
+    pub serial_crossbars: [usize; 8],
+    /// Serial total crossbars.
+    pub serial_total: usize,
+    /// GoPIM total crossbars.
+    pub gopim_total: usize,
+}
+
+/// Table VI values.
+pub const TABLE6: Table6 = Table6 {
+    gopim_replicas: [59, 364, 60, 616, 61, 487, 61, 484],
+    serial_crossbars: [32, 534, 32, 534, 32, 534, 32, 534],
+    serial_total: 2_264,
+    gopim_total: 1_046_852,
+};
+
+/// Table VII: speedups (normalized to Serial) with ML vs profiling
+/// estimates, per dataset.
+pub const TABLE7: [(&str, f64, f64); 5] = [
+    ("ddi", 3454.31, 3469.17),
+    ("collab", 36.82, 36.82),
+    ("ppa", 10.18, 10.20),
+    ("proteins", 71.64, 71.83),
+    ("arxiv", 64.78, 66.20),
+];
+
+/// §VII-F: Cora speedups over (Serial, SlimGNN-like, ReGraphX, ReFlip).
+pub const CORA_SPEEDUPS: [(&str, f64); 4] = [
+    ("Serial", 3460.5),
+    ("SlimGNN-like", 1.30),
+    ("ReGraphX", 1.26),
+    ("ReFlip", 1.27),
+];
+
+/// Fig. 17(b): products speedup and energy saving over Serial.
+pub const PRODUCTS_SPEEDUP: f64 = 5.9;
+
+/// Fig. 17(b): products energy saving over Serial.
+pub const PRODUCTS_ENERGY_SAVING: f64 = 1.8;
+
+/// §V-A: the selected predictor's RMSE.
+pub const PREDICTOR_RMSE: f64 = 0.0022;
+
+/// §VII-G: prediction accuracy on unseen datasets.
+pub const UNSEEN_PREDICTION_ACCURACY: f64 = 0.934;
+
+/// §VI-C: the adaptive update thresholds (dense, sparse).
+pub const ADAPTIVE_THETAS: (f64, f64) = (0.5, 0.8);
+
+/// Abstract: headline maxima.
+pub const HEADLINE_MAX_SPEEDUP: f64 = 191.0;
+
+/// Abstract: headline energy saving maximum.
+pub const HEADLINE_MAX_ENERGY: f64 = 16.1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_tables_are_internally_consistent() {
+        // Table VI serial total matches its per-stage counts.
+        let sum: usize = TABLE6.serial_crossbars.iter().sum();
+        assert_eq!(sum, TABLE6.serial_total);
+        // Fig. 13: GoPIM beats every baseline on average.
+        assert!(FIG13_SPEEDUPS.iter().all(|c| c.average > 1.0));
+        // The abstract's 191× is ReFlip's range maximum.
+        assert!((FIG13_SPEEDUPS[3].range.1 - 191.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn our_adaptive_thetas_match_the_paper() {
+        assert_eq!(gopim_mapping::DENSE_THETA, ADAPTIVE_THETAS.0);
+        assert_eq!(gopim_mapping::SPARSE_THETA, ADAPTIVE_THETAS.1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Plain-text table formatting for the experiment binaries.
+
+/// Renders a table with a header row, column-aligned.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Formats a speedup like the paper (`123.4x`).
+pub fn speedup(value: f64) -> String {
+    if value >= 100.0 {
+        format!("{value:.0}x")
+    } else {
+        format!("{value:.1}x")
+    }
+}
+
+/// Formats nanoseconds human-readably.
+pub fn time_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Formats a percentage.
+pub fn percent(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[3].contains("longer"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(speedup(3454.3), "3454x");
+        assert_eq!(speedup(2.13), "2.1x");
+        assert_eq!(time_ns(1.5e9), "1.50 s");
+        assert_eq!(time_ns(2500.0), "2.50 us");
+        assert_eq!(percent(0.985), "98.50%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

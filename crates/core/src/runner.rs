@@ -1,0 +1,446 @@
+//! End-to-end system runner: workload → allocation → schedule → energy.
+
+use gopim_alloc::{fixed, greedy_allocate, AllocInput, AllocPlan};
+use gopim_graph::datasets::Dataset;
+use gopim_graph::DegreeProfile;
+use gopim_mapping::SelectivePolicy;
+use gopim_pipeline::energy::{energy_of_run, EnergyBreakdown};
+use gopim_pipeline::latency::LatencyParams;
+use gopim_pipeline::workload::UpdateAccounting;
+use gopim_pipeline::{
+    simulate, GcnWorkload, MappingKind, PipelineOptions, PipelineResult, WorkloadOptions,
+};
+use gopim_predictor::TimePredictor;
+use gopim_reram::spec::AcceleratorSpec;
+
+use crate::system::{Ablation, System};
+
+/// How the allocator obtains per-stage time estimates.
+#[derive(Debug, Clone, Default)]
+pub enum Estimator {
+    /// Exact stage times from the simulator (equivalent to the paper's
+    /// profiling approach; Table VII shows the ML predictor lands
+    /// within 4.3 % of this).
+    #[default]
+    Exact,
+    /// A trained MLP Time Predictor (the paper's §V-A approach).
+    Ml(TimePredictor),
+}
+
+/// Configuration shared by all experiment runs.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Micro-batch size (paper default 64).
+    pub micro_batch: usize,
+    /// Crossbar budget; `None` = the full 16 GB chip.
+    pub crossbar_budget: Option<usize>,
+    /// Seed for synthetic degree profiles.
+    pub profile_seed: u64,
+    /// Stage-time estimator fed to the allocator.
+    pub estimator: Estimator,
+    /// Batches to simulate.
+    pub num_batches: usize,
+    /// Fraction of edges SlimGNN-like's input subgraph pruning retains.
+    pub slimgnn_prune_retain: f64,
+    /// ReFlip's repeated source-vertex loads per processed edge
+    /// (column-major execution penalty).
+    pub reflip_reload_rows_per_edge: f64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            micro_batch: 64,
+            crossbar_budget: None,
+            profile_seed: 7,
+            estimator: Estimator::Exact,
+            num_batches: 1,
+            slimgnn_prune_retain: 0.75,
+            reflip_reload_rows_per_edge: 0.5,
+        }
+    }
+}
+
+/// Result of running one system on one dataset.
+#[derive(Debug, Clone)]
+pub struct SystemRun {
+    /// Which system ran.
+    pub system_name: String,
+    /// Dataset name.
+    pub dataset_name: String,
+    /// End-to-end execution time, ns.
+    pub makespan_ns: f64,
+    /// Energy breakdown, nJ.
+    pub energy: EnergyBreakdown,
+    /// Schedule details (per-stage busy/idle).
+    pub schedule: PipelineResult,
+    /// Replica counts per stage.
+    pub replicas: Vec<usize>,
+    /// Crossbars per replica per stage (Table VI's derivation).
+    pub footprints: Vec<usize>,
+    /// Stage names in order.
+    pub stage_names: Vec<String>,
+}
+
+impl SystemRun {
+    /// Total energy, nJ.
+    pub fn energy_nj(&self) -> f64 {
+        self.energy.total_nj()
+    }
+
+    /// Total crossbars occupied (base + replicas).
+    pub fn total_crossbars(&self) -> usize {
+        self.replicas
+            .iter()
+            .zip(&self.footprints)
+            .map(|(&r, &x)| r * x)
+            .sum()
+    }
+}
+
+fn scaled_profile(profile: &DegreeProfile, retain: f64) -> DegreeProfile {
+    DegreeProfile::from_degrees(
+        profile
+            .degrees()
+            .iter()
+            .map(|&d| ((f64::from(d) * retain).round() as u32).max(1))
+            .collect(),
+    )
+}
+
+/// Builds the workload options a system implies for a dataset profile.
+fn workload_options(system: System, profile: &DegreeProfile, config: &RunConfig) -> WorkloadOptions {
+    let (mapping, selective) = match system {
+        System::Gopim => (
+            MappingKind::Interleaved,
+            Some(SelectivePolicy::adaptive(profile)),
+        ),
+        // SlimGNN-like prunes the input subgraph (handled by degree
+        // scaling) but keeps index mapping and full updating.
+        _ => (MappingKind::IndexBased, None),
+    };
+    WorkloadOptions {
+        micro_batch: config.micro_batch,
+        mapping,
+        selective,
+        accounting: UpdateAccounting::Amortized,
+        params: LatencyParams::paper(),
+        repeated_load_rows_per_edge: if system == System::ReFlip {
+            config.reflip_reload_rows_per_edge
+        } else {
+            0.0
+        },
+        profile_seed: config.profile_seed,
+    }
+}
+
+/// Allocator input derived from a workload and an estimator.
+fn alloc_input(
+    workload: &GcnWorkload,
+    avg_degree: f64,
+    budget: usize,
+    estimator: &Estimator,
+) -> AllocInput {
+    let n_mb = workload.num_microbatches();
+    // Mean write per micro-batch (the predictor's targets are
+    // compute + write, without the dispatch overhead).
+    let raw_writes: Vec<f64> = (0..workload.stages().len())
+        .map(|i| (0..n_mb).map(|j| workload.write_ns(i, j)).sum::<f64>() / n_mb as f64)
+        .collect();
+    // Write + dispatch overhead: the per-micro-batch floor that
+    // replicas cannot shrink.
+    let mean_writes: Vec<f64> = raw_writes
+        .iter()
+        .map(|w| w + workload.overhead_ns())
+        .collect();
+    let spec = AcceleratorSpec::paper();
+    let quantum = spec.mvm_latency_ns();
+    let compute: Vec<f64> = match estimator {
+        Estimator::Exact => workload.stages().iter().map(|s| s.compute_ns).collect(),
+        Estimator::Ml(predictor) => predictor
+            .predict_stage_times_ns(workload, avg_degree)
+            .iter()
+            .zip(&raw_writes)
+            .map(|(&total, &w)| (total - w).max(quantum))
+            .collect(),
+    };
+    AllocInput {
+        quantum_ns: vec![quantum; compute.len()],
+        compute_ns: compute,
+        write_ns: mean_writes,
+        crossbars_per_replica: workload
+            .stages()
+            .iter()
+            .map(|s| s.crossbars_per_replica)
+            .collect(),
+        unused_crossbars: budget,
+        num_microbatches: workload.num_microbatches(),
+        max_replicas: None,
+    }
+}
+
+fn allocate(system: System, input: &AllocInput, workload: &GcnWorkload) -> AllocPlan {
+    let feature_class: Vec<bool> = workload
+        .stages()
+        .iter()
+        .map(|s| s.kind.maps_features())
+        .collect();
+    match system {
+        System::Serial => AllocPlan::serial(workload.stages().len()),
+        System::SlimGnnLike => fixed::space_proportional(input),
+        System::ReGraphX => fixed::regraphx_ratio(input, &feature_class),
+        System::ReFlip => {
+            let co_class: Vec<bool> = feature_class.iter().map(|&f| !f).collect();
+            fixed::combination_only(input, &co_class)
+        }
+        System::GopimVanilla | System::Gopim => greedy_allocate(input),
+    }
+}
+
+/// Runs one system on one dataset end to end.
+pub fn run_system(dataset: Dataset, system: System, config: &RunConfig) -> SystemRun {
+    let profile = dataset.profile(config.profile_seed);
+    run_system_on_profile(dataset, &profile, system, config)
+}
+
+/// Builds the workload a system would run on a dataset (for callers
+/// that want to inspect or re-simulate it, e.g. the trace/Gantt
+/// example).
+pub fn build_workload(dataset: Dataset, system: System, config: &RunConfig) -> GcnWorkload {
+    let profile = dataset.profile(config.profile_seed);
+    let profile = if system == System::SlimGnnLike {
+        scaled_profile(&profile, config.slimgnn_prune_retain)
+    } else {
+        profile
+    };
+    let options = workload_options(system, &profile, config);
+    GcnWorkload::build_custom(dataset.name(), &profile, &dataset.model(), &options)
+}
+
+/// Runs one system on a custom (profile, model) pair — the entry point
+/// for user-supplied graphs (see the CLI's `custom` command).
+pub fn run_system_custom(
+    name: &str,
+    profile: &DegreeProfile,
+    model: &gopim_graph::datasets::ModelConfig,
+    system: System,
+    config: &RunConfig,
+) -> SystemRun {
+    let profile = if system == System::SlimGnnLike {
+        scaled_profile(profile, config.slimgnn_prune_retain)
+    } else {
+        profile.clone()
+    };
+    let options = workload_options(system, &profile, config);
+    let workload = GcnWorkload::build_custom(name, &profile, model, &options);
+    finish_run(system.name(), &profile, workload, system, config)
+}
+
+/// Runs one system on an explicit degree profile (used by the
+/// scalability sweeps).
+pub fn run_system_on_profile(
+    dataset: Dataset,
+    profile: &DegreeProfile,
+    system: System,
+    config: &RunConfig,
+) -> SystemRun {
+    let profile = if system == System::SlimGnnLike {
+        scaled_profile(profile, config.slimgnn_prune_retain)
+    } else {
+        profile.clone()
+    };
+    let options = workload_options(system, &profile, config);
+    let workload =
+        GcnWorkload::build_custom(dataset.name(), &profile, &dataset.model(), &options);
+    finish_run(system.name(), &profile, workload, system, config)
+}
+
+fn finish_run(
+    name: &str,
+    profile: &DegreeProfile,
+    workload: GcnWorkload,
+    system: System,
+    config: &RunConfig,
+) -> SystemRun {
+    let spec = AcceleratorSpec::paper();
+    let total = config.crossbar_budget.unwrap_or_else(|| spec.total_crossbars());
+    let budget = total.saturating_sub(workload.base_crossbars());
+    let input = alloc_input(&workload, profile.avg_degree(), budget, &config.estimator);
+    let plan = allocate(system, &input, &workload);
+
+    let pipeline_options = if !system.pipelined() {
+        PipelineOptions::serial()
+    } else if system.inter_batch() {
+        PipelineOptions {
+            intra_batch: true,
+            inter_batch: true,
+            num_batches: config.num_batches,
+        }
+    } else {
+        PipelineOptions {
+            intra_batch: true,
+            inter_batch: false,
+            num_batches: config.num_batches,
+        }
+    };
+    let schedule = simulate(&workload, &plan.replicas, &pipeline_options);
+    let energy = energy_of_run(&spec, &workload, &plan.replicas, &schedule, config.num_batches);
+    SystemRun {
+        system_name: name.to_string(),
+        dataset_name: workload.name().to_string(),
+        makespan_ns: schedule.makespan_ns,
+        energy,
+        replicas: plan.replicas,
+        footprints: workload
+            .stages()
+            .iter()
+            .map(|s| s.crossbars_per_replica)
+            .collect(),
+        stage_names: workload.stages().iter().map(|s| s.name()).collect(),
+        schedule,
+    }
+}
+
+/// Runs one Fig. 14 ablation variant on a dataset.
+pub fn run_ablation(dataset: Dataset, variant: Ablation, config: &RunConfig) -> SystemRun {
+    let profile = dataset.profile(config.profile_seed);
+    match variant {
+        Ablation::Serial => run_system(dataset, System::Serial, config),
+        Ablation::Full => run_system(dataset, System::Gopim, config),
+        Ablation::PlusPp | Ablation::PlusIsu => {
+            let options = WorkloadOptions {
+                micro_batch: config.micro_batch,
+                mapping: if variant == Ablation::PlusIsu {
+                    MappingKind::Interleaved
+                } else {
+                    MappingKind::IndexBased
+                },
+                selective: (variant == Ablation::PlusIsu)
+                    .then(|| SelectivePolicy::adaptive(&profile)),
+                accounting: UpdateAccounting::Amortized,
+                params: LatencyParams::paper(),
+                repeated_load_rows_per_edge: 0.0,
+                profile_seed: config.profile_seed,
+            };
+            let workload = GcnWorkload::build_custom(
+                dataset.name(),
+                &profile,
+                &dataset.model(),
+                &options,
+            );
+            // Pipelining without replicas: force a serial plan.
+            let spec = AcceleratorSpec::paper();
+            let plan = AllocPlan::serial(workload.stages().len());
+            let pipeline_options = PipelineOptions {
+                intra_batch: true,
+                inter_batch: true,
+                num_batches: config.num_batches,
+            };
+            let schedule = simulate(&workload, &plan.replicas, &pipeline_options);
+            let energy =
+                energy_of_run(&spec, &workload, &plan.replicas, &schedule, config.num_batches);
+            SystemRun {
+                system_name: variant.name().to_string(),
+                dataset_name: workload.name().to_string(),
+                makespan_ns: schedule.makespan_ns,
+                energy,
+                replicas: plan.replicas,
+                footprints: workload
+                    .stages()
+                    .iter()
+                    .map(|s| s.crossbars_per_replica)
+                    .collect(),
+                stage_names: workload.stages().iter().map(|s| s.name()).collect(),
+                schedule,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> RunConfig {
+        RunConfig {
+            // A reduced chip keeps the allocator fast in tests while
+            // preserving every qualitative relationship.
+            crossbar_budget: Some(300_000),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn gopim_beats_every_baseline_on_ddi() {
+        let config = quick_config();
+        let runs: Vec<SystemRun> = System::ALL
+            .iter()
+            .map(|&s| run_system(Dataset::Ddi, s, &config))
+            .collect();
+        let serial = runs[0].makespan_ns;
+        let gopim = runs[5].makespan_ns;
+        for run in &runs[..5] {
+            assert!(
+                gopim < run.makespan_ns,
+                "GoPIM {} vs {} {}",
+                gopim,
+                run.system_name,
+                run.makespan_ns
+            );
+        }
+        assert!(serial / gopim > 50.0, "speedup {}", serial / gopim);
+    }
+
+    #[test]
+    fn gopim_beats_vanilla_via_isu() {
+        let config = quick_config();
+        let vanilla = run_system(Dataset::Ddi, System::GopimVanilla, &config);
+        let gopim = run_system(Dataset::Ddi, System::Gopim, &config);
+        assert!(gopim.makespan_ns < vanilla.makespan_ns);
+    }
+
+    #[test]
+    fn energy_ordering_matches_paper_shape() {
+        let config = quick_config();
+        let serial = run_system(Dataset::Ddi, System::Serial, &config);
+        let gopim = run_system(Dataset::Ddi, System::Gopim, &config);
+        assert!(gopim.energy_nj() < serial.energy_nj());
+    }
+
+    #[test]
+    fn reflip_burns_more_write_energy_than_serial_on_dense_graphs() {
+        let config = quick_config();
+        let serial = run_system(Dataset::Ddi, System::Serial, &config);
+        let reflip = run_system(Dataset::Ddi, System::ReFlip, &config);
+        assert!(reflip.energy.write_nj > serial.energy.write_nj);
+    }
+
+    #[test]
+    fn ablation_is_monotone() {
+        let config = quick_config();
+        let times: Vec<f64> = Ablation::ALL
+            .iter()
+            .map(|&v| run_ablation(Dataset::Ddi, v, &config).makespan_ns)
+            .collect();
+        assert!(times[1] < times[0], "+PP beats Serial");
+        assert!(times[2] <= times[1] * 1.001, "+ISU no slower than +PP");
+        assert!(times[3] < times[2], "full GoPIM fastest");
+    }
+
+    #[test]
+    fn serial_uses_single_replicas() {
+        let config = quick_config();
+        let run = run_system(Dataset::Ddi, System::Serial, &config);
+        assert!(run.replicas.iter().all(|&r| r == 1));
+        // Table VI Serial total: ours 2×(32+536+32+536) = 2272.
+        assert_eq!(run.total_crossbars(), 2272);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let config = quick_config();
+        let run = run_system(Dataset::Ddi, System::Gopim, &config);
+        assert!(run.total_crossbars() <= 300_000);
+        assert!(run.total_crossbars() > 2272, "replicas granted");
+    }
+}

@@ -1,0 +1,133 @@
+//! The evaluated accelerator systems (paper §VII-A "Baselines").
+
+use std::fmt;
+
+/// One of the six systems compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum System {
+    /// Sequential execution: no pipeline, no sparsification, one
+    /// replica per stage.
+    Serial,
+    /// SlimGNN without weight pruning: intra-batch pipeline,
+    /// space-proportional replica allocation, input subgraph pruning
+    /// with index-based mapping.
+    SlimGnnLike,
+    /// ReGraphX: intra-batch pipeline, fixed 1:2 CO:AG crossbar split,
+    /// no sparsification.
+    ReGraphX,
+    /// ReFlip: replicas only in Combination phases, hybrid execution
+    /// with repeated source-vertex loading, no sparsification.
+    ReFlip,
+    /// GoPIM without ISU: ML-allocated replicas + intra- and
+    /// inter-batch pipelining, full vertex updating, index mapping.
+    GopimVanilla,
+    /// Full GoPIM: ML allocation + interleaved mapping with adaptive
+    /// selective updating.
+    Gopim,
+}
+
+impl System {
+    /// All systems in the paper's Fig. 13 order.
+    pub const ALL: [System; 6] = [
+        System::Serial,
+        System::SlimGnnLike,
+        System::ReGraphX,
+        System::ReFlip,
+        System::GopimVanilla,
+        System::Gopim,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::Serial => "Serial",
+            System::SlimGnnLike => "SlimGNN-like",
+            System::ReGraphX => "ReGraphX",
+            System::ReFlip => "ReFlip",
+            System::GopimVanilla => "GoPIM-Vanilla",
+            System::Gopim => "GoPIM",
+        }
+    }
+
+    /// Whether the system uses any pipelining.
+    pub fn pipelined(self) -> bool {
+        !matches!(self, System::Serial)
+    }
+
+    /// Whether the system overlaps batches (inter-batch pipelining) —
+    /// only the GoPIM variants do (§VII-B).
+    pub fn inter_batch(self) -> bool {
+        matches!(self, System::GopimVanilla | System::Gopim)
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The ablation variants of Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ablation {
+    /// Plain sequential accelerator.
+    Serial,
+    /// + intra- and inter-batch pipelining, no replicas.
+    PlusPp,
+    /// + interleaved mapping with selective updating.
+    PlusIsu,
+    /// Full GoPIM (adds ML-based replica allocation).
+    Full,
+}
+
+impl Ablation {
+    /// All variants in Fig. 14 order.
+    pub const ALL: [Ablation; 4] = [
+        Ablation::Serial,
+        Ablation::PlusPp,
+        Ablation::PlusIsu,
+        Ablation::Full,
+    ];
+
+    /// Display name matching Fig. 14.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ablation::Serial => "Serial",
+            Ablation::PlusPp => "+PP",
+            Ablation::PlusIsu => "+ISU",
+            Ablation::Full => "GoPIM",
+        }
+    }
+}
+
+impl fmt::Display for Ablation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(System::SlimGnnLike.name(), "SlimGNN-like");
+        assert_eq!(System::Gopim.to_string(), "GoPIM");
+        assert_eq!(Ablation::PlusPp.name(), "+PP");
+    }
+
+    #[test]
+    fn only_gopim_variants_overlap_batches() {
+        assert!(System::Gopim.inter_batch());
+        assert!(System::GopimVanilla.inter_batch());
+        assert!(!System::ReGraphX.inter_batch());
+        assert!(!System::Serial.pipelined());
+    }
+
+    #[test]
+    fn all_lists_are_complete() {
+        assert_eq!(System::ALL.len(), 6);
+        assert_eq!(Ablation::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,238 @@
+//! Sparse symmetric-normalized aggregation.
+//!
+//! The GCN propagation rule uses `Â = D^{-1/2}(A + I)D^{-1/2}` (Kipf &
+//! Welling). `Â` is symmetric, so the backward pass applies the same
+//! operator to the upstream gradient.
+
+use gopim_graph::CsrGraph;
+use gopim_linalg::Matrix;
+
+/// A neighborhood propagation operator `P` applied as `P · X`.
+///
+/// Backpropagation needs `Pᵀ`; symmetric operators (like the GCN's
+/// `Â`) get it for free via the default method.
+pub trait Propagation {
+    /// Computes `P · X`.
+    fn propagate(&self, graph: &CsrGraph, x: &Matrix) -> Matrix;
+
+    /// Computes `Pᵀ · X` (defaults to [`Propagation::propagate`] for
+    /// symmetric operators).
+    fn propagate_transpose(&self, graph: &CsrGraph, x: &Matrix) -> Matrix {
+        self.propagate(graph, x)
+    }
+}
+
+/// Precomputed normalization coefficients for a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedAdjacency {
+    /// `1 / sqrt(1 + deg(v))` per vertex.
+    inv_sqrt_deg: Vec<f64>,
+}
+
+impl NormalizedAdjacency {
+    /// Precomputes `D^{-1/2}` with self-loops included.
+    pub fn new(graph: &CsrGraph) -> Self {
+        let inv_sqrt_deg = (0..graph.num_vertices())
+            .map(|v| 1.0 / ((1.0 + graph.degree(v) as f64).sqrt()))
+            .collect();
+        NormalizedAdjacency { inv_sqrt_deg }
+    }
+
+    /// Computes `Â · X` for a feature matrix `X` (one row per vertex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != graph.num_vertices()`.
+    pub fn apply(&self, graph: &CsrGraph, x: &Matrix) -> Matrix {
+        let n = graph.num_vertices();
+        assert_eq!(x.rows(), n, "one feature row per vertex");
+        let d = x.cols();
+        let mut out = Matrix::zeros(n, d);
+        for v in 0..n {
+            let sv = self.inv_sqrt_deg[v];
+            // Self-loop contribution.
+            let out_row = out.row_mut(v);
+            for (o, &xv) in out_row.iter_mut().zip(x.row(v)) {
+                *o += sv * sv * xv;
+            }
+            for &u in graph.neighbors(v) {
+                let su = self.inv_sqrt_deg[u as usize];
+                let coeff = sv * su;
+                let xu = x.row(u as usize);
+                let out_row = out.row_mut(v);
+                for (o, &xv) in out_row.iter_mut().zip(xu) {
+                    *o += coeff * xv;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Propagation for NormalizedAdjacency {
+    fn propagate(&self, graph: &CsrGraph, x: &Matrix) -> Matrix {
+        self.apply(graph, x)
+    }
+    // Symmetric: the default transpose is correct.
+}
+
+/// GraphSAGE-style mean aggregation `M = D⁻¹(A + I)`: each vertex's
+/// new feature is the mean of its own and its neighbors' features.
+/// Unlike `Â`, `M` is not symmetric, so backprop uses the explicit
+/// transpose `Mᵀ = (A + I)D⁻¹`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeanAggregator;
+
+impl MeanAggregator {
+    /// A mean aggregator (stateless).
+    pub fn new() -> Self {
+        MeanAggregator
+    }
+}
+
+impl Propagation for MeanAggregator {
+    fn propagate(&self, graph: &CsrGraph, x: &Matrix) -> Matrix {
+        let n = graph.num_vertices();
+        assert_eq!(x.rows(), n, "one feature row per vertex");
+        let mut out = Matrix::zeros(n, x.cols());
+        for v in 0..n {
+            let inv = 1.0 / (1.0 + graph.degree(v) as f64);
+            let row = out.row_mut(v);
+            for (o, &xv) in row.iter_mut().zip(x.row(v)) {
+                *o += inv * xv;
+            }
+            for &u in graph.neighbors(v) {
+                let xu = x.row(u as usize);
+                let row = out.row_mut(v);
+                for (o, &xv) in row.iter_mut().zip(xu) {
+                    *o += inv * xv;
+                }
+            }
+        }
+        out
+    }
+
+    fn propagate_transpose(&self, graph: &CsrGraph, x: &Matrix) -> Matrix {
+        // Mᵀ · X: scale each source row by its 1/(1+deg), then scatter
+        // along edges (plus the self loop).
+        let n = graph.num_vertices();
+        assert_eq!(x.rows(), n, "one feature row per vertex");
+        let mut out = Matrix::zeros(n, x.cols());
+        for v in 0..n {
+            let inv = 1.0 / (1.0 + graph.degree(v) as f64);
+            // Self contribution.
+            let row = out.row_mut(v);
+            for (o, &xv) in row.iter_mut().zip(x.row(v)) {
+                *o += inv * xv;
+            }
+        }
+        for v in 0..n {
+            let inv = 1.0 / (1.0 + graph.degree(v) as f64);
+            for &u in graph.neighbors(v) {
+                // Column v of M has entries inv at rows v and its
+                // neighbors ⇒ Mᵀ row v gathers x[neighbors] × their…
+                // equivalently scatter x[v]·inv_v into out[u].
+                let xv: Vec<f64> = x.row(v).to_vec();
+                let row = out.row_mut(u as usize);
+                for (o, &val) in row.iter_mut().zip(&xv) {
+                    *o += inv * val;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopim_graph::CsrGraph;
+
+    fn path3() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_features() {
+        let g = CsrGraph::empty(2);
+        let norm = NormalizedAdjacency::new(&g);
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        // deg 0 ⇒ coefficient 1/1 ⇒ identity.
+        assert_eq!(norm.apply(&g, &x), x);
+    }
+
+    #[test]
+    fn aggregation_mixes_neighbors() {
+        let g = path3();
+        let norm = NormalizedAdjacency::new(&g);
+        let x = Matrix::from_rows(&[&[1.0], &[0.0], &[0.0]]);
+        let y = norm.apply(&g, &x);
+        // Vertex 0: self (1/2) · 1; vertex 1 receives 1/(√3·√2).
+        assert!((y[(0, 0)] - 0.5).abs() < 1e-12);
+        assert!((y[(1, 0)] - 1.0 / (3.0f64.sqrt() * 2.0f64.sqrt())).abs() < 1e-12);
+        assert_eq!(y[(2, 0)], 0.0);
+    }
+
+    #[test]
+    fn operator_is_symmetric() {
+        // x'·(Ây) == y'·(Âx) for the symmetric-normalized operator.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        let norm = NormalizedAdjacency::new(&g);
+        let x = Matrix::from_rows(&[&[1.0], &[-2.0], &[0.5], &[3.0]]);
+        let y = Matrix::from_rows(&[&[0.3], &[1.2], &[-0.7], &[0.9]]);
+        let ax = norm.apply(&g, &x);
+        let ay = norm.apply(&g, &y);
+        let dot = |a: &Matrix, b: &Matrix| -> f64 {
+            (0..4).map(|i| a[(i, 0)] * b[(i, 0)]).sum()
+        };
+        assert!((dot(&x, &ay) - dot(&y, &ax)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectral_radius_at_most_one() {
+        // Â is normalized: repeated application must not blow up.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let norm = NormalizedAdjacency::new(&g);
+        let mut x = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0], &[1.0], &[1.0]]);
+        let initial = x.frobenius_norm();
+        for _ in 0..20 {
+            x = norm.apply(&g, &x);
+        }
+        assert!(x.frobenius_norm() <= initial + 1e-9);
+    }
+
+    #[test]
+    fn mean_aggregator_averages_the_closed_neighborhood() {
+        let g = path3();
+        let m = MeanAggregator::new();
+        let x = Matrix::from_rows(&[&[3.0], &[0.0], &[6.0]]);
+        let y = m.propagate(&g, &x);
+        // Vertex 1 sees mean(3, 0, 6) = 3.
+        assert!((y[(1, 0)] - 3.0).abs() < 1e-12);
+        // Vertex 0 sees mean(3, 0) = 1.5.
+        assert!((y[(0, 0)] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_aggregator_transpose_is_the_adjoint() {
+        // x'·(Mᵀy) == (Mx)'·y for all x, y.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let m = MeanAggregator::new();
+        let x = Matrix::from_rows(&[&[1.0], &[-2.0], &[0.5], &[3.0], &[0.7]]);
+        let y = Matrix::from_rows(&[&[0.3], &[1.2], &[-0.7], &[0.9], &[-1.1]]);
+        let mx = m.propagate(&g, &x);
+        let mty = m.propagate_transpose(&g, &y);
+        let dot = |a: &Matrix, b: &Matrix| -> f64 {
+            (0..5).map(|i| a[(i, 0)] * b[(i, 0)]).sum()
+        };
+        assert!((dot(&x, &mty) - dot(&mx, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one feature row per vertex")]
+    fn shape_mismatch_rejected() {
+        let g = path3();
+        let norm = NormalizedAdjacency::new(&g);
+        let _ = norm.apply(&g, &Matrix::zeros(2, 1));
+    }
+}

@@ -1,0 +1,167 @@
+//! Classification metrics beyond plain accuracy.
+//!
+//! The OGB tasks behind the paper's datasets are evaluated with
+//! class-sensitive metrics (proteins is multi-label ROC-AUC, arxiv and
+//! products are accuracy over imbalanced classes). Macro-F1 and the
+//! confusion matrix let the accuracy experiments report
+//! imbalance-robust numbers alongside Table V's plain accuracy.
+
+use gopim_linalg::Matrix;
+
+/// A `C × C` confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from logits (argmax prediction) and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != logits.rows()`, a label is out of
+    /// range, or `logits` has no columns.
+    pub fn from_logits(logits: &Matrix, labels: &[u32]) -> Self {
+        assert_eq!(labels.len(), logits.rows(), "one label per row");
+        let classes = logits.cols();
+        assert!(classes > 0, "need at least one class");
+        let mut counts = vec![vec![0usize; classes]; classes];
+        for (i, &label) in labels.iter().enumerate() {
+            let actual = label as usize;
+            assert!(actual < classes, "label {actual} out of range");
+            let row = logits.row(i);
+            let predicted = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(j, _)| j)
+                .unwrap();
+            counts[actual][predicted] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count of (actual, predicted).
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Per-class precision (`tp / (tp + fp)`), 0 when undefined.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.counts[class][class] as f64;
+        let predicted: usize = (0..self.num_classes()).map(|a| self.counts[a][class]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp / predicted as f64
+        }
+    }
+
+    /// Per-class recall (`tp / (tp + fn)`), 0 when undefined.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.counts[class][class] as f64;
+        let actual: usize = self.counts[class].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp / actual as f64
+        }
+    }
+
+    /// Per-class F1, 0 when undefined.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 over classes that appear in the data.
+    pub fn macro_f1(&self) -> f64 {
+        let present: Vec<usize> = (0..self.num_classes())
+            .filter(|&c| self.counts[c].iter().sum::<usize>() > 0)
+            .collect();
+        if present.is_empty() {
+            return 0.0;
+        }
+        present.iter().map(|&c| self.f1(c)).sum::<f64>() / present.len() as f64
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.num_classes()).map(|c| self.counts[c][c]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits_for(preds: &[u32], classes: usize) -> Matrix {
+        let mut m = Matrix::zeros(preds.len(), classes);
+        for (i, &p) in preds.iter().enumerate() {
+            m[(i, p as usize)] = 1.0;
+        }
+        m
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let labels = [0u32, 1, 2, 1];
+        let cm = ConfusionMatrix::from_logits(&logits_for(&labels, 3), &labels);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert_eq!(cm.count(1, 1), 2);
+    }
+
+    #[test]
+    fn macro_f1_punishes_minority_class_failure() {
+        // 9 of class 0 all right; 1 of class 1 misclassified.
+        let labels: Vec<u32> = (0..10).map(|i| if i == 9 { 1 } else { 0 }).collect();
+        let preds: Vec<u32> = vec![0; 10];
+        let cm = ConfusionMatrix::from_logits(&logits_for(&preds, 2), &labels);
+        assert!((cm.accuracy() - 0.9).abs() < 1e-12);
+        // Class 1 F1 is 0 ⇒ macro F1 ≈ (0.947 + 0) / 2.
+        assert!(cm.macro_f1() < 0.5, "macro F1 {}", cm.macro_f1());
+    }
+
+    #[test]
+    fn precision_recall_asymmetry() {
+        // actual: [0, 0, 1]; predicted: [0, 1, 1]
+        let labels = [0u32, 0, 1];
+        let preds = [0u32, 1, 1];
+        let cm = ConfusionMatrix::from_logits(&logits_for(&preds, 2), &labels);
+        assert!((cm.recall(0) - 0.5).abs() < 1e-12);
+        assert!((cm.precision(0) - 1.0).abs() < 1e-12);
+        assert!((cm.precision(1) - 0.5).abs() < 1e-12);
+        assert!((cm.recall(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_classes_do_not_distort_macro_f1() {
+        let labels = [0u32, 0];
+        let preds = [0u32, 0];
+        let cm = ConfusionMatrix::from_logits(&logits_for(&preds, 5), &labels);
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn mismatched_rows_rejected() {
+        let _ = ConfusionMatrix::from_logits(&Matrix::zeros(2, 2), &[0]);
+    }
+}

@@ -1,0 +1,348 @@
+//! The GCN model (the paper's Eqs. 1–2) with full-batch
+//! backpropagation.
+
+use gopim_graph::CsrGraph;
+use gopim_linalg::activation::{relu, relu_grad};
+use gopim_linalg::init::xavier_uniform;
+use gopim_linalg::loss::softmax_cross_entropy;
+use gopim_linalg::ops::hadamard;
+use gopim_linalg::optimizer::Adam;
+use gopim_linalg::Matrix;
+
+use crate::aggregate::Propagation;
+use crate::selective::StaleFeatureCache;
+
+/// A multi-layer GCN: layer `l` computes
+/// `X^{l+1} = σ(Â · (X^l · W^l))` — Combination (`X·W`) then
+/// Aggregation (`Â·C`), with ReLU on every layer but the last.
+#[derive(Debug, Clone)]
+pub struct GcnModel {
+    weights: Vec<Matrix>,
+    optimizers: Vec<Adam>,
+}
+
+impl GcnModel {
+    /// Creates a model with the given layer widths (`dims.len() - 1`
+    /// layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given or
+    /// `learning_rate <= 0`.
+    pub fn new(dims: &[usize], learning_rate: f64, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least one layer");
+        let weights: Vec<Matrix> = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| xavier_uniform(w[0], w[1], seed.wrapping_add(i as u64 * 131)))
+            .collect();
+        let optimizers = weights.iter().map(|_| Adam::new(learning_rate)).collect();
+        GcnModel {
+            weights,
+            optimizers,
+        }
+    }
+
+    /// Number of GCN layers.
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Pure forward pass (no staleness), returning the logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != graph.num_vertices()` or the feature
+    /// width mismatches the first layer.
+    pub fn forward(&self, graph: &CsrGraph, prop: &dyn Propagation, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.num_layers() - 1;
+        for (l, w) in self.weights.iter().enumerate() {
+            let combined = h.matmul(w);
+            let aggregated = prop.propagate(graph, &combined);
+            h = if l == last { aggregated } else { relu(&aggregated) };
+        }
+        h
+    }
+
+    /// Forward pass recording everything backprop needs: per-layer
+    /// inputs, post-aggregation pre-activations, and which rows were
+    /// served stale by the ISU cache. The last entry of `pre_acts` is
+    /// the output (the final layer has no ReLU).
+    pub fn forward_with_caches(
+        &self,
+        graph: &CsrGraph,
+        prop: &dyn Propagation,
+        x: &Matrix,
+        mut cache: Option<&mut StaleFeatureCache>,
+        epoch: usize,
+    ) -> ForwardCaches {
+        let n = graph.num_vertices();
+        assert_eq!(x.rows(), n, "one feature row per vertex");
+        let num_layers = self.num_layers();
+        let last = num_layers - 1;
+        let mut inputs: Vec<Matrix> = Vec::with_capacity(num_layers);
+        let mut stale_masks: Vec<Vec<bool>> = Vec::with_capacity(num_layers);
+        let mut pre_acts: Vec<Matrix> = Vec::with_capacity(num_layers);
+        let mut h = x.clone();
+        for l in 0..num_layers {
+            inputs.push(h.clone());
+            let combined = h.matmul(&self.weights[l]);
+            let (observed, stale) = match cache.as_deref_mut() {
+                Some(c) => c.observe(l, epoch, &combined),
+                None => (combined, vec![false; n]),
+            };
+            let aggregated = prop.propagate(graph, &observed);
+            stale_masks.push(stale);
+            h = if l == last {
+                aggregated.clone()
+            } else {
+                relu(&aggregated)
+            };
+            pre_acts.push(aggregated);
+        }
+        ForwardCaches {
+            inputs,
+            pre_acts,
+            stale_masks,
+        }
+    }
+
+    /// Computes per-layer weight gradients for an arbitrary output
+    /// gradient (`∂L/∂output`, `N × out_dim`) through the recorded
+    /// forward pass, without touching the weights. Stale
+    /// (crossbar-resident) rows receive no gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta`'s shape mismatches the recorded output.
+    pub fn gradients(
+        &self,
+        graph: &CsrGraph,
+        prop: &dyn Propagation,
+        caches: &ForwardCaches,
+        mut delta: Matrix,
+    ) -> Vec<Matrix> {
+        let num_layers = self.num_layers();
+        let last = num_layers - 1;
+        assert_eq!(
+            delta.shape(),
+            caches.pre_acts[last].shape(),
+            "output gradient shape mismatch"
+        );
+        // δ_pre = δ ⊙ σ'; δ_combined = Pᵀ δ_pre (P = Â is symmetric,
+        // the mean aggregator is not); stale rows are constants so
+        // their combined-gradient is zeroed; ∇W = Xᵀ δ_combined;
+        // δ_prev = δ_combined Wᵀ.
+        let mut grads = vec![Matrix::zeros(0, 0); num_layers];
+        for l in (0..num_layers).rev() {
+            if l != last {
+                delta = hadamard(&delta, &relu_grad(&caches.pre_acts[l]));
+            }
+            let mut d_combined = prop.propagate_transpose(graph, &delta);
+            for (v, &is_stale) in caches.stale_masks[l].iter().enumerate() {
+                if is_stale {
+                    for g in d_combined.row_mut(v) {
+                        *g = 0.0;
+                    }
+                }
+            }
+            grads[l] = caches.inputs[l].transpose().matmul(&d_combined);
+            if l > 0 {
+                delta = d_combined.matmul(&self.weights[l].transpose());
+            }
+        }
+        grads
+    }
+
+    /// Applies one Adam step per layer with the given gradients (as
+    /// produced by [`GcnModel::gradients`], possibly accumulated over
+    /// micro-batches first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient count or shapes mismatch the weights.
+    pub fn apply_gradients(&mut self, grads: &[Matrix]) {
+        assert_eq!(grads.len(), self.num_layers(), "one gradient per layer");
+        for (l, grad) in grads.iter().enumerate() {
+            self.optimizers[l].step(&mut self.weights[l], grad);
+        }
+    }
+
+    /// Backpropagates an arbitrary output gradient and applies one Adam
+    /// step per layer (compute + apply in one call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta`'s shape mismatches the recorded output.
+    pub fn backward(
+        &mut self,
+        graph: &CsrGraph,
+        prop: &dyn Propagation,
+        caches: &ForwardCaches,
+        delta: Matrix,
+    ) {
+        let grads = self.gradients(graph, prop, caches, delta);
+        self.apply_gradients(&grads);
+    }
+
+    /// One full-batch node-classification training epoch with optional
+    /// ISU staleness.
+    ///
+    /// `cache` (when provided) substitutes stale combined-feature rows
+    /// before each Aggregation, per the update schedule at `epoch`;
+    /// gradients are masked off stale rows (they are crossbar-resident
+    /// constants).
+    ///
+    /// Returns the epoch's training loss over `train_mask` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch between `x`, `labels`, `train_mask`
+    /// and the graph.
+    #[allow(clippy::too_many_arguments)] // one argument per training input
+    pub fn train_epoch(
+        &mut self,
+        graph: &CsrGraph,
+        prop: &dyn Propagation,
+        x: &Matrix,
+        labels: &[u32],
+        train_mask: &[bool],
+        cache: Option<&mut StaleFeatureCache>,
+        epoch: usize,
+    ) -> f64 {
+        let n = graph.num_vertices();
+        assert_eq!(labels.len(), n, "one label per vertex");
+        assert_eq!(train_mask.len(), n, "one mask bit per vertex");
+        let caches = self.forward_with_caches(graph, prop, x, cache, epoch);
+        let logits = caches.output();
+
+        // Masked loss: only training vertices contribute.
+        let train_rows: Vec<usize> = (0..n).filter(|&v| train_mask[v]).collect();
+        assert!(!train_rows.is_empty(), "empty training mask");
+        let mut tr_logits = Matrix::zeros(train_rows.len(), logits.cols());
+        let mut tr_labels = Vec::with_capacity(train_rows.len());
+        for (i, &v) in train_rows.iter().enumerate() {
+            tr_logits.row_mut(i).copy_from_slice(logits.row(v));
+            tr_labels.push(labels[v]);
+        }
+        let (loss, tr_grad) = softmax_cross_entropy(&tr_logits, &tr_labels);
+        let mut delta = Matrix::zeros(n, logits.cols());
+        for (i, &v) in train_rows.iter().enumerate() {
+            delta.row_mut(v).copy_from_slice(tr_grad.row(i));
+        }
+        self.backward(graph, prop, &caches, delta);
+        loss
+    }
+}
+
+/// Everything recorded by [`GcnModel::forward_with_caches`] for a
+/// subsequent [`GcnModel::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCaches {
+    inputs: Vec<Matrix>,
+    pre_acts: Vec<Matrix>,
+    stale_masks: Vec<Vec<bool>>,
+}
+
+impl ForwardCaches {
+    /// The network output (final-layer activations; the GCN output
+    /// layer is linear).
+    pub fn output(&self) -> &Matrix {
+        self.pre_acts.last().expect("at least one layer")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopim_graph::generate::planted_partition;
+    use crate::aggregate::NormalizedAdjacency;
+    use gopim_linalg::loss::accuracy;
+
+    fn features_from_labels(labels: &[u32], classes: usize, noise_seed: u64) -> Matrix {
+        // One-hot community indicator + noise.
+        let n = labels.len();
+        let mut x = gopim_linalg::init::uniform(n, classes + 2, 0.3, noise_seed);
+        for (v, &l) in labels.iter().enumerate() {
+            x[(v, l as usize)] += 1.0;
+        }
+        x
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (g, labels) = planted_partition(60, 3, 8.0, 6.0, 1);
+        let norm = NormalizedAdjacency::new(&g);
+        let x = features_from_labels(&labels, 3, 2);
+        let model = GcnModel::new(&[5, 8, 3], 0.01, 3);
+        let out = model.forward(&g, &norm, &x);
+        assert_eq!(out.shape(), (60, 3));
+    }
+
+    #[test]
+    fn training_learns_planted_communities() {
+        let (g, labels) = planted_partition(200, 3, 10.0, 8.0, 4);
+        let norm = NormalizedAdjacency::new(&g);
+        let x = features_from_labels(&labels, 3, 5);
+        let mut model = GcnModel::new(&[5, 16, 3], 0.02, 6);
+        let mask = vec![true; 200];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for e in 0..40 {
+            let loss = model.train_epoch(&g, &norm, &x, &labels, &mask, None, e);
+            if e == 0 {
+                first = loss;
+            }
+            last = loss;
+        }
+        assert!(last < 0.5 * first, "loss {first} → {last}");
+        let acc = accuracy(&model.forward(&g, &norm, &x), &labels);
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn stale_training_still_converges() {
+        use gopim_mapping::SelectivePolicy;
+        let (g, labels) = planted_partition(200, 3, 10.0, 8.0, 7);
+        let norm = NormalizedAdjacency::new(&g);
+        let x = features_from_labels(&labels, 3, 8);
+        let mut model = GcnModel::new(&[5, 16, 3], 0.02, 9);
+        let mask = vec![true; 200];
+        let profile = g.to_degree_profile();
+        let policy = SelectivePolicy::with_theta(0.5, 10);
+        let important = policy.important_vertices(&profile);
+        let mut cache = StaleFeatureCache::new(2, important, policy);
+        for e in 0..40 {
+            model.train_epoch(&g, &norm, &x, &labels, &mask, Some(&mut cache), e);
+        }
+        let acc = accuracy(&model.forward(&g, &norm, &x), &labels);
+        assert!(acc > 0.7, "accuracy with staleness {acc}");
+    }
+
+    #[test]
+    fn sage_mean_aggregation_trains_too() {
+        use crate::aggregate::MeanAggregator;
+        let (g, labels) = planted_partition(200, 3, 10.0, 8.0, 12);
+        let x = features_from_labels(&labels, 3, 13);
+        let mut model = GcnModel::new(&[5, 16, 3], 0.02, 14);
+        let mask = vec![true; 200];
+        let sage = MeanAggregator::new();
+        for e in 0..40 {
+            model.train_epoch(&g, &sage, &x, &labels, &mask, None, e);
+        }
+        let acc = accuracy(&model.forward(&g, &sage, &x), &labels);
+        assert!(acc > 0.8, "SAGE accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per vertex")]
+    fn mismatched_labels_rejected() {
+        let (g, _) = planted_partition(20, 2, 4.0, 4.0, 1);
+        let norm = NormalizedAdjacency::new(&g);
+        let x = Matrix::zeros(20, 4);
+        let mut model = GcnModel::new(&[4, 2], 0.01, 1);
+        let mask = vec![true; 20];
+        model.train_epoch(&g, &norm, &x, &[0, 1], &mask, None, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Connected components and reachability utilities.
+//!
+//! Used to sanity-check generators (a planted partition that shatters
+//! into many components has no community signal to learn) and by the
+//! sparsifier analyses (aggressive edge dropping must not disconnect
+//! the graph the GCN trains on).
+
+use crate::csr::CsrGraph;
+
+/// The connected components of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component id of each vertex (`0..num_components`).
+    pub component_of: Vec<u32>,
+    /// Size of each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of vertices inside the largest component.
+    pub fn largest_fraction(&self) -> f64 {
+        if self.component_of.is_empty() {
+            return 0.0;
+        }
+        self.largest() as f64 / self.component_of.len() as f64
+    }
+}
+
+/// Computes connected components with an iterative BFS.
+pub fn connected_components(graph: &CsrGraph) -> Components {
+    let n = graph.num_vertices();
+    let mut component_of = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = Vec::new();
+    for start in 0..n {
+        if component_of[start] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0usize;
+        queue.clear();
+        queue.push(start as u32);
+        component_of[start] = id;
+        while let Some(v) = queue.pop() {
+            size += 1;
+            for &u in graph.neighbors(v as usize) {
+                if component_of[u as usize] == u32::MAX {
+                    component_of[u as usize] = id;
+                    queue.push(u);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components {
+        component_of,
+        sizes,
+    }
+}
+
+/// Whether the graph is connected (vacuously true for ≤ 1 vertex).
+pub fn is_connected(graph: &CsrGraph) -> bool {
+    graph.num_vertices() <= 1 || connected_components(graph).count() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{erdos_renyi, planted_partition};
+
+    #[test]
+    fn path_is_one_component() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.largest(), 4);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = CsrGraph::from_edges(5, &[(0, 1)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 4); // {0,1}, {2}, {3}, {4}
+        assert_eq!(c.largest(), 2);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn component_ids_partition_the_vertices() {
+        let g = erdos_renyi(200, 1.5, 3);
+        let c = connected_components(&g);
+        let total: usize = c.sizes.iter().sum();
+        assert_eq!(total, 200);
+        for (v, &id) in c.component_of.iter().enumerate() {
+            assert!((id as usize) < c.count(), "vertex {v}");
+        }
+        // Every edge stays within one component.
+        for (u, v) in g.edges() {
+            assert_eq!(c.component_of[u as usize], c.component_of[v as usize]);
+        }
+    }
+
+    #[test]
+    fn dense_planted_partitions_are_essentially_connected() {
+        let (g, _) = planted_partition(400, 4, 12.0, 4.0, 5);
+        let c = connected_components(&g);
+        assert!(c.largest_fraction() > 0.95, "{:.3}", c.largest_fraction());
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = CsrGraph::empty(0);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest_fraction(), 0.0);
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,392 @@
+//! The paper's dataset catalog (Table III) and GCN model parameters
+//! (Table IV), plus synthetic generators reproducing each dataset's
+//! published statistics.
+//!
+//! Real OGB data is not available offline; every performance experiment
+//! in the paper depends on the datasets only through `(N, degree
+//! distribution, feature dimension)` so [`Dataset::profile`] reproduces
+//! exactly those statistics. The accuracy experiments additionally need
+//! learnable structure; [`Dataset::numeric_graph`] provides a
+//! density-preserving planted-partition graph of bounded size.
+
+use crate::degree::DegreeProfile;
+use crate::generate::{degree_corrected_partition, power_law_profile};
+use crate::CsrGraph;
+
+/// Prediction task category of a dataset (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// Link prediction (ddi, collab, ppa).
+    Link,
+    /// Node classification (proteins, arxiv, products, Cora).
+    Node,
+}
+
+/// The seven evaluation datasets of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// ogbl-ddi: 4,267 vertices, avg degree 500.5, 256-dim features.
+    Ddi,
+    /// ogbl-collab: 235,868 vertices, avg degree 8.2, 128-dim features.
+    Collab,
+    /// ogbl-ppa: 576,289 vertices, avg degree 73.7, 58-dim features.
+    Ppa,
+    /// ogbn-proteins: 132,534 vertices, avg degree 597.0, 8-dim features.
+    Proteins,
+    /// ogbn-arxiv: 169,343 vertices, avg degree 13.7, 128-dim features.
+    Arxiv,
+    /// ogbn-products: 2,449,029 vertices, avg degree 50.5, 100-dim features.
+    Products,
+    /// Cora: 2,708 vertices, avg degree 3.9, 1,433-dim features.
+    Cora,
+}
+
+/// Static statistics of a dataset, mirroring Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Canonical lowercase name used in the paper's figures.
+    pub name: &'static str,
+    /// Prediction task type.
+    pub task: Task,
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Undirected edge count.
+    pub num_edges: u64,
+    /// Average vertex degree.
+    pub avg_degree: f64,
+    /// Input vertex feature dimension.
+    pub feature_dim: usize,
+}
+
+/// GCN model architecture and training hyper-parameters (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Number of GCN layers.
+    pub num_layers: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Dropout probability.
+    pub dropout: f64,
+    /// Input channel count.
+    pub input_channels: usize,
+    /// Hidden channel count.
+    pub hidden_channels: usize,
+    /// Output channel count.
+    pub output_channels: usize,
+}
+
+impl ModelConfig {
+    /// The `(in, out)` dimensions of the weight matrix of layer `l`
+    /// (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= num_layers`.
+    pub fn layer_dims(&self, l: usize) -> (usize, usize) {
+        assert!(l < self.num_layers, "layer {l} out of range");
+        let input = if l == 0 {
+            self.input_channels
+        } else {
+            self.hidden_channels
+        };
+        let output = if l + 1 == self.num_layers {
+            self.output_channels
+        } else {
+            self.hidden_channels
+        };
+        (input, output)
+    }
+}
+
+impl Dataset {
+    /// All seven datasets in Table III order.
+    pub const ALL: [Dataset; 7] = [
+        Dataset::Ddi,
+        Dataset::Collab,
+        Dataset::Ppa,
+        Dataset::Proteins,
+        Dataset::Arxiv,
+        Dataset::Products,
+        Dataset::Cora,
+    ];
+
+    /// The five datasets used in the paper's headline comparison
+    /// (Fig. 13, Fig. 14, Table V, Table VII).
+    pub const HEADLINE: [Dataset; 5] = [
+        Dataset::Ddi,
+        Dataset::Collab,
+        Dataset::Ppa,
+        Dataset::Proteins,
+        Dataset::Arxiv,
+    ];
+
+    /// The six datasets profiled in the motivation figures
+    /// (Fig. 4, Fig. 6).
+    pub const MOTIVATION: [Dataset; 6] = [
+        Dataset::Ddi,
+        Dataset::Collab,
+        Dataset::Ppa,
+        Dataset::Proteins,
+        Dataset::Arxiv,
+        Dataset::Products,
+    ];
+
+    /// Table III statistics for this dataset.
+    pub fn stats(self) -> DatasetStats {
+        match self {
+            Dataset::Ddi => DatasetStats {
+                name: "ddi",
+                task: Task::Link,
+                num_vertices: 4_267,
+                num_edges: 1_334_889,
+                avg_degree: 500.5,
+                feature_dim: 256,
+            },
+            Dataset::Collab => DatasetStats {
+                name: "collab",
+                task: Task::Link,
+                num_vertices: 235_868,
+                num_edges: 1_285_465,
+                avg_degree: 8.2,
+                feature_dim: 128,
+            },
+            Dataset::Ppa => DatasetStats {
+                name: "ppa",
+                task: Task::Link,
+                num_vertices: 576_289,
+                num_edges: 30_326_273,
+                avg_degree: 73.7,
+                feature_dim: 58,
+            },
+            Dataset::Proteins => DatasetStats {
+                name: "proteins",
+                task: Task::Node,
+                num_vertices: 132_534,
+                num_edges: 39_561_252,
+                avg_degree: 597.0,
+                feature_dim: 8,
+            },
+            Dataset::Arxiv => DatasetStats {
+                name: "arxiv",
+                task: Task::Node,
+                num_vertices: 169_343,
+                num_edges: 1_166_243,
+                avg_degree: 13.7,
+                feature_dim: 128,
+            },
+            Dataset::Products => DatasetStats {
+                name: "products",
+                task: Task::Node,
+                num_vertices: 2_449_029,
+                num_edges: 61_859_140,
+                avg_degree: 50.5,
+                feature_dim: 100,
+            },
+            Dataset::Cora => DatasetStats {
+                name: "Cora",
+                task: Task::Node,
+                num_vertices: 2_708,
+                num_edges: 10_556,
+                avg_degree: 3.9,
+                feature_dim: 1_433,
+            },
+        }
+    }
+
+    /// Table IV model architecture and training parameters for this
+    /// dataset.
+    pub fn model(self) -> ModelConfig {
+        match self {
+            Dataset::Ddi => ModelConfig {
+                num_layers: 2,
+                learning_rate: 0.005,
+                dropout: 0.5,
+                input_channels: 256,
+                hidden_channels: 256,
+                output_channels: 256,
+            },
+            Dataset::Collab => ModelConfig {
+                num_layers: 3,
+                learning_rate: 0.001,
+                dropout: 0.0,
+                input_channels: 128,
+                hidden_channels: 256,
+                output_channels: 256,
+            },
+            Dataset::Ppa => ModelConfig {
+                num_layers: 3,
+                learning_rate: 0.01,
+                dropout: 0.0,
+                input_channels: 58,
+                hidden_channels: 256,
+                output_channels: 256,
+            },
+            Dataset::Proteins => ModelConfig {
+                num_layers: 3,
+                learning_rate: 0.01,
+                dropout: 0.0,
+                input_channels: 8,
+                hidden_channels: 256,
+                output_channels: 112,
+            },
+            Dataset::Arxiv => ModelConfig {
+                num_layers: 3,
+                learning_rate: 0.01,
+                dropout: 0.5,
+                input_channels: 128,
+                hidden_channels: 256,
+                output_channels: 40,
+            },
+            Dataset::Products => ModelConfig {
+                num_layers: 3,
+                learning_rate: 0.01,
+                dropout: 0.5,
+                input_channels: 100,
+                hidden_channels: 256,
+                output_channels: 47,
+            },
+            Dataset::Cora => ModelConfig {
+                num_layers: 3,
+                learning_rate: 0.005,
+                dropout: 0.5,
+                input_channels: 256,
+                hidden_channels: 256,
+                output_channels: 256,
+            },
+        }
+    }
+
+    /// Whether the paper's adaptive-θ rule classifies this dataset as
+    /// sparse (average degree ≤ 8, §VI-C).
+    pub fn is_sparse(self) -> bool {
+        self.stats().avg_degree <= 8.0
+    }
+
+    /// A full-size synthetic degree profile matching this dataset's
+    /// Table III statistics (vertex count exactly; average degree within
+    /// a few percent; power-law skew with index locality as in real OGB
+    /// orderings).
+    pub fn profile(self, seed: u64) -> DegreeProfile {
+        let s = self.stats();
+        // Skew exponents tuned per dataset family: link graphs like ddi
+        // are closer to uniform-dense; proteins/ppa show the extreme
+        // per-crossbar ranges of the paper's Fig. 6.
+        let exponent = match self {
+            Dataset::Ddi => 0.35,
+            Dataset::Collab => 0.6,
+            Dataset::Ppa => 1.0,
+            Dataset::Proteins => 1.1,
+            Dataset::Arxiv => 0.6,
+            Dataset::Products => 0.9,
+            Dataset::Cora => 0.5,
+        };
+        power_law_profile(s.num_vertices, s.avg_degree, exponent, 0.92, seed ^ 0x60_71_6d)
+    }
+
+    /// A numeric-training graph: planted-partition with this dataset's
+    /// density character, capped at `max_vertices` (the paper's accuracy
+    /// claims concern the dense/sparse split, which survives scaling;
+    /// see DESIGN.md §2).
+    ///
+    /// Returns the graph and per-vertex community labels.
+    pub fn numeric_graph(self, max_vertices: usize, seed: u64) -> (CsrGraph, Vec<u32>) {
+        let s = self.stats();
+        let n = s.num_vertices.min(max_vertices);
+        // Preserve the dense/sparse classification (threshold 8) while
+        // keeping the scaled graph's neighborhoods realistic: a 1k-
+        // vertex stand-in with avg degree 500 would be near-complete
+        // and trivially classifiable. Degree-corrected so that ISU's
+        // degree-based importance ranking is meaningful.
+        let avg = s.avg_degree.min(32.0).min(n as f64 / 8.0);
+        let classes = self.num_classes();
+        degree_corrected_partition(n, classes, avg, 4.0, 0.65, seed ^ 0x6e_75_6d)
+    }
+
+    /// Number of label classes used for the numeric experiments.
+    pub fn num_classes(self) -> usize {
+        match self.stats().task {
+            Task::Link => 2,
+            Task::Node => match self {
+                Dataset::Arxiv => 8,
+                Dataset::Products => 8,
+                Dataset::Proteins => 4,
+                _ => 7,
+            },
+        }
+    }
+
+    /// Canonical lowercase name (paper spelling).
+    pub fn name(self) -> &'static str {
+        self.stats().name
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_statistics_are_recorded() {
+        let s = Dataset::Products.stats();
+        assert_eq!(s.num_vertices, 2_449_029);
+        assert_eq!(s.num_edges, 61_859_140);
+        assert_eq!(s.feature_dim, 100);
+        assert_eq!(s.task, Task::Node);
+    }
+
+    #[test]
+    fn table_iv_layer_dims() {
+        let m = Dataset::Proteins.model();
+        assert_eq!(m.num_layers, 3);
+        assert_eq!(m.layer_dims(0), (8, 256));
+        assert_eq!(m.layer_dims(1), (256, 256));
+        assert_eq!(m.layer_dims(2), (256, 112));
+    }
+
+    #[test]
+    fn ddi_is_two_layer() {
+        let m = Dataset::Ddi.model();
+        assert_eq!(m.num_layers, 2);
+        assert_eq!(m.layer_dims(0), (256, 256));
+        assert_eq!(m.layer_dims(1), (256, 256));
+    }
+
+    #[test]
+    fn sparse_classification_matches_paper() {
+        assert!(Dataset::Cora.is_sparse());
+        assert!(!Dataset::Ddi.is_sparse());
+        assert!(!Dataset::Collab.is_sparse()); // 8.2 > 8
+    }
+
+    #[test]
+    fn profiles_match_table_iii_statistics() {
+        for d in [Dataset::Ddi, Dataset::Cora, Dataset::Arxiv] {
+            let p = d.profile(11);
+            let s = d.stats();
+            assert_eq!(p.num_vertices(), s.num_vertices, "{d}");
+            let rel = (p.avg_degree() - s.avg_degree).abs() / s.avg_degree;
+            assert!(rel < 0.08, "{d}: avg {} vs {}", p.avg_degree(), s.avg_degree);
+        }
+    }
+
+    #[test]
+    fn numeric_graph_is_capped_and_valid() {
+        let (g, labels) = Dataset::Ppa.numeric_graph(1200, 3);
+        assert_eq!(g.num_vertices(), 1200);
+        assert_eq!(labels.len(), 1200);
+        g.validate().unwrap();
+        assert!(g.avg_degree() > 30.0, "dense character kept: {}", g.avg_degree());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn layer_dims_rejects_out_of_range() {
+        Dataset::Ddi.model().layer_dims(5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Plain-text edge-list I/O.
+//!
+//! Lets users bring their own graphs to the simulator: one edge per
+//! line, two whitespace-separated vertex ids, `#`-prefixed comments and
+//! blank lines ignored. Vertex ids need not be contiguous — the reader
+//! compacts them and `num_vertices` becomes `max id + 1` after
+//! compaction.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use crate::csr::CsrGraph;
+
+/// Error from parsing an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEdgeListError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseEdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseEdgeListError {}
+
+/// Reads an edge list, compacting vertex ids in first-seen order.
+///
+/// # Errors
+///
+/// Returns [`ParseEdgeListError`] on malformed lines; I/O errors are
+/// folded into the same type with the failing line number.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, ParseEdgeListError> {
+    let mut ids: HashMap<u64, u32> = HashMap::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| ParseEdgeListError {
+            line: line_no,
+            message: format!("read error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let mut parse = |what: &str| -> Result<u32, ParseEdgeListError> {
+            let token = parts.next().ok_or_else(|| ParseEdgeListError {
+                line: line_no,
+                message: format!("missing {what} vertex"),
+            })?;
+            let raw: u64 = token.parse().map_err(|_| ParseEdgeListError {
+                line: line_no,
+                message: format!("invalid vertex id '{token}'"),
+            })?;
+            let next = ids.len() as u32;
+            Ok(*ids.entry(raw).or_insert(next))
+        };
+        let u = parse("source")?;
+        let v = parse("target")?;
+        edges.push((u, v));
+    }
+    Ok(CsrGraph::from_edges(ids.len(), &edges))
+}
+
+/// Writes a graph as an edge list (one `u v` line per undirected edge,
+/// with a header comment).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_edge_list() {
+        let text = "# a square\n0 1\n1 2\n2 3\n3 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn compacts_sparse_ids() {
+        let text = "1000 2000\n2000 500\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "\n# header\n0 1\n\n  # indented comment\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn reports_malformed_lines_with_numbers() {
+        let err = read_edge_list("0 1\nbogus\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("invalid vertex id"));
+
+        let err = read_edge_list("0\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("missing target"));
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let g = crate::generate::erdos_renyi(50, 6.0, 9);
+        let mut buffer = Vec::new();
+        write_edge_list(&g, &mut buffer).unwrap();
+        let back = read_edge_list(buffer.as_slice()).unwrap();
+        // Vertex ids may be renumbered by first-seen order, so compare
+        // invariants rather than exact structure.
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert!(back.num_vertices() <= g.num_vertices());
+        back.validate().unwrap();
+    }
+}

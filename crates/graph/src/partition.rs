@@ -1,0 +1,117 @@
+//! Micro-batch partitioning.
+//!
+//! GoPIM divides each training batch into micro-batches processed in a
+//! pipeline (§II-A "Micro-batch Processing"). A [`MicroBatchPlan`]
+//! assigns every vertex to exactly one micro-batch.
+
+use std::ops::Range;
+
+/// A partition of `0..num_vertices` into contiguous micro-batches of
+/// (at most) `batch_size` vertices.
+///
+/// # Example
+///
+/// ```
+/// use gopim_graph::partition::MicroBatchPlan;
+///
+/// let plan = MicroBatchPlan::contiguous(10, 4);
+/// assert_eq!(plan.num_batches(), 3);
+/// assert_eq!(plan.batch(2), 8..10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MicroBatchPlan {
+    num_vertices: usize,
+    batch_size: usize,
+}
+
+impl MicroBatchPlan {
+    /// Splits `num_vertices` vertices into contiguous micro-batches of
+    /// `batch_size` (the last one may be smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn contiguous(num_vertices: usize, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "micro-batch size must be positive");
+        MicroBatchPlan {
+            num_vertices,
+            batch_size,
+        }
+    }
+
+    /// Total number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Micro-batch size (all batches except possibly the last).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of micro-batches (`⌈N / B⌉`; 0 when there are no vertices).
+    pub fn num_batches(&self) -> usize {
+        self.num_vertices.div_ceil(self.batch_size)
+    }
+
+    /// The vertex range of micro-batch `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_batches()`.
+    pub fn batch(&self, i: usize) -> Range<usize> {
+        assert!(i < self.num_batches(), "micro-batch {i} out of range");
+        let start = i * self.batch_size;
+        start..(start + self.batch_size).min(self.num_vertices)
+    }
+
+    /// Iterates over all micro-batch ranges in order.
+    pub fn iter(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.num_batches()).map(move |i| self.batch(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let plan = MicroBatchPlan::contiguous(128, 64);
+        assert_eq!(plan.num_batches(), 2);
+        assert_eq!(plan.batch(0), 0..64);
+        assert_eq!(plan.batch(1), 64..128);
+    }
+
+    #[test]
+    fn ragged_tail() {
+        let plan = MicroBatchPlan::contiguous(130, 64);
+        assert_eq!(plan.num_batches(), 3);
+        assert_eq!(plan.batch(2), 128..130);
+    }
+
+    #[test]
+    fn batches_cover_all_vertices_exactly_once() {
+        let plan = MicroBatchPlan::contiguous(1000, 77);
+        let mut covered = 0;
+        let mut prev_end = 0;
+        for r in plan.iter() {
+            assert_eq!(r.start, prev_end);
+            covered += r.len();
+            prev_end = r.end;
+        }
+        assert_eq!(covered, 1000);
+    }
+
+    #[test]
+    fn zero_vertices_means_zero_batches() {
+        let plan = MicroBatchPlan::contiguous(0, 64);
+        assert_eq!(plan.num_batches(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        MicroBatchPlan::contiguous(10, 0);
+    }
+}

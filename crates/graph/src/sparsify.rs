@@ -1,0 +1,174 @@
+//! Graph sparsification (the paper's §II-C background).
+//!
+//! GoPIM's ISU is a member of the sparsification family: rather than
+//! removing edges, it thins vertex *updates*. For completeness — and
+//! for the SlimGNN-like baseline, whose input-subgraph pruning is a
+//! heuristic edge sparsifier — this module implements the heuristic
+//! family the paper cites:
+//!
+//! - [`drop_edge`]: uniform random edge removal (DropEdge);
+//! - [`effective_resistance_like`]: keep edges with probability
+//!   inversely proportional to `√(deg(u)·deg(v))` — the cheap surrogate
+//!   for effective-resistance sampling used by fast GAT sparsifiers;
+//! - [`top_k_neighbors`]: per-vertex degree-based neighbor selection.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::CsrGraph;
+
+/// DropEdge: keeps each edge independently with probability `retain`.
+///
+/// # Panics
+///
+/// Panics if `retain ∉ [0, 1]`.
+pub fn drop_edge(graph: &CsrGraph, retain: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&retain), "retain must be in [0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xd20b);
+    let edges: Vec<(u32, u32)> = graph
+        .edges()
+        .filter(|_| rng.gen_bool(retain))
+        .collect();
+    CsrGraph::from_edges(graph.num_vertices(), &edges)
+}
+
+/// Degree-weighted sparsification: edge `(u, v)` survives with
+/// probability `min(1, c / √(deg(u)·deg(v)))`, with `c` calibrated so
+/// the expected retained fraction is `retain`. Low-degree edges (the
+/// structurally critical ones, by the effective-resistance argument)
+/// are preferentially kept.
+///
+/// # Panics
+///
+/// Panics if `retain ∉ (0, 1]` or the graph has no edges.
+pub fn effective_resistance_like(graph: &CsrGraph, retain: f64, seed: u64) -> CsrGraph {
+    assert!(retain > 0.0 && retain <= 1.0, "retain must be in (0, 1]");
+    let edges: Vec<(u32, u32)> = graph.edges().collect();
+    assert!(!edges.is_empty(), "graph has no edges");
+    let weight = |&(u, v): &(u32, u32)| -> f64 {
+        1.0 / ((graph.degree(u as usize) as f64 * graph.degree(v as usize) as f64).sqrt())
+    };
+    // Calibrate c by bisection on the expected retained count.
+    let expected = |c: f64| -> f64 {
+        edges.iter().map(|e| (c * weight(e)).min(1.0)).sum::<f64>() / edges.len() as f64
+    };
+    let mut lo = 0.0;
+    let mut hi = edges
+        .iter()
+        .map(|e| 1.0 / weight(e))
+        .fold(0.0f64, f64::max);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if expected(mid) < retain {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let c = 0.5 * (lo + hi);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xe44e);
+    let kept: Vec<(u32, u32)> = edges
+        .into_iter()
+        .filter(|e| rng.gen_bool((c * weight(e)).min(1.0)))
+        .collect();
+    CsrGraph::from_edges(graph.num_vertices(), &kept)
+}
+
+/// Keeps at most `k` neighbors per vertex, preferring high-degree
+/// neighbors (the importance heuristic of §VI-A applied to edges). An
+/// edge survives if *either* endpoint selects it.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn top_k_neighbors(graph: &CsrGraph, k: usize) -> CsrGraph {
+    assert!(k > 0, "k must be positive");
+    let n = graph.num_vertices();
+    let mut kept = Vec::new();
+    for u in 0..n {
+        let mut ranked: Vec<u32> = graph.neighbors(u).to_vec();
+        ranked.sort_by(|&a, &b| {
+            graph
+                .degree(b as usize)
+                .cmp(&graph.degree(a as usize))
+                .then(a.cmp(&b))
+        });
+        for &v in ranked.iter().take(k) {
+            kept.push((u as u32, v));
+        }
+    }
+    CsrGraph::from_edges(n, &kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{erdos_renyi, power_law_profile};
+
+    fn test_graph() -> CsrGraph {
+        erdos_renyi(400, 12.0, 3)
+    }
+
+    #[test]
+    fn drop_edge_hits_the_retain_fraction() {
+        let g = test_graph();
+        let s = drop_edge(&g, 0.6, 1);
+        s.validate().unwrap();
+        let fraction = s.num_edges() as f64 / g.num_edges() as f64;
+        assert!((fraction - 0.6).abs() < 0.07, "fraction {fraction}");
+    }
+
+    #[test]
+    fn drop_edge_extremes() {
+        let g = test_graph();
+        assert_eq!(drop_edge(&g, 1.0, 2).num_edges(), g.num_edges());
+        assert_eq!(drop_edge(&g, 0.0, 2).num_edges(), 0);
+    }
+
+    #[test]
+    fn resistance_like_prefers_low_degree_edges() {
+        // Power-law graph: hub-hub edges should be dropped first.
+        let profile = power_law_profile(600, 16.0, 0.9, 0.3, 5);
+        let g = crate::generate::chung_lu(&profile, 6);
+        let s = effective_resistance_like(&g, 0.5, 7);
+        s.validate().unwrap();
+        let fraction = s.num_edges() as f64 / g.num_edges() as f64;
+        assert!((fraction - 0.5).abs() < 0.08, "fraction {fraction}");
+        // Mean endpoint-degree product of surviving edges is lower.
+        let mean_product = |graph: &CsrGraph, base: &CsrGraph| -> f64 {
+            let mut total = 0.0;
+            let mut count = 0.0;
+            for (u, v) in graph.edges() {
+                total += base.degree(u as usize) as f64 * base.degree(v as usize) as f64;
+                count += 1.0;
+            }
+            total / count
+        };
+        assert!(mean_product(&s, &g) < mean_product(&g, &g));
+    }
+
+    #[test]
+    fn top_k_bounds_the_degree_from_one_side() {
+        let g = test_graph();
+        let s = top_k_neighbors(&g, 4);
+        s.validate().unwrap();
+        // Each vertex selected ≤ 4 neighbors; its final degree can
+        // exceed 4 only through *being selected* by others.
+        assert!(s.num_edges() <= 4 * g.num_vertices());
+        assert!(s.num_edges() < g.num_edges());
+    }
+
+    #[test]
+    fn sparsifiers_never_invent_edges() {
+        let g = test_graph();
+        for s in [
+            drop_edge(&g, 0.7, 9),
+            effective_resistance_like(&g, 0.7, 9),
+            top_k_neighbors(&g, 6),
+        ] {
+            for (u, v) in s.edges() {
+                assert!(g.has_edge(u as usize, v as usize));
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Activation functions.
+//!
+//! GoPIM's on-chip Activation Module implements ReLU (§IV-A(4)); the
+//! predictor MLP also uses ReLU hidden layers. Softmax supports the
+//! classification losses of the numeric GCN experiments.
+
+use crate::Matrix;
+
+/// Element-wise ReLU.
+pub fn relu(x: &Matrix) -> Matrix {
+    x.map(|v| v.max(0.0))
+}
+
+/// Element-wise ReLU derivative evaluated at the *pre-activation* `x`
+/// (1 where `x > 0`, else 0).
+pub fn relu_grad(x: &Matrix) -> Matrix {
+    x.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Row-wise softmax with the max-subtraction trick for numerical
+/// stability.
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        assert_eq!(relu(&x), Matrix::from_rows(&[&[0.0, 0.0, 2.0]]));
+    }
+
+    #[test]
+    fn relu_grad_is_indicator() {
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        assert_eq!(relu_grad(&x), Matrix::from_rows(&[&[0.0, 0.0, 1.0]]));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]);
+        let s = softmax_rows(&x);
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        // Large inputs must not overflow.
+        assert!((s[(1, 0)] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_is_monotone() {
+        let s = softmax_rows(&Matrix::from_rows(&[&[1.0, 3.0, 2.0]]));
+        assert!(s[(0, 1)] > s[(0, 2)] && s[(0, 2)] > s[(0, 0)]);
+    }
+}

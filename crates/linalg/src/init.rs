@@ -1,0 +1,52 @@
+//! Weight initializers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Matrix;
+
+/// Xavier/Glorot uniform initialization: entries drawn uniformly from
+/// `±sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let bound = (6.0 / (rows + cols) as f64).sqrt();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Uniform initialization in `[-bound, bound]`.
+pub fn uniform(rows: usize, cols: usize, bound: f64, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let m = xavier_uniform(64, 64, 1);
+        let bound = (6.0 / 128.0f64).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn xavier_is_deterministic_per_seed() {
+        assert_eq!(xavier_uniform(4, 4, 9), xavier_uniform(4, 4, 9));
+        assert_ne!(xavier_uniform(4, 4, 9), xavier_uniform(4, 4, 10));
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let m = uniform(10, 10, 0.5, 2);
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= 0.5));
+        // Not all zero.
+        assert!(m.frobenius_norm() > 0.0);
+    }
+}

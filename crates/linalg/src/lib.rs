@@ -1,0 +1,38 @@
+//! Dense linear algebra and neural-network primitives for the GoPIM
+//! reproduction.
+//!
+//! Two consumers inside the workspace:
+//!
+//! - the ML-based *Time Predictor* (§V-A of the paper) — a 3-layer MLP
+//!   regressor with a 256-neuron hidden layer, trained on samples
+//!   produced by the accelerator simulator;
+//! - the numeric GCN training engine (`gopim-gcn`) that drives the
+//!   accuracy experiments (Table V, Fig. 16).
+//!
+//! Everything is implemented from scratch on row-major [`Matrix`]
+//! storage: matrix kernels ([`ops`]), activations ([`activation`]),
+//! losses ([`loss`]), initializers ([`init`]), optimizers
+//! ([`optimizer`]) and a multilayer perceptron ([`mlp::Mlp`]).
+//!
+//! # Example
+//!
+//! ```
+//! use gopim_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! assert_eq!(a.matmul(&b), a);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod init;
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod ops;
+pub mod optimizer;
+
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpConfig};

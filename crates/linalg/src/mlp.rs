@@ -1,0 +1,331 @@
+//! Multilayer perceptron with ReLU hidden layers.
+//!
+//! This is the model family behind GoPIM's Time Predictor (§V-A): the
+//! paper sweeps depth (2–6 layers, Fig. 9(b)) and hidden width
+//! (Fig. 9(c)) and settles on a 3-layer 10-256-1 network. [`MlpConfig`]
+//! expresses any such architecture.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::activation::{relu, relu_grad};
+use crate::init::xavier_uniform;
+use crate::loss::mse;
+use crate::ops::{add_bias, hadamard, sum_rows};
+use crate::optimizer::Adam;
+use crate::Matrix;
+
+/// Architecture of an MLP: the sizes of every layer, input to output.
+///
+/// "Number of layers" follows the paper's convention of counting the
+/// input and output layers, so the selected 10-256-1 predictor is a
+/// *3-layer* MLP with one hidden layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpConfig {
+    /// Layer widths from input to output; length ≥ 2.
+    pub layer_sizes: Vec<usize>,
+}
+
+impl MlpConfig {
+    /// Builds a config from explicit layer sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new(layer_sizes: Vec<usize>) -> Self {
+        assert!(layer_sizes.len() >= 2, "need input and output layers");
+        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        MlpConfig { layer_sizes }
+    }
+
+    /// The paper's selected predictor: 10 inputs, one 256-wide hidden
+    /// layer, one output.
+    pub fn paper_predictor() -> Self {
+        MlpConfig::new(vec![10, 256, 1])
+    }
+
+    /// A uniform-depth config: `depth` total layers (paper counting)
+    /// with all hidden layers `hidden` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth < 2`.
+    pub fn uniform(inputs: usize, hidden: usize, outputs: usize, depth: usize) -> Self {
+        assert!(depth >= 2, "depth must be at least 2");
+        let mut sizes = vec![inputs];
+        sizes.extend(std::iter::repeat_n(hidden, depth - 2));
+        sizes.push(outputs);
+        MlpConfig::new(sizes)
+    }
+
+    /// Number of layers in the paper's counting (including input and
+    /// output).
+    pub fn depth(&self) -> usize {
+        self.layer_sizes.len()
+    }
+}
+
+/// A trained (or trainable) MLP with ReLU hidden activations and a
+/// linear output layer, optimized with Adam against MSE.
+///
+/// # Example
+///
+/// ```
+/// use gopim_linalg::{Matrix, Mlp, MlpConfig};
+///
+/// // Learn y = 2x on a handful of points.
+/// let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+/// let y = Matrix::from_rows(&[&[0.0], &[2.0], &[4.0], &[6.0]]);
+/// let mut mlp = Mlp::new(MlpConfig::new(vec![1, 16, 1]), 42);
+/// mlp.fit(&x, &y, 500, 4, 0.01);
+/// let pred = mlp.predict(&Matrix::from_rows(&[&[1.5]]));
+/// assert!((pred[(0, 0)] - 3.0).abs() < 0.3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    config: MlpConfig,
+    weights: Vec<Matrix>,
+    biases: Vec<Matrix>,
+}
+
+impl Mlp {
+    /// Initializes weights with Xavier uniform.
+    pub fn new(config: MlpConfig, seed: u64) -> Self {
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for (i, w) in config.layer_sizes.windows(2).enumerate() {
+            weights.push(xavier_uniform(w[0], w[1], seed.wrapping_add(i as u64 * 7919)));
+            biases.push(Matrix::zeros(1, w[1]));
+        }
+        Mlp {
+            config,
+            weights,
+            biases,
+        }
+    }
+
+    /// The architecture of this network.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(w, b)| w.rows() * w.cols() + b.cols())
+            .sum()
+    }
+
+    /// Forward pass returning the output for each input row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` does not match the input layer width.
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        self.forward(x).1.pop().expect("at least one layer")
+    }
+
+    /// Forward pass keeping pre-activations (for backprop).
+    /// Returns `(pre_activations, post_activations)` where
+    /// `post_activations[0]` is the input.
+    fn forward(&self, x: &Matrix) -> (Vec<Matrix>, Vec<Matrix>) {
+        assert_eq!(
+            x.cols(),
+            self.config.layer_sizes[0],
+            "input width mismatch"
+        );
+        let num_layers = self.weights.len();
+        let mut pre = Vec::with_capacity(num_layers);
+        let mut post = Vec::with_capacity(num_layers + 1);
+        post.push(x.clone());
+        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let z = add_bias(&post[i].matmul(w), b);
+            let a = if i + 1 == num_layers { z.clone() } else { relu(&z) };
+            pre.push(z);
+            post.push(a);
+        }
+        // Reorder for predict(): post holds activations, last is output.
+        (pre, post.split_off(1))
+    }
+
+    /// One gradient step on `(x, y)` with the given Adam optimizers;
+    /// returns the batch MSE.
+    fn step(&mut self, x: &Matrix, y: &Matrix, opts: &mut [(Adam, Adam)]) -> f64 {
+        let num_layers = self.weights.len();
+        // Recompute forward keeping inputs to each layer.
+        let mut inputs = Vec::with_capacity(num_layers);
+        let mut pre = Vec::with_capacity(num_layers);
+        let mut act = x.clone();
+        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            inputs.push(act.clone());
+            let z = add_bias(&act.matmul(w), b);
+            act = if i + 1 == num_layers { z.clone() } else { relu(&z) };
+            pre.push(z);
+        }
+        let (loss, mut delta) = mse(&act, y);
+        for i in (0..num_layers).rev() {
+            if i + 1 != num_layers {
+                delta = hadamard(&delta, &relu_grad(&pre[i]));
+            }
+            let grad_w = inputs[i].transpose().matmul(&delta);
+            let grad_b = sum_rows(&delta);
+            let next_delta = if i > 0 {
+                Some(delta.matmul(&self.weights[i].transpose()))
+            } else {
+                None
+            };
+            let (opt_w, opt_b) = &mut opts[i];
+            opt_w.step(&mut self.weights[i], &grad_w);
+            opt_b.step(&mut self.biases[i], &grad_b);
+            if let Some(d) = next_delta {
+                delta = d;
+            }
+        }
+        loss
+    }
+
+    /// Trains with Adam + mini-batches for `epochs` epochs; returns the
+    /// final epoch's mean batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` have different row counts, `batch_size` is
+    /// zero, or widths mismatch the architecture.
+    pub fn fit(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        epochs: usize,
+        batch_size: usize,
+        learning_rate: f64,
+    ) -> f64 {
+        assert_eq!(x.rows(), y.rows(), "x and y row count mismatch");
+        assert!(batch_size > 0, "batch size must be positive");
+        assert_eq!(
+            y.cols(),
+            *self.config.layer_sizes.last().unwrap(),
+            "output width mismatch"
+        );
+        let mut opts: Vec<(Adam, Adam)> = self
+            .weights
+            .iter()
+            .map(|_| (Adam::new(learning_rate), Adam::new(learning_rate)))
+            .collect();
+        let n = x.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = SmallRng::seed_from_u64(0x6d6c70);
+        let mut last = 0.0;
+        for epoch in 0..epochs {
+            // Cosine learning-rate decay (floor at 2 % of the base).
+            let progress = epoch as f64 / epochs.max(1) as f64;
+            let lr = learning_rate
+                * (0.02 + 0.98 * 0.5 * (1.0 + (std::f64::consts::PI * progress).cos()));
+            for (w, b) in opts.iter_mut() {
+                w.set_learning_rate(lr);
+                b.set_learning_rate(lr);
+            }
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(batch_size) {
+                let bx = gather_rows(x, chunk);
+                let by = gather_rows(y, chunk);
+                epoch_loss += self.step(&bx, &by, &mut opts);
+                batches += 1;
+            }
+            last = epoch_loss / batches as f64;
+        }
+        last
+    }
+}
+
+/// Copies the given rows of `m` into a new matrix.
+fn gather_rows(m: &Matrix, rows: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(rows.len(), m.cols());
+    for (i, &r) in rows.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(m.row(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors() {
+        let c = MlpConfig::paper_predictor();
+        assert_eq!(c.layer_sizes, vec![10, 256, 1]);
+        assert_eq!(c.depth(), 3);
+        let u = MlpConfig::uniform(10, 32, 1, 5);
+        assert_eq!(u.layer_sizes, vec![10, 32, 32, 32, 1]);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mlp = Mlp::new(MlpConfig::new(vec![2, 3, 1]), 0);
+        // 2*3 + 3 + 3*1 + 1 = 13
+        assert_eq!(mlp.num_parameters(), 13);
+    }
+
+    #[test]
+    fn predict_shape() {
+        let mlp = Mlp::new(MlpConfig::new(vec![4, 8, 2]), 1);
+        let x = Matrix::zeros(5, 4);
+        assert_eq!(mlp.predict(&x).shape(), (5, 2));
+    }
+
+    #[test]
+    fn fits_linear_function() {
+        let n = 64;
+        let x = Matrix::from_vec(n, 2, (0..2 * n).map(|i| (i % 7) as f64 / 7.0).collect());
+        let y = Matrix::from_vec(
+            n,
+            1,
+            (0..n)
+                .map(|i| 3.0 * x[(i, 0)] - 2.0 * x[(i, 1)] + 0.5)
+                .collect(),
+        );
+        let mut mlp = Mlp::new(MlpConfig::new(vec![2, 16, 1]), 3);
+        let loss = mlp.fit(&x, &y, 300, 16, 0.01);
+        assert!(loss < 1e-3, "final loss {loss}");
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        // y = x0 * x1 requires the hidden layer.
+        let n = 128;
+        let mut xd = Vec::new();
+        let mut yd = Vec::new();
+        for i in 0..n {
+            let a = (i % 11) as f64 / 11.0;
+            let b = (i % 13) as f64 / 13.0;
+            xd.extend_from_slice(&[a, b]);
+            yd.push(a * b);
+        }
+        let x = Matrix::from_vec(n, 2, xd);
+        let y = Matrix::from_vec(n, 1, yd);
+        let mut mlp = Mlp::new(MlpConfig::new(vec![2, 32, 1]), 4);
+        let loss = mlp.fit(&x, &y, 400, 32, 0.01);
+        assert!(loss < 5e-3, "final loss {loss}");
+    }
+
+    #[test]
+    fn deeper_config_trains_too() {
+        let x = Matrix::from_vec(32, 1, (0..32).map(|i| i as f64 / 32.0).collect());
+        let y = x.map(|v| v * v);
+        let mut mlp = Mlp::new(MlpConfig::uniform(1, 16, 1, 4), 5);
+        let loss = mlp.fit(&x, &y, 300, 8, 0.01);
+        assert!(loss < 1e-2, "final loss {loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn predict_rejects_wrong_width() {
+        let mlp = Mlp::new(MlpConfig::new(vec![3, 4, 1]), 0);
+        let _ = mlp.predict(&Matrix::zeros(1, 2));
+    }
+}

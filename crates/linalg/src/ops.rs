@@ -1,0 +1,136 @@
+//! Element-wise and broadcast operations on [`Matrix`].
+
+use crate::Matrix;
+
+/// Element-wise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch in add");
+    zip(a, b, |x, y| x + y)
+}
+
+/// Element-wise difference `a − b`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch in sub");
+    zip(a, b, |x, y| x - y)
+}
+
+/// Element-wise (Hadamard) product.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch in hadamard");
+    zip(a, b, |x, y| x * y)
+}
+
+/// Scales every element by `s`.
+pub fn scale(a: &Matrix, s: f64) -> Matrix {
+    a.map(|x| x * s)
+}
+
+/// Adds row-vector `bias` (1 × cols) to every row of `a`.
+///
+/// # Panics
+///
+/// Panics if `bias` is not a single row of matching width.
+pub fn add_bias(a: &Matrix, bias: &Matrix) -> Matrix {
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(bias.cols(), a.cols(), "bias width mismatch");
+    let mut out = a.clone();
+    for r in 0..out.rows() {
+        for (o, &b) in out.row_mut(r).iter_mut().zip(bias.row(0)) {
+            *o += b;
+        }
+    }
+    out
+}
+
+/// Sums the rows of `a` into a 1 × cols row vector (gradient of a
+/// broadcast bias).
+pub fn sum_rows(a: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(1, a.cols());
+    for r in 0..a.rows() {
+        for (o, &x) in out.row_mut(0).iter_mut().zip(a.row(r)) {
+            *o += x;
+        }
+    }
+    out
+}
+
+/// In-place accumulation `acc += x`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn accumulate(acc: &mut Matrix, x: &Matrix) {
+    assert_eq!(acc.shape(), x.shape(), "shape mismatch in accumulate");
+    for (a, &b) in acc.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *a += b;
+    }
+}
+
+fn zip(a: &Matrix, b: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.5, -1.0]]);
+        assert_eq!(sub(&add(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = Matrix::from_rows(&[&[2.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[4.0, -1.0]]);
+        assert_eq!(hadamard(&a, &b), Matrix::from_rows(&[&[8.0, -3.0]]));
+    }
+
+    #[test]
+    fn bias_broadcasts_over_rows() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[10.0, 20.0]]);
+        let out = add_bias(&a, &b);
+        assert_eq!(out, Matrix::from_rows(&[&[10.0, 20.0], &[11.0, 21.0]]));
+    }
+
+    #[test]
+    fn sum_rows_is_bias_gradient() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(sum_rows(&a), Matrix::from_rows(&[&[4.0, 6.0]]));
+    }
+
+    #[test]
+    fn accumulate_adds_in_place() {
+        let mut acc = Matrix::zeros(1, 2);
+        accumulate(&mut acc, &Matrix::from_rows(&[&[1.0, 2.0]]));
+        accumulate(&mut acc, &Matrix::from_rows(&[&[1.0, 2.0]]));
+        assert_eq!(acc, Matrix::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_rejects_mismatched_shapes() {
+        let _ = add(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1));
+    }
+}

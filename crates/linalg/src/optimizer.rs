@@ -1,0 +1,196 @@
+//! Gradient-descent optimizers.
+
+use crate::Matrix;
+
+/// Plain stochastic gradient descent with optional momentum.
+///
+/// # Example
+///
+/// ```
+/// use gopim_linalg::{Matrix, optimizer::Sgd};
+///
+/// let mut w = Matrix::from_rows(&[&[1.0]]);
+/// let mut opt = Sgd::new(0.1, 0.0);
+/// // Gradient of f(w) = w² is 2w; a few steps shrink w toward 0.
+/// for _ in 0..50 {
+///     let g = w.map(|x| 2.0 * x);
+///     opt.step(&mut w, &g);
+/// }
+/// assert!(w[(0, 0)].abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f64,
+    momentum: f64,
+    velocity: Option<Matrix>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate <= 0` or `momentum ∉ [0, 1)`.
+    pub fn new(learning_rate: f64, momentum: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd {
+            learning_rate,
+            momentum,
+            velocity: None,
+        }
+    }
+
+    /// Applies one update `param -= lr * (grad + momentum-term)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` and `param` shapes differ, or if the shape
+    /// changes between calls.
+    pub fn step(&mut self, param: &mut Matrix, grad: &Matrix) {
+        assert_eq!(param.shape(), grad.shape(), "shape mismatch in sgd step");
+        if self.momentum == 0.0 {
+            for (p, &g) in param.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *p -= self.learning_rate * g;
+            }
+            return;
+        }
+        let v = self
+            .velocity
+            .get_or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
+        assert_eq!(v.shape(), param.shape(), "parameter shape changed");
+        for ((p, vel), &g) in param
+            .as_mut_slice()
+            .iter_mut()
+            .zip(v.as_mut_slice())
+            .zip(grad.as_slice())
+        {
+            *vel = self.momentum * *vel + g;
+            *p -= self.learning_rate * *vel;
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Option<Matrix>,
+    v: Option<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate <= 0`.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: None,
+            v: None,
+        }
+    }
+
+    /// Updates the learning rate (for schedules such as cosine decay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate <= 0`.
+    pub fn set_learning_rate(&mut self, learning_rate: f64) {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        self.learning_rate = learning_rate;
+    }
+
+    /// Applies one Adam update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` and `param` shapes differ, or if the shape
+    /// changes between calls.
+    pub fn step(&mut self, param: &mut Matrix, grad: &Matrix) {
+        assert_eq!(param.shape(), grad.shape(), "shape mismatch in adam step");
+        self.t += 1;
+        let (rows, cols) = param.shape();
+        let m = self.m.get_or_insert_with(|| Matrix::zeros(rows, cols));
+        let v = self.v.get_or_insert_with(|| Matrix::zeros(rows, cols));
+        assert_eq!(m.shape(), param.shape(), "parameter shape changed");
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((p, mm), vv), &g) in param
+            .as_mut_slice()
+            .iter_mut()
+            .zip(m.as_mut_slice())
+            .zip(v.as_mut_slice())
+            .zip(grad.as_slice())
+        {
+            *mm = self.beta1 * *mm + (1.0 - self.beta1) * g;
+            *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+            let m_hat = *mm / bc1;
+            let v_hat = *vv / bc2;
+            *p -= self.learning_rate * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(w: &Matrix) -> Matrix {
+        w.map(|x| 2.0 * x)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut w = Matrix::from_rows(&[&[5.0, -3.0]]);
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..100 {
+            let g = quadratic_grad(&w);
+            opt.step(&mut w, &g);
+        }
+        assert!(w.frobenius_norm() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f64| {
+            let mut w = Matrix::from_rows(&[&[5.0]]);
+            let mut opt = Sgd::new(0.01, momentum);
+            for _ in 0..100 {
+                let g = quadratic_grad(&w);
+                opt.step(&mut w, &g);
+            }
+            w[(0, 0)].abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut w = Matrix::from_rows(&[&[2.0, -2.0]]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let g = quadratic_grad(&w);
+            opt.step(&mut w, &g);
+        }
+        assert!(w.frobenius_norm() < 1e-3, "norm {}", w.frobenius_norm());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn sgd_rejects_shape_mismatch() {
+        let mut w = Matrix::zeros(1, 2);
+        Sgd::new(0.1, 0.0).step(&mut w, &Matrix::zeros(2, 1));
+    }
+}

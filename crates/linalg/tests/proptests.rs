@@ -1,0 +1,107 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use gopim_linalg::activation::{relu, softmax_rows};
+use gopim_linalg::loss::{mse, softmax_cross_entropy};
+use gopim_linalg::ops::{add, hadamard, scale, sub};
+use gopim_linalg::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_is_associative(
+        a in matrix(3, 4),
+        b in matrix(4, 2),
+        c in matrix(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix(3, 4),
+        b in matrix(4, 2),
+        c in matrix(4, 2),
+    ) {
+        let left = a.matmul(&add(&b, &c));
+        let right = add(&a.matmul(&b), &a.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn elementwise_algebra(a in matrix(4, 4), b in matrix(4, 4), s in -5.0f64..5.0) {
+        // a + b − b == a
+        let round = sub(&add(&a, &b), &b);
+        for (x, y) in round.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+        // s·(a ⊙ b) == (s·a) ⊙ b
+        let left = scale(&hadamard(&a, &b), s);
+        let right = hadamard(&scale(&a, s), &b);
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(a in matrix(3, 5)) {
+        let r = relu(&a);
+        prop_assert!(r.as_slice().iter().all(|&v| v >= 0.0));
+        prop_assert_eq!(relu(&r), r.clone());
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(a in matrix(2, 4), shift in -50.0f64..50.0) {
+        let shifted = a.map(|v| v + shift);
+        let s1 = softmax_rows(&a);
+        let s2 = softmax_rows(&shifted);
+        for (x, y) in s1.as_slice().iter().zip(s2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mse_is_zero_iff_equal_and_symmetric(a in matrix(3, 3), b in matrix(3, 3)) {
+        let (zero, _) = mse(&a, &a);
+        prop_assert_eq!(zero, 0.0);
+        let (ab, _) = mse(&a, &b);
+        let (ba, _) = mse(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_is_bounded_below_by_log_uniform(
+        logits in matrix(4, 3),
+        labels in prop::collection::vec(0u32..3, 4),
+    ) {
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        prop_assert!(loss >= 0.0);
+        // Gradient rows sum to zero (softmax − one-hot property).
+        for i in 0..4 {
+            let sum: f64 = grad.row(i).iter().sum();
+            prop_assert!(sum.abs() < 1e-12);
+        }
+    }
+}

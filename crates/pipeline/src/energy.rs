@@ -1,0 +1,137 @@
+//! Energy accounting for a simulated pipeline run.
+//!
+//! Combines the per-operation energies of [`gopim_reram::energy`] with
+//! the op counts of a workload and the makespan of a schedule:
+//! dynamic MVM energy, ReRAM programming energy, leakage of occupied
+//! crossbars, and the constant chip overhead. Replication does not
+//! change the dynamic work (the same inputs are processed, spread over
+//! replicas) but increases occupied-crossbar leakage — while shrinking
+//! the makespan, which is the effect behind the paper's Fig. 13(b).
+
+use gopim_reram::energy::EnergyModel;
+use gopim_reram::spec::AcceleratorSpec;
+
+use crate::schedule::PipelineResult;
+use crate::workload::GcnWorkload;
+
+/// Energy breakdown of one run, nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Dynamic MVM (read-path) energy.
+    pub compute_nj: f64,
+    /// ReRAM programming energy.
+    pub write_nj: f64,
+    /// Leakage of occupied (mapped) crossbars over the makespan.
+    pub leakage_nj: f64,
+    /// Chip-constant overhead (controller, weight computer, activation
+    /// module) over the makespan.
+    pub overhead_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.compute_nj + self.write_nj + self.leakage_nj + self.overhead_nj
+    }
+}
+
+/// Computes the energy of a simulated run.
+///
+/// # Panics
+///
+/// Panics if `replicas.len() != workload.stages().len()`.
+pub fn energy_of_run(
+    spec: &AcceleratorSpec,
+    workload: &GcnWorkload,
+    replicas: &[usize],
+    result: &PipelineResult,
+    num_batches: usize,
+) -> EnergyBreakdown {
+    assert_eq!(
+        replicas.len(),
+        workload.stages().len(),
+        "one replica count per stage"
+    );
+    let model = EnergyModel::new(spec);
+    let n_mb = workload.num_microbatches() as f64 * num_batches as f64;
+    let mut compute_nj = 0.0;
+    let mut write_nj = 0.0;
+    let mut occupied: u64 = 0;
+    for (i, st) in workload.stages().iter().enumerate() {
+        compute_nj += model.mvm_energy_nj(st.mvm_crossbar_issues, 1) * n_mb;
+        // Updates reach every replica through shared broadcast wordline
+        // drivers; the programming event is charged once per row, and
+        // the per-replica driver cost is folded into occupied-crossbar
+        // leakage.
+        write_nj += model.write_energy_nj(1) * st.rows_written * n_mb;
+        occupied += (st.crossbars_per_replica * replicas[i]) as u64;
+    }
+    let leakage_nj = model.leakage_energy_nj(occupied, result.makespan_ns);
+    let overhead_nj = model.overhead_energy_nj(result.makespan_ns);
+    EnergyBreakdown {
+        compute_nj,
+        write_nj,
+        leakage_nj,
+        overhead_nj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{simulate, PipelineOptions};
+    use crate::workload::{GcnWorkload, WorkloadOptions};
+    use gopim_graph::datasets::Dataset;
+
+    fn setup() -> (AcceleratorSpec, GcnWorkload) {
+        (
+            AcceleratorSpec::paper(),
+            GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default()),
+        )
+    }
+
+    #[test]
+    fn shorter_runs_spend_less_overhead_energy() {
+        let (spec, wl) = setup();
+        let s = wl.stages().len();
+        let serial = simulate(&wl, &vec![1; s], &PipelineOptions::serial());
+        let piped = simulate(&wl, &vec![1; s], &PipelineOptions::default());
+        let e_serial = energy_of_run(&spec, &wl, &vec![1; s], &serial, 1);
+        let e_piped = energy_of_run(&spec, &wl, &vec![1; s], &piped, 1);
+        assert!(e_piped.overhead_nj < e_serial.overhead_nj);
+        assert!(e_piped.total_nj() < e_serial.total_nj());
+        // Dynamic work identical.
+        assert!((e_piped.compute_nj - e_serial.compute_nj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn replication_raises_leakage_but_can_cut_total() {
+        let (spec, wl) = setup();
+        let s = wl.stages().len();
+        let ones = vec![1; s];
+        let base_run = simulate(&wl, &ones, &PipelineOptions::default());
+        let mut reps = vec![1; s];
+        for (i, st) in wl.stages().iter().enumerate() {
+            if st.kind.maps_features() {
+                reps[i] = 16;
+            }
+        }
+        let boosted_run = simulate(&wl, &reps, &PipelineOptions::default());
+        let base = energy_of_run(&spec, &wl, &ones, &base_run, 1);
+        let boosted = energy_of_run(&spec, &wl, &reps, &boosted_run, 1);
+        // Leakage *rate* rises with occupancy, but the makespan shrinks
+        // by more, so total energy falls (paper Fig. 13(b) argument).
+        assert!(boosted.total_nj() < base.total_nj());
+    }
+
+    #[test]
+    fn write_energy_is_replica_independent_but_leakage_is_not() {
+        let (spec, wl) = setup();
+        let s = wl.stages().len();
+        let run = simulate(&wl, &vec![1; s], &PipelineOptions::default());
+        let e1 = energy_of_run(&spec, &wl, &vec![1; s], &run, 1);
+        let e2 = energy_of_run(&spec, &wl, &vec![2; s], &run, 1);
+        assert!((e2.write_nj - e1.write_nj).abs() < 1e-9);
+        assert!((e2.leakage_nj - 2.0 * e1.leakage_nj).abs() / e1.leakage_nj < 1e-9);
+    }
+}

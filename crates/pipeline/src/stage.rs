@@ -1,0 +1,151 @@
+//! Stage taxonomy and per-stage specifications.
+
+use std::fmt;
+
+/// The four stage kinds of GCN training (paper §II-A, Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Forward feature transformation (`F·W`), weights mapped.
+    Combination,
+    /// Forward neighborhood aggregation (`A·C`), features mapped.
+    Aggregation,
+    /// Backward loss/error propagation; same dataflow as Combination
+    /// (§IV-B).
+    LossCalc,
+    /// Backward gradient compute; aggregates errors over the adjacency
+    /// with the feature matrix mapped, plus SRAM weight-gradient work.
+    GradCompute,
+}
+
+impl StageKind {
+    /// Short label used in reports (CO/AG/LC/GC).
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::Combination => "CO",
+            StageKind::Aggregation => "AG",
+            StageKind::LossCalc => "LC",
+            StageKind::GradCompute => "GC",
+        }
+    }
+
+    /// Whether this stage maps the vertex-feature matrix (and therefore
+    /// pays vertex-update writes): AG and GC per the paper's Table VI
+    /// crossbar counts.
+    pub fn maps_features(self) -> bool {
+        matches!(self, StageKind::Aggregation | StageKind::GradCompute)
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The canonical `4L`-stage order of an `L`-layer GCN:
+/// `CO1, AG1, …, COL, AGL, LCL, GCL, …, LC1, GC1`.
+pub fn stage_order(num_layers: usize) -> Vec<(StageKind, usize)> {
+    let mut order = Vec::with_capacity(4 * num_layers);
+    for l in 0..num_layers {
+        order.push((StageKind::Combination, l));
+        order.push((StageKind::Aggregation, l));
+    }
+    for l in (0..num_layers).rev() {
+        order.push((StageKind::LossCalc, l));
+        order.push((StageKind::GradCompute, l));
+    }
+    order
+}
+
+/// Everything the scheduler, allocator and energy model need to know
+/// about one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// Stage kind.
+    pub kind: StageKind,
+    /// 0-based GCN layer this stage belongs to.
+    pub layer: usize,
+    /// Position in the 4L chain.
+    pub index: usize,
+    /// Rows of the matrix mapped on crossbars for this stage.
+    pub mapped_rows: usize,
+    /// Columns of the mapped matrix.
+    pub mapped_cols: usize,
+    /// Crossbars one replica of the mapped matrix occupies.
+    pub crossbars_per_replica: usize,
+    /// Replica-parallelizable service time per micro-batch, ns.
+    pub compute_ns: f64,
+    /// ReRAM write time per micro-batch, ns — *not* reduced by
+    /// replicas (every replica is programmed, in parallel with the
+    /// others, but the write channel serializes micro-batches).
+    pub write_ns: f64,
+    /// MVM issues per micro-batch (for energy accounting): the number
+    /// of (input vector × crossbar) activations.
+    pub mvm_crossbar_issues: u64,
+    /// Crossbar rows programmed per micro-batch (for energy).
+    pub rows_written: f64,
+}
+
+impl StageSpec {
+    /// Total service time per micro-batch at one replica, ns.
+    pub fn service_ns(&self) -> f64 {
+        self.compute_ns + self.write_ns
+    }
+
+    /// Human-readable stage name like `AG1` (1-based layer, as in the
+    /// paper's Table VI).
+    pub fn name(&self) -> String {
+        format!("{}{}", self.kind.label(), self.layer + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_layer_order_matches_fig2() {
+        let order = stage_order(2);
+        let names: Vec<String> = order
+            .iter()
+            .map(|(k, l)| format!("{}{}", k.label(), l + 1))
+            .collect();
+        assert_eq!(
+            names,
+            vec!["CO1", "AG1", "CO2", "AG2", "LC2", "GC2", "LC1", "GC1"]
+        );
+    }
+
+    #[test]
+    fn three_layer_order_has_12_stages() {
+        let order = stage_order(3);
+        assert_eq!(order.len(), 12);
+        assert_eq!(order[11], (StageKind::GradCompute, 0));
+    }
+
+    #[test]
+    fn feature_mapping_stages() {
+        assert!(StageKind::Aggregation.maps_features());
+        assert!(StageKind::GradCompute.maps_features());
+        assert!(!StageKind::Combination.maps_features());
+        assert!(!StageKind::LossCalc.maps_features());
+    }
+
+    #[test]
+    fn service_is_compute_plus_write() {
+        let s = StageSpec {
+            kind: StageKind::Aggregation,
+            layer: 0,
+            index: 1,
+            mapped_rows: 10,
+            mapped_cols: 10,
+            crossbars_per_replica: 2,
+            compute_ns: 100.0,
+            write_ns: 50.0,
+            mvm_crossbar_issues: 0,
+            rows_written: 0.0,
+        };
+        assert_eq!(s.service_ns(), 150.0);
+        assert_eq!(s.name(), "AG1");
+    }
+}

@@ -1,0 +1,138 @@
+//! Text Gantt rendering of a traced schedule.
+//!
+//! Useful for inspecting small pipelines (the paper's Fig. 5 / Fig. 10
+//! style timelines) directly in a terminal.
+
+use crate::schedule::TraceEvent;
+use crate::workload::GcnWorkload;
+
+/// Renders the traced schedule as one text lane per stage, `width`
+/// characters across the makespan. `#` marks compute, `w` the write
+/// window, `.` dispatch overhead, space idle.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn render_gantt(workload: &GcnWorkload, events: &[TraceEvent], width: usize) -> String {
+    assert!(width > 0, "width must be positive");
+    let stages = workload.stages();
+    let makespan = events.iter().map(|e| e.end_ns).fold(0.0, f64::max);
+    if makespan <= 0.0 {
+        return String::new();
+    }
+    let scale = width as f64 / makespan;
+    let col = |t: f64| -> usize { ((t * scale) as usize).min(width - 1) };
+    let mut lanes: Vec<Vec<u8>> = vec![vec![b' '; width]; stages.len()];
+    // Paint lowest-priority first so compute overwrites write overwrites
+    // dispatch.
+    for e in events {
+        let lane = &mut lanes[e.stage];
+        for cell in lane
+            .iter_mut()
+            .take(col(e.write_start_ns) + 1)
+            .skip(col(e.dispatch_ns))
+        {
+            if *cell == b' ' {
+                *cell = b'.';
+            }
+        }
+        for cell in lane
+            .iter_mut()
+            .take(col(e.compute_start_ns) + 1)
+            .skip(col(e.write_start_ns))
+        {
+            if *cell != b'#' {
+                *cell = b'w';
+            }
+        }
+        for cell in lane
+            .iter_mut()
+            .take(col(e.end_ns) + 1)
+            .skip(col(e.compute_start_ns))
+        {
+            *cell = b'#';
+        }
+    }
+    let mut out = String::new();
+    for (i, lane) in lanes.iter().enumerate() {
+        out.push_str(&format!("{:>4} |", stages[i].name()));
+        out.push_str(std::str::from_utf8(lane).expect("ascii lane"));
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{simulate, simulate_traced, PipelineOptions};
+    use crate::workload::{GcnWorkload, WorkloadOptions};
+    use gopim_graph::datasets::Dataset;
+
+    fn setup() -> GcnWorkload {
+        GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default())
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_makespan() {
+        let wl = setup();
+        let r = vec![2; wl.stages().len()];
+        let plain = simulate(&wl, &r, &PipelineOptions::default());
+        let (traced, events) = simulate_traced(&wl, &r, &PipelineOptions::default());
+        assert_eq!(plain.makespan_ns, traced.makespan_ns);
+        assert_eq!(events.len(), wl.num_microbatches() * wl.stages().len());
+        // Events respect internal ordering.
+        for e in &events {
+            assert!(e.dispatch_ns <= e.write_start_ns);
+            assert!(e.write_start_ns <= e.compute_start_ns);
+            assert!(e.compute_start_ns <= e.end_ns);
+        }
+    }
+
+    #[test]
+    fn dependencies_hold_in_the_trace() {
+        let wl = setup();
+        let r = vec![1; wl.stages().len()];
+        let (_, events) = simulate_traced(&wl, &r, &PipelineOptions::intra_only());
+        let find = |stage: usize, mb: usize| -> &crate::schedule::TraceEvent {
+            events
+                .iter()
+                .find(|e| e.stage == stage && e.microbatch == mb)
+                .unwrap()
+        };
+        // Eq. 4: stage i of micro-batch j starts after stage i−1.
+        for j in [0usize, 5, 20] {
+            for i in 1..wl.stages().len() {
+                assert!(find(i, j).dispatch_ns >= find(i - 1, j).end_ns - 1e-9);
+            }
+        }
+        // Write channel serializes micro-batches per stage.
+        for i in 0..wl.stages().len() {
+            assert!(find(i, 1).write_start_ns >= find(i, 0).write_start_ns);
+        }
+    }
+
+    #[test]
+    fn gantt_renders_one_lane_per_stage() {
+        let wl = setup();
+        let r = vec![1; wl.stages().len()];
+        let (_, events) = simulate_traced(&wl, &r, &PipelineOptions::intra_only());
+        let gantt = render_gantt(&wl, &events, 80);
+        let lines: Vec<&str> = gantt.lines().collect();
+        assert_eq!(lines.len(), wl.stages().len());
+        assert!(lines[0].contains("CO1"));
+        assert!(gantt.contains('#'));
+    }
+
+    #[test]
+    fn serial_trace_has_no_overlap() {
+        let wl = setup();
+        let r = vec![1; wl.stages().len()];
+        let (_, events) = simulate_traced(&wl, &r, &PipelineOptions::serial());
+        let mut sorted = events.clone();
+        sorted.sort_by(|a, b| a.dispatch_ns.partial_cmp(&b.dispatch_ns).unwrap());
+        for pair in sorted.windows(2) {
+            assert!(pair[1].dispatch_ns >= pair[0].end_ns - 1e-3); // f64 ulp at ~1e8 ns
+        }
+    }
+}

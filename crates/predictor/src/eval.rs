@@ -1,0 +1,114 @@
+//! Evaluation utilities: RMSE (the paper's Fig. 9 metric), train/test
+//! splitting and the prediction-accuracy measure of §VII-G.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use gopim_linalg::Matrix;
+
+use crate::dataset_gen::SampleSet;
+
+/// Root mean squared error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "length mismatch");
+    assert!(!pred.is_empty(), "rmse of empty data");
+    let mse: f64 = pred
+        .iter()
+        .zip(target)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean prediction accuracy `1 − |pred − actual| / actual` (clamped to
+/// 0) — the §VII-G "prediction accuracy" (the paper reports 93.4 % on
+/// unseen datasets). Operates in time space, not log space.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn prediction_accuracy(pred_ns: &[f64], actual_ns: &[f64]) -> f64 {
+    assert_eq!(pred_ns.len(), actual_ns.len(), "length mismatch");
+    assert!(!pred_ns.is_empty(), "accuracy of empty data");
+    pred_ns
+        .iter()
+        .zip(actual_ns)
+        .map(|(&p, &a)| (1.0 - (p - a).abs() / a.max(1e-9)).max(0.0))
+        .sum::<f64>()
+        / pred_ns.len() as f64
+}
+
+/// Random row split into `(train, test)` with `train_fraction` of the
+/// rows in the training set (the paper uses 8:2).
+///
+/// # Panics
+///
+/// Panics if `train_fraction ∉ (0, 1)` or the set is empty.
+pub fn split(data: &SampleSet, train_fraction: f64, seed: u64) -> (SampleSet, SampleSet) {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train fraction must be in (0, 1)"
+    );
+    assert!(!data.is_empty(), "cannot split empty sample set");
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut SmallRng::seed_from_u64(seed));
+    let n_train = ((n as f64) * train_fraction).round() as usize;
+    let n_train = n_train.clamp(1, n - 1);
+    let take = |idx: &[usize]| -> SampleSet {
+        let mut x = Matrix::zeros(idx.len(), data.x.cols());
+        let mut y = Vec::with_capacity(idx.len());
+        for (row, &i) in idx.iter().enumerate() {
+            x.row_mut(row).copy_from_slice(data.x.row(i));
+            y.push(data.y[i]);
+        }
+        SampleSet { x, y }
+    };
+    (take(&order[..n_train]), take(&order[n_train..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_perfect_prediction_is_zero() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // errors 3 and 4 ⇒ rms = sqrt(12.5)
+        let v = rmse(&[3.0, 0.0], &[0.0, 4.0]);
+        assert!((v - 12.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_is_one_minus_relative_error() {
+        let acc = prediction_accuracy(&[90.0, 110.0], &[100.0, 100.0]);
+        assert!((acc - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_preserves_all_rows() {
+        let data = crate::dataset_gen::generate_samples(40, 5);
+        let n = data.len();
+        let (tr, te) = split(&data, 0.8, 1);
+        assert_eq!(tr.len() + te.len(), n);
+        assert!(tr.len() > te.len());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let data = crate::dataset_gen::generate_samples(40, 5);
+        let (a, _) = split(&data, 0.8, 7);
+        let (b, _) = split(&data, 0.8, 7);
+        assert_eq!(a.y, b.y);
+    }
+}

@@ -1,0 +1,169 @@
+//! The Table I feature vector and normalization.
+
+use gopim_linalg::Matrix;
+use gopim_pipeline::{GcnWorkload, StageKind, StageSpec};
+
+/// Number of input features (Table I lists ten).
+pub const NUM_FEATURES: usize = 10;
+
+/// Extracts the Table I features for one stage of a workload:
+///
+/// | # | feature | meaning |
+/// |---|---------|---------|
+/// | 0 | `R_IFM_CO` | input-matrix rows for Combination-class stages |
+/// | 1 | `C_IFM_CO` | input-matrix columns for Combination |
+/// | 2 | `R_E_CO`  | mapped weight rows for Combination |
+/// | 3 | `C_E_CO`  | mapped weight columns for Combination |
+/// | 4 | `R_A_AG`  | adjacency rows for Aggregation-class stages |
+/// | 5 | `C_A_AG`  | adjacency columns for Aggregation |
+/// | 6 | `R_E_AG`  | mapped feature rows for Aggregation |
+/// | 7 | `C_E_AG`  | mapped feature columns for Aggregation |
+/// | 8 | `s`       | graph sparsity, log-encoded (see below) |
+/// | 9 | `k`       | the stage's layer |
+///
+/// Size features are `ln(1 + x)`-compressed — stage times span five
+/// orders of magnitude and the predictor trains on log-scale targets.
+/// The sparsity feature is stored as `ln(1 + avg_degree)` (a monotone
+/// transform of `1 − s` given `N`): the raw ratio collapses to ≈1 for
+/// every large graph, starving the model of the density signal that
+/// drives aggregation time.
+pub fn stage_features(workload: &GcnWorkload, stage: &StageSpec, avg_degree: f64) -> [f64; NUM_FEATURES] {
+    let b = workload.micro_batch() as f64;
+    let n = workload.num_vertices() as f64;
+    let mut f = [0.0; NUM_FEATURES];
+    let log = |x: f64| (1.0 + x).ln();
+    match stage.kind {
+        StageKind::Combination | StageKind::LossCalc => {
+            f[0] = log(b);
+            f[1] = log(stage.mapped_rows as f64);
+            f[2] = log(stage.mapped_rows as f64);
+            f[3] = log(stage.mapped_cols as f64);
+        }
+        StageKind::Aggregation | StageKind::GradCompute => {
+            f[4] = log(b);
+            f[5] = log(n);
+            f[6] = log(stage.mapped_rows as f64);
+            f[7] = log(stage.mapped_cols as f64);
+        }
+    }
+    f[8] = log(avg_degree.max(0.0));
+    // The paper's `k` is the layer index. We refine it with a half-step
+    // backward-phase offset: without it, AG and GC stages of the same
+    // layer have identical feature vectors despite ~2× different times
+    // (GC skips the activation pass), which caps the achievable
+    // accuracy of *any* regressor on the 4L-stage taxonomy.
+    let backward = matches!(stage.kind, StageKind::LossCalc | StageKind::GradCompute);
+    f[9] = stage.layer as f64 + if backward { 0.5 } else { 0.0 };
+    f
+}
+
+/// Per-column z-score normalizer fitted on a training matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits means and standard deviations on the columns of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has no rows.
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "cannot fit normalizer on empty data");
+        let (r, c) = x.shape();
+        let mut means = vec![0.0; c];
+        let mut stds = vec![0.0; c];
+        for j in 0..c {
+            let mut sum = 0.0;
+            for i in 0..r {
+                sum += x[(i, j)];
+            }
+            means[j] = sum / r as f64;
+            let mut var = 0.0;
+            for i in 0..r {
+                let d = x[(i, j)] - means[j];
+                var += d * d;
+            }
+            stds[j] = (var / r as f64).sqrt().max(1e-12);
+        }
+        Normalizer { means, stds }
+    }
+
+    /// Applies the transform to a matrix of raw features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted data.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "feature width mismatch");
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            for j in 0..out.cols() {
+                out[(i, j)] = (out[(i, j)] - self.means[j]) / self.stds[j];
+            }
+        }
+        out
+    }
+
+    /// Transforms one raw feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the fitted data.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "feature width mismatch");
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopim_graph::datasets::Dataset;
+    use gopim_pipeline::WorkloadOptions;
+
+    #[test]
+    fn co_and_ag_populate_disjoint_slots() {
+        let wl = GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default());
+        let avg = Dataset::Ddi.stats().avg_degree;
+        let co = stage_features(&wl, &wl.stages()[0], avg);
+        let ag = stage_features(&wl, &wl.stages()[1], avg);
+        assert!(co[0] > 0.0 && co[4] == 0.0);
+        assert!(ag[4] > 0.0 && ag[0] == 0.0);
+        // Sparsity shared.
+        assert!((co[8] - ag[8]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_feature_matches_stage() {
+        let wl = GcnWorkload::build(Dataset::Cora, &WorkloadOptions::default());
+        let avg = Dataset::Cora.stats().avg_degree;
+        let f = stage_features(&wl, &wl.stages()[2], avg); // CO2
+        assert_eq!(f[9], 1.0);
+    }
+
+    #[test]
+    fn normalizer_zero_means_unit_std() {
+        let x = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 30.0], &[5.0, 50.0]]);
+        let n = Normalizer::fit(&x);
+        let t = n.transform(&x);
+        for j in 0..2 {
+            let mean: f64 = (0..3).map(|i| t[(i, j)]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+        }
+        assert_eq!(n.transform_row(&[3.0, 30.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalizer_handles_constant_columns() {
+        let x = Matrix::from_rows(&[&[2.0], &[2.0]]);
+        let n = Normalizer::fit(&x);
+        let t = n.transform(&x);
+        assert!(t[(0, 0)].is_finite());
+    }
+}

@@ -1,0 +1,46 @@
+//! The ML-based execution-time predictor (the paper's §V-A).
+//!
+//! GoPIM avoids profiling every (model, dataset, hardware) combination
+//! by predicting each stage's no-replica execution time from ten
+//! workload features (Table I) with a pre-trained 3-layer MLP
+//! (10-256-1). This crate reproduces the full §V-A pipeline:
+//!
+//! - [`features`]: the Table I feature vector extracted per stage.
+//! - [`dataset_gen`]: training-sample generation by running the
+//!   simulator over randomized workloads (the paper gathers 2,200
+//!   samples from 30-epoch runs of six workloads).
+//! - [`TimePredictor`]: the MLP predictor with feature/target
+//!   normalization, plus depth/width sweeps for Fig. 9(b)/(c).
+//! - [`models`]: from-scratch implementations of the regressor families
+//!   the paper benchmarks in Fig. 9(a) — linear/ridge regression,
+//!   Bayesian ridge ("BR"), a CART decision tree ("DT"),
+//!   gradient-boosted trees ("XGB") and a linear ε-insensitive SVR.
+//! - [`eval`]: RMSE / split / prediction-accuracy utilities.
+//! - [`profiling`]: the profiling-based alternative (ground truth at
+//!   high collection cost) used by Table VII.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gopim_predictor::dataset_gen::generate_samples;
+//! use gopim_predictor::{eval, TimePredictor};
+//!
+//! let data = generate_samples(400, 1);
+//! let (train, test) = eval::split(&data, 0.8, 2);
+//! let predictor = TimePredictor::train(&train, 3, 64, 60, 9);
+//! let rmse = eval::rmse(&predictor.predict_normalized(&test.x), &test.y);
+//! assert!(rmse < 0.2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset_gen;
+pub mod eval;
+pub mod features;
+pub mod models;
+pub mod predictor;
+pub mod profiling;
+
+pub use dataset_gen::SampleSet;
+pub use features::{stage_features, Normalizer, NUM_FEATURES};
+pub use predictor::TimePredictor;

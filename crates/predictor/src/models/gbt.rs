@@ -1,0 +1,123 @@
+//! Gradient-boosted regression trees (the paper's "XGB" bar).
+
+use gopim_linalg::Matrix;
+
+use super::{DecisionTree, Regressor};
+
+/// Gradient boosting on squared error: each round fits a shallow CART
+/// tree to the current residuals and adds it with a shrinkage factor.
+#[derive(Debug, Clone)]
+pub struct GradientBoostedTrees {
+    rounds: usize,
+    depth: usize,
+    learning_rate: f64,
+    base: f64,
+    trees: Vec<DecisionTree>,
+}
+
+impl GradientBoostedTrees {
+    /// Creates a booster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`, `depth == 0`, or
+    /// `learning_rate ∉ (0, 1]`.
+    pub fn new(rounds: usize, depth: usize, learning_rate: f64) -> Self {
+        assert!(rounds > 0, "need at least one round");
+        assert!(depth > 0, "depth must be positive");
+        assert!(
+            learning_rate > 0.0 && learning_rate <= 1.0,
+            "learning rate must be in (0, 1]"
+        );
+        GradientBoostedTrees {
+            rounds,
+            depth,
+            learning_rate,
+            base: 0.0,
+            trees: Vec::new(),
+        }
+    }
+}
+
+impl Default for GradientBoostedTrees {
+    fn default() -> Self {
+        GradientBoostedTrees::new(80, 3, 0.15)
+    }
+}
+
+impl Regressor for GradientBoostedTrees {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        assert_eq!(x.rows(), y.len(), "row/target mismatch");
+        assert!(!y.is_empty(), "empty training data");
+        self.base = y.iter().sum::<f64>() / y.len() as f64;
+        self.trees.clear();
+        let mut residual: Vec<f64> = y.iter().map(|&t| t - self.base).collect();
+        for _ in 0..self.rounds {
+            let mut tree = DecisionTree::new(self.depth, 2);
+            tree.fit(x, &residual);
+            let pred = tree.predict(x);
+            for (r, p) in residual.iter_mut().zip(&pred) {
+                *r -= self.learning_rate * p;
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "fit before predict");
+        let mut out = vec![self.base; x.rows()];
+        for tree in &self.trees {
+            for (o, p) in out.iter_mut().zip(tree.predict(x)) {
+                *o += self.learning_rate * p;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "XGB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{mse, toy_problem};
+    use super::*;
+
+    #[test]
+    fn boosting_beats_a_single_tree() {
+        let (x, y) = toy_problem(400, 5);
+        let mut single = DecisionTree::new(3, 2);
+        single.fit(&x, &y);
+        let mut gbt = GradientBoostedTrees::new(60, 3, 0.2);
+        gbt.fit(&x, &y);
+        let e_single = mse(&single.predict(&x), &y);
+        let e_gbt = mse(&gbt.predict(&x), &y);
+        assert!(e_gbt < 0.5 * e_single, "gbt {e_gbt} vs tree {e_single}");
+    }
+
+    #[test]
+    fn more_rounds_monotonically_reduce_training_error() {
+        let (x, y) = toy_problem(300, 6);
+        let errs: Vec<f64> = [5, 40]
+            .iter()
+            .map(|&rounds| {
+                let mut gbt = GradientBoostedTrees::new(rounds, 3, 0.2);
+                gbt.fit(&x, &y);
+                mse(&gbt.predict(&x), &y)
+            })
+            .collect();
+        assert!(errs[1] < errs[0]);
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let y = [4.0, 4.0, 4.0];
+        let mut gbt = GradientBoostedTrees::new(5, 2, 0.5);
+        gbt.fit(&x, &y);
+        for p in gbt.predict(&x) {
+            assert!((p - 4.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Linear least-squares models: ordinary/ridge regression and Bayesian
+//! ridge (the paper's "LR" and "BR" bars in Fig. 9(a)).
+
+use gopim_linalg::Matrix;
+
+use super::Regressor;
+
+/// Solves the symmetric positive-definite system `A w = b` with
+/// Gaussian elimination and partial pivoting. `A` is consumed.
+fn solve(mut a: Matrix, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    assert_eq!(a.shape(), (n, n), "square system expected");
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[(i, col)].abs().partial_cmp(&a[(j, col)].abs()).unwrap())
+            .unwrap();
+        if pivot != col {
+            for j in 0..n {
+                let tmp = a[(col, j)];
+                a[(col, j)] = a[(pivot, j)];
+                a[(pivot, j)] = tmp;
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[(col, col)];
+        assert!(diag.abs() > 1e-300, "singular system");
+        for row in col + 1..n {
+            let factor = a[(row, col)] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = a[(col, j)];
+                a[(row, j)] -= factor * v;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut w = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for j in row + 1..n {
+            acc -= a[(row, j)] * w[j];
+        }
+        w[row] = acc / a[(row, row)];
+    }
+    w
+}
+
+/// Adds an intercept column of ones.
+fn with_bias(x: &Matrix) -> Matrix {
+    let (r, c) = x.shape();
+    let mut out = Matrix::zeros(r, c + 1);
+    for i in 0..r {
+        out.row_mut(i)[..c].copy_from_slice(x.row(i));
+        out[(i, c)] = 1.0;
+    }
+    out
+}
+
+fn ridge_fit(x: &Matrix, y: &[f64], lambda: f64) -> Vec<f64> {
+    assert_eq!(x.rows(), y.len(), "row/target mismatch");
+    assert!(x.rows() > 0, "empty training data");
+    let xb = with_bias(x);
+    let xt = xb.transpose();
+    let mut gram = xt.matmul(&xb);
+    let d = gram.rows();
+    for j in 0..d {
+        gram[(j, j)] += lambda;
+    }
+    let rhs: Vec<f64> = (0..d)
+        .map(|j| (0..xb.rows()).map(|i| xb[(i, j)] * y[i]).sum())
+        .collect();
+    solve(gram, rhs)
+}
+
+fn linear_predict(weights: &[f64], x: &Matrix) -> Vec<f64> {
+    let c = x.cols();
+    assert_eq!(weights.len(), c + 1, "weight width mismatch");
+    (0..x.rows())
+        .map(|i| {
+            x.row(i)
+                .iter()
+                .zip(weights)
+                .map(|(&v, &w)| v * w)
+                .sum::<f64>()
+                + weights[c]
+        })
+        .collect()
+}
+
+/// Ordinary least squares with a tiny ridge for conditioning.
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+}
+
+impl LinearRegression {
+    /// An unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        self.weights = ridge_fit(x, y, 1e-8);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        linear_predict(&self.weights, x)
+    }
+
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+}
+
+/// Bayesian ridge regression: a Gaussian weight prior whose precision
+/// is re-estimated from the data by evidence iteration (a faithful
+/// small-scale version of `sklearn.linear_model.BayesianRidge`).
+#[derive(Debug, Clone, Default)]
+pub struct BayesianRidge {
+    weights: Vec<f64>,
+}
+
+impl BayesianRidge {
+    /// An unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Regressor for BayesianRidge {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        // Evidence approximation: alternate between fitting ridge
+        // weights and re-estimating the regularizer from the weight
+        // norm and residuals.
+        let mut lambda = 1.0;
+        let mut weights = ridge_fit(x, y, lambda);
+        for _ in 0..8 {
+            let pred = linear_predict(&weights, x);
+            let residual: f64 = pred
+                .iter()
+                .zip(y)
+                .map(|(&p, &t)| (p - t) * (p - t))
+                .sum::<f64>()
+                .max(1e-12);
+            let wnorm: f64 = weights.iter().map(|&w| w * w).sum::<f64>().max(1e-12);
+            let alpha = weights.len() as f64 / wnorm; // prior precision
+            let beta = x.rows() as f64 / residual; // noise precision
+            lambda = (alpha / beta).clamp(1e-10, 1e6);
+            weights = ridge_fit(x, y, lambda);
+        }
+        self.weights = weights;
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        linear_predict(&self.weights, x)
+    }
+
+    fn name(&self) -> &'static str {
+        "BR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{mse, toy_problem};
+    use super::*;
+
+    #[test]
+    fn solves_exact_linear_system() {
+        // y = 3a − 2b + 1, no noise: OLS recovers it exactly.
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, -1.0],
+        ]);
+        let y: Vec<f64> = (0..4).map(|i| 3.0 * x[(i, 0)] - 2.0 * x[(i, 1)] + 1.0).collect();
+        let mut lr = LinearRegression::new();
+        lr.fit(&x, &y);
+        let pred = lr.predict(&x);
+        // The tiny conditioning ridge (1e-8) leaves a matching residual.
+        assert!(mse(&pred, &y) < 1e-12, "mse {}", mse(&pred, &y));
+    }
+
+    #[test]
+    fn linear_model_captures_linear_part_only() {
+        let (x, y) = toy_problem(300, 1);
+        let mut lr = LinearRegression::new();
+        lr.fit(&x, &y);
+        let err = mse(&lr.predict(&x), &y);
+        // The a·b interaction is invisible to a linear model but the
+        // dominant 2a − b part is captured.
+        assert!(err < 0.05, "mse {err}");
+        assert!(err > 1e-6, "should not fit the interaction exactly");
+    }
+
+    #[test]
+    fn bayesian_ridge_close_to_ols_on_clean_data() {
+        let (x, y) = toy_problem(300, 2);
+        let mut lr = LinearRegression::new();
+        let mut br = BayesianRidge::new();
+        lr.fit(&x, &y);
+        br.fit(&x, &y);
+        let d = mse(&br.predict(&x), &lr.predict(&x));
+        assert!(d < 1e-3, "BR vs OLS divergence {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row/target mismatch")]
+    fn fit_rejects_mismatched_targets() {
+        let mut lr = LinearRegression::new();
+        lr.fit(&Matrix::zeros(3, 2), &[1.0]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Baseline regressor families for the Fig. 9(a) comparison.
+//!
+//! The paper benchmarks its MLP against the top scikit-learn
+//! regressors: XGBoost, SVR, Decision Tree, Logistic/Linear Regression
+//! and Bernoulli/Bayesian Regression. Each family is implemented here
+//! from scratch behind the [`Regressor`] trait.
+
+mod gbt;
+mod linear;
+mod svr;
+mod tree;
+
+pub use gbt::GradientBoostedTrees;
+pub use linear::{BayesianRidge, LinearRegression};
+pub use svr::LinearSvr;
+pub use tree::DecisionTree;
+
+use gopim_linalg::Matrix;
+
+/// A trainable regression model over feature matrices.
+pub trait Regressor {
+    /// Fits the model on rows of `x` against `y`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x.rows() != y.len()` or the data is
+    /// empty.
+    fn fit(&mut self, x: &Matrix, y: &[f64]);
+
+    /// Predicts one value per row of `x`.
+    fn predict(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Display name used in reports (matches the paper's Fig. 9 labels).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use gopim_linalg::Matrix;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A noisy nonlinear regression problem all model tests share.
+    pub fn toy_problem(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut x = Matrix::zeros(n, 3);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = rng.gen_range(-1.0..1.0);
+            let b = rng.gen_range(-1.0..1.0);
+            let c = rng.gen_range(-1.0..1.0);
+            x.row_mut(i).copy_from_slice(&[a, b, c]);
+            y.push(2.0 * a - b + 0.5 * a * b + 0.01 * c);
+        }
+        (x, y)
+    }
+
+    pub fn mse(pred: &[f64], y: &[f64]) -> f64 {
+        pred.iter()
+            .zip(y)
+            .map(|(&p, &t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64
+    }
+}

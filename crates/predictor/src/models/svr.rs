@@ -1,0 +1,127 @@
+//! Linear support-vector regression (the paper's "SVR" bar).
+
+use gopim_linalg::Matrix;
+
+use super::Regressor;
+
+/// Linear ε-insensitive SVR trained by subgradient descent on the
+/// primal objective `λ‖w‖² + Σ max(0, |w·x + b − y| − ε)`.
+#[derive(Debug, Clone)]
+pub struct LinearSvr {
+    epsilon: f64,
+    lambda: f64,
+    epochs: usize,
+    learning_rate: f64,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvr {
+    /// Creates an SVR with the given insensitivity tube and
+    /// regularization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon < 0`, `lambda < 0`, or `epochs == 0`.
+    pub fn new(epsilon: f64, lambda: f64, epochs: usize) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        assert!(epochs > 0, "need at least one epoch");
+        LinearSvr {
+            epsilon,
+            lambda,
+            epochs,
+            learning_rate: 0.05,
+            weights: Vec::new(),
+            bias: 0.0,
+        }
+    }
+
+    fn raw_predict(&self, row: &[f64]) -> f64 {
+        row.iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| x * w)
+            .sum::<f64>()
+            + self.bias
+    }
+}
+
+impl Default for LinearSvr {
+    fn default() -> Self {
+        LinearSvr::new(0.01, 1e-4, 200)
+    }
+}
+
+impl Regressor for LinearSvr {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        assert_eq!(x.rows(), y.len(), "row/target mismatch");
+        assert!(!y.is_empty(), "empty training data");
+        let n = x.rows();
+        let d = x.cols();
+        self.weights = vec![0.0; d];
+        self.bias = y.iter().sum::<f64>() / n as f64;
+        for epoch in 0..self.epochs {
+            let lr = self.learning_rate / (1.0 + epoch as f64 * 0.02);
+            for (i, &target) in y.iter().enumerate().take(n) {
+                let row = x.row(i);
+                let err = self.raw_predict(row) - target;
+                // Subgradient of the ε-insensitive loss.
+                let g = if err > self.epsilon {
+                    1.0
+                } else if err < -self.epsilon {
+                    -1.0
+                } else {
+                    0.0
+                };
+                for (w, &xv) in self.weights.iter_mut().zip(row) {
+                    *w -= lr * (g * xv + 2.0 * self.lambda * *w);
+                }
+                self.bias -= lr * g;
+            }
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.weights.is_empty(), "fit before predict");
+        (0..x.rows()).map(|i| self.raw_predict(x.row(i))).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "SVR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{mse, toy_problem};
+    use super::*;
+
+    #[test]
+    fn fits_linear_signal_within_tube() {
+        let (x, y) = toy_problem(400, 7);
+        let mut svr = LinearSvr::default();
+        svr.fit(&x, &y);
+        let err = mse(&svr.predict(&x), &y);
+        // Linear structure recovered; the a·b interaction stays.
+        assert!(err < 0.05, "mse {err}");
+    }
+
+    #[test]
+    fn wide_tube_yields_flat_model() {
+        let (x, y) = toy_problem(200, 8);
+        let mut svr = LinearSvr::new(100.0, 1e-4, 50);
+        svr.fit(&x, &y);
+        // Every point inside the tube ⇒ weights never move.
+        assert!(svr.weights.iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (x, y) = toy_problem(100, 9);
+        let mut a = LinearSvr::default();
+        let mut b = LinearSvr::default();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+}

@@ -1,0 +1,182 @@
+//! CART regression tree (the paper's "DT" bar in Fig. 9(a)).
+
+use gopim_linalg::Matrix;
+
+use super::Regressor;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(f64),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A variance-reduction regression tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    max_depth: usize,
+    min_samples: usize,
+    root: Option<Node>,
+}
+
+impl DecisionTree {
+    /// Creates a tree with the given depth and minimum leaf size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth == 0` or `min_samples == 0`.
+    pub fn new(max_depth: usize, min_samples: usize) -> Self {
+        assert!(max_depth > 0, "depth must be positive");
+        assert!(min_samples > 0, "min samples must be positive");
+        DecisionTree {
+            max_depth,
+            min_samples,
+            root: None,
+        }
+    }
+
+    fn build(&self, x: &Matrix, y: &[f64], idx: &[usize], depth: usize) -> Node {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        if depth >= self.max_depth || idx.len() < 2 * self.min_samples {
+            return Node::Leaf(mean);
+        }
+        // Best split by SSE reduction over all features, scanning the
+        // sorted prefix sums.
+        let total_sum: f64 = idx.iter().map(|&i| y[i]).sum();
+        let total_sq: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
+        let parent_sse = total_sq - total_sum * total_sum / idx.len() as f64;
+        let mut best: Option<(f64, usize, f64)> = None; // (sse, feature, threshold)
+        for f in 0..x.cols() {
+            let mut order: Vec<usize> = idx.to_vec();
+            order.sort_by(|&a, &b| x[(a, f)].partial_cmp(&x[(b, f)]).unwrap());
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
+                left_sum += y[i];
+                left_sq += y[i] * y[i];
+                let n_left = (k + 1) as f64;
+                let n_right = (order.len() - k - 1) as f64;
+                if (k + 1) < self.min_samples || (order.len() - k - 1) < self.min_samples {
+                    continue;
+                }
+                // Skip ties — can't split between equal values.
+                if x[(i, f)] == x[(order[k + 1], f)] {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / n_left)
+                    + (right_sq - right_sum * right_sum / n_right);
+                if best.is_none_or(|(b, _, _)| sse < b) {
+                    let threshold = 0.5 * (x[(i, f)] + x[(order[k + 1], f)]);
+                    best = Some((sse, f, threshold));
+                }
+            }
+        }
+        match best {
+            Some((sse, feature, threshold)) if sse < parent_sse - 1e-12 => {
+                let (left, right): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| x[(i, feature)] <= threshold);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(x, y, &left, depth + 1)),
+                    right: Box::new(self.build(x, y, &right, depth + 1)),
+                }
+            }
+            _ => Node::Leaf(mean),
+        }
+    }
+
+    fn eval(node: &Node, row: &[f64]) -> f64 {
+        match node {
+            Node::Leaf(v) => *v,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if row[*feature] <= *threshold {
+                    Self::eval(left, row)
+                } else {
+                    Self::eval(right, row)
+                }
+            }
+        }
+    }
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        DecisionTree::new(8, 4)
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        assert_eq!(x.rows(), y.len(), "row/target mismatch");
+        assert!(!y.is_empty(), "empty training data");
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        self.root = Some(self.build(x, y, &idx, 0));
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let root = self.root.as_ref().expect("fit before predict");
+        (0..x.rows()).map(|i| Self::eval(root, x.row(i))).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "DT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{mse, toy_problem};
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        let x = Matrix::from_rows(&[&[0.0], &[0.2], &[0.8], &[1.0]]);
+        let y = [1.0, 1.0, 5.0, 5.0];
+        let mut t = DecisionTree::new(3, 1);
+        t.fit(&x, &y);
+        let p = t.predict(&x);
+        assert!(mse(&p, &y) < 1e-18, "{p:?}");
+    }
+
+    #[test]
+    fn captures_nonlinearity_better_than_mean() {
+        let (x, y) = toy_problem(400, 3);
+        let mut t = DecisionTree::default();
+        t.fit(&x, &y);
+        let err = mse(&t.predict(&x), &y);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let var = y.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / y.len() as f64;
+        assert!(err < 0.2 * var, "err {err} vs var {var}");
+    }
+
+    #[test]
+    fn depth_one_is_a_stump() {
+        let (x, y) = toy_problem(200, 4);
+        let mut stump = DecisionTree::new(1, 1);
+        stump.fit(&x, &y);
+        let preds = stump.predict(&x);
+        let mut unique: Vec<f64> = preds.clone();
+        unique.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        unique.dedup();
+        assert!(unique.len() <= 2, "stump produced {} values", unique.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "fit before predict")]
+    fn predict_before_fit_panics() {
+        let t = DecisionTree::default();
+        let _ = t.predict(&Matrix::zeros(1, 1));
+    }
+}

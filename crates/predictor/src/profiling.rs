@@ -1,0 +1,66 @@
+//! Profiling-based time estimation (the alternative GoPIM's ML
+//! predictor replaces; §V-A "Inefficiency of Existing Approaches" and
+//! Table VII).
+//!
+//! Profiling runs the workload once and records every stage's time —
+//! exact, but the collection cost scales with the workload (the paper
+//! measures 1,688.9 s for a single ppa profiling pass, vs milliseconds
+//! for ML inference).
+
+use gopim_pipeline::GcnWorkload;
+
+/// Result of a profiling pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfilingRun {
+    /// Per-stage times (exact, no replicas), ns.
+    pub stage_times_ns: Vec<f64>,
+    /// Simulated wall-clock cost of collecting the profile: one full
+    /// serial epoch of the workload, ns.
+    pub collection_cost_ns: f64,
+}
+
+/// Profiles a workload by "running" it once (serially) on the
+/// simulator and recording per-stage service times.
+pub fn profile(workload: &GcnWorkload) -> ProfilingRun {
+    let n_mb = workload.num_microbatches();
+    let stage_times_ns: Vec<f64> = workload
+        .stages()
+        .iter()
+        .enumerate()
+        .map(|(i, st)| {
+            let mean_write: f64 =
+                (0..n_mb).map(|j| workload.write_ns(i, j)).sum::<f64>() / n_mb as f64;
+            st.compute_ns + mean_write
+        })
+        .collect();
+    let collection_cost_ns = stage_times_ns.iter().sum::<f64>() * n_mb as f64;
+    ProfilingRun {
+        stage_times_ns,
+        collection_cost_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopim_graph::datasets::Dataset;
+    use gopim_pipeline::WorkloadOptions;
+
+    #[test]
+    fn profile_matches_simulator_exactly() {
+        let wl = GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default());
+        let run = profile(&wl);
+        assert_eq!(run.stage_times_ns.len(), 8);
+        assert!((run.stage_times_ns[0] - (wl.stages()[0].compute_ns + wl.stages()[0].write_ns)).abs() < 1.0);
+    }
+
+    #[test]
+    fn collection_cost_is_a_full_epoch() {
+        let wl = GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default());
+        let run = profile(&wl);
+        let per_mb: f64 = run.stage_times_ns.iter().sum();
+        assert!((run.collection_cost_ns - per_mb * wl.num_microbatches() as f64).abs() < 1.0);
+        // Collection costs far more than a single prediction would.
+        assert!(run.collection_cost_ns > 1e6);
+    }
+}

@@ -1,0 +1,92 @@
+//! Chip area accounting (the paper's Table II area column).
+//!
+//! The evaluation never trades area explicitly, but the Table II
+//! numbers pin the design down; accounting them (a) validates that the
+//! published per-component areas compose into a plausible chip and
+//! (b) lets the allocator's occupancy be expressed in mm² as well as
+//! crossbars.
+
+use crate::spec::AcceleratorSpec;
+
+/// Area breakdown of one chip, mm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// One processing engine: 32 crossbars + converters + registers.
+    pub pe_mm2: f64,
+    /// One tile: 8 PEs + buffers + NFU/PFU.
+    pub tile_mm2: f64,
+    /// Whole chip: 65,536 tiles + chip-level units.
+    pub chip_mm2: f64,
+}
+
+/// Computes the Table II area composition.
+pub fn area_breakdown(spec: &AcceleratorSpec) -> AreaBreakdown {
+    let xbars = spec.crossbars_per_pe as f64;
+    let converters_per_pe = xbars * 64.0; // DACs and S&Hs: 32×64 each
+    let pe_mm2 = xbars * spec.crossbar.area_mm2
+        + xbars * spec.adc.area_mm2
+        + converters_per_pe * spec.dac.area_mm2
+        + converters_per_pe * spec.sample_hold.area_mm2
+        + spec.input_register.area_mm2
+        + spec.output_register.area_mm2
+        + 16.0 * spec.shift_add.area_mm2;
+    let tile_mm2 = spec.pes_per_tile as f64 * pe_mm2
+        + spec.input_buffer.area_mm2
+        + spec.crossbar_buffer.area_mm2
+        + spec.output_buffer.area_mm2
+        + 8.0 * spec.nfu.area_mm2
+        + 8.0 * spec.pfu.area_mm2;
+    let chip_mm2 = spec.tiles_per_chip as f64 * tile_mm2
+        + spec.weight_computer.area_mm2
+        + spec.activation_module.area_mm2
+        + spec.central_controller.area_mm2;
+    AreaBreakdown {
+        pe_mm2,
+        tile_mm2,
+        chip_mm2,
+    }
+}
+
+/// Area occupied by `crossbars` mapped crossbars, charging each its
+/// pro-rata share of PE and tile periphery, mm².
+pub fn occupied_area_mm2(spec: &AcceleratorSpec, crossbars: usize) -> f64 {
+    let per_crossbar =
+        area_breakdown(spec).tile_mm2 / (spec.pes_per_tile * spec.crossbars_per_pe) as f64;
+    crossbars as f64 * per_crossbar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_is_hierarchical() {
+        let spec = AcceleratorSpec::paper();
+        let a = area_breakdown(&spec);
+        assert!(a.pe_mm2 > 0.0);
+        assert!(a.tile_mm2 > 8.0 * a.pe_mm2);
+        assert!(a.chip_mm2 > 65_536.0 * a.tile_mm2);
+    }
+
+    #[test]
+    fn crossbar_array_is_a_minor_share_of_pe_area() {
+        // A 64×64 ReRAM array is tiny (0.00051 mm²); the converters
+        // dominate — the standard analog-PIM area story.
+        let spec = AcceleratorSpec::paper();
+        let a = area_breakdown(&spec);
+        let array_only = spec.crossbars_per_pe as f64 * spec.crossbar.area_mm2;
+        assert!(array_only < 0.2 * a.pe_mm2, "array {array_only} of PE {}", a.pe_mm2);
+    }
+
+    #[test]
+    fn occupied_area_is_linear() {
+        let spec = AcceleratorSpec::paper();
+        let one = occupied_area_mm2(&spec, 1);
+        let thousand = occupied_area_mm2(&spec, 1000);
+        assert!((thousand - 1000.0 * one).abs() < 1e-9);
+        // The whole chip's crossbars occupy roughly the tile area total.
+        let all = occupied_area_mm2(&spec, spec.total_crossbars());
+        let a = area_breakdown(&spec);
+        assert!((all - spec.tiles_per_chip as f64 * a.tile_mm2).abs() / all < 1e-9);
+    }
+}

@@ -1,0 +1,145 @@
+//! Whole-chip crossbar resource accounting.
+//!
+//! The allocator (Algorithm 1 of the paper) hands out *unused* crossbars
+//! as replicas; [`ChipResources`] is the ledger it draws from. The paper
+//! defines the resource constraint as the full 16 GB array (§VII-A).
+
+use std::fmt;
+
+use crate::spec::AcceleratorSpec;
+
+/// Error returned when a reservation exceeds the remaining crossbars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReserveError {
+    /// Crossbars requested.
+    pub requested: usize,
+    /// Crossbars actually available.
+    pub available: usize,
+}
+
+impl fmt::Display for ReserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requested {} crossbars but only {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for ReserveError {}
+
+/// A ledger of allocated vs. free crossbars on one chip.
+///
+/// # Example
+///
+/// ```
+/// use gopim_reram::{AcceleratorSpec, ChipResources};
+///
+/// let mut chip = ChipResources::new(&AcceleratorSpec::paper());
+/// let total = chip.total();
+/// chip.reserve(100)?;
+/// assert_eq!(chip.unused(), total - 100);
+/// # Ok::<(), gopim_reram::chip::ReserveError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipResources {
+    total: usize,
+    used: usize,
+}
+
+impl ChipResources {
+    /// A fresh, fully-unused chip.
+    pub fn new(spec: &AcceleratorSpec) -> Self {
+        ChipResources {
+            total: spec.total_crossbars(),
+            used: 0,
+        }
+    }
+
+    /// A ledger with an explicit crossbar budget (for scaled-down
+    /// experiments).
+    pub fn with_budget(total: usize) -> Self {
+        ChipResources { total, used: 0 }
+    }
+
+    /// Total crossbars on the chip.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Crossbars currently reserved.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Crossbars still free.
+    pub fn unused(&self) -> usize {
+        self.total - self.used
+    }
+
+    /// Reserves `n` crossbars.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReserveError`] (and reserves nothing) if fewer than `n`
+    /// crossbars are free.
+    pub fn reserve(&mut self, n: usize) -> Result<(), ReserveError> {
+        if n > self.unused() {
+            return Err(ReserveError {
+                requested: n,
+                available: self.unused(),
+            });
+        }
+        self.used += n;
+        Ok(())
+    }
+
+    /// Releases `n` crossbars back to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more crossbars are released than were reserved.
+    pub fn release(&mut self, n: usize) {
+        assert!(n <= self.used, "releasing {n} but only {} used", self.used);
+        self.used -= n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chip_total() {
+        let chip = ChipResources::new(&AcceleratorSpec::paper());
+        assert_eq!(chip.total(), 16_777_216);
+        assert_eq!(chip.unused(), chip.total());
+    }
+
+    #[test]
+    fn reserve_and_release_round_trip() {
+        let mut chip = ChipResources::with_budget(10);
+        chip.reserve(7).unwrap();
+        assert_eq!(chip.unused(), 3);
+        chip.release(4);
+        assert_eq!(chip.used(), 3);
+    }
+
+    #[test]
+    fn over_reserve_fails_atomically() {
+        let mut chip = ChipResources::with_budget(5);
+        chip.reserve(3).unwrap();
+        let err = chip.reserve(3).unwrap_err();
+        assert_eq!(err.requested, 3);
+        assert_eq!(err.available, 2);
+        assert_eq!(chip.used(), 3, "failed reserve must not consume");
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing")]
+    fn over_release_panics() {
+        let mut chip = ChipResources::with_budget(5);
+        chip.release(1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Energy accounting.
+//!
+//! Built from the Table II power figures. Only *relative* energy
+//! matters for reproducing the paper's Fig. 13(b)/Fig. 14(b): the same
+//! model is applied to GoPIM and to every baseline.
+
+use crate::spec::AcceleratorSpec;
+
+/// Energy model with per-operation and leakage components.
+///
+/// # Example
+///
+/// ```
+/// use gopim_reram::spec::AcceleratorSpec;
+/// use gopim_reram::energy::EnergyModel;
+///
+/// let spec = AcceleratorSpec::paper();
+/// let e = EnergyModel::new(&spec);
+/// // A write consumes more energy than a read (ReRAM programming is
+/// // the expensive operation the paper's ISU avoids).
+/// assert!(e.row_write_energy_nj() > e.mvm_energy_nj(1, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Active power of one crossbar + its periphery share during an MVM
+    /// issue, mW.
+    read_power_per_crossbar_mw: f64,
+    /// Power drawn while programming one crossbar row, mW. ReRAM SET /
+    /// RESET currents make writes several times costlier than reads.
+    write_power_per_row_mw: f64,
+    /// Leakage power per *occupied* crossbar (mapped but idle), mW.
+    leakage_per_crossbar_mw: f64,
+    /// Constant chip overhead (controller + weight computer +
+    /// activation module), mW.
+    chip_overhead_mw: f64,
+    mvm_latency_ns: f64,
+    row_write_latency_ns: f64,
+}
+
+impl EnergyModel {
+    /// Derives an energy model from a hardware spec.
+    pub fn new(spec: &AcceleratorSpec) -> Self {
+        // Periphery attribution per crossbar: each PE's 32 ADCs (64 mW)
+        // serve its 32 crossbars (1 ADC-share each), plus the DAC,
+        // sample-and-hold and shift-add shares.
+        let adc_share = spec.adc.power_mw / spec.crossbars_per_pe as f64;
+        let periphery =
+            adc_share + spec.dac.power_mw + spec.sample_hold.power_mw + spec.shift_add.power_mw / 2.0;
+        let read_power = spec.crossbar.power_mw + periphery;
+        EnergyModel {
+            read_power_per_crossbar_mw: read_power,
+            // SET/RESET programming draws more current than reads but
+            // touches one row at a time (NVSim-class assumption;
+            // affects only absolute joules, not system orderings).
+            write_power_per_row_mw: 1.5 * spec.crossbar.power_mw,
+            // Non-volatile array leakage is small; buffers and drivers
+            // attached to occupied crossbars dominate standby power.
+            // 0.5 µW per 1 KB crossbar ⇒ ~8 W for a fully-occupied
+            // 16 GB chip, consistent with NVSim-class standby numbers.
+            leakage_per_crossbar_mw: 0.0005,
+            chip_overhead_mw: spec.central_controller.power_mw
+                + spec.weight_computer.power_mw
+                + spec.activation_module.power_mw,
+            mvm_latency_ns: spec.mvm_latency_ns(),
+            row_write_latency_ns: spec.row_write_latency_ns(),
+        }
+    }
+
+    /// Energy of `num_inputs` MVM issues across `active_crossbars`
+    /// simultaneously-active crossbars, nJ.
+    pub fn mvm_energy_nj(&self, active_crossbars: u64, num_inputs: u64) -> f64 {
+        // mW × ns = pJ; /1e3 → nJ.
+        self.read_power_per_crossbar_mw
+            * active_crossbars as f64
+            * num_inputs as f64
+            * self.mvm_latency_ns
+            / 1e3
+    }
+
+    /// Energy of programming a single crossbar row, nJ.
+    pub fn row_write_energy_nj(&self) -> f64 {
+        self.write_power_per_row_mw * self.row_write_latency_ns / 1e3
+    }
+
+    /// Energy of programming `rows` crossbar rows, nJ.
+    pub fn write_energy_nj(&self, rows: u64) -> f64 {
+        rows as f64 * self.row_write_energy_nj()
+    }
+
+    /// Leakage energy of `occupied_crossbars` crossbars held mapped for
+    /// `duration_ns`, nJ.
+    pub fn leakage_energy_nj(&self, occupied_crossbars: u64, duration_ns: f64) -> f64 {
+        self.leakage_per_crossbar_mw * occupied_crossbars as f64 * duration_ns / 1e3
+    }
+
+    /// Constant chip-overhead energy over `duration_ns`, nJ.
+    pub fn overhead_energy_nj(&self, duration_ns: f64) -> f64 {
+        self.chip_overhead_mw * duration_ns / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(&AcceleratorSpec::paper())
+    }
+
+    #[test]
+    fn energies_are_positive_and_monotone() {
+        let e = model();
+        assert!(e.mvm_energy_nj(1, 1) > 0.0);
+        assert!(e.mvm_energy_nj(2, 1) > e.mvm_energy_nj(1, 1));
+        assert!(e.write_energy_nj(10) > e.write_energy_nj(9));
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let e = model();
+        assert!(e.row_write_energy_nj() > e.mvm_energy_nj(1, 1));
+    }
+
+    #[test]
+    fn leakage_scales_with_occupancy_and_time() {
+        let e = model();
+        let a = e.leakage_energy_nj(100, 1000.0);
+        assert!((e.leakage_energy_nj(200, 1000.0) - 2.0 * a).abs() < 1e-12);
+        assert!((e.leakage_energy_nj(100, 2000.0) - 2.0 * a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_dominated_by_controller() {
+        let e = model();
+        // 580.41 + 99.6 + 0.0266 mW over 1 µs ≈ 680 nJ.
+        let nj = e.overhead_energy_nj(1000.0);
+        assert!((nj - 680.0366).abs() < 0.01);
+    }
+}

@@ -1,0 +1,163 @@
+//! Inter-tile network-on-chip model.
+//!
+//! The paper's architecture connects ReRAM tiles "through adders and
+//! pipeline bus to support the inter-tile data Aggregation and
+//! transmission" (§IV-A(1)), and its closest baseline (ReGraphX) is an
+//! explicitly NoC-enabled 3D architecture. This module provides a 2D
+//! mesh model with XY routing used to *derive* (rather than assume)
+//! the aggregation collection costs of the latency model: gathering
+//! partial sums from `k` tiles into a reduction point costs a
+//! tree-depth latency plus a sink-serialization term, which is exactly
+//! the `group_issue` constant of
+//! [`LatencyParams`](../../gopim_pipeline/latency/struct.LatencyParams.html).
+
+use crate::spec::AcceleratorSpec;
+
+/// A square 2D mesh of tiles with XY dimension-ordered routing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshNoc {
+    /// Mesh side (the chip's 65,536 tiles form a 256×256 mesh).
+    pub side: usize,
+    /// Per-hop router + link latency, ns.
+    pub hop_latency_ns: f64,
+    /// Flit payload, bytes.
+    pub flit_bytes: usize,
+    /// Link bandwidth, bytes per ns (GB/s).
+    pub link_bytes_per_ns: f64,
+}
+
+impl MeshNoc {
+    /// The mesh implied by the paper's Table II chip (65,536 tiles ⇒
+    /// 256 × 256) with typical 1 GHz router clocking.
+    pub fn paper(spec: &AcceleratorSpec) -> Self {
+        let side = (spec.tiles_per_chip as f64).sqrt().round() as usize;
+        MeshNoc {
+            side,
+            hop_latency_ns: 1.0,
+            flit_bytes: 32,
+            link_bytes_per_ns: 16.0,
+        }
+    }
+
+    /// Manhattan hop count between tiles `a` and `b` (linear ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let n = self.side * self.side;
+        assert!(a < n && b < n, "tile id out of range");
+        let (ax, ay) = (a % self.side, a / self.side);
+        let (bx, by) = (b % self.side, b / self.side);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Latency of one flit over `hops` hops, ns.
+    pub fn flit_latency_ns(&self, hops: usize) -> f64 {
+        hops as f64 * self.hop_latency_ns + self.flit_bytes as f64 / self.link_bytes_per_ns
+    }
+
+    /// Expected hop count between two uniformly-random mesh tiles
+    /// (`≈ 2/3 · side` per dimension).
+    pub fn expected_hops(&self) -> f64 {
+        // E|x1 − x2| for uniform ints in [0, s) is (s² − 1) / (3s).
+        let s = self.side as f64;
+        2.0 * (s * s - 1.0) / (3.0 * s)
+    }
+
+    /// Latency of reducing partial sums from `k` tiles clustered in a
+    /// compact region (the replica's tile footprint) into one sink:
+    /// a binary adder tree of depth `⌈log2 k⌉` over neighbor links,
+    /// plus sink serialization of the final accumulations.
+    ///
+    /// Returns 0 for `k ≤ 1`.
+    pub fn reduction_latency_ns(&self, k: usize) -> f64 {
+        if k <= 1 {
+            return 0.0;
+        }
+        let depth = (k as f64).log2().ceil();
+        // Each tree level is a 1-hop flit exchange within the cluster.
+        depth * self.flit_latency_ns(1)
+    }
+
+    /// Per-group serialization at the reduction sink: each participating
+    /// group's partial sum occupies the sink port for one flit time.
+    /// This is the physically-derived counterpart of the latency
+    /// model's `group_issue_ns`.
+    pub fn sink_service_ns(&self) -> f64 {
+        self.flit_bytes as f64 / self.link_bytes_per_ns + self.hop_latency_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> MeshNoc {
+        MeshNoc::paper(&AcceleratorSpec::paper())
+    }
+
+    #[test]
+    fn paper_mesh_is_256_square() {
+        assert_eq!(mesh().side, 256);
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let m = mesh();
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 255), 255); // across one row
+        assert_eq!(m.hops(0, 256), 1); // one row down
+        assert_eq!(m.hops(0, 257), 2);
+        // Symmetric.
+        assert_eq!(m.hops(1000, 2000), m.hops(2000, 1000));
+    }
+
+    #[test]
+    fn expected_hops_matches_uniform_sampling() {
+        let m = MeshNoc {
+            side: 16,
+            ..mesh()
+        };
+        // Exhaustive average over all pairs.
+        let n = 16 * 16;
+        let mut total = 0usize;
+        for a in 0..n {
+            for b in 0..n {
+                total += m.hops(a, b);
+            }
+        }
+        let empirical = total as f64 / (n * n) as f64;
+        assert!(
+            (empirical - m.expected_hops()).abs() < 0.01,
+            "empirical {empirical} vs analytic {}",
+            m.expected_hops()
+        );
+    }
+
+    #[test]
+    fn reduction_latency_grows_logarithmically() {
+        let m = mesh();
+        assert_eq!(m.reduction_latency_ns(1), 0.0);
+        let l2 = m.reduction_latency_ns(2);
+        let l64 = m.reduction_latency_ns(64);
+        let l128 = m.reduction_latency_ns(128);
+        assert!((l64 - 6.0 * l2).abs() < 1e-9);
+        assert!(l128 > l64);
+    }
+
+    #[test]
+    fn sink_service_is_in_the_group_issue_ballpark() {
+        // The derived sink serialization should be the same order of
+        // magnitude as the latency model's read-latency-based constant
+        // (29.31 ns) — the calibration sanity check.
+        let s = mesh().sink_service_ns();
+        assert!(s > 1.0 && s < 100.0, "sink service {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hops_rejects_out_of_range() {
+        let _ = mesh().hops(0, 256 * 256);
+    }
+}

@@ -1,0 +1,193 @@
+//! Accelerator specification (the paper's Table II).
+//!
+//! All power values are milliwatts, areas mm², latencies nanoseconds,
+//! exactly as published. One modeling convention carried through the
+//! whole workspace: matrices are stored with a differential crossbar
+//! pair for signed values, and 16-bit precision is realized *in time*
+//! (8 write cycles per row, 8 input cycles per MVM with the 2-bit DACs)
+//! rather than by duplicating columns. This convention makes the
+//! crossbar counts reproduce the paper's Table VI exactly (ddi 256×256
+//! weights ⇒ 32 crossbars).
+
+/// Power and area of one hardware component (a Table II row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentSpec {
+    /// Dynamic + leakage power, mW.
+    pub power_mw: f64,
+    /// Area, mm².
+    pub area_mm2: f64,
+}
+
+/// Full accelerator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorSpec {
+    /// Wordlines per crossbar (64).
+    pub crossbar_rows: usize,
+    /// Bitlines per crossbar (64).
+    pub crossbar_cols: usize,
+    /// Storage bits per ReRAM cell (2).
+    pub bits_per_cell: u32,
+    /// Value precision in bits (16).
+    pub value_bits: u32,
+    /// DAC resolution in bits (2): a 16-bit input is streamed over
+    /// `value_bits / dac_bits = 8` cycles.
+    pub dac_bits: u32,
+    /// ADC resolution in bits (8).
+    pub adc_bits: u32,
+    /// Crossbars per differential pair for signed values (2).
+    pub differential_pairs: usize,
+    /// Crossbars per PE (32).
+    pub crossbars_per_pe: usize,
+    /// PEs per tile (8).
+    pub pes_per_tile: usize,
+    /// Tiles per chip (65,536).
+    pub tiles_per_chip: usize,
+    /// Crossbar read latency, ns (29.31).
+    pub read_latency_ns: f64,
+    /// Crossbar write latency, ns (50.88).
+    pub write_latency_ns: f64,
+    /// Number of crossbar rows that the chip's write drivers and power
+    /// budget allow to be programmed concurrently, chip-wide. ReRAM
+    /// writes within one crossbar are serial (§III-A); across crossbars
+    /// they are parallel up to this budget.
+    pub concurrent_write_rows: usize,
+    /// ADC spec (per PE: 32 units).
+    pub adc: ComponentSpec,
+    /// DAC spec (per PE: 32×64 units).
+    pub dac: ComponentSpec,
+    /// Sample-and-hold spec (per PE: 32×64 units).
+    pub sample_hold: ComponentSpec,
+    /// Crossbar array spec (per crossbar).
+    pub crossbar: ComponentSpec,
+    /// Input register (4 KB per PE).
+    pub input_register: ComponentSpec,
+    /// Output register (512 B per PE).
+    pub output_register: ComponentSpec,
+    /// Shift-and-add units (16 per PE).
+    pub shift_add: ComponentSpec,
+    /// Tile input buffer (32 KB).
+    pub input_buffer: ComponentSpec,
+    /// Tile crossbar buffer (256 KB).
+    pub crossbar_buffer: ComponentSpec,
+    /// Tile output buffer (4 KB).
+    pub output_buffer: ComponentSpec,
+    /// Tile NFU (8 per tile).
+    pub nfu: ComponentSpec,
+    /// Tile PFU (8 per tile).
+    pub pfu: ComponentSpec,
+    /// Chip-level SRAM Weight Computer / Weight Manager (16-bit).
+    pub weight_computer: ComponentSpec,
+    /// Chip-level activation module (ReLU, 16-bit).
+    pub activation_module: ComponentSpec,
+    /// Chip-level central controller.
+    pub central_controller: ComponentSpec,
+}
+
+impl AcceleratorSpec {
+    /// The configuration of the paper's Table II.
+    pub fn paper() -> Self {
+        AcceleratorSpec {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            bits_per_cell: 2,
+            value_bits: 16,
+            dac_bits: 2,
+            adc_bits: 8,
+            differential_pairs: 2,
+            crossbars_per_pe: 32,
+            pes_per_tile: 8,
+            tiles_per_chip: 65_536,
+            read_latency_ns: 29.31,
+            write_latency_ns: 50.88,
+            concurrent_write_rows: 4_096,
+            adc: ComponentSpec { power_mw: 64.0, area_mm2: 0.0384 },
+            dac: ComponentSpec { power_mw: 0.5, area_mm2: 0.00034 },
+            sample_hold: ComponentSpec { power_mw: 0.02, area_mm2: 0.00008 },
+            crossbar: ComponentSpec { power_mw: 6.2, area_mm2: 0.00051 },
+            input_register: ComponentSpec { power_mw: 2.32, area_mm2: 0.0038 },
+            output_register: ComponentSpec { power_mw: 0.42, area_mm2: 0.0014 },
+            shift_add: ComponentSpec { power_mw: 0.8, area_mm2: 0.00096 },
+            input_buffer: ComponentSpec { power_mw: 7.95, area_mm2: 0.034 },
+            crossbar_buffer: ComponentSpec { power_mw: 59.42, area_mm2: 0.208 },
+            output_buffer: ComponentSpec { power_mw: 1.28, area_mm2: 0.0041 },
+            nfu: ComponentSpec { power_mw: 2.04, area_mm2: 0.0024 },
+            pfu: ComponentSpec { power_mw: 3.2, area_mm2: 0.00192 },
+            weight_computer: ComponentSpec { power_mw: 99.6, area_mm2: 3.21 },
+            activation_module: ComponentSpec { power_mw: 0.0266, area_mm2: 0.0030 },
+            central_controller: ComponentSpec { power_mw: 580.41, area_mm2: 2.65 },
+        }
+    }
+
+    /// Cells per crossbar (`rows × cols`).
+    pub fn cells_per_crossbar(&self) -> usize {
+        self.crossbar_rows * self.crossbar_cols
+    }
+
+    /// Total crossbars on the chip (16,777,216 for the paper config).
+    pub fn total_crossbars(&self) -> usize {
+        self.tiles_per_chip * self.pes_per_tile * self.crossbars_per_pe
+    }
+
+    /// Total ReRAM capacity in bytes (16 GiB for the paper config).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_crossbars() as u64 * self.cells_per_crossbar() as u64
+            * u64::from(self.bits_per_cell)
+            / 8
+    }
+
+    /// Input cycles needed to stream one `value_bits`-bit input through
+    /// the `dac_bits` DACs (8 for the paper config).
+    pub fn input_cycles(&self) -> u32 {
+        self.value_bits.div_ceil(self.dac_bits)
+    }
+
+    /// Write cycles needed to program one `value_bits`-bit value into
+    /// `bits_per_cell` cells (8 for the paper config).
+    pub fn write_cycles(&self) -> u32 {
+        self.value_bits.div_ceil(self.bits_per_cell)
+    }
+
+    /// Latency of one complete MVM issue (streaming one input vector
+    /// through a crossbar), ns.
+    pub fn mvm_latency_ns(&self) -> f64 {
+        f64::from(self.input_cycles()) * self.read_latency_ns
+    }
+
+    /// Latency of programming one crossbar row (one mapped vertex /
+    /// matrix row within a crossbar), ns.
+    pub fn row_write_latency_ns(&self) -> f64 {
+        f64::from(self.write_cycles()) * self.write_latency_ns
+    }
+}
+
+impl Default for AcceleratorSpec {
+    fn default() -> Self {
+        AcceleratorSpec::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chip_has_16gb() {
+        let s = AcceleratorSpec::paper();
+        assert_eq!(s.total_crossbars(), 16_777_216);
+        assert_eq!(s.total_bytes(), 16 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn derived_cycle_counts() {
+        let s = AcceleratorSpec::paper();
+        assert_eq!(s.input_cycles(), 8);
+        assert_eq!(s.write_cycles(), 8);
+        assert!((s.mvm_latency_ns() - 8.0 * 29.31).abs() < 1e-9);
+        assert!((s.row_write_latency_ns() - 8.0 * 50.88).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(AcceleratorSpec::default(), AcceleratorSpec::paper());
+    }
+}

@@ -1,0 +1,84 @@
+//! Operation-level latency formulas.
+//!
+//! Built on the two published device latencies (29.31 ns read,
+//! 50.88 ns write) and the bit-streaming conventions of
+//! [`AcceleratorSpec`]. ReRAM writes are serial *within* a crossbar
+//! (§III-A of the paper) and parallel across crossbars up to the
+//! chip-wide `concurrent_write_rows` budget.
+
+use crate::spec::AcceleratorSpec;
+
+/// Latency of streaming `num_inputs` input vectors through a mapped
+/// matrix (inputs are serial on a crossbar group; horizontal/vertical
+/// tiles operate in parallel), ns.
+pub fn mvm_batch_ns(spec: &AcceleratorSpec, num_inputs: u64) -> f64 {
+    num_inputs as f64 * spec.mvm_latency_ns()
+}
+
+/// Latency of rewriting rows across the chip, ns.
+///
+/// `total_rows` counts every crossbar row to program (replicas
+/// included); `max_rows_one_crossbar` is the largest number of rows
+/// that land on a single crossbar, which writes serially. The chip can
+/// program at most `concurrent_write_rows` rows at once, so the bulk
+/// write time is whichever constraint binds:
+///
+/// ```text
+/// t = max(⌈total / budget⌉, max_per_crossbar) × row_write_latency
+/// ```
+pub fn bulk_write_ns(
+    spec: &AcceleratorSpec,
+    total_rows: u64,
+    max_rows_one_crossbar: u64,
+) -> f64 {
+    let bandwidth_bound = total_rows.div_ceil(spec.concurrent_write_rows as u64);
+    let serial_bound = max_rows_one_crossbar;
+    bandwidth_bound.max(serial_bound) as f64 * spec.row_write_latency_ns()
+}
+
+/// Latency of an element-wise pass in the SRAM Weight Manager
+/// (gradient compute, §IV-B GC stage), ns. The manager processes
+/// `sram_lanes` 16-bit MACs per cycle at `sram_cycle_ns`.
+pub fn sram_elementwise_ns(num_elements: u64) -> f64 {
+    // 128 MAC lanes at 1 GHz: conservative for an SRAM near-memory unit.
+    const SRAM_LANES: u64 = 128;
+    const SRAM_CYCLE_NS: f64 = 1.0;
+    num_elements.div_ceil(SRAM_LANES) as f64 * SRAM_CYCLE_NS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mvm_batch_is_linear_in_inputs() {
+        let s = AcceleratorSpec::paper();
+        assert!((mvm_batch_ns(&s, 10) - 10.0 * s.mvm_latency_ns()).abs() < 1e-9);
+        assert_eq!(mvm_batch_ns(&s, 0), 0.0);
+    }
+
+    #[test]
+    fn bulk_write_serial_bound_dominates_small_jobs() {
+        let s = AcceleratorSpec::paper();
+        // 100 total rows, 64 on one crossbar: serial bound (64) wins
+        // over bandwidth bound (⌈100/4096⌉ = 1).
+        let t = bulk_write_ns(&s, 100, 64);
+        assert!((t - 64.0 * s.row_write_latency_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bulk_write_bandwidth_bound_dominates_large_jobs() {
+        let s = AcceleratorSpec::paper();
+        // 10M rows spread evenly (max 64 per crossbar): bandwidth bound
+        // ⌈10M/4096⌉ = 2442 wins.
+        let t = bulk_write_ns(&s, 10_000_000, 64);
+        assert!((t - 2442.0 * s.row_write_latency_ns()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sram_pass_rounds_up() {
+        assert_eq!(sram_elementwise_ns(1), 1.0);
+        assert_eq!(sram_elementwise_ns(128), 1.0);
+        assert_eq!(sram_elementwise_ns(129), 2.0);
+    }
+}

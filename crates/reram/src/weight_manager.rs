@@ -1,0 +1,116 @@
+//! The SRAM Weight Manager (paper §IV-A(3)).
+//!
+//! Gradient compute runs in SRAM, not ReRAM, for two published reasons:
+//! update *speed* (weights change every batch) and *endurance* (SRAM
+//! 10^16 writes vs ReRAM 10^8). This module models the unit: a bank of
+//! 16-bit MAC lanes doing the element-wise multiply-accumulate of the
+//! GC dataflow (step ⑬ of Fig. 8).
+
+use crate::endurance::{sram_lifetime_epochs, RERAM_ENDURANCE_WRITES};
+use crate::spec::AcceleratorSpec;
+
+/// The SRAM gradient-compute unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightManager {
+    /// Parallel 16-bit MAC lanes.
+    pub lanes: usize,
+    /// Cycle time, ns.
+    pub cycle_ns: f64,
+    /// Dynamic power while active, mW (Table II's Weight Computer row).
+    pub power_mw: f64,
+}
+
+impl WeightManager {
+    /// The configuration implied by Table II (99.6 mW, 16-bit) with a
+    /// 128-lane, 1 GHz MAC array.
+    pub fn paper(spec: &AcceleratorSpec) -> Self {
+        WeightManager {
+            lanes: 128,
+            cycle_ns: 1.0,
+            power_mw: spec.weight_computer.power_mw,
+        }
+    }
+
+    /// Latency of an element-wise MAC pass over `elements` values, ns.
+    pub fn elementwise_ns(&self, elements: u64) -> f64 {
+        elements.div_ceil(self.lanes as u64) as f64 * self.cycle_ns
+    }
+
+    /// Latency of one layer's weight-gradient computation:
+    /// `∇W = Xᵀδ` accumulated over a micro-batch of `b` vertices for an
+    /// `in × out` weight, ns.
+    pub fn weight_gradient_ns(&self, in_dim: usize, out_dim: usize, micro_batch: usize) -> f64 {
+        // One MAC per (i, o, b) triple.
+        self.elementwise_ns((in_dim * out_dim) as u64 * micro_batch as u64)
+    }
+
+    /// Energy of an element-wise pass, nJ.
+    pub fn elementwise_energy_nj(&self, elements: u64) -> f64 {
+        self.power_mw * self.elementwise_ns(elements) / 1e3
+    }
+
+    /// How many times longer the manager outlives a ReRAM-based
+    /// equivalent under `updates_per_epoch` weight rewrites — the
+    /// paper's §IV-A(3) justification, quantified.
+    pub fn endurance_advantage(&self, updates_per_epoch: f64) -> f64 {
+        if updates_per_epoch <= 0.0 {
+            return 1.0;
+        }
+        sram_lifetime_epochs(updates_per_epoch)
+            / (RERAM_ENDURANCE_WRITES / updates_per_epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wm() -> WeightManager {
+        WeightManager::paper(&AcceleratorSpec::paper())
+    }
+
+    #[test]
+    fn elementwise_rounds_up_to_lane_granularity() {
+        let w = wm();
+        assert_eq!(w.elementwise_ns(1), 1.0);
+        assert_eq!(w.elementwise_ns(128), 1.0);
+        assert_eq!(w.elementwise_ns(129), 2.0);
+    }
+
+    #[test]
+    fn gradient_latency_scales_with_all_three_dims() {
+        let w = wm();
+        let base = w.weight_gradient_ns(64, 64, 8);
+        assert!(w.weight_gradient_ns(128, 64, 8) > base);
+        assert!(w.weight_gradient_ns(64, 128, 8) > base);
+        assert!(w.weight_gradient_ns(64, 64, 16) > base);
+    }
+
+    #[test]
+    fn sram_outlives_reram_by_the_published_eight_orders() {
+        let adv = wm().endurance_advantage(1.0);
+        assert!((adv - 1e8).abs() / 1e8 < 1e-9, "advantage {adv}");
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let w = wm();
+        let nj = w.elementwise_energy_nj(1280); // 10 cycles
+        assert!((nj - w.power_mw * 10.0 / 1e3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_gradient_is_fast_relative_to_reram_writes() {
+        // The paper's reason for SRAM: a 256×256 weight gradient over a
+        // 64-vertex micro-batch completes in tens of µs, while
+        // *rewriting* that weight in ReRAM serially would need 256 row
+        // writes (~104 µs at 8 slices) every batch, forever eating
+        // endurance.
+        let spec = AcceleratorSpec::paper();
+        let w = WeightManager::paper(&spec);
+        let sram_ns = w.weight_gradient_ns(256, 256, 64);
+        assert!(sram_ns < 4e4 * 1e3, "sram {sram_ns}");
+        let reram_rewrite_ns = 256.0 * spec.row_write_latency_ns();
+        assert!(reram_rewrite_ns > 1e5);
+    }
+}

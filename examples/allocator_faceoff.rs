@@ -1,0 +1,97 @@
+//! Allocator face-off: every replica-allocation policy on the same
+//! workload — pipeline time (Eq. 6 objective), crossbars spent, and
+//! decision latency. This is the §V-B story: the greedy matches the
+//! expensive reference search at a fraction of the decision cost.
+//!
+//! ```text
+//! cargo run --release --example allocator_faceoff -- collab
+//! ```
+
+use std::time::Instant;
+
+use gopim::report;
+use gopim_alloc::{fixed, greedy_allocate, reference_allocate, AllocInput, AllocPlan};
+use gopim_graph::datasets::Dataset;
+use gopim_pipeline::{GcnWorkload, WorkloadOptions};
+use gopim_reram::spec::AcceleratorSpec;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ddi".into());
+    let dataset = Dataset::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(&name))
+        .unwrap_or(Dataset::Ddi);
+
+    let workload = GcnWorkload::build(dataset, &WorkloadOptions::default());
+    let spec = AcceleratorSpec::paper();
+    let n_mb = workload.num_microbatches();
+    let budget = spec.total_crossbars() - workload.base_crossbars();
+    let input = AllocInput {
+        compute_ns: workload.stages().iter().map(|s| s.compute_ns).collect(),
+        write_ns: (0..workload.stages().len())
+            .map(|i| {
+                (0..n_mb).map(|j| workload.write_ns(i, j)).sum::<f64>() / n_mb as f64
+                    + workload.overhead_ns()
+            })
+            .collect(),
+        quantum_ns: vec![spec.mvm_latency_ns(); workload.stages().len()],
+        crossbars_per_replica: workload
+            .stages()
+            .iter()
+            .map(|s| s.crossbars_per_replica)
+            .collect(),
+        unused_crossbars: budget,
+        num_microbatches: n_mb,
+        max_replicas: None,
+    };
+    let feature_class: Vec<bool> = workload
+        .stages()
+        .iter()
+        .map(|s| s.kind.maps_features())
+        .collect();
+    let co_class: Vec<bool> = feature_class.iter().map(|&f| !f).collect();
+
+    println!(
+        "dataset={dataset}: {} stages, {} unused crossbars, {} micro-batches",
+        workload.stages().len(),
+        budget,
+        n_mb
+    );
+    println!();
+
+    type Policy<'a> = Box<dyn Fn() -> AllocPlan + 'a>;
+    let policies: Vec<(&str, Policy)> = vec![
+        ("Serial (none)", Box::new(|| AllocPlan::serial(input.num_stages()))),
+        ("Uniform (Pipelayer)", Box::new(|| fixed::uniform(&input))),
+        (
+            "1:2 ratio (ReGraphX)",
+            Box::new(|| fixed::regraphx_ratio(&input, &feature_class)),
+        ),
+        (
+            "CO-only (ReFlip)",
+            Box::new(|| fixed::combination_only(&input, &co_class)),
+        ),
+        ("Greedy (GoPIM Alg. 1)", Box::new(|| greedy_allocate(&input))),
+        ("Reference (tau-sweep)", Box::new(|| reference_allocate(&input))),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, run) in &policies {
+        let start = Instant::now();
+        let plan = run();
+        let elapsed = start.elapsed();
+        rows.push(vec![
+            label.to_string(),
+            report::time_ns(input.pipeline_time(&plan.replicas)),
+            plan.extra_crossbars(&input.crossbars_per_replica).to_string(),
+            format!("{:.2} ms", elapsed.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &["policy", "pipeline time (Eq. 6)", "extra crossbars", "decision time"],
+            &rows
+        )
+    );
+}

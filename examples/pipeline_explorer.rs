@@ -1,0 +1,119 @@
+//! Pipeline explorer: inspect any (dataset, system, micro-batch)
+//! combination — per-stage times, replica allocation, idle fractions
+//! and the resulting schedule.
+//!
+//! ```text
+//! cargo run --release --example pipeline_explorer -- proteins GoPIM 64
+//! cargo run --release --example pipeline_explorer -- ddi ReGraphX 128
+//! ```
+
+use gopim::report;
+use gopim::runner::{run_system, RunConfig};
+use gopim::system::System;
+use gopim_graph::datasets::Dataset;
+
+fn parse_dataset(name: &str) -> Option<Dataset> {
+    Dataset::ALL.into_iter().find(|d| d.name().eq_ignore_ascii_case(name))
+}
+
+fn parse_system(name: &str) -> Option<System> {
+    System::ALL
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset = args
+        .first()
+        .and_then(|a| parse_dataset(a))
+        .unwrap_or(Dataset::Ddi);
+    let system = args
+        .get(1)
+        .and_then(|a| parse_system(a))
+        .unwrap_or(System::Gopim);
+    let micro_batch: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(64);
+
+    let config = RunConfig {
+        micro_batch,
+        ..RunConfig::default()
+    };
+    println!("dataset={dataset}  system={system}  micro-batch={micro_batch}");
+    let stats = dataset.stats();
+    println!(
+        "N={} vertices, E={} edges, avg degree {:.1}, {} feature dims, {}-layer GCN",
+        stats.num_vertices,
+        stats.num_edges,
+        stats.avg_degree,
+        stats.feature_dim,
+        dataset.model().num_layers
+    );
+    println!();
+
+    let run = run_system(dataset, system, &config);
+    let rows: Vec<Vec<String>> = run
+        .schedule
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, st)| {
+            vec![
+                st.name.clone(),
+                st.replicas.to_string(),
+                (run.replicas[i] * run.footprints[i]).to_string(),
+                report::time_ns(st.busy_compute_ns / run.schedule.stages[i].replicas as f64),
+                report::time_ns(st.busy_write_ns),
+                report::percent(st.idle_fraction),
+                report::percent(st.stage_idle_fraction),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &[
+                "stage",
+                "replicas",
+                "crossbars",
+                "compute/replica",
+                "writes",
+                "crossbar idle",
+                "stage idle"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "makespan {}   total crossbars {}   energy {:.3} mJ",
+        report::time_ns(run.makespan_ns),
+        run.total_crossbars(),
+        run.energy_nj() / 1e6
+    );
+    println!(
+        "energy breakdown: compute {:.3} mJ, writes {:.3} mJ, leakage {:.3} mJ, chip overhead {:.3} mJ",
+        run.energy.compute_nj / 1e6,
+        run.energy.write_nj / 1e6,
+        run.energy.leakage_nj / 1e6,
+        run.energy.overhead_nj / 1e6
+    );
+
+    // Gantt view of the same schedule (# compute, w write, . dispatch).
+    use gopim::runner::build_workload;
+    use gopim_pipeline::schedule::simulate_traced;
+    use gopim_pipeline::trace::render_gantt;
+    use gopim_pipeline::PipelineOptions;
+    let workload = build_workload(dataset, system, &config);
+    let options = if system.pipelined() {
+        PipelineOptions {
+            intra_batch: true,
+            inter_batch: system.inter_batch(),
+            num_batches: 1,
+        }
+    } else {
+        PipelineOptions::serial()
+    };
+    let (_, events) = simulate_traced(&workload, &run.replicas, &options);
+    println!();
+    println!("schedule ({} micro-batches):", workload.num_microbatches());
+    print!("{}", render_gantt(&workload, &events, 100));
+}

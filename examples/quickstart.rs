@@ -1,0 +1,51 @@
+//! Quickstart: simulate GoPIM vs the Serial baseline on the ddi
+//! dataset and print the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gopim::report;
+use gopim::runner::{run_system, RunConfig};
+use gopim::system::System;
+use gopim_graph::datasets::Dataset;
+
+fn main() {
+    // The full 16 GB chip of the paper's Table II. Shrink the budget to
+    // see how GoPIM degrades gracefully with fewer spare crossbars.
+    let config = RunConfig::default();
+    let dataset = Dataset::Ddi;
+
+    println!("dataset: {} ({:?})", dataset, dataset.stats());
+    println!();
+
+    let serial = run_system(dataset, System::Serial, &config);
+    let gopim = run_system(dataset, System::Gopim, &config);
+
+    println!(
+        "Serial : {:>10}  energy {:.3} mJ",
+        report::time_ns(serial.makespan_ns),
+        serial.energy_nj() / 1e6,
+    );
+    println!(
+        "GoPIM  : {:>10}  energy {:.3} mJ",
+        report::time_ns(gopim.makespan_ns),
+        gopim.energy_nj() / 1e6,
+    );
+    println!();
+    println!(
+        "speedup {}   energy saving {:.2}x",
+        report::speedup(serial.makespan_ns / gopim.makespan_ns),
+        serial.energy_nj() / gopim.energy_nj(),
+    );
+    println!();
+    println!("GoPIM per-stage replica allocation (Algorithm 1):");
+    for ((name, replicas), footprint) in gopim
+        .stage_names
+        .iter()
+        .zip(&gopim.replicas)
+        .zip(&gopim.footprints)
+    {
+        println!("  {name}: {replicas} replicas x {footprint} crossbars");
+    }
+}

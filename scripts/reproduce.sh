@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure plus the extensions and the
+# acceptance check. Outputs land in results/. Takes ~40 minutes at full
+# scale (fig09 trains eleven 800-epoch MLPs); add --quick for a fast
+# smoke pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+EXTRA="${1:-}"
+
+mkdir -p results
+BINARIES=(table02 table03 fig04 fig05 fig06 fig09 fig10 fig13 fig14 \
+          fig15 fig16 fig17 table05 table06 table07 \
+          ablation endurance xbar_size shapecheck)
+for bin in "${BINARIES[@]}"; do
+    echo "== $bin =="
+    cargo run --release -p gopim-bench --bin "$bin" -- $EXTRA \
+        | tee "results/$bin.txt"
+done
+echo "All outputs written to results/."

@@ -1,0 +1,140 @@
+//! Hardware-numerics integration: a GCN layer executed on the
+//! functional (bit-accurate) crossbar model must match the
+//! floating-point reference within quantization error — demonstrating
+//! that the accelerator the performance model describes actually
+//! computes GCN kernels.
+
+use gopim_gcn::aggregate::NormalizedAdjacency;
+use gopim_graph::generate::planted_partition;
+use gopim_linalg::init::xavier_uniform;
+use gopim_linalg::Matrix;
+use gopim_reram::spec::AcceleratorSpec;
+use gopim_reram::tiled::TiledMatrix;
+
+/// Runs the Combination stage (`C = X · W`) through tiled crossbars:
+/// the weight matrix is programmed, each vertex's feature row streams
+/// through as an input vector. Quantization full-scales are set to the
+/// data's actual ranges, as a real compiler would.
+fn combination_on_hardware(spec: &AcceleratorSpec, x: &Matrix, w: &Matrix) -> Matrix {
+    let weights: Vec<Vec<f64>> = (0..w.rows()).map(|r| w.row(r).to_vec()).collect();
+    let w_range = w.as_slice().iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-9);
+    let x_range = x.as_slice().iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-9);
+    let tiled = TiledMatrix::program(spec, &weights, w_range);
+    let mut out = Matrix::zeros(x.rows(), w.cols());
+    for v in 0..x.rows() {
+        let y = tiled.mvm(x.row(v), x_range);
+        out.row_mut(v).copy_from_slice(&y);
+    }
+    out
+}
+
+#[test]
+fn combination_stage_matches_float_within_quantization() {
+    let spec = AcceleratorSpec::paper();
+    let x = xavier_uniform(40, 96, 1); // 40 vertices, 96-dim features
+    let w = xavier_uniform(96, 80, 2); // spans 2×2 crossbar tiles
+    let hw = combination_on_hardware(&spec, &x, &w);
+    let float = x.matmul(&w);
+    let mut max_err: f64 = 0.0;
+    for (a, b) in hw.as_slice().iter().zip(float.as_slice()) {
+        max_err = max_err.max((a - b).abs());
+    }
+    let scale = float.frobenius_norm() / (float.as_slice().len() as f64).sqrt();
+    assert!(
+        max_err < 0.05 * scale.max(0.01),
+        "max error {max_err} vs rms magnitude {scale}"
+    );
+}
+
+#[test]
+fn full_layer_on_hardware_preserves_gcn_semantics() {
+    // Combination on crossbars, then the (digital) aggregation: the
+    // result must stay close to the all-float layer output.
+    let spec = AcceleratorSpec::paper();
+    let (graph, _) = planted_partition(60, 3, 8.0, 6.0, 3);
+    let norm = NormalizedAdjacency::new(&graph);
+    let x = xavier_uniform(60, 64, 4);
+    let w = xavier_uniform(64, 32, 5);
+
+    let hw_combined = combination_on_hardware(&spec, &x, &w);
+    let hw_layer = norm.apply(&graph, &hw_combined);
+    let float_layer = norm.apply(&graph, &x.matmul(&w));
+
+    let diff: f64 = hw_layer
+        .as_slice()
+        .iter()
+        .zip(float_layer.as_slice())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    let reference = float_layer.frobenius_norm().max(1e-9);
+    assert!(
+        diff / reference < 0.01,
+        "relative layer error {}",
+        diff / reference
+    );
+}
+
+#[test]
+fn quantized_inference_preserves_trained_accuracy() {
+    // Train a small GCN in floating point, then run inference with the
+    // Combination stages executed on bit-accurate crossbars: the 16-bit
+    // fixed-point analog path must not cost meaningful accuracy
+    // (the assumption behind running GCNs on ReRAM at all).
+    use gopim_gcn::train::{train_gcn, synthetic_features, TrainOptions};
+    use gopim_linalg::loss::accuracy as acc_of;
+
+    let (graph, labels) = planted_partition(200, 3, 10.0, 8.0, 7);
+    let mut opts = TrainOptions::quick_test();
+    opts.epochs = 40;
+    let report = train_gcn(&graph, &labels, &opts);
+    assert!(report.test_accuracy > 0.6, "{report:?}");
+
+    // Re-derive the same features and retrain a standalone model whose
+    // weights we can extract through forward passes: emulate by
+    // comparing float vs crossbar MVM on the trained feature transform.
+    let num_classes = 3;
+    let x = synthetic_features(&labels, num_classes, 8, opts.seed ^ 0xfea7);
+    let spec = AcceleratorSpec::paper();
+    let norm = NormalizedAdjacency::new(&graph);
+
+    // A single-layer GCN trained quickly, then evaluated both ways.
+    let mut model = gopim_gcn::GcnModel::new(&[x.cols(), num_classes], 0.05, 3);
+    let mask = vec![true; graph.num_vertices()];
+    for e in 0..40 {
+        model.train_epoch(&graph, &norm, &x, &labels, &mask, None, e);
+    }
+    let float_logits = model.forward(&graph, &norm, &x);
+    let float_acc = acc_of(&float_logits, &labels);
+    assert!(float_acc > 0.6, "float accuracy {float_acc}");
+
+    // Hardware path: the Combination (X·W) through tiled crossbars.
+    // Recover W by probing the model with unit vectors.
+    let dim = x.cols();
+    let eye = Matrix::identity(dim);
+    let single = gopim_graph::CsrGraph::empty(dim);
+    let norm_eye = NormalizedAdjacency::new(&single);
+    let w_probe = model.forward(&single, &norm_eye, &eye); // Â = I ⇒ W
+    let hw_combined = combination_on_hardware(&spec, &x, &w_probe);
+    let hw_logits = norm.apply(&graph, &hw_combined);
+    let hw_acc = acc_of(&hw_logits, &labels);
+    assert!(
+        (float_acc - hw_acc).abs() < 0.02,
+        "float {float_acc} vs hardware {hw_acc}"
+    );
+}
+
+#[test]
+fn feature_matrix_mapping_matches_aggregation_footprint() {
+    // Mapping a feature matrix for Aggregation occupies exactly the
+    // crossbars the allocator budgets for it.
+    let spec = AcceleratorSpec::paper();
+    let features: Vec<Vec<f64>> = (0..100)
+        .map(|v| (0..96).map(|d| ((v * 96 + d) as f64 * 0.01).sin() * 0.5).collect())
+        .collect();
+    let tiled = TiledMatrix::program(&spec, &features, 1.0);
+    assert_eq!(
+        tiled.num_crossbars(),
+        gopim_reram::tiling::crossbars_for_matrix(&spec, 100, 96)
+    );
+}

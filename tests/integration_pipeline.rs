@@ -1,0 +1,120 @@
+//! Cross-crate pipeline integration: workload construction, Eq. 6
+//! conformance, and property-based invariants of the schedule
+//! simulator over randomized workloads.
+
+use gopim_graph::datasets::{Dataset, ModelConfig};
+use gopim_graph::generate::power_law_profile;
+use gopim_pipeline::schedule::{simulate, PipelineOptions};
+use gopim_pipeline::workload::{GcnWorkload, WorkloadOptions};
+use proptest::prelude::*;
+
+fn custom_workload(n: usize, avg_deg: f64, micro_batch: usize, seed: u64) -> GcnWorkload {
+    let profile = power_law_profile(n, avg_deg, 0.7, 0.9, seed);
+    let model = ModelConfig {
+        num_layers: 2,
+        learning_rate: 0.01,
+        dropout: 0.0,
+        input_channels: 64,
+        hidden_channels: 64,
+        output_channels: 16,
+    };
+    let options = WorkloadOptions {
+        micro_batch,
+        ..WorkloadOptions::default()
+    };
+    GcnWorkload::build_custom("prop", &profile, &model, &options)
+}
+
+#[test]
+fn aggregation_dominates_on_every_dataset() {
+    // The AG:CO compute gap grows with density (the paper measures up
+    // to 888× on products, averaging 247×; sparse graphs sit lower).
+    for (dataset, min_ratio) in [
+        (Dataset::Ddi, 40.0),
+        (Dataset::Collab, 3.0),
+        (Dataset::Arxiv, 4.0),
+        (Dataset::Cora, 2.0),
+    ] {
+        let wl = GcnWorkload::build(dataset, &WorkloadOptions::default());
+        for pair in wl.stages().chunks(2).take(dataset.model().num_layers) {
+            let (co, ag) = (&pair[0], &pair[1]);
+            assert!(
+                ag.compute_ns > min_ratio * co.compute_ns,
+                "{dataset}: {} {} vs {} {}",
+                ag.name(),
+                ag.compute_ns,
+                co.name(),
+                co.compute_ns
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_never_beats_the_bottleneck_bound() {
+    // Lower bound: n_mb × the slowest per-stage inter-departure (the
+    // write channel and the compute replica are separate resources, so
+    // the bound is the max of the two, not their sum). Upper bound:
+    // strictly sequential execution.
+    let wl = custom_workload(3000, 40.0, 64, 1);
+    let s = wl.stages().len();
+    let res = simulate(&wl, &vec![1; s], &PipelineOptions::intra_only());
+    let n_mb = wl.num_microbatches();
+    let bottleneck: f64 = (0..s)
+        .map(|i| {
+            let mean_w: f64 =
+                (0..n_mb).map(|j| wl.write_ns(i, j)).sum::<f64>() / n_mb as f64;
+            wl.stages()[i].compute_ns.max(mean_w)
+        })
+        .fold(0.0, f64::max);
+    assert!(res.makespan_ns >= bottleneck * n_mb as f64 * 0.99);
+    let serial = simulate(&wl, &vec![1; s], &PipelineOptions::serial());
+    assert!(res.makespan_ns <= serial.makespan_ns * 1.0001);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn more_replicas_never_slow_the_pipeline(
+        n in 500usize..3000,
+        avg in 4.0f64..80.0,
+        boost in 2usize..12,
+    ) {
+        let wl = custom_workload(n, avg, 64, 42);
+        let s = wl.stages().len();
+        let base = simulate(&wl, &vec![1; s], &PipelineOptions::default());
+        let boosted = simulate(&wl, &vec![boost; s], &PipelineOptions::default());
+        prop_assert!(boosted.makespan_ns <= base.makespan_ns * 1.0001);
+    }
+
+    #[test]
+    fn makespan_is_positive_and_service_conserved(
+        n in 200usize..2000,
+        avg in 2.0f64..50.0,
+        b in prop::sample::select(vec![16usize, 32, 64, 128]),
+    ) {
+        let wl = custom_workload(n, avg, b, 7);
+        let s = wl.stages().len();
+        let piped = simulate(&wl, &vec![4; s], &PipelineOptions::default());
+        let serial = simulate(&wl, &vec![4; s], &PipelineOptions::serial());
+        // Total work is schedule-independent.
+        prop_assert!((piped.total_service_ns - serial.total_service_ns).abs() < 1.0);
+        prop_assert!(piped.makespan_ns > 0.0);
+        prop_assert!(piped.makespan_ns <= serial.makespan_ns * 1.0001);
+    }
+
+    #[test]
+    fn idle_fractions_are_valid_probabilities(
+        n in 200usize..2000,
+        avg in 2.0f64..50.0,
+    ) {
+        let wl = custom_workload(n, avg, 64, 11);
+        let s = wl.stages().len();
+        let res = simulate(&wl, &vec![3; s], &PipelineOptions::default());
+        for st in &res.stages {
+            prop_assert!((0.0..=1.0).contains(&st.idle_fraction));
+            prop_assert!((0.0..=1.0).contains(&st.stage_idle_fraction));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Predictor → allocator integration: the ML Time Predictor feeds
+//! Algorithm 1 and must produce near-profiling allocations; the greedy
+//! allocator is property-checked against the reference search.
+
+use gopim::runner::{run_system, Estimator, RunConfig};
+use gopim::system::System;
+use gopim_alloc::{greedy_allocate, reference_allocate, AllocInput};
+use gopim_graph::datasets::Dataset;
+use gopim_predictor::dataset_gen::generate_samples;
+use gopim_predictor::eval::{prediction_accuracy, split};
+use gopim_predictor::TimePredictor;
+use proptest::prelude::*;
+
+#[test]
+fn ml_driven_allocation_matches_profiling_within_tolerance() {
+    let config = RunConfig {
+        crossbar_budget: Some(300_000),
+        ..RunConfig::default()
+    };
+    let (n_samples, epochs) = if cfg!(debug_assertions) { (200, 25) } else { (500, 80) };
+    let data = generate_samples(n_samples, 3);
+    let predictor = TimePredictor::train_paper(&data, epochs, 3);
+    let serial = run_system(Dataset::Ddi, System::Serial, &config);
+    let exact = run_system(Dataset::Ddi, System::Gopim, &config);
+    let ml_config = RunConfig {
+        estimator: Estimator::Ml(predictor),
+        ..config
+    };
+    let ml = run_system(Dataset::Ddi, System::Gopim, &ml_config);
+    let s_exact = serial.makespan_ns / exact.makespan_ns;
+    let s_ml = serial.makespan_ns / ml.makespan_ns;
+    assert!(
+        (s_ml - s_exact).abs() / s_exact < 0.3,
+        "ml {s_ml} vs exact {s_exact}"
+    );
+}
+
+#[test]
+fn predictor_generalizes_to_unseen_workloads() {
+    // Train on one sample universe, evaluate time-space accuracy on a
+    // disjoint one (the paper's §VII-G generalizability check, 93.4 %).
+    let (n_train, epochs) = if cfg!(debug_assertions) { (250, 30) } else { (600, 120) };
+    let train_data = generate_samples(n_train, 101);
+    let test_data = generate_samples(100, 999);
+    let (train, _) = split(&train_data, 0.9, 1);
+    let predictor = TimePredictor::train_paper(&train, epochs, 5);
+    let pred_norm = predictor.predict_normalized(&test_data.x);
+    let to_ns = |t: &[f64]| -> Vec<f64> {
+        t.iter()
+            .map(|&v| gopim_predictor::dataset_gen::SampleSet::ns_of_target(v))
+            .collect()
+    };
+    let acc = prediction_accuracy(&to_ns(&pred_norm), &to_ns(&test_data.y));
+    assert!(acc > 0.55, "unseen-workload accuracy {acc}");
+}
+
+fn arbitrary_input() -> impl Strategy<Value = AllocInput> {
+    (2usize..6, 1usize..200, 2usize..64).prop_flat_map(|(stages, budget, n_mb)| {
+        (
+            prop::collection::vec(1.0f64..500.0, stages),
+            prop::collection::vec(0.0f64..20.0, stages),
+            prop::collection::vec(1usize..8, stages),
+        )
+            .prop_map(move |(compute, write, footprints)| AllocInput {
+                quantum_ns: compute.iter().map(|c| c / 64.0).collect(),
+                compute_ns: compute,
+                write_ns: write,
+                crossbars_per_replica: footprints,
+                unused_crossbars: budget,
+                num_microbatches: n_mb,
+                max_replicas: Some(64),
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn greedy_stays_within_budget_and_near_reference(input in arbitrary_input()) {
+        let g = greedy_allocate(&input);
+        prop_assert!(g.extra_crossbars(&input.crossbars_per_replica) <= input.unused_crossbars);
+        prop_assert!(g.replicas.iter().all(|&r| r >= 1));
+
+        let r = reference_allocate(&input);
+        let tg = input.pipeline_time(&g.replicas);
+        let tr = input.pipeline_time(&r.replicas);
+        // The greedy never loses badly to the reference search.
+        prop_assert!(tg <= tr * 1.25 + 1e-9, "greedy {} vs reference {}", tg, tr);
+        // And any allocation is at least as good as Serial.
+        let serial = input.pipeline_time(&vec![1; input.num_stages()]);
+        prop_assert!(tg <= serial + 1e-9);
+    }
+
+    #[test]
+    fn allocation_is_monotone_in_budget(input in arbitrary_input()) {
+        let mut richer = input.clone();
+        richer.unused_crossbars = input.unused_crossbars * 2 + 8;
+        let poor = greedy_allocate(&input);
+        let rich = greedy_allocate(&richer);
+        let tp = input.pipeline_time(&poor.replicas);
+        let tr = input.pipeline_time(&rich.replicas);
+        prop_assert!(tr <= tp + 1e-9, "richer budget must not hurt: {} vs {}", tr, tp);
+    }
+}
