@@ -99,7 +99,13 @@ pub fn combination_only(input: &AllocInput, is_combination: &[bool]) -> AllocPla
         replicas: is_combination
             .iter()
             .enumerate()
-            .map(|(i, &c)| if c { (1 + extra).min(input.stage_cap(i)) } else { 1 })
+            .map(|(i, &c)| {
+                if c {
+                    (1 + extra).min(input.stage_cap(i))
+                } else {
+                    1
+                }
+            })
             .collect(),
     }
 }

@@ -43,9 +43,7 @@ pub fn greedy_allocate(input: &AllocInput) -> AllocPlan {
         let t_max = times.iter().cloned().fold(0.0, f64::max);
         // Runner-up: the largest time *outside* the bottleneck set.
         let tie_eps = t_max * TIE_EPS_REL;
-        let bottleneck: Vec<usize> = (0..n)
-            .filter(|&i| times[i] >= t_max - tie_eps)
-            .collect();
+        let bottleneck: Vec<usize> = (0..n).filter(|&i| times[i] >= t_max - tie_eps).collect();
         let runner_up = times
             .iter()
             .cloned()
@@ -79,8 +77,7 @@ pub fn greedy_allocate(input: &AllocInput) -> AllocPlan {
                 .iter()
                 .map(|&i| input.crossbars_per_replica[i])
                 .sum();
-            let feasible = cost <= budget
-                && bottleneck.iter().all(|&i| replicas[i] < caps[i]);
+            let feasible = cost <= budget && bottleneck.iter().all(|&i| replicas[i] < caps[i]);
             if feasible {
                 let mut sum_gain = 0.0;
                 let mut new_max: f64 = runner_up;

@@ -28,9 +28,7 @@ pub fn reference_allocate(input: &AllocInput) -> AllocPlan {
     for (i, &cap_i) in caps.iter().enumerate() {
         for r in 1..=cap_i {
             candidates.push(input.stage_time(i, r));
-            if input.stage_time(i, r)
-                <= input.quantum_ns[i] + input.write_ns[i] + f64::EPSILON
-            {
+            if input.stage_time(i, r) <= input.quantum_ns[i] + input.write_ns[i] + f64::EPSILON {
                 break;
             }
         }
@@ -92,10 +90,7 @@ pub fn reference_allocate(input: &AllocInput) -> AllocPlan {
             }
         }
         let objective = input.pipeline_time(&replicas);
-        if best
-            .as_ref()
-            .is_none_or(|(b, _)| objective < *b - 1e-12)
-        {
+        if best.as_ref().is_none_or(|(b, _)| objective < *b - 1e-12) {
             best = Some((objective, replicas));
         }
     }
@@ -134,8 +129,7 @@ mod tests {
             let g = greedy_allocate(&input);
             let r = reference_allocate(&input);
             assert!(
-                input.pipeline_time(&r.replicas)
-                    <= input.pipeline_time(&g.replicas) + 1e-9,
+                input.pipeline_time(&r.replicas) <= input.pipeline_time(&g.replicas) + 1e-9,
                 "budget {budget}"
             );
         }

@@ -1,34 +1,27 @@
-//! Property-based tests for the allocators.
+//! Property-based tests for the allocators (gopim-testkit).
 
 use gopim_alloc::{fixed, greedy_allocate, reference_allocate, AllocInput, AllocPlan};
-use proptest::prelude::*;
+use gopim_testkit::gen::stage_timings;
+use gopim_testkit::prop::{check_with, Config, Draw};
 
-fn arbitrary_input() -> impl Strategy<Value = AllocInput> {
-    (2usize..8, 0usize..500, 2usize..128).prop_flat_map(|(stages, budget, n_mb)| {
-        (
-            prop::collection::vec(0.5f64..2000.0, stages),
-            prop::collection::vec(0.0f64..50.0, stages),
-            prop::collection::vec(1usize..16, stages),
-        )
-            .prop_map(move |(compute, write, footprints)| AllocInput {
-                quantum_ns: compute.iter().map(|c| c / 64.0).collect(),
-                compute_ns: compute,
-                write_ns: write,
-                crossbars_per_replica: footprints,
-                unused_crossbars: budget,
-                num_microbatches: n_mb,
-                max_replicas: Some(256),
-            })
-    })
+fn arbitrary_input(d: &mut Draw) -> AllocInput {
+    let stages = stage_timings(d, 2, 8, 2000.0, 50.0);
+    AllocInput {
+        quantum_ns: stages.iter().map(|s| s.quantum_ns).collect(),
+        compute_ns: stages.iter().map(|s| s.compute_ns).collect(),
+        write_ns: stages.iter().map(|s| s.write_ns).collect(),
+        crossbars_per_replica: stages.iter().map(|s| s.crossbars_per_replica).collect(),
+        unused_crossbars: d.draw("budget", 0usize..500),
+        num_microbatches: d.draw("n_mb", 2usize..128),
+        max_replicas: Some(256),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_policy_respects_the_budget(input in arbitrary_input()) {
-        let feature_class: Vec<bool> =
-            (0..input.num_stages()).map(|i| i % 2 == 1).collect();
+#[test]
+fn every_policy_respects_the_budget() {
+    check_with("every_policy_respects_the_budget", Config::cases(64), |d| {
+        let input = arbitrary_input(d);
+        let feature_class: Vec<bool> = (0..input.num_stages()).map(|i| i % 2 == 1).collect();
         let co_class: Vec<bool> = feature_class.iter().map(|&f| !f).collect();
         for plan in [
             greedy_allocate(&input),
@@ -37,63 +30,83 @@ proptest! {
             fixed::regraphx_ratio(&input, &feature_class),
             fixed::combination_only(&input, &co_class),
         ] {
-            prop_assert!(
-                plan.extra_crossbars(&input.crossbars_per_replica) <= input.unused_crossbars
-            );
-            prop_assert!(plan.replicas.iter().all(|&r| r >= 1));
-            prop_assert!(plan
+            assert!(plan.extra_crossbars(&input.crossbars_per_replica) <= input.unused_crossbars);
+            assert!(plan.replicas.iter().all(|&r| r >= 1));
+            assert!(plan
                 .replicas
                 .iter()
                 .enumerate()
                 .all(|(i, &r)| r <= input.stage_cap(i).max(1)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn greedy_never_hurts_the_objective(input in arbitrary_input()) {
+#[test]
+fn greedy_never_hurts_the_objective() {
+    check_with("greedy_never_hurts_the_objective", Config::cases(64), |d| {
+        let input = arbitrary_input(d);
         let serial = AllocPlan::serial(input.num_stages());
         let plan = greedy_allocate(&input);
-        prop_assert!(
-            input.pipeline_time(&plan.replicas)
-                <= input.pipeline_time(&serial.replicas) + 1e-9
+        assert!(
+            input.pipeline_time(&plan.replicas) <= input.pipeline_time(&serial.replicas) + 1e-9
         );
-    }
+    });
+}
 
-    #[test]
-    fn stage_time_is_monotone_in_replicas(input in arbitrary_input()) {
-        for i in 0..input.num_stages() {
-            let mut prev = f64::INFINITY;
-            for r in 1..=8 {
-                let t = input.stage_time(i, r);
-                prop_assert!(t <= prev + 1e-12, "stage {i} at {r} replicas");
-                prop_assert!(t >= input.quantum_ns[i] + input.write_ns[i] - 1e-12);
-                prev = t;
+#[test]
+fn stage_time_is_monotone_in_replicas() {
+    check_with(
+        "stage_time_is_monotone_in_replicas",
+        Config::cases(64),
+        |d| {
+            let input = arbitrary_input(d);
+            for i in 0..input.num_stages() {
+                let mut prev = f64::INFINITY;
+                for r in 1..=8 {
+                    let t = input.stage_time(i, r);
+                    assert!(t <= prev + 1e-12, "stage {i} at {r} replicas");
+                    assert!(t >= input.quantum_ns[i] + input.write_ns[i] - 1e-12);
+                    prev = t;
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn stage_cap_is_where_replication_stops_paying(input in arbitrary_input()) {
-        for i in 0..input.num_stages() {
-            let cap = input.stage_cap(i);
-            prop_assert!(cap >= 1);
-            // Beyond the cap, the remaining compute share is already
-            // below the stage's non-replicable floor.
-            let at_cap = input.compute_ns[i] / cap as f64;
-            let floor = (0.5 * input.write_ns[i]).max(input.quantum_ns[i]);
-            prop_assert!(at_cap <= floor * (1.0 + 1.0 / cap as f64) + 1e-9);
-        }
-    }
+#[test]
+fn stage_cap_is_where_replication_stops_paying() {
+    check_with(
+        "stage_cap_is_where_replication_stops_paying",
+        Config::cases(64),
+        |d| {
+            let input = arbitrary_input(d);
+            for i in 0..input.num_stages() {
+                let cap = input.stage_cap(i);
+                assert!(cap >= 1);
+                // Beyond the cap, the remaining compute share is already
+                // below the stage's non-replicable floor.
+                let at_cap = input.compute_ns[i] / cap as f64;
+                let floor = (0.5 * input.write_ns[i]).max(input.quantum_ns[i]);
+                assert!(at_cap <= floor * (1.0 + 1.0 / cap as f64) + 1e-9);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn eq6_objective_is_sum_plus_bottleneck(input in arbitrary_input()) {
-        let replicas = vec![1; input.num_stages()];
-        let times: Vec<f64> = (0..input.num_stages())
-            .map(|i| input.stage_time(i, 1))
-            .collect();
-        let expected = times.iter().sum::<f64>()
-            + (input.num_microbatches - 1) as f64
-                * times.iter().cloned().fold(0.0, f64::max);
-        prop_assert!((input.pipeline_time(&replicas) - expected).abs() < 1e-9);
-    }
+#[test]
+fn eq6_objective_is_sum_plus_bottleneck() {
+    check_with(
+        "eq6_objective_is_sum_plus_bottleneck",
+        Config::cases(64),
+        |d| {
+            let input = arbitrary_input(d);
+            let replicas = vec![1; input.num_stages()];
+            let times: Vec<f64> = (0..input.num_stages())
+                .map(|i| input.stage_time(i, 1))
+                .collect();
+            let expected = times.iter().sum::<f64>()
+                + (input.num_microbatches - 1) as f64 * times.iter().cloned().fold(0.0, f64::max);
+            assert!((input.pipeline_time(&replicas) - expected).abs() < 1e-9);
+        },
+    );
 }

@@ -5,12 +5,11 @@
 //! (sub-)milliseconds. These benches quantify the gap on a real
 //! ddi-shaped allocation problem.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gopim_alloc::{fixed, greedy_allocate, reference_allocate, AllocInput};
 use gopim_graph::datasets::Dataset;
 use gopim_pipeline::{GcnWorkload, WorkloadOptions};
 use gopim_reram::spec::AcceleratorSpec;
-use std::hint::black_box;
+use gopim_testkit::bench::Runner;
 
 fn ddi_input(budget: usize) -> AllocInput {
     let wl = GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default());
@@ -20,8 +19,7 @@ fn ddi_input(budget: usize) -> AllocInput {
         compute_ns: wl.stages().iter().map(|s| s.compute_ns).collect(),
         write_ns: (0..wl.stages().len())
             .map(|i| {
-                (0..n_mb).map(|j| wl.write_ns(i, j)).sum::<f64>() / n_mb as f64
-                    + wl.overhead_ns()
+                (0..n_mb).map(|j| wl.write_ns(i, j)).sum::<f64>() / n_mb as f64 + wl.overhead_ns()
             })
             .collect(),
         quantum_ns: vec![spec.mvm_latency_ns(); wl.stages().len()],
@@ -36,30 +34,16 @@ fn ddi_input(budget: usize) -> AllocInput {
     }
 }
 
-fn bench_allocators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allocator");
+fn main() {
+    let mut runner = Runner::new("allocator");
     for budget in [100_000usize, 1_000_000, 16_000_000] {
         let input = ddi_input(budget);
-        group.bench_with_input(
-            BenchmarkId::new("greedy_alg1", budget),
-            &input,
-            |b, input| b.iter(|| black_box(greedy_allocate(input))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("uniform", budget),
-            &input,
-            |b, input| b.iter(|| black_box(fixed::uniform(input))),
-        );
+        runner.bench(&format!("greedy_alg1/{budget}"), || greedy_allocate(&input));
+        runner.bench(&format!("uniform/{budget}"), || fixed::uniform(&input));
     }
     // The reference search only at the small budget — it is the slow
     // baseline the greedy replaces.
     let input = ddi_input(100_000);
-    group.sample_size(10);
-    group.bench_function("reference_tau_sweep/100000", |b| {
-        b.iter(|| black_box(reference_allocate(&input)))
-    });
-    group.finish();
+    runner.bench("reference_tau_sweep/100000", || reference_allocate(&input));
+    runner.finish();
 }
-
-criterion_group!(benches, bench_allocators);
-criterion_main!(benches);

@@ -1,36 +1,30 @@
 //! Microbenchmarks for the functional (bit-accurate) crossbar model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gopim_reram::crossbar::FunctionalCrossbar;
 use gopim_reram::spec::AcceleratorSpec;
-use std::hint::black_box;
+use gopim_testkit::bench::Runner;
 
 fn weights(rows: usize, cols: usize) -> Vec<Vec<f64>> {
     (0..rows)
-        .map(|r| (0..cols).map(|c| ((r * cols + c) as f64).sin() * 0.8).collect())
+        .map(|r| {
+            (0..cols)
+                .map(|c| ((r * cols + c) as f64).sin() * 0.8)
+                .collect()
+        })
         .collect()
 }
 
-fn bench_crossbar(c: &mut Criterion) {
+fn main() {
     let spec = AcceleratorSpec::paper();
-    let mut group = c.benchmark_group("crossbar");
+    let mut runner = Runner::new("crossbar");
     for &(rows, cols) in &[(64usize, 64usize), (256, 64), (256, 256)] {
         let w = weights(rows, cols);
-        group.bench_with_input(
-            BenchmarkId::new("program", format!("{rows}x{cols}")),
-            &w,
-            |b, w| b.iter(|| black_box(FunctionalCrossbar::program(&spec, w, 1.0))),
-        );
+        runner.bench(&format!("program/{rows}x{cols}"), || {
+            FunctionalCrossbar::program(&spec, &w, 1.0)
+        });
         let xbar = FunctionalCrossbar::program(&spec, &w, 1.0);
         let input: Vec<f64> = (0..rows).map(|i| (i as f64 * 0.13).cos()).collect();
-        group.bench_with_input(
-            BenchmarkId::new("mvm", format!("{rows}x{cols}")),
-            &xbar,
-            |b, xbar| b.iter(|| black_box(xbar.mvm(&input, 1.0))),
-        );
+        runner.bench(&format!("mvm/{rows}x{cols}"), || xbar.mvm(&input, 1.0));
     }
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench_crossbar);
-criterion_main!(benches);

@@ -2,40 +2,25 @@
 //! §IV-A(6)): degree-interleaved mapping and selective-update mask
 //! construction on full-size dataset profiles.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gopim_graph::datasets::Dataset;
 use gopim_mapping::{index_based, interleaved, update_load, SelectivePolicy};
-use std::hint::black_box;
+use gopim_testkit::bench::Runner;
 
-fn bench_mapping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mapping");
+fn main() {
+    let mut runner = Runner::new("mapping");
     for dataset in [Dataset::Ddi, Dataset::Collab, Dataset::Proteins] {
         let profile = dataset.profile(7);
-        group.bench_with_input(
-            BenchmarkId::new("interleaved", dataset.name()),
-            &profile,
-            |b, p| b.iter(|| black_box(interleaved(p, 64))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("index_based", dataset.name()),
-            &profile,
-            |b, p| b.iter(|| black_box(index_based(p.num_vertices(), 64))),
-        );
+        let name = dataset.name();
+        runner.bench(&format!("interleaved/{name}"), || interleaved(&profile, 64));
+        runner.bench(&format!("index_based/{name}"), || {
+            index_based(profile.num_vertices(), 64)
+        });
         let mapping = interleaved(&profile, 64);
         let policy = SelectivePolicy::adaptive(&profile);
-        group.bench_with_input(
-            BenchmarkId::new("selective_load", dataset.name()),
-            &(&mapping, &profile),
-            |b, (m, p)| {
-                b.iter(|| {
-                    let mask = policy.important_vertices(p);
-                    black_box(update_load(m, &mask))
-                })
-            },
-        );
+        runner.bench(&format!("selective_load/{name}"), || {
+            let mask = policy.important_vertices(&profile);
+            update_load(&mapping, &mask)
+        });
     }
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench_mapping);
-criterion_main!(benches);

@@ -1,31 +1,22 @@
 //! Microbenchmarks for workload construction and schedule simulation —
 //! the inner loop of every experiment in the harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gopim_graph::datasets::Dataset;
 use gopim_pipeline::{simulate, GcnWorkload, PipelineOptions, WorkloadOptions};
-use std::hint::black_box;
+use gopim_testkit::bench::Runner;
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
+fn main() {
+    let mut runner = Runner::new("pipeline");
     for dataset in [Dataset::Ddi, Dataset::Collab] {
-        group.bench_with_input(
-            BenchmarkId::new("build_workload", dataset.name()),
-            &dataset,
-            |b, &d| b.iter(|| black_box(GcnWorkload::build(d, &WorkloadOptions::default()))),
-        );
+        let name = dataset.name();
+        runner.bench(&format!("build_workload/{name}"), || {
+            GcnWorkload::build(dataset, &WorkloadOptions::default())
+        });
         let wl = GcnWorkload::build(dataset, &WorkloadOptions::default());
         let replicas = vec![8; wl.stages().len()];
-        group.bench_with_input(
-            BenchmarkId::new("simulate_pipelined", dataset.name()),
-            &wl,
-            |b, wl| {
-                b.iter(|| black_box(simulate(wl, &replicas, &PipelineOptions::default())))
-            },
-        );
+        runner.bench(&format!("simulate_pipelined/{name}"), || {
+            simulate(&wl, &replicas, &PipelineOptions::default())
+        });
     }
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

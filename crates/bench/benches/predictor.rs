@@ -2,30 +2,24 @@
 //! paper's §VII-G claims milliseconds for a whole workload) and one
 //! training epoch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gopim_graph::datasets::Dataset;
 use gopim_pipeline::{GcnWorkload, WorkloadOptions};
 use gopim_predictor::dataset_gen::generate_samples;
 use gopim_predictor::TimePredictor;
-use std::hint::black_box;
+use gopim_testkit::bench::Runner;
 
-fn bench_predictor(c: &mut Criterion) {
+fn main() {
     let samples = generate_samples(400, 42);
     let predictor = TimePredictor::train_paper(&samples, 30, 9);
     let wl = GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default());
     let avg = Dataset::Ddi.stats().avg_degree;
 
-    c.bench_function("predictor/infer_all_stages_ddi", |b| {
-        b.iter(|| black_box(predictor.predict_stage_times_ns(&wl, avg)))
+    let mut runner = Runner::new("predictor");
+    runner.bench("infer_all_stages_ddi", || {
+        predictor.predict_stage_times_ns(&wl, avg)
     });
-
-    let mut group = c.benchmark_group("predictor_train");
-    group.sample_size(10);
-    group.bench_function("train_10_epochs_400_samples", |b| {
-        b.iter(|| black_box(TimePredictor::train(&samples, 3, 64, 10, 1)))
+    runner.bench("train_10_epochs_400_samples", || {
+        TimePredictor::train(&samples, 3, 64, 10, 1)
     });
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench_predictor);
-criterion_main!(benches);

@@ -23,9 +23,7 @@ fn run_with(params: LatencyParams, config: &RunConfig) -> (f64, f64) {
     use gopim_alloc::{greedy_allocate, AllocInput, AllocPlan};
     use gopim_mapping::SelectivePolicy;
     use gopim_pipeline::energy::energy_of_run;
-    use gopim_pipeline::{
-        simulate, GcnWorkload, MappingKind, PipelineOptions, WorkloadOptions,
-    };
+    use gopim_pipeline::{simulate, GcnWorkload, MappingKind, PipelineOptions, WorkloadOptions};
     use gopim_reram::spec::AcceleratorSpec;
 
     let dataset = Dataset::Ddi;
@@ -54,7 +52,11 @@ fn run_with(params: LatencyParams, config: &RunConfig) -> (f64, f64) {
 
     let serial_wl = build(false);
     let serial_plan = AllocPlan::serial(serial_wl.stages().len());
-    let serial = simulate(&serial_wl, &serial_plan.replicas, &PipelineOptions::serial());
+    let serial = simulate(
+        &serial_wl,
+        &serial_plan.replicas,
+        &PipelineOptions::serial(),
+    );
 
     // Strongest baseline under this calibration: uniform replicas
     // (SlimGNN-like) with intra-batch pipelining.
@@ -153,7 +155,12 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["knob", "factor", "GoPIM vs Serial", "GoPIM vs best baseline"],
+            &[
+                "knob",
+                "factor",
+                "GoPIM vs Serial",
+                "GoPIM vs best baseline"
+            ],
             &rows
         )
     );

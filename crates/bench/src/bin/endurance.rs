@@ -68,7 +68,13 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["dataset", "scheme", "hot-group writes/row/epoch", "lifetime (epochs)", "vs full"],
+            &[
+                "dataset",
+                "scheme",
+                "hot-group writes/row/epoch",
+                "lifetime (epochs)",
+                "vs full"
+            ],
             &rows
         )
     );

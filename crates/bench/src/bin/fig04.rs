@@ -34,7 +34,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        report::table(&["dataset", "crossbar group", "stage", "idle time"], &table_rows)
+        report::table(
+            &["dataset", "crossbar group", "stage", "idle time"],
+            &table_rows
+        )
     );
 
     // The paper's headline: average CO-stage idle across datasets.

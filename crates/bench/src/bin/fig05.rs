@@ -28,7 +28,10 @@ fn main() {
         ("(a) no replicas", vec![1, 1]),
         ("(b) fixed 1:2 split (ReGraphX)", vec![2, 3]),
         ("(c) all to the long stage", vec![1, 4]),
-        ("GoPIM greedy (Algorithm 1)", greedy_allocate(&input).replicas),
+        (
+            "GoPIM greedy (Algorithm 1)",
+            greedy_allocate(&input).replicas,
+        ),
     ];
     let base = input.pipeline_time(&[1, 1]);
     let rows: Vec<Vec<String>> = cases

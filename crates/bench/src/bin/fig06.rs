@@ -34,7 +34,13 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["dataset", "mapping", "min avg deg", "max avg deg", "mean avg deg"],
+            &[
+                "dataset",
+                "mapping",
+                "min avg deg",
+                "max avg deg",
+                "mean avg deg"
+            ],
             &table_rows
         )
     );

@@ -28,7 +28,8 @@ fn main() {
     println!("{}", report::table(&["model", "RMSE"], &table_rows));
 
     println!("(b) MLP depth sweep (256 hidden):");
-    let depth_rows = fig09::depth_sweep(&samples, &[2, 3, 4, 5, 6], args.scaled(256, 32), epochs, 9);
+    let depth_rows =
+        fig09::depth_sweep(&samples, &[2, 3, 4, 5, 6], args.scaled(256, 32), epochs, 9);
     let table_rows: Vec<Vec<String>> = depth_rows
         .iter()
         .map(|(d, r)| vec![format!("{d} layers"), format!("{r:.5}")])
@@ -37,7 +38,11 @@ fn main() {
 
     println!("(d, SV-A) feature ablation — RMSE with one Table I feature removed:");
     let ablation_epochs = args.scaled(150, 20);
-    let full_rmse = rows.iter().find(|r| r.model == "MLP").map(|r| r.rmse).unwrap_or(0.0);
+    let full_rmse = rows
+        .iter()
+        .find(|r| r.model == "MLP")
+        .map(|r| r.rmse)
+        .unwrap_or(0.0);
     let ab_rows = fig09::feature_ablation(&samples, ablation_epochs, 9);
     let table_rows: Vec<Vec<String>> = ab_rows
         .iter()

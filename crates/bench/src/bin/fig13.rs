@@ -44,7 +44,13 @@ fn main() {
     );
 
     // Summary: GoPIM's gap over each baseline (the paper's headline).
-    for baseline in ["Serial", "SlimGNN-like", "ReGraphX", "ReFlip", "GoPIM-Vanilla"] {
+    for baseline in [
+        "Serial",
+        "SlimGNN-like",
+        "ReGraphX",
+        "ReFlip",
+        "GoPIM-Vanilla",
+    ] {
         let gaps: Vec<f64> = datasets
             .iter()
             .map(|d| {

@@ -34,7 +34,13 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["dataset", "variant", "exec time", "speedup", "energy reduction"],
+            &[
+                "dataset",
+                "variant",
+                "exec time",
+                "speedup",
+                "energy reduction"
+            ],
             &table_rows
         )
     );

@@ -13,7 +13,11 @@ fn main() {
         "Idle time of crossbar groups, Naive (pipelined, index-mapped, no replicas)\n\
          vs GoPIM, on ddi. Paper: average reductions 46.75/49.75/51.75% at B=32/64/128.",
     );
-    let sizes: &[usize] = if args.quick { &[32, 64] } else { &[32, 64, 128] };
+    let sizes: &[usize] = if args.quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128]
+    };
     let rows = fig15::run(&args.run_config(), Dataset::Ddi, sizes);
     let table_rows: Vec<Vec<String>> = rows
         .iter()
@@ -28,7 +32,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        report::table(&["micro-batch", "system", "group", "idle time"], &table_rows)
+        report::table(
+            &["micro-batch", "system", "group", "idle time"],
+            &table_rows
+        )
     );
     for &b in sizes {
         println!(

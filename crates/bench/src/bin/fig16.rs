@@ -23,7 +23,10 @@ fn main() {
     };
     let thetas = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 
-    for (label, dataset) in [("(a) dense (ddi)", Dataset::Ddi), ("(b) sparse (Cora)", Dataset::Cora)] {
+    for (label, dataset) in [
+        ("(a) dense (ddi)", Dataset::Ddi),
+        ("(b) sparse (Cora)", Dataset::Cora),
+    ] {
         println!("{label}: accuracy vs update threshold θ");
         let rows = fig16::theta_sweep(dataset, &thetas, max_vertices, &train, 17);
         let table_rows: Vec<Vec<String>> = rows

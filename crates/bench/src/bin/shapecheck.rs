@@ -63,7 +63,11 @@ fn main() {
     c.check(
         "Fig. 4: Combination crossbars idle >90% under a plain pipeline (paper 97.5-99%)",
         co_idle > 0.9,
-        format!("ddi CO1 crossbar idle {:.1}% (paper {:?}%)", co_idle * 100.0, paper::FIG04_CO_IDLE_PERCENT),
+        format!(
+            "ddi CO1 crossbar idle {:.1}% (paper {:?}%)",
+            co_idle * 100.0,
+            paper::FIG04_CO_IDLE_PERCENT
+        ),
     );
 
     // --- Fig. 13: system ordering, per dataset. ---
@@ -77,9 +81,15 @@ fn main() {
     let rows = fig13::run(&config, &datasets);
     let gopim_wins = datasets.iter().all(|d| {
         let g = fig13::cell(&rows, d.name(), "GoPIM").makespan_ns;
-        ["Serial", "SlimGNN-like", "ReGraphX", "ReFlip", "GoPIM-Vanilla"]
-            .iter()
-            .all(|s| fig13::cell(&rows, d.name(), s).makespan_ns >= g)
+        [
+            "Serial",
+            "SlimGNN-like",
+            "ReGraphX",
+            "ReFlip",
+            "GoPIM-Vanilla",
+        ]
+        .iter()
+        .all(|s| fig13::cell(&rows, d.name(), s).makespan_ns >= g)
     });
     c.check(
         "Fig. 13(a): GoPIM is fastest on every dataset",
@@ -117,7 +127,11 @@ fn main() {
             "savings: {}",
             datasets
                 .iter()
-                .map(|d| format!("{} {:.1}x", d.name(), fig13::cell(&rows, d.name(), "GoPIM").energy_saving))
+                .map(|d| format!(
+                    "{} {:.1}x",
+                    d.name(),
+                    fig13::cell(&rows, d.name(), "GoPIM").energy_saving
+                ))
                 .collect::<Vec<_>>()
                 .join(", ")
         ),
@@ -177,7 +191,11 @@ fn main() {
     c.check(
         "Table VI: AG stages get far more replicas than CO stages (paper 364-616 vs 59-61)",
         feature_heavy,
-        format!("our replicas {:?} (paper {:?})", gopim_detail.replicas, paper::TABLE6.gopim_replicas),
+        format!(
+            "our replicas {:?} (paper {:?})",
+            gopim_detail.replicas,
+            paper::TABLE6.gopim_replicas
+        ),
     );
     if !args.quick {
         // Only meaningful at the paper's full 16 GB budget.
@@ -185,7 +203,10 @@ fn main() {
         c.check(
             "Table VI: total crossbars within 2x of the paper's 1,046,852",
             (0.5..2.0).contains(&total_ratio),
-            format!("our total {} ({:.2}x of paper)", gopim_detail.total, total_ratio),
+            format!(
+                "our total {} ({:.2}x of paper)",
+                gopim_detail.total, total_ratio
+            ),
         );
     }
 

@@ -20,16 +20,28 @@ fn main() {
 
     println!("published configuration:");
     let rows = vec![
-        vec!["crossbar size".into(), format!("{}x{}", spec.crossbar_rows, spec.crossbar_cols)],
+        vec![
+            "crossbar size".into(),
+            format!("{}x{}", spec.crossbar_rows, spec.crossbar_cols),
+        ],
         vec!["bits per cell".into(), spec.bits_per_cell.to_string()],
-        vec!["value precision".into(), format!("{} bits", spec.value_bits)],
+        vec![
+            "value precision".into(),
+            format!("{} bits", spec.value_bits),
+        ],
         vec!["DAC resolution".into(), format!("{} bits", spec.dac_bits)],
         vec!["ADC resolution".into(), format!("{} bits", spec.adc_bits)],
         vec!["crossbars / PE".into(), spec.crossbars_per_pe.to_string()],
         vec!["PEs / tile".into(), spec.pes_per_tile.to_string()],
         vec!["tiles / chip".into(), spec.tiles_per_chip.to_string()],
-        vec!["read latency".into(), format!("{} ns", spec.read_latency_ns)],
-        vec!["write latency".into(), format!("{} ns", spec.write_latency_ns)],
+        vec![
+            "read latency".into(),
+            format!("{} ns", spec.read_latency_ns),
+        ],
+        vec![
+            "write latency".into(),
+            format!("{} ns", spec.write_latency_ns),
+        ],
     ];
     println!("{}", report::table(&["parameter", "value"], &rows));
 
@@ -45,7 +57,10 @@ fn main() {
         ],
         vec!["input cycles / MVM".into(), spec.input_cycles().to_string()],
         vec!["write cycles / row".into(), spec.write_cycles().to_string()],
-        vec!["MVM issue latency".into(), format!("{:.1} ns", spec.mvm_latency_ns())],
+        vec![
+            "MVM issue latency".into(),
+            format!("{:.1} ns", spec.mvm_latency_ns()),
+        ],
         vec![
             "row program latency".into(),
             format!("{:.1} ns", spec.row_write_latency_ns()),

@@ -42,7 +42,14 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["dataset", "task", "vertices", "edges (paper | ours)", "avg deg (paper | ours)", "feat dim"],
+            &[
+                "dataset",
+                "task",
+                "vertices",
+                "edges (paper | ours)",
+                "avg deg (paper | ours)",
+                "feat dim"
+            ],
             &rows
         )
     );

@@ -41,7 +41,13 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["dataset", "GoPIM-Vanilla", "GoPIM", "acc impact", "adaptive θ"],
+            &[
+                "dataset",
+                "GoPIM-Vanilla",
+                "GoPIM",
+                "acc impact",
+                "adaptive θ"
+            ],
             &table_rows
         )
     );

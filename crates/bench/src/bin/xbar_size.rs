@@ -13,9 +13,7 @@ use gopim_bench::{banner, BenchArgs};
 use gopim_graph::datasets::Dataset;
 use gopim_mapping::SelectivePolicy;
 use gopim_pipeline::latency::LatencyParams;
-use gopim_pipeline::{
-    simulate, GcnWorkload, MappingKind, PipelineOptions, WorkloadOptions,
-};
+use gopim_pipeline::{simulate, GcnWorkload, MappingKind, PipelineOptions, WorkloadOptions};
 use gopim_reram::spec::AcceleratorSpec;
 
 fn run_at_size(rows: usize, cols: usize, budget: Option<usize>) -> (f64, f64) {
@@ -50,7 +48,11 @@ fn run_at_size(rows: usize, cols: usize, budget: Option<usize>) -> (f64, f64) {
 
     let serial_wl = build(false);
     let serial_plan = AllocPlan::serial(serial_wl.stages().len());
-    let serial = simulate(&serial_wl, &serial_plan.replicas, &PipelineOptions::serial());
+    let serial = simulate(
+        &serial_wl,
+        &serial_plan.replicas,
+        &PipelineOptions::serial(),
+    );
 
     let wl = build(true);
     let n_mb = wl.num_microbatches();
@@ -58,8 +60,7 @@ fn run_at_size(rows: usize, cols: usize, budget: Option<usize>) -> (f64, f64) {
         compute_ns: wl.stages().iter().map(|s| s.compute_ns).collect(),
         write_ns: (0..wl.stages().len())
             .map(|i| {
-                (0..n_mb).map(|j| wl.write_ns(i, j)).sum::<f64>() / n_mb as f64
-                    + wl.overhead_ns()
+                (0..n_mb).map(|j| wl.write_ns(i, j)).sum::<f64>() / n_mb as f64 + wl.overhead_ns()
             })
             .collect(),
         quantum_ns: vec![spec.mvm_latency_ns(); wl.stages().len()],
@@ -87,7 +88,11 @@ fn main() {
         "GoPIM on ddi with 32x32 .. 256x256 crossbars at constant total ReRAM capacity\n\
          (crossbars/PE scaled inversely). The paper's 64x64 choice is the reference.",
     );
-    let sizes: &[usize] = if args.quick { &[32, 64, 128] } else { &[32, 64, 128, 256] };
+    let sizes: &[usize] = if args.quick {
+        &[32, 64, 128]
+    } else {
+        &[32, 64, 128, 256]
+    };
     let mut rows = Vec::new();
     for &s in sizes {
         let (speedup, makespan_us) = run_at_size(s, s, args.budget);

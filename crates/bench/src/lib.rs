@@ -51,7 +51,11 @@ impl BenchArgs {
                 other => rest.push(other.to_string()),
             }
         }
-        BenchArgs { quick, budget, rest }
+        BenchArgs {
+            quick,
+            budget,
+            rest,
+        }
     }
 
     /// Parses the real process arguments.
@@ -62,11 +66,9 @@ impl BenchArgs {
     /// The run configuration these arguments imply.
     pub fn run_config(&self) -> RunConfig {
         RunConfig {
-            crossbar_budget: self.budget.or(if self.quick {
-                Some(400_000)
-            } else {
-                None
-            }),
+            crossbar_budget: self
+                .budget
+                .or(if self.quick { Some(400_000) } else { None }),
             ..RunConfig::default()
         }
     }

@@ -68,7 +68,9 @@ mod tests {
     fn datasets_parse_case_insensitively() {
         assert_eq!(parse_dataset("DDI").unwrap(), Dataset::Ddi);
         assert_eq!(parse_dataset("cora").unwrap(), Dataset::Cora);
-        assert!(parse_dataset("imdb").unwrap_err().contains("unknown dataset"));
+        assert!(parse_dataset("imdb")
+            .unwrap_err()
+            .contains("unknown dataset"));
     }
 
     #[test]

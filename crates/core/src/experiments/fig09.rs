@@ -61,8 +61,8 @@ pub fn model_comparison(samples: &SampleSet, mlp_epochs: usize, seed: u64) -> Ve
 /// against the full-feature RMSE from [`model_comparison`].
 pub fn feature_ablation(samples: &SampleSet, epochs: usize, seed: u64) -> Vec<(String, f64)> {
     const NAMES: [&str; 10] = [
-        "R_IFM_CO", "C_IFM_CO", "R_E_CO", "C_E_CO", "R_A_AG", "C_A_AG", "R_E_AG", "C_E_AG",
-        "s", "k",
+        "R_IFM_CO", "C_IFM_CO", "R_E_CO", "C_E_CO", "R_A_AG", "C_A_AG", "R_E_AG", "C_E_AG", "s",
+        "k",
     ];
     let (train, test) = split(samples, 0.8, seed);
     let zero_column = |set: &SampleSet, col: usize| -> SampleSet {
@@ -70,7 +70,10 @@ pub fn feature_ablation(samples: &SampleSet, epochs: usize, seed: u64) -> Vec<(S
         for r in 0..x.rows() {
             x[(r, col)] = 0.0;
         }
-        SampleSet { x, y: set.y.clone() }
+        SampleSet {
+            x,
+            y: set.y.clone(),
+        }
     };
     NAMES
         .iter()

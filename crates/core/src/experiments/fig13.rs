@@ -73,7 +73,13 @@ mod tests {
         let rows = run(&config, &[Dataset::Ddi, Dataset::Cora]);
         for dataset in ["ddi", "Cora"] {
             let gopim = cell(&rows, dataset, "GoPIM");
-            for system in ["Serial", "SlimGNN-like", "ReGraphX", "ReFlip", "GoPIM-Vanilla"] {
+            for system in [
+                "Serial",
+                "SlimGNN-like",
+                "ReGraphX",
+                "ReFlip",
+                "GoPIM-Vanilla",
+            ] {
                 let other = cell(&rows, dataset, system);
                 assert!(
                     gopim.speedup >= other.speedup,

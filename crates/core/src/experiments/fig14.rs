@@ -60,9 +60,17 @@ mod tests {
         let s = |v: &str| rows.iter().find(|r| r.variant == v).unwrap().speedup;
         assert!((s("Serial") - 1.0).abs() < 1e-9);
         assert!(s("+PP") > 1.5, "+PP {}", s("+PP"));
-        assert!(s("+ISU") >= s("+PP"), "+ISU {} vs +PP {}", s("+ISU"), s("+PP"));
+        assert!(
+            s("+ISU") >= s("+PP"),
+            "+ISU {} vs +PP {}",
+            s("+ISU"),
+            s("+PP")
+        );
         assert!(s("GoPIM") > 10.0 * s("+ISU"), "GoPIM {}", s("GoPIM"));
         // Energy reductions are positive for the pipeline variants.
-        assert!(rows.iter().filter(|r| r.variant != "Serial").all(|r| r.energy_reduction > 0.0));
+        assert!(rows
+            .iter()
+            .filter(|r| r.variant != "Serial")
+            .all(|r| r.energy_reduction > 0.0));
     }
 }

@@ -25,7 +25,11 @@ pub struct IdleComparisonRow {
 }
 
 /// Runs the Fig. 15 sweep on one dataset.
-pub fn run(config: &RunConfig, dataset: Dataset, micro_batches: &[usize]) -> Vec<IdleComparisonRow> {
+pub fn run(
+    config: &RunConfig,
+    dataset: Dataset,
+    micro_batches: &[usize],
+) -> Vec<IdleComparisonRow> {
     let mut rows = Vec::new();
     for &b in micro_batches {
         let cfg = RunConfig {

@@ -92,7 +92,12 @@ mod tests {
             &TrainOptions::quick_test(),
             3,
         );
-        let at = |theta: f64| rows.iter().find(|r| r.theta == theta).unwrap().test_accuracy;
+        let at = |theta: f64| {
+            rows.iter()
+                .find(|r| r.theta == theta)
+                .unwrap()
+                .test_accuracy
+        };
         assert!(at(1.0) > 0.5, "baseline accuracy {}", at(1.0));
         assert!(
             (at(1.0) - at(0.5)).abs() < 0.15,

@@ -8,9 +8,9 @@
 
 use gopim_graph::datasets::{Dataset, ModelConfig};
 use gopim_graph::generate::power_law_profile;
+use gopim_mapping::SelectivePolicy;
 use gopim_pipeline::latency::LatencyParams;
 use gopim_pipeline::{GcnWorkload, MappingKind, WorkloadOptions};
-use gopim_mapping::SelectivePolicy;
 
 use crate::runner::{run_system_on_profile, RunConfig};
 use crate::system::System;
@@ -89,16 +89,18 @@ fn run_custom(
     // Serial.
     let serial_wl = build(System::Serial);
     let serial_plan = AllocPlan::serial(serial_wl.stages().len());
-    let serial = simulate(&serial_wl, &serial_plan.replicas, &PipelineOptions::serial());
+    let serial = simulate(
+        &serial_wl,
+        &serial_plan.replicas,
+        &PipelineOptions::serial(),
+    );
 
     // GoPIM.
     let wl = build(System::Gopim);
     let budget = total.saturating_sub(wl.base_crossbars());
     let n_mb = wl.num_microbatches();
     let mean_writes: Vec<f64> = (0..wl.stages().len())
-        .map(|i| {
-            (0..n_mb).map(|j| wl.write_ns(i, j)).sum::<f64>() / n_mb as f64 + wl.overhead_ns()
-        })
+        .map(|i| (0..n_mb).map(|j| wl.write_ns(i, j)).sum::<f64>() / n_mb as f64 + wl.overhead_ns())
         .collect();
     let input = gopim_alloc::AllocInput {
         compute_ns: wl.stages().iter().map(|s| s.compute_ns).collect(),
@@ -194,9 +196,6 @@ mod tests {
         };
         let rows = dimension_sweep(&config, &[256, 1024]);
         assert!(rows.iter().all(|r| r.speedup > 1.0), "{rows:?}");
-        assert!(
-            rows[1].speedup < rows[0].speedup,
-            "tapering: {rows:?}"
-        );
+        assert!(rows[1].speedup < rows[0].speedup, "tapering: {rows:?}");
     }
 }

@@ -103,8 +103,8 @@ mod tests {
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.vanilla > 0.28, "{r:?}"); // 7-class stand-in: well above 14% chance
-            // The paper's Table V deltas range −0.65 to +4.01 pp; allow
-            // a wider band for the small synthetic graphs.
+                                                // The paper's Table V deltas range −0.65 to +4.01 pp; allow
+                                                // a wider band for the small synthetic graphs.
             assert!(r.delta_pp.abs() < 15.0, "{r:?}");
             assert_eq!(r.delta_std_pp, 0.0); // single seed
         }

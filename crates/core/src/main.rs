@@ -127,7 +127,13 @@ fn cmd_compare(dataset: Dataset, micro_batch: usize) {
     println!(
         "{}",
         report::table(
-            &["system", "exec time", "speedup", "energy saving", "crossbars"],
+            &[
+                "system",
+                "exec time",
+                "speedup",
+                "energy saving",
+                "crossbars"
+            ],
             &rows
         )
     );
@@ -171,7 +177,11 @@ fn cmd_custom(path: &str, micro_batch: usize) -> Result<(), String> {
         graph.num_vertices(),
         graph.num_edges(),
         graph.avg_degree(),
-        if profile.is_sparse() { "sparse: θ=80%" } else { "dense: θ=50%" },
+        if profile.is_sparse() {
+            "sparse: θ=80%"
+        } else {
+            "dense: θ=50%"
+        },
     );
     // A default 2-layer, 128-dim GCN.
     let model = ModelConfig {
@@ -223,8 +233,9 @@ fn main() {
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
-    let micro_batch_at =
-        |idx: usize| -> Result<usize, String> { parse_micro_batch(args.get(idx).map(String::as_str)) };
+    let micro_batch_at = |idx: usize| -> Result<usize, String> {
+        parse_micro_batch(args.get(idx).map(String::as_str))
+    };
     match cmd {
         "help" | "--help" | "-h" => {
             println!("{HELP}");

@@ -18,11 +18,31 @@ pub struct SpeedupClaim {
 
 /// Fig. 13(a): GoPIM's speedups over the five other systems.
 pub const FIG13_SPEEDUPS: [SpeedupClaim; 5] = [
-    SpeedupClaim { baseline: "Serial", average: 727.6, range: (10.2, 3454.3) },
-    SpeedupClaim { baseline: "SlimGNN-like", average: 2.1, range: (1.4, 2.9) },
-    SpeedupClaim { baseline: "ReGraphX", average: 2.4, range: (1.7, 2.9) },
-    SpeedupClaim { baseline: "ReFlip", average: 45.1, range: (1.1, 191.4) },
-    SpeedupClaim { baseline: "GoPIM-Vanilla", average: 1.5, range: (1.1, 2.0) },
+    SpeedupClaim {
+        baseline: "Serial",
+        average: 727.6,
+        range: (10.2, 3454.3),
+    },
+    SpeedupClaim {
+        baseline: "SlimGNN-like",
+        average: 2.1,
+        range: (1.4, 2.9),
+    },
+    SpeedupClaim {
+        baseline: "ReGraphX",
+        average: 2.4,
+        range: (1.7, 2.9),
+    },
+    SpeedupClaim {
+        baseline: "ReFlip",
+        average: 45.1,
+        range: (1.1, 191.4),
+    },
+    SpeedupClaim {
+        baseline: "GoPIM-Vanilla",
+        average: 1.5,
+        range: (1.1, 2.0),
+    },
 ];
 
 /// Fig. 13(b): average energy-saving factors vs Serial, in system order
@@ -48,8 +68,7 @@ pub const AG_CO_RATIO_AVG: f64 = 247.0;
 
 /// Fig. 15: average idle-percentage reductions (points) at micro-batch
 /// sizes 32/64/128 on ddi.
-pub const FIG15_IDLE_REDUCTIONS: [(usize, f64); 3] =
-    [(32, 46.75), (64, 49.75), (128, 51.75)];
+pub const FIG15_IDLE_REDUCTIONS: [(usize, f64); 3] = [(32, 46.75), (64, 49.75), (128, 51.75)];
 
 /// Table V: ISU accuracy impact in percentage points, per dataset.
 pub const TABLE5_ACCURACY_DELTAS: [(&str, f64); 5] = [

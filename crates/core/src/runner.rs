@@ -109,7 +109,11 @@ fn scaled_profile(profile: &DegreeProfile, retain: f64) -> DegreeProfile {
 }
 
 /// Builds the workload options a system implies for a dataset profile.
-fn workload_options(system: System, profile: &DegreeProfile, config: &RunConfig) -> WorkloadOptions {
+fn workload_options(
+    system: System,
+    profile: &DegreeProfile,
+    config: &RunConfig,
+) -> WorkloadOptions {
     let (mapping, selective) = match system {
         System::Gopim => (
             MappingKind::Interleaved,
@@ -250,8 +254,7 @@ pub fn run_system_on_profile(
         profile.clone()
     };
     let options = workload_options(system, &profile, config);
-    let workload =
-        GcnWorkload::build_custom(dataset.name(), &profile, &dataset.model(), &options);
+    let workload = GcnWorkload::build_custom(dataset.name(), &profile, &dataset.model(), &options);
     finish_run(system.name(), &profile, workload, system, config)
 }
 
@@ -263,7 +266,9 @@ fn finish_run(
     config: &RunConfig,
 ) -> SystemRun {
     let spec = AcceleratorSpec::paper();
-    let total = config.crossbar_budget.unwrap_or_else(|| spec.total_crossbars());
+    let total = config
+        .crossbar_budget
+        .unwrap_or_else(|| spec.total_crossbars());
     let budget = total.saturating_sub(workload.base_crossbars());
     let input = alloc_input(&workload, profile.avg_degree(), budget, &config.estimator);
     let plan = allocate(system, &input, &workload);
@@ -284,7 +289,13 @@ fn finish_run(
         }
     };
     let schedule = simulate(&workload, &plan.replicas, &pipeline_options);
-    let energy = energy_of_run(&spec, &workload, &plan.replicas, &schedule, config.num_batches);
+    let energy = energy_of_run(
+        &spec,
+        &workload,
+        &plan.replicas,
+        &schedule,
+        config.num_batches,
+    );
     SystemRun {
         system_name: name.to_string(),
         dataset_name: workload.name().to_string(),
@@ -322,12 +333,8 @@ pub fn run_ablation(dataset: Dataset, variant: Ablation, config: &RunConfig) -> 
                 repeated_load_rows_per_edge: 0.0,
                 profile_seed: config.profile_seed,
             };
-            let workload = GcnWorkload::build_custom(
-                dataset.name(),
-                &profile,
-                &dataset.model(),
-                &options,
-            );
+            let workload =
+                GcnWorkload::build_custom(dataset.name(), &profile, &dataset.model(), &options);
             // Pipelining without replicas: force a serial plan.
             let spec = AcceleratorSpec::paper();
             let plan = AllocPlan::serial(workload.stages().len());
@@ -337,8 +344,13 @@ pub fn run_ablation(dataset: Dataset, variant: Ablation, config: &RunConfig) -> 
                 num_batches: config.num_batches,
             };
             let schedule = simulate(&workload, &plan.replicas, &pipeline_options);
-            let energy =
-                energy_of_run(&spec, &workload, &plan.replicas, &schedule, config.num_batches);
+            let energy = energy_of_run(
+                &spec,
+                &workload,
+                &plan.replicas,
+                &schedule,
+                config.num_batches,
+            );
             SystemRun {
                 system_name: variant.name().to_string(),
                 dataset_name: workload.name().to_string(),

@@ -182,9 +182,7 @@ mod tests {
         let y = Matrix::from_rows(&[&[0.3], &[1.2], &[-0.7], &[0.9]]);
         let ax = norm.apply(&g, &x);
         let ay = norm.apply(&g, &y);
-        let dot = |a: &Matrix, b: &Matrix| -> f64 {
-            (0..4).map(|i| a[(i, 0)] * b[(i, 0)]).sum()
-        };
+        let dot = |a: &Matrix, b: &Matrix| -> f64 { (0..4).map(|i| a[(i, 0)] * b[(i, 0)]).sum() };
         assert!((dot(&x, &ay) - dot(&y, &ax)).abs() < 1e-12);
     }
 
@@ -222,9 +220,7 @@ mod tests {
         let y = Matrix::from_rows(&[&[0.3], &[1.2], &[-0.7], &[0.9], &[-1.1]]);
         let mx = m.propagate(&g, &x);
         let mty = m.propagate_transpose(&g, &y);
-        let dot = |a: &Matrix, b: &Matrix| -> f64 {
-            (0..5).map(|i| a[(i, 0)] * b[(i, 0)]).sum()
-        };
+        let dot = |a: &Matrix, b: &Matrix| -> f64 { (0..5).map(|i| a[(i, 0)] * b[(i, 0)]).sum() };
         assert!((dot(&x, &mty) - dot(&mx, &y)).abs() < 1e-12);
     }
 

@@ -13,9 +13,9 @@ use gopim_graph::CsrGraph;
 use gopim_linalg::loss::{accuracy, softmax_cross_entropy};
 use gopim_linalg::ops::accumulate;
 use gopim_linalg::Matrix;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use gopim_rng::rngs::SmallRng;
+use gopim_rng::seq::SliceRandom;
+use gopim_rng::SeedableRng;
 
 use crate::aggregate::NormalizedAdjacency;
 use crate::model::GcnModel;

@@ -60,7 +60,11 @@ impl GcnModel {
         for (l, w) in self.weights.iter().enumerate() {
             let combined = h.matmul(w);
             let aggregated = prop.propagate(graph, &combined);
-            h = if l == last { aggregated } else { relu(&aggregated) };
+            h = if l == last {
+                aggregated
+            } else {
+                relu(&aggregated)
+            };
         }
         h
     }
@@ -256,8 +260,8 @@ impl ForwardCaches {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gopim_graph::generate::planted_partition;
     use crate::aggregate::NormalizedAdjacency;
+    use gopim_graph::generate::planted_partition;
     use gopim_linalg::loss::accuracy;
 
     fn features_from_labels(labels: &[u32], classes: usize, noise_seed: u64) -> Matrix {

@@ -5,8 +5,8 @@ use gopim_linalg::init::uniform;
 use gopim_linalg::loss::accuracy;
 use gopim_linalg::Matrix;
 use gopim_mapping::SelectivePolicy;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gopim_rng::rngs::SmallRng;
+use gopim_rng::{Rng, SeedableRng};
 
 use crate::aggregate::NormalizedAdjacency;
 use crate::model::GcnModel;
@@ -107,7 +107,12 @@ pub struct TrainReport {
 /// dimensions. The indicator is deliberately weak relative to the
 /// noise so accuracies land below the ceiling and θ-sensitivity is
 /// visible (Fig. 16).
-pub fn synthetic_features(labels: &[u32], num_classes: usize, extra_dims: usize, seed: u64) -> Matrix {
+pub fn synthetic_features(
+    labels: &[u32],
+    num_classes: usize,
+    extra_dims: usize,
+    seed: u64,
+) -> Matrix {
     let n = labels.len();
     let mut x = uniform(n, num_classes + extra_dims, 0.8, seed);
     for (v, &l) in labels.iter().enumerate() {
@@ -156,28 +161,18 @@ pub fn train_gcn(graph: &CsrGraph, labels: &[u32], options: &TrainOptions) -> Tr
     // Bounded staleness: gradients are computed against a weight
     // snapshot `weight_staleness` epochs old, then applied to the
     // current weights (the asynchrony inter-batch pipelining creates).
-    let mut snapshots: std::collections::VecDeque<GcnModel> =
-        std::collections::VecDeque::new();
+    let mut snapshots: std::collections::VecDeque<GcnModel> = std::collections::VecDeque::new();
     let mut final_loss = 0.0;
     for epoch in 0..options.epochs {
         if options.weight_staleness == 0 {
-            final_loss = model.train_epoch(
-                graph,
-                &norm,
-                &x,
-                labels,
-                &train_mask,
-                cache.as_mut(),
-                epoch,
-            );
+            final_loss =
+                model.train_epoch(graph, &norm, &x, labels, &train_mask, cache.as_mut(), epoch);
         } else {
             snapshots.push_back(model.clone());
             if snapshots.len() > options.weight_staleness {
                 let stale = snapshots.pop_front().expect("non-empty queue");
-                let caches =
-                    stale.forward_with_caches(graph, &norm, &x, cache.as_mut(), epoch);
-                let (loss, delta) =
-                    masked_ce(caches.output(), labels, &train_mask);
+                let caches = stale.forward_with_caches(graph, &norm, &x, cache.as_mut(), epoch);
+                let (loss, delta) = masked_ce(caches.output(), labels, &train_mask);
                 final_loss = loss;
                 let grads = stale.gradients(graph, &norm, &caches, delta);
                 model.apply_gradients(&grads);

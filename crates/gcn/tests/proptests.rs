@@ -1,4 +1,4 @@
-//! Property-based tests for the GCN training engine.
+//! Property-based tests for the GCN training engine (gopim-testkit).
 
 use gopim_gcn::aggregate::NormalizedAdjacency;
 use gopim_gcn::metrics::ConfusionMatrix;
@@ -7,18 +7,15 @@ use gopim_graph::generate::erdos_renyi;
 use gopim_linalg::init::xavier_uniform;
 use gopim_linalg::ops::{add, scale};
 use gopim_linalg::Matrix;
-use proptest::prelude::*;
+use gopim_testkit::prop::{check_with, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn aggregation_is_linear(
-        n in 4usize..60,
-        avg in 1.0f64..8.0,
-        seed in 0u64..100,
-        alpha in -3.0f64..3.0,
-    ) {
+#[test]
+fn aggregation_is_linear() {
+    check_with("aggregation_is_linear", Config::cases(16), |d| {
+        let n = d.draw("n", 4usize..60);
+        let avg = d.draw("avg", 1.0f64..8.0);
+        let seed = d.draw("seed", 0u64..100);
+        let alpha = d.draw("alpha", -3.0f64..3.0);
         let g = erdos_renyi(n, avg, seed);
         let norm = NormalizedAdjacency::new(&g);
         let x = xavier_uniform(n, 3, seed ^ 1);
@@ -27,30 +24,36 @@ proptest! {
         let left = norm.apply(&g, &add(&x, &scale(&y, alpha)));
         let right = add(&norm.apply(&g, &x), &scale(&norm.apply(&g, &y), alpha));
         for (a, b) in left.as_slice().iter().zip(right.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn forward_is_deterministic_and_shaped(
-        n in 4usize..50,
-        seed in 0u64..50,
-    ) {
-        let g = erdos_renyi(n, 3.0, seed);
-        let norm = NormalizedAdjacency::new(&g);
-        let x = xavier_uniform(n, 5, seed);
-        let model = GcnModel::new(&[5, 7, 4], 0.01, seed);
-        let a = model.forward(&g, &norm, &x);
-        let b = model.forward(&g, &norm, &x);
-        prop_assert_eq!(a.shape(), (n, 4));
-        prop_assert_eq!(a, b);
-    }
+#[test]
+fn forward_is_deterministic_and_shaped() {
+    check_with(
+        "forward_is_deterministic_and_shaped",
+        Config::cases(16),
+        |d| {
+            let n = d.draw("n", 4usize..50);
+            let seed = d.draw("seed", 0u64..50);
+            let g = erdos_renyi(n, 3.0, seed);
+            let norm = NormalizedAdjacency::new(&g);
+            let x = xavier_uniform(n, 5, seed);
+            let model = GcnModel::new(&[5, 7, 4], 0.01, seed);
+            let a = model.forward(&g, &norm, &x);
+            let b = model.forward(&g, &norm, &x);
+            assert_eq!(a.shape(), (n, 4));
+            assert_eq!(a, b);
+        },
+    );
+}
 
-    #[test]
-    fn gradients_match_backward_effect(
-        n in 4usize..30,
-        seed in 0u64..50,
-    ) {
+#[test]
+fn gradients_match_backward_effect() {
+    check_with("gradients_match_backward_effect", Config::cases(16), |d| {
+        let n = d.draw("n", 4usize..30);
+        let seed = d.draw("seed", 0u64..50);
         // gradients() + apply_gradients() must equal backward().
         let g = erdos_renyi(n, 3.0, seed);
         let norm = NormalizedAdjacency::new(&g);
@@ -69,30 +72,35 @@ proptest! {
         let out1 = m1.forward(&g, &norm, &x);
         let out2 = m2.forward(&g, &norm, &x);
         for (a, b) in out1.as_slice().iter().zip(out2.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-12);
+            assert!((a - b).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn confusion_matrix_totals_match_inputs(
-        labels in prop::collection::vec(0u32..4, 1..80),
-        pred_shift in 0u32..4,
-    ) {
-        let n = labels.len();
-        let mut logits = Matrix::zeros(n, 4);
-        for (i, &l) in labels.iter().enumerate() {
-            logits[(i, ((l + pred_shift) % 4) as usize)] = 1.0;
-        }
-        let cm = ConfusionMatrix::from_logits(&logits, &labels);
-        let total: usize = (0..4)
-            .flat_map(|a| (0..4).map(move |p| (a, p)))
-            .map(|(a, p)| cm.count(a, p))
-            .sum();
-        prop_assert_eq!(total, n);
-        if pred_shift == 0 {
-            prop_assert_eq!(cm.accuracy(), 1.0);
-        } else {
-            prop_assert_eq!(cm.accuracy(), 0.0);
-        }
-    }
+#[test]
+fn confusion_matrix_totals_match_inputs() {
+    check_with(
+        "confusion_matrix_totals_match_inputs",
+        Config::cases(16),
+        |d| {
+            let labels = d.vec("labels", 1usize..80, |d| d.draw("l", 0u32..4));
+            let pred_shift = d.draw("pred_shift", 0u32..4);
+            let n = labels.len();
+            let mut logits = Matrix::zeros(n, 4);
+            for (i, &l) in labels.iter().enumerate() {
+                logits[(i, ((l + pred_shift) % 4) as usize)] = 1.0;
+            }
+            let cm = ConfusionMatrix::from_logits(&logits, &labels);
+            let total: usize = (0..4)
+                .flat_map(|a| (0..4).map(move |p| (a, p)))
+                .map(|(a, p)| cm.count(a, p))
+                .sum();
+            assert_eq!(total, n);
+            if pred_shift == 0 {
+                assert_eq!(cm.accuracy(), 1.0);
+            } else {
+                assert_eq!(cm.accuracy(), 0.0);
+            }
+        },
+    );
 }

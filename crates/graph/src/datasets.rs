@@ -280,7 +280,13 @@ impl Dataset {
             Dataset::Products => 0.9,
             Dataset::Cora => 0.5,
         };
-        power_law_profile(s.num_vertices, s.avg_degree, exponent, 0.92, seed ^ 0x60_71_6d)
+        power_law_profile(
+            s.num_vertices,
+            s.avg_degree,
+            exponent,
+            0.92,
+            seed ^ 0x60_71_6d,
+        )
     }
 
     /// A numeric-training graph: planted-partition with this dataset's
@@ -371,7 +377,12 @@ mod tests {
             let s = d.stats();
             assert_eq!(p.num_vertices(), s.num_vertices, "{d}");
             let rel = (p.avg_degree() - s.avg_degree).abs() / s.avg_degree;
-            assert!(rel < 0.08, "{d}: avg {} vs {}", p.avg_degree(), s.avg_degree);
+            assert!(
+                rel < 0.08,
+                "{d}: avg {} vs {}",
+                p.avg_degree(),
+                s.avg_degree
+            );
         }
     }
 
@@ -381,7 +392,11 @@ mod tests {
         assert_eq!(g.num_vertices(), 1200);
         assert_eq!(labels.len(), 1200);
         g.validate().unwrap();
-        assert!(g.avg_degree() > 30.0, "dense character kept: {}", g.avg_degree());
+        assert!(
+            g.avg_degree() > 30.0,
+            "dense character kept: {}",
+            g.avg_degree()
+        );
     }
 
     #[test]

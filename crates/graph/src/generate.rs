@@ -11,9 +11,9 @@
 //! - [`chung_lu`], [`erdos_renyi`], [`planted_partition`]: concrete
 //!   [`CsrGraph`]s for the numeric GCN training and mapping experiments.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use gopim_rng::rngs::SmallRng;
+use gopim_rng::seq::SliceRandom;
+use gopim_rng::{Rng, SeedableRng};
 
 use crate::csr::CsrGraph;
 use crate::degree::DegreeProfile;
@@ -236,7 +236,7 @@ pub fn degree_corrected_partition(
     // Power-law propensities, shuffled so degree is independent of the
     // community layout, normalized to mean 1.
     let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-exponent)).collect();
-    use rand::seq::SliceRandom;
+    use gopim_rng::seq::SliceRandom;
     w.shuffle(&mut rng);
     let mean_w: f64 = w.iter().sum::<f64>() / n as f64;
     for v in w.iter_mut() {
@@ -362,7 +362,10 @@ mod tests {
         }
         // Communities are 1/3 of vertices, so random would give
         // intra/inter ≈ 0.5; assortativity 8 pushes it well above 1.
-        assert!(intra as f64 > 1.5 * inter as f64, "intra={intra} inter={inter}");
+        assert!(
+            intra as f64 > 1.5 * inter as f64,
+            "intra={intra} inter={inter}"
+        );
     }
 
     #[test]
@@ -380,7 +383,10 @@ mod tests {
                 inter += 1;
             }
         }
-        assert!(intra as f64 > 1.2 * inter as f64, "intra={intra} inter={inter}");
+        assert!(
+            intra as f64 > 1.2 * inter as f64,
+            "intra={intra} inter={inter}"
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //!   for effective-resistance sampling used by fast GAT sparsifiers;
 //! - [`top_k_neighbors`]: per-vertex degree-based neighbor selection.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gopim_rng::rngs::SmallRng;
+use gopim_rng::{Rng, SeedableRng};
 
 use crate::csr::CsrGraph;
 
@@ -25,10 +25,7 @@ use crate::csr::CsrGraph;
 pub fn drop_edge(graph: &CsrGraph, retain: f64, seed: u64) -> CsrGraph {
     assert!((0.0..=1.0).contains(&retain), "retain must be in [0, 1]");
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xd20b);
-    let edges: Vec<(u32, u32)> = graph
-        .edges()
-        .filter(|_| rng.gen_bool(retain))
-        .collect();
+    let edges: Vec<(u32, u32)> = graph.edges().filter(|_| rng.gen_bool(retain)).collect();
     CsrGraph::from_edges(graph.num_vertices(), &edges)
 }
 
@@ -53,10 +50,7 @@ pub fn effective_resistance_like(graph: &CsrGraph, retain: f64, seed: u64) -> Cs
         edges.iter().map(|e| (c * weight(e)).min(1.0)).sum::<f64>() / edges.len() as f64
     };
     let mut lo = 0.0;
-    let mut hi = edges
-        .iter()
-        .map(|e| 1.0 / weight(e))
-        .fold(0.0f64, f64::max);
+    let mut hi = edges.iter().map(|e| 1.0 / weight(e)).fold(0.0f64, f64::max);
     for _ in 0..60 {
         let mid = 0.5 * (lo + hi);
         if expected(mid) < retain {

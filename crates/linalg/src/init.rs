@@ -1,7 +1,7 @@
 //! Weight initializers.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gopim_rng::rngs::SmallRng;
+use gopim_rng::{Rng, SeedableRng};
 
 use crate::Matrix;
 

@@ -54,7 +54,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Wraps an existing row-major buffer.
@@ -172,14 +176,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of range"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of range"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -5,9 +5,9 @@
 //! (Fig. 9(c)) and settles on a 3-layer 10-256-1 network. [`MlpConfig`]
 //! expresses any such architecture.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use gopim_rng::rngs::SmallRng;
+use gopim_rng::seq::SliceRandom;
+use gopim_rng::SeedableRng;
 
 use crate::activation::{relu, relu_grad};
 use crate::init::xavier_uniform;
@@ -35,7 +35,10 @@ impl MlpConfig {
     /// Panics if fewer than two sizes are given or any size is zero.
     pub fn new(layer_sizes: Vec<usize>) -> Self {
         assert!(layer_sizes.len() >= 2, "need input and output layers");
-        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        assert!(
+            layer_sizes.iter().all(|&s| s > 0),
+            "layer sizes must be positive"
+        );
         MlpConfig { layer_sizes }
     }
 
@@ -95,7 +98,11 @@ impl Mlp {
         let mut weights = Vec::new();
         let mut biases = Vec::new();
         for (i, w) in config.layer_sizes.windows(2).enumerate() {
-            weights.push(xavier_uniform(w[0], w[1], seed.wrapping_add(i as u64 * 7919)));
+            weights.push(xavier_uniform(
+                w[0],
+                w[1],
+                seed.wrapping_add(i as u64 * 7919),
+            ));
             biases.push(Matrix::zeros(1, w[1]));
         }
         Mlp {
@@ -132,18 +139,18 @@ impl Mlp {
     /// Returns `(pre_activations, post_activations)` where
     /// `post_activations[0]` is the input.
     fn forward(&self, x: &Matrix) -> (Vec<Matrix>, Vec<Matrix>) {
-        assert_eq!(
-            x.cols(),
-            self.config.layer_sizes[0],
-            "input width mismatch"
-        );
+        assert_eq!(x.cols(), self.config.layer_sizes[0], "input width mismatch");
         let num_layers = self.weights.len();
         let mut pre = Vec::with_capacity(num_layers);
         let mut post = Vec::with_capacity(num_layers + 1);
         post.push(x.clone());
         for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
             let z = add_bias(&post[i].matmul(w), b);
-            let a = if i + 1 == num_layers { z.clone() } else { relu(&z) };
+            let a = if i + 1 == num_layers {
+                z.clone()
+            } else {
+                relu(&z)
+            };
             pre.push(z);
             post.push(a);
         }
@@ -162,7 +169,11 @@ impl Mlp {
         for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
             inputs.push(act.clone());
             let z = add_bias(&act.matmul(w), b);
-            act = if i + 1 == num_layers { z.clone() } else { relu(&z) };
+            act = if i + 1 == num_layers {
+                z.clone()
+            } else {
+                relu(&z)
+            };
             pre.push(z);
         }
         let (loss, mut delta) = mse(&act, y);

@@ -45,6 +45,6 @@ mod selective;
 
 pub use mapping::{index_based, interleaved, GroupDegreeSummary, VertexMapping};
 pub use selective::{
-    adaptive_theta, update_load, update_rows_per_group, SelectivePolicy, UpdateLoad,
-    DENSE_THETA, SPARSE_THETA, STALE_PERIOD_EPOCHS,
+    adaptive_theta, update_load, update_rows_per_group, SelectivePolicy, UpdateLoad, DENSE_THETA,
+    SPARSE_THETA, STALE_PERIOD_EPOCHS,
 };

@@ -67,7 +67,10 @@ impl VertexMapping {
                 if g.is_empty() {
                     return 0.0;
                 }
-                let sum: u64 = g.iter().map(|&v| u64::from(profile.degree(v as usize))).sum();
+                let sum: u64 = g
+                    .iter()
+                    .map(|&v| u64::from(profile.degree(v as usize)))
+                    .sum();
                 sum as f64 / g.len() as f64
             })
             .collect()
@@ -212,9 +215,7 @@ mod tests {
 
     #[test]
     fn interleaved_beats_index_on_balance() {
-        let p = DegreeProfile::from_degrees(
-            (0..256u32).map(|i| 1 + (i * i) % 977).collect(),
-        );
+        let p = DegreeProfile::from_degrees((0..256u32).map(|i| 1 + (i * i) % 977).collect());
         let idx = index_based(p.num_vertices(), 32).degree_summary(&p);
         let ivl = interleaved(&p, 32).degree_summary(&p);
         let spread = |s: &GroupDegreeSummary| s.max_avg - s.min_avg;

@@ -42,7 +42,10 @@ impl SelectivePolicy {
     pub fn with_theta(theta: f64, stale_period: usize) -> Self {
         assert!((0.0..=1.0).contains(&theta), "theta must be in [0, 1]");
         assert!(stale_period > 0, "stale period must be positive");
-        SelectivePolicy { theta, stale_period }
+        SelectivePolicy {
+            theta,
+            stale_period,
+        }
     }
 
     /// Policy using the paper's adaptive threshold for `profile`.
@@ -166,7 +169,10 @@ mod tests {
         let policy = SelectivePolicy::with_theta(0.5, 20);
         let mask = policy.important_vertices(&p);
         // Degrees 300, 500, 250, 450 are the top four.
-        assert_eq!(mask, vec![true, true, true, true, false, false, false, false]);
+        assert_eq!(
+            mask,
+            vec![true, true, true, true, false, false, false, false]
+        );
     }
 
     #[test]

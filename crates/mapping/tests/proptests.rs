@@ -1,85 +1,105 @@
-//! Property-based tests for the mapping strategies.
+//! Property-based tests for the mapping strategies (gopim-testkit).
 
 use gopim_graph::DegreeProfile;
 use gopim_mapping::{
     adaptive_theta, index_based, interleaved, update_load, SelectivePolicy, DENSE_THETA,
     SPARSE_THETA,
 };
-use proptest::prelude::*;
+use gopim_testkit::prop::{check_with, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn both_mappings_cover_every_vertex_exactly_once() {
+    check_with(
+        "both_mappings_cover_every_vertex_exactly_once",
+        Config::cases(64),
+        |d| {
+            let degrees = d.vec("degrees", 1usize..400, |d| d.draw("deg", 0u32..2000));
+            let capacity = d.draw("capacity", 1usize..100);
+            let profile = DegreeProfile::from_degrees(degrees);
+            let idx = index_based(profile.num_vertices(), capacity);
+            let ivl = interleaved(&profile, capacity);
+            assert!(idx.validate().is_ok());
+            assert!(ivl.validate().is_ok());
+            assert_eq!(idx.num_vertices(), profile.num_vertices());
+            assert_eq!(ivl.num_vertices(), profile.num_vertices());
+            // Same group count: interleaving never needs extra crossbars.
+            assert_eq!(idx.num_groups(), ivl.num_groups());
+        },
+    );
+}
 
-    #[test]
-    fn both_mappings_cover_every_vertex_exactly_once(
-        degrees in prop::collection::vec(0u32..2000, 1..400),
-        capacity in 1usize..100,
-    ) {
-        let profile = DegreeProfile::from_degrees(degrees);
-        let idx = index_based(profile.num_vertices(), capacity);
-        let ivl = interleaved(&profile, capacity);
-        prop_assert!(idx.validate().is_ok());
-        prop_assert!(ivl.validate().is_ok());
-        prop_assert_eq!(idx.num_vertices(), profile.num_vertices());
-        prop_assert_eq!(ivl.num_vertices(), profile.num_vertices());
-        // Same group count: interleaving never needs extra crossbars.
-        prop_assert_eq!(idx.num_groups(), ivl.num_groups());
-    }
+#[test]
+fn interleaved_degree_spread_never_exceeds_index_spread() {
+    check_with(
+        "interleaved_degree_spread_never_exceeds_index_spread",
+        Config::cases(64),
+        |d| {
+            let degrees = d.vec("degrees", 64usize..500, |d| d.draw("deg", 0u32..5000));
+            let capacity = d.pick("capacity", &[16usize, 32, 64]);
+            // Sorted-by-degree input = worst-case index locality.
+            let mut sorted = degrees;
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let profile = DegreeProfile::from_degrees(sorted);
+            let idx = index_based(profile.num_vertices(), capacity).degree_summary(&profile);
+            let ivl = interleaved(&profile, capacity).degree_summary(&profile);
+            assert!(
+                ivl.max_avg - ivl.min_avg <= idx.max_avg - idx.min_avg + 1e-9,
+                "interleaved spread {} vs index {}",
+                ivl.max_avg - ivl.min_avg,
+                idx.max_avg - idx.min_avg
+            );
+            // With equal-size groups the mean of per-group averages is
+            // arrangement-invariant (ragged tails weight groups unevenly).
+            if profile.num_vertices().is_multiple_of(capacity) {
+                assert!((ivl.mean_avg - idx.mean_avg).abs() < 1e-6);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn interleaved_degree_spread_never_exceeds_index_spread(
-        degrees in prop::collection::vec(0u32..5000, 64..500),
-        capacity in prop::sample::select(vec![16usize, 32, 64]),
-    ) {
-        // Sorted-by-degree input = worst-case index locality.
-        let mut sorted = degrees;
-        sorted.sort_unstable_by(|a, b| b.cmp(a));
-        let profile = DegreeProfile::from_degrees(sorted);
-        let idx = index_based(profile.num_vertices(), capacity).degree_summary(&profile);
-        let ivl = interleaved(&profile, capacity).degree_summary(&profile);
-        prop_assert!(
-            ivl.max_avg - ivl.min_avg <= idx.max_avg - idx.min_avg + 1e-9,
-            "interleaved spread {} vs index {}",
-            ivl.max_avg - ivl.min_avg,
-            idx.max_avg - idx.min_avg
-        );
-        // With equal-size groups the mean of per-group averages is
-        // arrangement-invariant (ragged tails weight groups unevenly).
-        if profile.num_vertices().is_multiple_of(capacity) {
-            prop_assert!((ivl.mean_avg - idx.mean_avg).abs() < 1e-6);
-        }
-    }
+#[test]
+fn selective_total_work_is_mapping_independent() {
+    check_with(
+        "selective_total_work_is_mapping_independent",
+        Config::cases(64),
+        |d| {
+            let degrees = d.vec("degrees", 10usize..300, |d| d.draw("deg", 0u32..1000));
+            let theta = d.draw("theta", 0.05f64..1.0);
+            let profile = DegreeProfile::from_degrees(degrees);
+            let policy = SelectivePolicy::with_theta(theta, 20);
+            let mask = policy.important_vertices(&profile);
+            let idx = update_load(&index_based(profile.num_vertices(), 64), &mask);
+            let ivl = update_load(&interleaved(&profile, 64), &mask);
+            assert_eq!(idx.total_rows, ivl.total_rows);
+            assert!(ivl.max_rows_per_group <= idx.max_rows_per_group.max(1));
+            // The selected count is exactly ⌈θ·n⌉.
+            assert_eq!(
+                idx.total_rows,
+                policy
+                    .num_important(profile.num_vertices())
+                    .min(profile.num_vertices())
+            );
+        },
+    );
+}
 
-    #[test]
-    fn selective_total_work_is_mapping_independent(
-        degrees in prop::collection::vec(0u32..1000, 10..300),
-        theta in 0.05f64..1.0,
-    ) {
-        let profile = DegreeProfile::from_degrees(degrees);
-        let policy = SelectivePolicy::with_theta(theta, 20);
-        let mask = policy.important_vertices(&profile);
-        let idx = update_load(&index_based(profile.num_vertices(), 64), &mask);
-        let ivl = update_load(&interleaved(&profile, 64), &mask);
-        prop_assert_eq!(idx.total_rows, ivl.total_rows);
-        prop_assert!(ivl.max_rows_per_group <= idx.max_rows_per_group.max(1));
-        // The selected count is exactly ⌈θ·n⌉.
-        prop_assert_eq!(
-            idx.total_rows,
-            policy.num_important(profile.num_vertices()).min(profile.num_vertices())
-        );
-    }
-
-    #[test]
-    fn adaptive_rule_is_a_threshold_at_degree_eight(avg_x10 in 1u32..300) {
-        let avg = f64::from(avg_x10) / 10.0;
-        let n = 100usize;
-        let degrees = vec![avg.round() as u32; n];
-        let profile = DegreeProfile::from_degrees(degrees);
-        let theta = adaptive_theta(&profile);
-        if profile.avg_degree() <= 8.0 {
-            prop_assert_eq!(theta, SPARSE_THETA);
-        } else {
-            prop_assert_eq!(theta, DENSE_THETA);
-        }
-    }
+#[test]
+fn adaptive_rule_is_a_threshold_at_degree_eight() {
+    check_with(
+        "adaptive_rule_is_a_threshold_at_degree_eight",
+        Config::cases(64),
+        |d| {
+            let avg_x10 = d.draw("avg_x10", 1u32..300);
+            let avg = f64::from(avg_x10) / 10.0;
+            let n = 100usize;
+            let degrees = vec![avg.round() as u32; n];
+            let profile = DegreeProfile::from_degrees(degrees);
+            let theta = adaptive_theta(&profile);
+            if profile.avg_degree() <= 8.0 {
+                assert_eq!(theta, SPARSE_THETA);
+            } else {
+                assert_eq!(theta, DENSE_THETA);
+            }
+        },
+    );
 }

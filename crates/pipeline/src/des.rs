@@ -68,11 +68,7 @@ impl Ord for FreeAt {
 ///
 /// Panics if `replicas.len() != workload.stages().len()` or any count
 /// is zero.
-pub fn simulate_des(
-    workload: &GcnWorkload,
-    replicas: &[usize],
-    model: ReplicaModel,
-) -> DesResult {
+pub fn simulate_des(workload: &GcnWorkload, replicas: &[usize], model: ReplicaModel) -> DesResult {
     let stages = workload.stages();
     assert_eq!(replicas.len(), stages.len(), "one replica count per stage");
     assert!(replicas.iter().all(|&r| r > 0), "replicas must be positive");
@@ -149,7 +145,12 @@ mod tests {
         for model in [ReplicaModel::DiscreteServers, ReplicaModel::InputSplit] {
             let des = simulate_des(&wl, &r, model);
             let rel = (des.makespan_ns - analytic.makespan_ns).abs() / analytic.makespan_ns;
-            assert!(rel < 1e-9, "{model:?}: {} vs {}", des.makespan_ns, analytic.makespan_ns);
+            assert!(
+                rel < 1e-9,
+                "{model:?}: {} vs {}",
+                des.makespan_ns,
+                analytic.makespan_ns
+            );
         }
     }
 
@@ -213,10 +214,7 @@ mod tests {
             // Completion order can interleave across servers, but the
             // final stage's completion drives the next micro-batch's
             // dependency chain, which the makespan reflects.
-            let max = des.completions_ns[i]
-                .iter()
-                .cloned()
-                .fold(0.0, f64::max);
+            let max = des.completions_ns[i].iter().cloned().fold(0.0, f64::max);
             assert!(max <= des.makespan_ns + 1e-9);
         }
     }

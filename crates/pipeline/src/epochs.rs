@@ -119,7 +119,10 @@ mod tests {
         assert_eq!(tl.refresh_epochs, vec![0, 20]);
         let refresh_ns = tl.epoch_makespans_ns[0];
         let steady_ns = tl.epoch_makespans_ns[1];
-        assert!(refresh_ns > steady_ns, "refresh {refresh_ns} vs steady {steady_ns}");
+        assert!(
+            refresh_ns > steady_ns,
+            "refresh {refresh_ns} vs steady {steady_ns}"
+        );
     }
 
     #[test]
@@ -148,7 +151,12 @@ mod tests {
         let rel = (tl.total_ns() - amortized_total).abs() / amortized_total;
         // Writes are a modest share of epoch time, so the exact schedule
         // and the amortized average agree closely.
-        assert!(rel < 0.1, "timeline {} vs amortized {}", tl.total_ns(), amortized_total);
+        assert!(
+            rel < 0.1,
+            "timeline {} vs amortized {}",
+            tl.total_ns(),
+            amortized_total
+        );
     }
 
     #[test]

@@ -171,9 +171,7 @@ mod tests {
     #[test]
     fn combination_is_linear_in_batch() {
         let p = LatencyParams::paper();
-        assert!(
-            (p.combination_compute_ns(128) - 2.0 * p.combination_compute_ns(64)).abs() < 1e-9
-        );
+        assert!((p.combination_compute_ns(128) - 2.0 * p.combination_compute_ns(64)).abs() < 1e-9);
     }
 
     #[test]

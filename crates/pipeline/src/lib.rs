@@ -44,6 +44,8 @@ pub mod stage;
 pub mod trace;
 pub mod workload;
 
-pub use schedule::{simulate, simulate_traced, PipelineOptions, PipelineResult, StageActivity, TraceEvent};
+pub use schedule::{
+    simulate, simulate_traced, PipelineOptions, PipelineResult, StageActivity, TraceEvent,
+};
 pub use stage::{StageKind, StageSpec};
 pub use workload::{GcnWorkload, MappingKind, WorkloadOptions};

@@ -167,11 +167,7 @@ fn simulate_with_sink(
     sink: &mut dyn FnMut(TraceEvent),
 ) -> PipelineResult {
     let stages = workload.stages();
-    assert_eq!(
-        replicas.len(),
-        stages.len(),
-        "one replica count per stage"
-    );
+    assert_eq!(replicas.len(), stages.len(), "one replica count per stage");
     assert!(
         replicas.iter().all(|&r| r > 0),
         "every stage needs at least one replica"
@@ -212,7 +208,14 @@ fn simulate_with_sink(
             }
         }
         makespan = t;
-        return finish(workload, busy_compute, busy_write, active_ns, makespan, replicas);
+        return finish(
+            workload,
+            busy_compute,
+            busy_write,
+            active_ns,
+            makespan,
+            replicas,
+        );
     }
 
     // Pipelined simulation.
@@ -283,7 +286,14 @@ fn simulate_with_sink(
         batch_barrier = batch_end;
         makespan = makespan.max(batch_end);
     }
-    finish(workload, busy_compute, busy_write, active_ns, makespan, replicas)
+    finish(
+        workload,
+        busy_compute,
+        busy_write,
+        active_ns,
+        makespan,
+        replicas,
+    )
 }
 
 fn finish(
@@ -329,8 +339,8 @@ fn finish(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gopim_graph::datasets::Dataset;
     use crate::workload::{GcnWorkload, WorkloadOptions};
+    use gopim_graph::datasets::Dataset;
 
     fn ddi() -> GcnWorkload {
         GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default())
@@ -341,8 +351,7 @@ mod tests {
         let wl = ddi();
         let r = vec![1; wl.stages().len()];
         let res = simulate(&wl, &r, &PipelineOptions::serial());
-        let overhead_total =
-            wl.overhead_ns() * (wl.num_microbatches() * wl.stages().len()) as f64;
+        let overhead_total = wl.overhead_ns() * (wl.num_microbatches() * wl.stages().len()) as f64;
         assert!((res.makespan_ns - res.total_service_ns - overhead_total).abs() < 1e-3);
     }
 
@@ -401,7 +410,12 @@ mod tests {
         let t_max = services.iter().cloned().fold(0.0, f64::max);
         let closed = services.iter().sum::<f64>() + (n_mb - 1.0) * t_max;
         let rel = (res.makespan_ns - closed).abs() / closed;
-        assert!(rel < 0.05, "simulated {} vs closed-form {}", res.makespan_ns, closed);
+        assert!(
+            rel < 0.05,
+            "simulated {} vs closed-form {}",
+            res.makespan_ns,
+            closed
+        );
     }
 
     #[test]
@@ -430,7 +444,12 @@ mod tests {
         let res = simulate(&wl, &vec![1; s], &PipelineOptions::intra_only());
         for st in &res.stages {
             if st.name.starts_with("CO") {
-                assert!(st.idle_fraction > 0.9, "{}: idle {}", st.name, st.idle_fraction);
+                assert!(
+                    st.idle_fraction > 0.9,
+                    "{}: idle {}",
+                    st.name,
+                    st.idle_fraction
+                );
             }
         }
     }

@@ -91,12 +91,7 @@ impl GcnWorkload {
     /// Table III statistics and Table IV model.
     pub fn build(dataset: Dataset, options: &WorkloadOptions) -> Self {
         let profile = dataset.profile(options.profile_seed);
-        Self::build_custom(
-            dataset.name(),
-            &profile,
-            &dataset.model(),
-            options,
-        )
+        Self::build_custom(dataset.name(), &profile, &dataset.model(), options)
     }
 
     /// Builds a workload from an explicit degree profile and model
@@ -191,13 +186,12 @@ impl GcnWorkload {
                     let compute = params.combination_compute_ns(b);
                     // Weight rewrite once per batch, serial within a
                     // crossbar (≤64 rows), amortized per micro-batch.
-                    let weight_write_epoch =
-                        in_dim.min(capacity) as f64 * params.row_write_ns();
+                    let weight_write_epoch = in_dim.min(capacity) as f64 * params.row_write_ns();
                     let write = weight_write_epoch / n_mb as f64;
                     let col_tiles = out_dim.div_ceil(spec.crossbar_cols);
-                    let rows_written = in_dim as f64 * col_tiles as f64
-                        * spec.differential_pairs as f64
-                        / n_mb as f64;
+                    let rows_written =
+                        in_dim as f64 * col_tiles as f64 * spec.differential_pairs as f64
+                            / n_mb as f64;
                     write_profiles.push(vec![write; n_mb]);
                     StageSpec {
                         kind,
@@ -217,12 +211,8 @@ impl GcnWorkload {
                     let xbars = tiling::crossbars_for_matrix(spec, n, out_dim);
                     let col_tiles = out_dim.div_ceil(spec.crossbar_cols);
                     let width = (col_tiles * spec.differential_pairs) as f64;
-                    let base_compute = params.aggregation_compute_ns(
-                        b,
-                        avg_degree,
-                        groups,
-                        edges_per_mb,
-                    );
+                    let base_compute =
+                        params.aggregation_compute_ns(b, avg_degree, groups, edges_per_mb);
                     let compute = if kind == StageKind::Aggregation {
                         base_compute
                     } else {
@@ -249,8 +239,7 @@ impl GcnWorkload {
                     } else {
                         (vec![0.0; n_mb], 0.0)
                     };
-                    let mean_write =
-                        per_mb_write.iter().sum::<f64>() / n_mb as f64;
+                    let mean_write = per_mb_write.iter().sum::<f64>() / n_mb as f64;
                     write_profiles.push(per_mb_write);
                     StageSpec {
                         kind,
@@ -331,11 +320,7 @@ impl GcnWorkload {
 
 /// Convenience: a [`VertexMapping`] for this dataset under the given
 /// kind (used by the Fig. 6 analysis binaries).
-pub fn mapping_for(
-    profile: &DegreeProfile,
-    kind: MappingKind,
-    capacity: usize,
-) -> VertexMapping {
+pub fn mapping_for(profile: &DegreeProfile, kind: MappingKind, capacity: usize) -> VertexMapping {
     match kind {
         MappingKind::IndexBased => index_based(profile.num_vertices(), capacity),
         MappingKind::Interleaved => interleaved(profile, capacity),

@@ -1,10 +1,10 @@
-//! Property-based tests for workload construction.
+//! Property-based tests for workload construction (gopim-testkit).
 
 use gopim_graph::datasets::ModelConfig;
 use gopim_graph::generate::power_law_profile;
 use gopim_mapping::SelectivePolicy;
 use gopim_pipeline::{GcnWorkload, MappingKind, WorkloadOptions};
-use proptest::prelude::*;
+use gopim_testkit::prop::{check_with, Config};
 
 fn model(layers: usize) -> ModelConfig {
     ModelConfig {
@@ -17,80 +17,87 @@ fn model(layers: usize) -> ModelConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn workload_structure_is_consistent(
-        n in 64usize..4000,
-        avg in 2.0f64..60.0,
-        layers in 2usize..4,
-        b in prop::sample::select(vec![16usize, 32, 64, 128]),
-    ) {
+#[test]
+fn workload_structure_is_consistent() {
+    check_with("workload_structure_is_consistent", Config::cases(24), |d| {
+        let n = d.draw("n", 64usize..4000);
+        let avg = d.draw("avg", 2.0f64..60.0);
+        let layers = d.draw("layers", 2usize..4);
+        let b = d.pick("b", &[16usize, 32, 64, 128]);
         let profile = power_law_profile(n, avg, 0.8, 0.9, 3);
         let options = WorkloadOptions {
             micro_batch: b,
             ..WorkloadOptions::default()
         };
         let wl = GcnWorkload::build_custom("prop", &profile, &model(layers), &options);
-        prop_assert_eq!(wl.stages().len(), 4 * layers);
-        prop_assert_eq!(wl.num_microbatches(), n.div_ceil(b));
+        assert_eq!(wl.stages().len(), 4 * layers);
+        assert_eq!(wl.num_microbatches(), n.div_ceil(b));
         for (i, st) in wl.stages().iter().enumerate() {
-            prop_assert_eq!(st.index, i);
-            prop_assert!(st.compute_ns > 0.0);
-            prop_assert!(st.crossbars_per_replica >= 2);
+            assert_eq!(st.index, i);
+            assert!(st.compute_ns > 0.0);
+            assert!(st.crossbars_per_replica >= 2);
             for j in 0..wl.num_microbatches() {
-                prop_assert!(wl.write_ns(i, j) >= 0.0);
+                assert!(wl.write_ns(i, j) >= 0.0);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn interleaving_never_increases_the_worst_write(
-        n in 128usize..4000,
-        avg in 2.0f64..80.0,
-        theta in 0.2f64..1.0,
-    ) {
-        let profile = power_law_profile(n, avg, 0.9, 0.95, 5);
-        let policy = SelectivePolicy::with_theta(theta, 20);
-        let build = |mapping: MappingKind| {
-            let options = WorkloadOptions {
-                mapping,
-                selective: Some(policy),
-                ..WorkloadOptions::default()
+#[test]
+fn interleaving_never_increases_the_worst_write() {
+    check_with(
+        "interleaving_never_increases_the_worst_write",
+        Config::cases(24),
+        |d| {
+            let n = d.draw("n", 128usize..4000);
+            let avg = d.draw("avg", 2.0f64..80.0);
+            let theta = d.draw("theta", 0.2f64..1.0);
+            let profile = power_law_profile(n, avg, 0.9, 0.95, 5);
+            let policy = SelectivePolicy::with_theta(theta, 20);
+            let build = |mapping: MappingKind| {
+                let options = WorkloadOptions {
+                    mapping,
+                    selective: Some(policy),
+                    ..WorkloadOptions::default()
+                };
+                GcnWorkload::build_custom("prop", &profile, &model(2), &options)
             };
-            GcnWorkload::build_custom("prop", &profile, &model(2), &options)
-        };
-        let osu = build(MappingKind::IndexBased);
-        let isu = build(MappingKind::Interleaved);
-        let worst = |wl: &GcnWorkload| -> f64 {
-            (0..wl.num_microbatches())
-                .map(|j| wl.write_ns(1, j))
-                .fold(0.0, f64::max)
-        };
-        prop_assert!(worst(&isu) <= worst(&osu) + 1e-9);
-    }
+            let osu = build(MappingKind::IndexBased);
+            let isu = build(MappingKind::Interleaved);
+            let worst = |wl: &GcnWorkload| -> f64 {
+                (0..wl.num_microbatches())
+                    .map(|j| wl.write_ns(1, j))
+                    .fold(0.0, f64::max)
+            };
+            assert!(worst(&isu) <= worst(&osu) + 1e-9);
+        },
+    );
+}
 
-    #[test]
-    fn selective_updating_never_increases_writes(
-        n in 128usize..3000,
-        avg in 2.0f64..60.0,
-    ) {
-        let profile = power_law_profile(n, avg, 0.8, 0.9, 7);
-        let build = |selective: Option<SelectivePolicy>| {
-            let options = WorkloadOptions {
-                mapping: MappingKind::Interleaved,
-                selective,
-                ..WorkloadOptions::default()
+#[test]
+fn selective_updating_never_increases_writes() {
+    check_with(
+        "selective_updating_never_increases_writes",
+        Config::cases(24),
+        |d| {
+            let n = d.draw("n", 128usize..3000);
+            let avg = d.draw("avg", 2.0f64..60.0);
+            let profile = power_law_profile(n, avg, 0.8, 0.9, 7);
+            let build = |selective: Option<SelectivePolicy>| {
+                let options = WorkloadOptions {
+                    mapping: MappingKind::Interleaved,
+                    selective,
+                    ..WorkloadOptions::default()
+                };
+                GcnWorkload::build_custom("prop", &profile, &model(2), &options)
             };
-            GcnWorkload::build_custom("prop", &profile, &model(2), &options)
-        };
-        let full = build(None);
-        let selective = build(Some(SelectivePolicy::with_theta(0.5, 20)));
-        let total = |wl: &GcnWorkload| -> f64 {
-            (0..wl.num_microbatches()).map(|j| wl.write_ns(1, j)).sum()
-        };
-        prop_assert!(total(&selective) <= total(&full) + 1e-9);
-        prop_assert!(selective.stages()[1].rows_written <= full.stages()[1].rows_written + 1e-9);
-    }
+            let full = build(None);
+            let selective = build(Some(SelectivePolicy::with_theta(0.5, 20)));
+            let total = |wl: &GcnWorkload| -> f64 {
+                (0..wl.num_microbatches()).map(|j| wl.write_ns(1, j)).sum()
+            };
+            assert!(total(&selective) <= total(&full) + 1e-9);
+            assert!(selective.stages()[1].rows_written <= full.stages()[1].rows_written + 1e-9);
+        },
+    );
 }

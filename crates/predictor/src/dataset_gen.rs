@@ -9,8 +9,8 @@ use gopim_graph::datasets::ModelConfig;
 use gopim_graph::generate::power_law_profile;
 use gopim_linalg::Matrix;
 use gopim_pipeline::{GcnWorkload, WorkloadOptions};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gopim_rng::rngs::SmallRng;
+use gopim_rng::{Rng, SeedableRng};
 
 use crate::features::{stage_features, NUM_FEATURES};
 
@@ -159,7 +159,11 @@ mod tests {
     #[test]
     fn targets_are_in_sane_range() {
         let s = generate_samples(60, 4);
-        assert!(s.y.iter().all(|&t| t > 0.0 && t < 2.0), "targets {:?}", &s.y[..5]);
+        assert!(
+            s.y.iter().all(|&t| t > 0.0 && t < 2.0),
+            "targets {:?}",
+            &s.y[..5]
+        );
     }
 
     #[test]

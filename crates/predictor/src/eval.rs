@@ -1,9 +1,9 @@
 //! Evaluation utilities: RMSE (the paper's Fig. 9 metric), train/test
 //! splitting and the prediction-accuracy measure of §VII-G.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use gopim_rng::rngs::SmallRng;
+use gopim_rng::seq::SliceRandom;
+use gopim_rng::SeedableRng;
 
 use gopim_linalg::Matrix;
 

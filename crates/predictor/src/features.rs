@@ -27,7 +27,11 @@ pub const NUM_FEATURES: usize = 10;
 /// transform of `1 − s` given `N`): the raw ratio collapses to ≈1 for
 /// every large graph, starving the model of the density signal that
 /// drives aggregation time.
-pub fn stage_features(workload: &GcnWorkload, stage: &StageSpec, avg_degree: f64) -> [f64; NUM_FEATURES] {
+pub fn stage_features(
+    workload: &GcnWorkload,
+    stage: &StageSpec,
+    avg_degree: f64,
+) -> [f64; NUM_FEATURES] {
     let b = workload.micro_batch() as f64;
     let n = workload.num_vertices() as f64;
     let mut f = [0.0; NUM_FEATURES];

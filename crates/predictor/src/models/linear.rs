@@ -174,13 +174,10 @@ mod tests {
     #[test]
     fn solves_exact_linear_system() {
         // y = 3a − 2b + 1, no noise: OLS recovers it exactly.
-        let x = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-            &[2.0, -1.0],
-        ]);
-        let y: Vec<f64> = (0..4).map(|i| 3.0 * x[(i, 0)] - 2.0 * x[(i, 1)] + 1.0).collect();
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, -1.0]]);
+        let y: Vec<f64> = (0..4)
+            .map(|i| 3.0 * x[(i, 0)] - 2.0 * x[(i, 1)] + 1.0)
+            .collect();
         let mut lr = LinearRegression::new();
         lr.fit(&x, &y);
         let pred = lr.predict(&x);

@@ -37,8 +37,8 @@ pub trait Regressor {
 #[cfg(test)]
 pub(crate) mod test_support {
     use gopim_linalg::Matrix;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use gopim_rng::rngs::SmallRng;
+    use gopim_rng::{Rng, SeedableRng};
 
     /// A noisy nonlinear regression problem all model tests share.
     pub fn toy_problem(n: usize, seed: u64) -> (Matrix, Vec<f64>) {

@@ -28,7 +28,13 @@ impl TimePredictor {
     /// # Panics
     ///
     /// Panics if the sample set is empty or `depth < 2`.
-    pub fn train(samples: &SampleSet, depth: usize, hidden: usize, epochs: usize, seed: u64) -> Self {
+    pub fn train(
+        samples: &SampleSet,
+        depth: usize,
+        hidden: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
         assert!(!samples.is_empty(), "cannot train on empty samples");
         let norm = Normalizer::fit(&samples.x);
         let x = norm.transform(&samples.x);

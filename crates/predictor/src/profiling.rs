@@ -51,7 +51,10 @@ mod tests {
         let wl = GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default());
         let run = profile(&wl);
         assert_eq!(run.stage_times_ns.len(), 8);
-        assert!((run.stage_times_ns[0] - (wl.stages()[0].compute_ns + wl.stages()[0].write_ns)).abs() < 1.0);
+        assert!(
+            (run.stage_times_ns[0] - (wl.stages()[0].compute_ns + wl.stages()[0].write_ns)).abs()
+                < 1.0
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Property-based tests for the predictor stack.
+//! Property-based tests for the predictor stack (gopim-testkit).
 
 use gopim_linalg::Matrix;
 use gopim_predictor::eval::rmse;
@@ -6,12 +6,14 @@ use gopim_predictor::models::{
     BayesianRidge, DecisionTree, GradientBoostedTrees, LinearRegression, LinearSvr, Regressor,
 };
 use gopim_predictor::Normalizer;
-use proptest::prelude::*;
+use gopim_testkit::prop::{check_with, Config};
 
 /// Deterministic pseudo-random regression problem: a noisy linear
 /// function of three features.
 fn problem(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
-    let val = |i: u64| -> f64 { (((i.wrapping_mul(seed * 2 + 1) * 2654435761) >> 8) % 2000) as f64 / 1000.0 - 1.0 };
+    let val = |i: u64| -> f64 {
+        (((i.wrapping_mul(seed * 2 + 1) * 2654435761) >> 8) % 2000) as f64 / 1000.0 - 1.0
+    };
     let mut x = Matrix::zeros(n, 3);
     let mut y = Vec::with_capacity(n);
     for i in 0..n {
@@ -29,69 +31,80 @@ fn variance(y: &[f64]) -> f64 {
     y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / y.len() as f64
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn every_regressor_beats_the_mean_on_training_data() {
+    check_with(
+        "every_regressor_beats_the_mean_on_training_data",
+        Config::cases(12),
+        |d| {
+            let n = d.draw("n", 60usize..200);
+            let seed = d.draw("seed", 1u64..200);
+            let (x, y) = problem(n, seed);
+            let baseline = variance(&y).sqrt();
+            let models: Vec<Box<dyn Regressor>> = vec![
+                Box::new(LinearRegression::new()),
+                Box::new(BayesianRidge::new()),
+                Box::new(DecisionTree::default()),
+                Box::new(GradientBoostedTrees::default()),
+                Box::new(LinearSvr::default()),
+            ];
+            for mut model in models {
+                model.fit(&x, &y);
+                let err = rmse(&model.predict(&x), &y);
+                assert!(
+                    err < baseline,
+                    "{} rmse {err} vs std {baseline}",
+                    model.name()
+                );
+            }
+        },
+    );
+}
 
-    #[test]
-    fn every_regressor_beats_the_mean_on_training_data(
-        n in 60usize..200,
-        seed in 1u64..200,
-    ) {
-        let (x, y) = problem(n, seed);
-        let baseline = variance(&y).sqrt();
-        let models: Vec<Box<dyn Regressor>> = vec![
-            Box::new(LinearRegression::new()),
-            Box::new(BayesianRidge::new()),
-            Box::new(DecisionTree::default()),
-            Box::new(GradientBoostedTrees::default()),
-            Box::new(LinearSvr::default()),
-        ];
-        for mut model in models {
-            model.fit(&x, &y);
-            let err = rmse(&model.predict(&x), &y);
-            prop_assert!(
-                err < baseline,
-                "{} rmse {err} vs std {baseline}",
-                model.name()
-            );
-        }
-    }
+#[test]
+fn normalizer_transform_is_invertible_statistics() {
+    check_with(
+        "normalizer_transform_is_invertible_statistics",
+        Config::cases(12),
+        |d| {
+            let n = d.draw("n", 10usize..100);
+            let seed = d.draw("seed", 1u64..100);
+            let (x, _) = problem(n, seed);
+            let norm = Normalizer::fit(&x);
+            let t = norm.transform(&x);
+            // Column means ≈ 0 and stds ≈ 1 after transform.
+            for j in 0..t.cols() {
+                let mean: f64 = (0..n).map(|i| t[(i, j)]).sum::<f64>() / n as f64;
+                assert!(mean.abs() < 1e-9, "col {j} mean {mean}");
+                let var: f64 = (0..n).map(|i| (t[(i, j)] - mean).powi(2)).sum::<f64>() / n as f64;
+                assert!((var - 1.0).abs() < 1e-6 || var < 1e-12, "col {j} var {var}");
+            }
+            // Row transform matches matrix transform.
+            let row0 = norm.transform_row(x.row(0));
+            for j in 0..t.cols() {
+                assert!((row0[j] - t[(0, j)]).abs() < 1e-12);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn normalizer_transform_is_invertible_statistics(
-        n in 10usize..100,
-        seed in 1u64..100,
-    ) {
-        let (x, _) = problem(n, seed);
-        let norm = Normalizer::fit(&x);
-        let t = norm.transform(&x);
-        // Column means ≈ 0 and stds ≈ 1 after transform.
-        for j in 0..t.cols() {
-            let mean: f64 = (0..n).map(|i| t[(i, j)]).sum::<f64>() / n as f64;
-            prop_assert!(mean.abs() < 1e-9, "col {j} mean {mean}");
-            let var: f64 = (0..n).map(|i| (t[(i, j)] - mean).powi(2)).sum::<f64>() / n as f64;
-            prop_assert!((var - 1.0).abs() < 1e-6 || var < 1e-12, "col {j} var {var}");
-        }
-        // Row transform matches matrix transform.
-        let row0 = norm.transform_row(x.row(0));
-        for j in 0..t.cols() {
-            prop_assert!((row0[j] - t[(0, j)]).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn tree_predictions_are_within_the_target_range(
-        n in 40usize..150,
-        seed in 1u64..100,
-    ) {
-        let (x, y) = problem(n, seed);
-        let mut tree = DecisionTree::default();
-        tree.fit(&x, &y);
-        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        for p in tree.predict(&x) {
-            // Leaf values are means of training targets.
-            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
-        }
-    }
+#[test]
+fn tree_predictions_are_within_the_target_range() {
+    check_with(
+        "tree_predictions_are_within_the_target_range",
+        Config::cases(12),
+        |d| {
+            let n = d.draw("n", 40usize..150);
+            let seed = d.draw("seed", 1u64..100);
+            let (x, y) = problem(n, seed);
+            let mut tree = DecisionTree::default();
+            tree.fit(&x, &y);
+            let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for p in tree.predict(&x) {
+                // Leaf values are means of training targets.
+                assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            }
+        },
+    );
 }

@@ -75,7 +75,11 @@ mod tests {
         let spec = AcceleratorSpec::paper();
         let a = area_breakdown(&spec);
         let array_only = spec.crossbars_per_pe as f64 * spec.crossbar.area_mm2;
-        assert!(array_only < 0.2 * a.pe_mm2, "array {array_only} of PE {}", a.pe_mm2);
+        assert!(
+            array_only < 0.2 * a.pe_mm2,
+            "array {array_only} of PE {}",
+            a.pe_mm2
+        );
     }
 
     #[test]

@@ -180,8 +180,8 @@ impl FunctionalCrossbar {
             }
             // Dequantize: weights were scaled by 2^15/weight_scale and
             // inputs by 2^15/input_range.
-            out[c] = acc as f64 * self.weight_scale * input_range
-                / (in_scale as f64 * in_scale as f64);
+            out[c] =
+                acc as f64 * self.weight_scale * input_range / (in_scale as f64 * in_scale as f64);
         }
         out
     }
@@ -240,7 +240,11 @@ mod tests {
         let w = vec![vec![5.0]];
         let xbar = FunctionalCrossbar::program(&spec, &w, 1.0);
         let y = xbar.mvm(&[1.0], 1.0);
-        assert!((y[0] - 1.0).abs() < 1e-3, "clamped to full scale, got {}", y[0]);
+        assert!(
+            (y[0] - 1.0).abs() < 1e-3,
+            "clamped to full scale, got {}",
+            y[0]
+        );
     }
 
     #[test]
@@ -262,7 +266,11 @@ mod tests {
         // inference relies on.
         let spec = AcceleratorSpec::paper();
         let w: Vec<Vec<f64>> = (0..32)
-            .map(|r| (0..8).map(|c| ((r * 8 + c) as f64 * 0.21).sin() * 0.7).collect())
+            .map(|r| {
+                (0..8)
+                    .map(|c| ((r * 8 + c) as f64 * 0.21).sin() * 0.7)
+                    .collect()
+            })
             .collect();
         let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.17).cos() * 0.8).collect();
         let clean = FunctionalCrossbar::program(&spec, &w, 1.0);
@@ -270,7 +278,11 @@ mod tests {
         noisy.inject_variation(0.05, 42);
         let y_clean = clean.mvm(&x, 1.0);
         let y_noisy = noisy.mvm(&x, 1.0);
-        let scale = y_clean.iter().map(|v| v.abs()).fold(0.0, f64::max).max(1e-9);
+        let scale = y_clean
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0, f64::max)
+            .max(1e-9);
         for (a, b) in y_clean.iter().zip(&y_noisy) {
             assert!(
                 (a - b).abs() < 0.15 * scale,
@@ -278,7 +290,10 @@ mod tests {
             );
         }
         // But the perturbation is real: outputs differ.
-        assert!(y_clean.iter().zip(&y_noisy).any(|(a, b)| (a - b).abs() > 1e-6));
+        assert!(y_clean
+            .iter()
+            .zip(&y_noisy)
+            .any(|(a, b)| (a - b).abs() > 1e-6));
     }
 
     #[test]

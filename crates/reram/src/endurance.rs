@@ -41,12 +41,9 @@ impl WearProfile {
             "need at least one crossbar group"
         );
         let denom = rows_per_group.max(1) as f64;
-        let max = rows_per_group_per_epoch
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max);
-        let mean = rows_per_group_per_epoch.iter().sum::<f64>()
-            / rows_per_group_per_epoch.len() as f64;
+        let max = rows_per_group_per_epoch.iter().cloned().fold(0.0, f64::max);
+        let mean =
+            rows_per_group_per_epoch.iter().sum::<f64>() / rows_per_group_per_epoch.len() as f64;
         WearProfile {
             max_row_writes_per_epoch: max / denom,
             mean_row_writes_per_epoch: mean / denom,

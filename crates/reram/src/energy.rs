@@ -44,8 +44,10 @@ impl EnergyModel {
         // serve its 32 crossbars (1 ADC-share each), plus the DAC,
         // sample-and-hold and shift-add shares.
         let adc_share = spec.adc.power_mw / spec.crossbars_per_pe as f64;
-        let periphery =
-            adc_share + spec.dac.power_mw + spec.sample_hold.power_mw + spec.shift_add.power_mw / 2.0;
+        let periphery = adc_share
+            + spec.dac.power_mw
+            + spec.sample_hold.power_mw
+            + spec.shift_add.power_mw / 2.0;
         let read_power = spec.crossbar.power_mw + periphery;
         EnergyModel {
             read_power_per_crossbar_mw: read_power,

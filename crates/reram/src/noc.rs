@@ -115,10 +115,7 @@ mod tests {
 
     #[test]
     fn expected_hops_matches_uniform_sampling() {
-        let m = MeshNoc {
-            side: 16,
-            ..mesh()
-        };
+        let m = MeshNoc { side: 16, ..mesh() };
         // Exhaustive average over all pairs.
         let n = 16 * 16;
         let mut total = 0usize;

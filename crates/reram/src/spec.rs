@@ -100,21 +100,66 @@ impl AcceleratorSpec {
             read_latency_ns: 29.31,
             write_latency_ns: 50.88,
             concurrent_write_rows: 4_096,
-            adc: ComponentSpec { power_mw: 64.0, area_mm2: 0.0384 },
-            dac: ComponentSpec { power_mw: 0.5, area_mm2: 0.00034 },
-            sample_hold: ComponentSpec { power_mw: 0.02, area_mm2: 0.00008 },
-            crossbar: ComponentSpec { power_mw: 6.2, area_mm2: 0.00051 },
-            input_register: ComponentSpec { power_mw: 2.32, area_mm2: 0.0038 },
-            output_register: ComponentSpec { power_mw: 0.42, area_mm2: 0.0014 },
-            shift_add: ComponentSpec { power_mw: 0.8, area_mm2: 0.00096 },
-            input_buffer: ComponentSpec { power_mw: 7.95, area_mm2: 0.034 },
-            crossbar_buffer: ComponentSpec { power_mw: 59.42, area_mm2: 0.208 },
-            output_buffer: ComponentSpec { power_mw: 1.28, area_mm2: 0.0041 },
-            nfu: ComponentSpec { power_mw: 2.04, area_mm2: 0.0024 },
-            pfu: ComponentSpec { power_mw: 3.2, area_mm2: 0.00192 },
-            weight_computer: ComponentSpec { power_mw: 99.6, area_mm2: 3.21 },
-            activation_module: ComponentSpec { power_mw: 0.0266, area_mm2: 0.0030 },
-            central_controller: ComponentSpec { power_mw: 580.41, area_mm2: 2.65 },
+            adc: ComponentSpec {
+                power_mw: 64.0,
+                area_mm2: 0.0384,
+            },
+            dac: ComponentSpec {
+                power_mw: 0.5,
+                area_mm2: 0.00034,
+            },
+            sample_hold: ComponentSpec {
+                power_mw: 0.02,
+                area_mm2: 0.00008,
+            },
+            crossbar: ComponentSpec {
+                power_mw: 6.2,
+                area_mm2: 0.00051,
+            },
+            input_register: ComponentSpec {
+                power_mw: 2.32,
+                area_mm2: 0.0038,
+            },
+            output_register: ComponentSpec {
+                power_mw: 0.42,
+                area_mm2: 0.0014,
+            },
+            shift_add: ComponentSpec {
+                power_mw: 0.8,
+                area_mm2: 0.00096,
+            },
+            input_buffer: ComponentSpec {
+                power_mw: 7.95,
+                area_mm2: 0.034,
+            },
+            crossbar_buffer: ComponentSpec {
+                power_mw: 59.42,
+                area_mm2: 0.208,
+            },
+            output_buffer: ComponentSpec {
+                power_mw: 1.28,
+                area_mm2: 0.0041,
+            },
+            nfu: ComponentSpec {
+                power_mw: 2.04,
+                area_mm2: 0.0024,
+            },
+            pfu: ComponentSpec {
+                power_mw: 3.2,
+                area_mm2: 0.00192,
+            },
+            weight_computer: ComponentSpec {
+                power_mw: 99.6,
+                area_mm2: 3.21,
+            },
+            activation_module: ComponentSpec {
+                power_mw: 0.0266,
+                area_mm2: 0.0030,
+            },
+            central_controller: ComponentSpec {
+                power_mw: 580.41,
+                area_mm2: 2.65,
+            },
         }
     }
 
@@ -130,7 +175,8 @@ impl AcceleratorSpec {
 
     /// Total ReRAM capacity in bytes (16 GiB for the paper config).
     pub fn total_bytes(&self) -> u64 {
-        self.total_crossbars() as u64 * self.cells_per_crossbar() as u64
+        self.total_crossbars() as u64
+            * self.cells_per_crossbar() as u64
             * u64::from(self.bits_per_cell)
             / 8
     }

@@ -100,7 +100,11 @@ mod tests {
 
     fn matrix(rows: usize, cols: usize) -> Vec<Vec<f64>> {
         (0..rows)
-            .map(|r| (0..cols).map(|c| ((r * cols + c) as f64 * 0.37).sin() * 0.6).collect())
+            .map(|r| {
+                (0..cols)
+                    .map(|c| ((r * cols + c) as f64 * 0.37).sin() * 0.6)
+                    .collect()
+            })
             .collect()
     }
 

@@ -26,11 +26,7 @@ pub fn mvm_batch_ns(spec: &AcceleratorSpec, num_inputs: u64) -> f64 {
 /// ```text
 /// t = max(⌈total / budget⌉, max_per_crossbar) × row_write_latency
 /// ```
-pub fn bulk_write_ns(
-    spec: &AcceleratorSpec,
-    total_rows: u64,
-    max_rows_one_crossbar: u64,
-) -> f64 {
+pub fn bulk_write_ns(spec: &AcceleratorSpec, total_rows: u64, max_rows_one_crossbar: u64) -> f64 {
     let bandwidth_bound = total_rows.div_ceil(spec.concurrent_write_rows as u64);
     let serial_bound = max_rows_one_crossbar;
     bandwidth_bound.max(serial_bound) as f64 * spec.row_write_latency_ns()

@@ -56,8 +56,7 @@ impl WeightManager {
         if updates_per_epoch <= 0.0 {
             return 1.0;
         }
-        sram_lifetime_epochs(updates_per_epoch)
-            / (RERAM_ENDURANCE_WRITES / updates_per_epoch)
+        sram_lifetime_epochs(updates_per_epoch) / (RERAM_ENDURANCE_WRITES / updates_per_epoch)
     }
 }
 

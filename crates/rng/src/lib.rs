@@ -1,0 +1,508 @@
+//! Zero-dependency deterministic PRNG for the whole workspace.
+//!
+//! The build environment is hermetic — no crates-io access — so the
+//! workspace cannot depend on the `rand` crate. This crate provides
+//! the small slice of `rand`'s API the simulator actually uses, built
+//! on two well-studied generators:
+//!
+//! - [`SplitMix64`] — the seeding generator (Steele, Lea & Flood,
+//!   OOPSLA '14). One 64-bit multiply-xorshift step per output; used
+//!   to expand a `u64` seed into the 256-bit Xoshiro state and to
+//!   derive independent per-case seeds in the test harness.
+//! - [`Xoshiro256PlusPlus`] — Blackman & Vigna's xoshiro256++ 1.0,
+//!   the same algorithm `rand`'s `SmallRng` used on 64-bit targets,
+//!   which keeps the call sites honest: [`rngs::SmallRng`] is an alias
+//!   for it here.
+//!
+//! Everything is deterministic given the seed: same seed, same stream,
+//! on every platform. There is deliberately no `thread_rng` / OS
+//! entropy — callers must seed explicitly, which is what makes
+//! simulator runs and test failures replayable.
+//!
+//! # Example
+//!
+//! ```
+//! use gopim_rng::rngs::SmallRng;
+//! use gopim_rng::seq::SliceRandom;
+//! use gopim_rng::{Rng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let die = rng.gen_range(1..=6);
+//! assert!((1..=6).contains(&die));
+//! let coin: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&coin));
+//! let mut deck: Vec<u32> = (0..52).collect();
+//! deck.shuffle(&mut rng);
+//!
+//! // Same seed ⇒ same stream.
+//! let a: Vec<u64> = {
+//!     let mut r = SmallRng::seed_from_u64(42);
+//!     (0..4).map(|_| r.next_u64()).collect()
+//! };
+//! let b: Vec<u64> = {
+//!     let mut r = SmallRng::seed_from_u64(42);
+//!     (0..4).map(|_| r.next_u64()).collect()
+//! };
+//! assert_eq!(a, b);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: one multiply-xorshift step per output.
+///
+/// Passes BigCrush, has period 2^64, and — crucially for seeding —
+/// maps *any* seed (including 0) to a well-mixed stream, so it is the
+/// standard way to initialize xoshiro state from a single `u64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw 64-bit state.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Advances the state and returns the next output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One-shot stateless mix: hashes `(seed, stream)` into a new seed.
+///
+/// Used by the test harness to derive independent per-case seeds from
+/// a single base seed without correlation between cases.
+#[inline]
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut sm = SplitMix64::new(seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F));
+    sm.next_u64()
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019).
+///
+/// 256 bits of state, period 2^256 − 1, passes BigCrush/PractRand.
+/// This is the workhorse generator behind [`rngs::SmallRng`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Advances the state and returns the next output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed through SplitMix64, per the xoshiro authors'
+        // recommendation. The state cannot be all-zero this way.
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256PlusPlus {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+/// Explicit-seed construction (the only construction there is — no OS
+/// entropy in a hermetic workspace).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Primitive types drawable uniformly from a bounded interval (the
+/// `SampleUniform` role). The generic range impls below delegate
+/// here, which is what lets inference flow `Range<T> ⇒ T` exactly as
+/// it does with `rand`.
+pub trait Uniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                lo.wrapping_add(reduce_u128(rng.next_u64(), span) as $t)
+            }
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo.wrapping_add(reduce_u128(rng.next_u64(), span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + reduce_u128(rng.next_u64(), span) as i128) as $t
+            }
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + reduce_u128(rng.next_u64(), span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let unit = unit_f64(rng.next_u64()) as $t;
+                lo + (hi - lo) * unit
+            }
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                // Measure-zero difference from half-open; good enough
+                // for simulation draws.
+                assert!(lo <= hi, "gen_range: empty range");
+                let unit = unit_f64(rng.next_u64()) as $t;
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Uniform sampling from range types, the `gen_range` plumbing.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: Uniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: Uniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Maps a uniform `u64` into `[0, span)` (multiply-shift reduction —
+/// unbiased enough for simulation work, and monotone in the raw draw,
+/// which the test harness's shrinker relies on).
+#[inline]
+fn reduce_u128(raw: u64, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        ((raw as u128) * span) >> 64
+    } else {
+        raw as u128 // span > 2^64 can only come from full-width ranges
+    }
+}
+
+/// Converts a `u64` to a uniform `f64` in `[0, 1)` using the top 53
+/// bits (the standard `rand` conversion).
+#[inline]
+fn unit_f64(raw: u64) -> f64 {
+    (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Values drawable via [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The user-facing generator interface (the used subset of `rand::Rng`).
+pub trait Rng {
+    /// Advances the generator and returns 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws uniformly from `range` (half-open or inclusive).
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Draws a value of `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers full-width, `bool`
+    /// fair).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+}
+
+impl Rng for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256PlusPlus::next_u64(self)
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's default small, fast generator — xoshiro256++,
+    /// the same algorithm `rand`'s 64-bit `SmallRng` used.
+    pub type SmallRng = super::Xoshiro256PlusPlus;
+}
+
+/// Slice utilities, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle, uniform over permutations.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        let mut c = SmallRng::seed_from_u64(10);
+        let (va, vb, vc): (Vec<u64>, Vec<u64>, Vec<u64>) = (
+            (0..16).map(|_| a.next_u64()).collect(),
+            (0..16).map(|_| b.next_u64()).collect(),
+            (0..16).map(|_| c.next_u64()).collect(),
+        );
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&v));
+            let w = rng.gen_range(2u32..=3);
+            assert!((2..=3).contains(&w));
+            let f = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let s = rng.gen_range(-7i64..-2);
+            assert!((-7..-2).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges_uniformly() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0usize; 6];
+        for _ in 0..60_000 {
+            counts[rng.gen_range(0usize..6)] += 1;
+        }
+        for &c in &counts {
+            // Each bucket expects 10 000; allow ±5 %.
+            assert!((9_500..=10_500).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((29_000..=31_000).contains(&hits), "hits {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn unit_f64_is_in_unit_interval_and_unbiased() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        // 100 elements virtually never shuffle to identity.
+        assert_ne!(v, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let v = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn mix_seed_decorrelates_streams() {
+        let a = mix_seed(0, 0);
+        let b = mix_seed(0, 1);
+        let c = mix_seed(1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, mix_seed(0, 0));
+    }
+}

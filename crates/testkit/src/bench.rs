@@ -1,0 +1,234 @@
+//! Wall-clock microbenchmark runner (the criterion replacement).
+//!
+//! Methodology: warm up, calibrate an iteration count so one sample
+//! takes a fixed wall-clock slice, then time N samples and report the
+//! **median** ns/iter with the **median absolute deviation** (MAD) as
+//! the spread — both robust to scheduler noise, unlike mean ± stddev.
+//!
+//! Each result prints as a human-readable line and a machine-readable
+//! JSON line. Environment knobs:
+//!
+//! - `GOPIM_BENCH_JSON=<path>` — append JSON lines to `<path>`
+//!   (creating it if needed) instead of stdout, so reproduction runs
+//!   can accumulate `BENCH_*.json` trajectories.
+//! - `GOPIM_BENCH_SAMPLES=<n>` — sample count (default 15).
+//! - `GOPIM_BENCH_FAST=1` — shrink warmup/sample budgets ~10× for
+//!   smoke runs.
+//!
+//! ```no_run
+//! let mut b = gopim_testkit::bench::Runner::new("allocator");
+//! b.bench("greedy/100000", || 2 + 2);
+//! b.finish();
+//! ```
+
+use std::hint::black_box;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// One benchmark's summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median time per iteration, ns.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-sample ns/iter values.
+    pub mad_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl Summary {
+    /// Renders the JSON-lines record.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"median_ns\":{:.3},\"mad_ns\":{:.3},\"min_ns\":{:.3},\
+             \"max_ns\":{:.3},\"samples\":{},\"iters_per_sample\":{}}}",
+            escape(&self.id),
+            self.median_ns,
+            self.mad_ns,
+            self.min_ns,
+            self.max_ns,
+            self.samples,
+            self.iters_per_sample
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Formats a nanosecond quantity with a readable unit.
+pub fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Collects and reports benchmarks for one group (one bench target).
+pub struct Runner {
+    group: String,
+    samples: usize,
+    warmup: Duration,
+    target_sample: Duration,
+    results: Vec<Summary>,
+}
+
+impl Runner {
+    /// A runner with env-configured budgets.
+    pub fn new(group: &str) -> Self {
+        let fast = std::env::var("GOPIM_BENCH_FAST")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        let samples = std::env::var("GOPIM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(if fast { 7 } else { 15 });
+        let (warmup_ms, sample_ms) = if fast { (10, 5) } else { (150, 50) };
+        eprintln!("== bench group '{group}' ({samples} samples, median ± MAD) ==");
+        Runner {
+            group: group.to_string(),
+            samples: samples.max(3),
+            warmup: Duration::from_millis(warmup_ms),
+            target_sample: Duration::from_millis(sample_ms),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, printing the human-readable line immediately and
+    /// recording the JSON record for [`Runner::finish`].
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &Summary {
+        // Warmup + calibration: run until the warmup budget elapses,
+        // measuring a rough per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_iter_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.5);
+        let iters_per_sample =
+            ((self.target_sample.as_nanos() as f64 / est_iter_ns).ceil() as u64).max(1);
+
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters_per_sample as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_ns = median_sorted(&per_iter_ns);
+        let mut deviations: Vec<f64> = per_iter_ns.iter().map(|v| (v - median_ns).abs()).collect();
+        deviations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let summary = Summary {
+            id: format!("{}/{}", self.group, name),
+            median_ns,
+            mad_ns: median_sorted(&deviations),
+            min_ns: per_iter_ns[0],
+            max_ns: *per_iter_ns.last().unwrap(),
+            samples: self.samples,
+            iters_per_sample,
+        };
+        eprintln!(
+            "  {:<44} {:>12}/iter  ± {:<10} ({} × {} iters)",
+            summary.id,
+            human_ns(summary.median_ns),
+            human_ns(summary.mad_ns),
+            summary.samples,
+            summary.iters_per_sample
+        );
+        self.results.push(summary);
+        self.results.last().unwrap()
+    }
+
+    /// Emits every JSON record — appended to `GOPIM_BENCH_JSON` when
+    /// set, to stdout otherwise — and returns the summaries.
+    pub fn finish(self) -> Vec<Summary> {
+        let lines: String = self.results.iter().map(|s| s.to_json() + "\n").collect();
+        match std::env::var("GOPIM_BENCH_JSON") {
+            Ok(path) if !path.is_empty() => {
+                let mut file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .unwrap_or_else(|e| panic!("GOPIM_BENCH_JSON={path}: {e}"));
+                file.write_all(lines.as_bytes())
+                    .unwrap_or_else(|e| panic!("GOPIM_BENCH_JSON={path}: {e}"));
+                eprintln!("  (JSON appended to {path})");
+            }
+            _ => print!("{lines}"),
+        }
+        self.results
+    }
+}
+
+fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        assert_eq!(median_sorted(&[1.0, 2.0, 100.0]), 2.0);
+        assert_eq!(median_sorted(&[1.0, 2.0, 3.0, 100.0]), 2.5);
+        assert_eq!(median_sorted(&[]), 0.0);
+    }
+
+    #[test]
+    fn json_record_is_parseable_shape() {
+        let s = Summary {
+            id: "g/n \"q\"".into(),
+            median_ns: 12.5,
+            mad_ns: 0.5,
+            min_ns: 12.0,
+            max_ns: 14.0,
+            samples: 15,
+            iters_per_sample: 1000,
+        };
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\\\"q\\\""));
+        assert!(j.contains("\"median_ns\":12.500"));
+    }
+
+    #[test]
+    fn human_ns_picks_sane_units() {
+        assert_eq!(human_ns(500.0), "500.0 ns");
+        assert_eq!(human_ns(1500.0), "1.50 µs");
+        assert_eq!(human_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(human_ns(3_000_000_000.0), "3.000 s");
+    }
+}

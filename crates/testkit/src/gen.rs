@@ -1,0 +1,103 @@
+//! Domain generators shared by the ported property suites: CSR
+//! graphs, degree profiles, and pipeline stage timing specs.
+
+use crate::prop::Draw;
+use gopim_graph::{CsrGraph, DegreeProfile};
+
+/// Draws an arbitrary valid [`CsrGraph`] with `1..max_n` vertices and
+/// up to `max_edges` (possibly parallel / self-loop) edges. Shrinks
+/// toward the single-vertex empty graph.
+pub fn csr_graph(d: &mut Draw, max_n: usize, max_edges: usize) -> CsrGraph {
+    let (n, edges) = edge_list(d, max_n, max_edges);
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Draws a vertex count and raw edge list (endpoints already reduced
+/// modulo the vertex count) — for tests that need the edges
+/// themselves.
+pub fn edge_list(d: &mut Draw, max_n: usize, max_edges: usize) -> (usize, Vec<(u32, u32)>) {
+    let n = d.draw("n", 1..max_n.max(2));
+    let edges = d.vec("edges", 0..max_edges + 1, |d| {
+        (d.draw("u", 0..n as u32), d.draw("v", 0..n as u32))
+    });
+    (n, edges)
+}
+
+/// Draws a [`DegreeProfile`] of `len_lo..len_hi` vertices with
+/// degrees below `max_degree`.
+pub fn degree_profile(
+    d: &mut Draw,
+    len_lo: usize,
+    len_hi: usize,
+    max_degree: u32,
+) -> DegreeProfile {
+    let degrees = d.vec("degrees", len_lo..len_hi, |d| d.draw("deg", 0..max_degree));
+    DegreeProfile::from_degrees(degrees)
+}
+
+/// Timing spec for one pipeline stage, the raw material of allocator
+/// and schedule properties. Plain data so the testkit stays below
+/// `gopim-pipeline` / `gopim-alloc` in the dependency graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Replicable compute time, ns.
+    pub compute_ns: f64,
+    /// Non-replicable write time, ns.
+    pub write_ns: f64,
+    /// Smallest compute quantum one replica can take, ns.
+    pub quantum_ns: f64,
+    /// Crossbars one replica of this stage occupies.
+    pub crossbars_per_replica: usize,
+}
+
+/// Draws `lo..hi` stage timing specs with compute in
+/// `0.5..max_compute_ns`, write in `0..max_write_ns`, and footprints
+/// in `1..16`.
+pub fn stage_timings(
+    d: &mut Draw,
+    lo: usize,
+    hi: usize,
+    max_compute_ns: f64,
+    max_write_ns: f64,
+) -> Vec<StageTiming> {
+    d.vec("stages", lo..hi, |d| {
+        let compute_ns = d.draw("compute_ns", 0.5..max_compute_ns);
+        StageTiming {
+            compute_ns,
+            write_ns: d.draw("write_ns", 0.0..max_write_ns),
+            quantum_ns: compute_ns / 64.0,
+            crossbars_per_replica: d.draw("footprint", 1..16),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::{check_with, Config};
+
+    #[test]
+    fn generated_graphs_are_always_valid() {
+        check_with("gen_csr_valid", Config::cases(32), |d| {
+            let g = csr_graph(d, 64, 200);
+            assert!(g.validate().is_ok());
+            assert!(g.num_vertices() >= 1);
+        });
+    }
+
+    #[test]
+    fn generated_profiles_and_stages_are_well_formed() {
+        check_with("gen_profile_stages", Config::cases(32), |d| {
+            let p = degree_profile(d, 1, 100, 1000);
+            assert!(p.num_vertices() >= 1);
+            let stages = stage_timings(d, 2, 8, 2000.0, 50.0);
+            assert!(stages.len() >= 2);
+            for s in &stages {
+                assert!(s.compute_ns >= 0.5);
+                assert!(s.write_ns >= 0.0);
+                assert!(s.crossbars_per_replica >= 1);
+                assert!(s.quantum_ns <= s.compute_ns);
+            }
+        });
+    }
+}

@@ -61,7 +61,10 @@ fn main() {
 
     type Policy<'a> = Box<dyn Fn() -> AllocPlan + 'a>;
     let policies: Vec<(&str, Policy)> = vec![
-        ("Serial (none)", Box::new(|| AllocPlan::serial(input.num_stages()))),
+        (
+            "Serial (none)",
+            Box::new(|| AllocPlan::serial(input.num_stages())),
+        ),
         ("Uniform (Pipelayer)", Box::new(|| fixed::uniform(&input))),
         (
             "1:2 ratio (ReGraphX)",
@@ -71,8 +74,14 @@ fn main() {
             "CO-only (ReFlip)",
             Box::new(|| fixed::combination_only(&input, &co_class)),
         ),
-        ("Greedy (GoPIM Alg. 1)", Box::new(|| greedy_allocate(&input))),
-        ("Reference (tau-sweep)", Box::new(|| reference_allocate(&input))),
+        (
+            "Greedy (GoPIM Alg. 1)",
+            Box::new(|| greedy_allocate(&input)),
+        ),
+        (
+            "Reference (tau-sweep)",
+            Box::new(|| reference_allocate(&input)),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -83,14 +92,20 @@ fn main() {
         rows.push(vec![
             label.to_string(),
             report::time_ns(input.pipeline_time(&plan.replicas)),
-            plan.extra_crossbars(&input.crossbars_per_replica).to_string(),
+            plan.extra_crossbars(&input.crossbars_per_replica)
+                .to_string(),
             format!("{:.2} ms", elapsed.as_secs_f64() * 1e3),
         ]);
     }
     println!(
         "{}",
         report::table(
-            &["policy", "pipeline time (Eq. 6)", "extra crossbars", "decision time"],
+            &[
+                "policy",
+                "pipeline time (Eq. 6)",
+                "extra crossbars",
+                "decision time"
+            ],
             &rows
         )
     );

@@ -13,7 +13,9 @@ use gopim::system::System;
 use gopim_graph::datasets::Dataset;
 
 fn parse_dataset(name: &str) -> Option<Dataset> {
-    Dataset::ALL.into_iter().find(|d| d.name().eq_ignore_ascii_case(name))
+    Dataset::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
 }
 
 fn parse_system(name: &str) -> Option<System> {

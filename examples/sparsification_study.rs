@@ -40,7 +40,12 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["theta", "OSU pacing (index map)", "ISU pacing (interleaved)", "rows/epoch"],
+            &[
+                "theta",
+                "OSU pacing (index map)",
+                "ISU pacing (interleaved)",
+                "rows/epoch"
+            ],
             &rows
         )
     );
@@ -53,8 +58,7 @@ fn main() {
     let mut rows = Vec::new();
     for theta in [1.0, 0.8, 0.5, 0.3] {
         let mut opts = TrainOptions::experiment();
-        opts.selective =
-            (theta < 1.0).then(|| SelectivePolicy::with_theta(theta, 20));
+        opts.selective = (theta < 1.0).then(|| SelectivePolicy::with_theta(theta, 20));
         let r = train_gcn(&graph, &labels, &opts);
         rows.push(vec![
             format!("{:.0}%", theta * 100.0),

@@ -16,4 +16,15 @@ for bin in "${BINARIES[@]}"; do
     cargo run --release -p gopim-bench --bin "$bin" -- $EXTRA \
         | tee "results/$bin.txt"
 done
-echo "All outputs written to results/."
+
+# Microbenchmarks: human summary to the console, JSON-lines trajectory
+# appended under results/ for trend tracking across runs.
+echo "== microbenchmarks =="
+rm -f results/bench.jsonl
+if [ "$EXTRA" = "--quick" ]; then
+    GOPIM_BENCH_FAST=1 GOPIM_BENCH_JSON=results/bench.jsonl \
+        cargo bench --offline -p gopim-bench
+else
+    GOPIM_BENCH_JSON=results/bench.jsonl cargo bench --offline -p gopim-bench
+fi
+echo "All outputs written to results/ (bench trajectories: results/bench.jsonl)."

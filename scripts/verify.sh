@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything must pass offline, with no registry
+# access. Runs the format check, a release build, the full test suite
+# (unit + property + integration + golden snapshot diffs), and makes
+# sure every bench target still compiles.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline --workspace
+
+echo "== cargo test --offline (includes tests/golden diffs) =="
+cargo test -q --offline --workspace
+
+echo "== bench targets compile =="
+cargo build --offline --benches -p gopim-bench
+
+echo "verify: all green"

@@ -74,6 +74,19 @@ fn gopim_saves_energy_and_reflip_saves_least_on_dense_graphs() {
 }
 
 #[test]
+fn two_layer_model_pipelines_as_eight_named_stages() {
+    // §IV-A: the training pipeline unrolls an L-layer GCN into 4L
+    // stages — CO/AG per forward layer, then the loss/gradient backward
+    // passes. ddi's 2-layer model must surface exactly these 8 names.
+    let run = run_system(Dataset::Ddi, System::Gopim, &config());
+    assert_eq!(run.replicas.len(), 8);
+    assert_eq!(
+        run.stage_names,
+        vec!["CO1", "AG1", "CO2", "AG2", "LC2", "GC2", "LC1", "GC1"]
+    );
+}
+
+#[test]
 fn runs_are_deterministic() {
     let a = run_system(Dataset::Ddi, System::Gopim, &config());
     let b = run_system(Dataset::Ddi, System::Gopim, &config());

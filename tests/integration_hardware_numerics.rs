@@ -17,8 +17,16 @@ use gopim_reram::tiled::TiledMatrix;
 /// data's actual ranges, as a real compiler would.
 fn combination_on_hardware(spec: &AcceleratorSpec, x: &Matrix, w: &Matrix) -> Matrix {
     let weights: Vec<Vec<f64>> = (0..w.rows()).map(|r| w.row(r).to_vec()).collect();
-    let w_range = w.as_slice().iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-9);
-    let x_range = x.as_slice().iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-9);
+    let w_range = w
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(1e-9);
+    let x_range = x
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(1e-9);
     let tiled = TiledMatrix::program(spec, &weights, w_range);
     let mut out = Matrix::zeros(x.rows(), w.cols());
     for v in 0..x.rows() {
@@ -26,6 +34,23 @@ fn combination_on_hardware(spec: &AcceleratorSpec, x: &Matrix, w: &Matrix) -> Ma
         out.row_mut(v).copy_from_slice(&y);
     }
     out
+}
+
+#[test]
+fn paper_latencies_derive_from_published_cycle_counts() {
+    // Table II anchors: 16-bit values through 2-bit DACs take 8 input
+    // cycles of 29.31 ns (= 234.48 ns per MVM issue); programming a row
+    // of 2-bit cells takes 8 write cycles of 50.88 ns (= 407.04 ns).
+    let spec = AcceleratorSpec::paper();
+    assert_eq!(spec.read_latency_ns, 29.31);
+    assert_eq!(spec.write_latency_ns, 50.88);
+    assert_eq!(spec.input_cycles(), 8);
+    assert_eq!(spec.write_cycles(), 8);
+    assert!((spec.mvm_latency_ns() - 234.48).abs() < 1e-9);
+    assert!((spec.row_write_latency_ns() - 407.04).abs() < 1e-9);
+    // 16 M crossbars of 64×64 2-bit cells ⇒ the paper's 16 GiB chip.
+    assert_eq!(spec.total_crossbars(), 16_777_216);
+    assert_eq!(spec.total_bytes(), 16 * (1u64 << 30));
 }
 
 #[test]
@@ -81,7 +106,7 @@ fn quantized_inference_preserves_trained_accuracy() {
     // Combination stages executed on bit-accurate crossbars: the 16-bit
     // fixed-point analog path must not cost meaningful accuracy
     // (the assumption behind running GCNs on ReRAM at all).
-    use gopim_gcn::train::{train_gcn, synthetic_features, TrainOptions};
+    use gopim_gcn::train::{synthetic_features, train_gcn, TrainOptions};
     use gopim_linalg::loss::accuracy as acc_of;
 
     let (graph, labels) = planted_partition(200, 3, 10.0, 8.0, 7);
@@ -130,7 +155,11 @@ fn feature_matrix_mapping_matches_aggregation_footprint() {
     // crossbars the allocator budgets for it.
     let spec = AcceleratorSpec::paper();
     let features: Vec<Vec<f64>> = (0..100)
-        .map(|v| (0..96).map(|d| ((v * 96 + d) as f64 * 0.01).sin() * 0.5).collect())
+        .map(|v| {
+            (0..96)
+                .map(|d| ((v * 96 + d) as f64 * 0.01).sin() * 0.5)
+                .collect()
+        })
         .collect();
     let tiled = TiledMatrix::program(&spec, &features, 1.0);
     assert_eq!(

@@ -5,9 +5,10 @@
 use gopim_gcn::train::{train_gcn, TrainOptions};
 use gopim_graph::datasets::Dataset;
 use gopim_mapping::{
-    adaptive_theta, index_based, interleaved, update_load, SelectivePolicy,
+    adaptive_theta, index_based, interleaved, update_load, SelectivePolicy, DENSE_THETA,
+    SPARSE_THETA,
 };
-use proptest::prelude::*;
+use gopim_testkit::prop::{check_with, Config, Draw};
 
 #[test]
 fn interleaving_beats_index_mapping_on_all_real_profiles() {
@@ -68,32 +69,43 @@ fn staleness_refresh_period_matters_more_on_sparse_graphs() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn adaptive_theta_follows_the_papers_density_rule() {
+    // §IV-B: dense graphs update a small important set every epoch
+    // (θ = 50 %), sparse graphs must keep most rows fresh (θ = 80 %).
+    // ddi (avg degree 500.5) is dense; Cora (3.9) is sparse.
+    assert_eq!(adaptive_theta(&Dataset::Ddi.profile(7)), DENSE_THETA);
+    assert_eq!(adaptive_theta(&Dataset::Cora.profile(7)), SPARSE_THETA);
+    assert!(SPARSE_THETA > DENSE_THETA);
+}
 
-    #[test]
-    fn interleaved_mapping_is_always_valid_and_balanced(
-        n in 65usize..2000,
-        avg in 2.0f64..60.0,
-        theta in 0.1f64..1.0,
-    ) {
-        let profile = gopim_graph::generate::power_law_profile(n, avg, 0.8, 0.9, 3);
-        let mapping = interleaved(&profile, 64);
-        prop_assert!(mapping.validate().is_ok());
+#[test]
+fn interleaved_mapping_is_always_valid_and_balanced() {
+    check_with(
+        "interleaved_mapping_is_always_valid_and_balanced",
+        Config::cases(16),
+        |d: &mut Draw| {
+            let n = d.draw("n", 65usize..2000);
+            let avg = d.draw("avg", 2.0f64..60.0);
+            let theta = d.draw("theta", 0.1f64..1.0);
+            let profile = gopim_graph::generate::power_law_profile(n, avg, 0.8, 0.9, 3);
+            let mapping = interleaved(&profile, 64);
+            assert!(mapping.validate().is_ok());
 
-        let policy = SelectivePolicy::with_theta(theta, 20);
-        let mask = policy.important_vertices(&profile);
-        let load = update_load(&mapping, &mask);
-        let selected = mask.iter().filter(|&&m| m).count();
-        let groups = mapping.num_groups();
-        // Balance: the max-loaded group holds at most ⌈selected/groups⌉
-        // + 1 selected rows.
-        let fair = selected.div_ceil(groups) + 1;
-        prop_assert!(
-            load.max_rows_per_group <= fair,
-            "max {} vs fair {}",
-            load.max_rows_per_group,
-            fair
-        );
-    }
+            let policy = SelectivePolicy::with_theta(theta, 20);
+            let mask = policy.important_vertices(&profile);
+            let load = update_load(&mapping, &mask);
+            let selected = mask.iter().filter(|&&m| m).count();
+            let groups = mapping.num_groups();
+            // Balance: the max-loaded group holds at most ⌈selected/groups⌉
+            // + 1 selected rows.
+            let fair = selected.div_ceil(groups) + 1;
+            assert!(
+                load.max_rows_per_group <= fair,
+                "max {} vs fair {}",
+                load.max_rows_per_group,
+                fair
+            );
+        },
+    );
 }

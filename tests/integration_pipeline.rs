@@ -6,7 +6,7 @@ use gopim_graph::datasets::{Dataset, ModelConfig};
 use gopim_graph::generate::power_law_profile;
 use gopim_pipeline::schedule::{simulate, PipelineOptions};
 use gopim_pipeline::workload::{GcnWorkload, WorkloadOptions};
-use proptest::prelude::*;
+use gopim_testkit::prop::{check_with, Config, Draw};
 
 fn custom_workload(n: usize, avg_deg: f64, micro_batch: usize, seed: u64) -> GcnWorkload {
     let profile = power_law_profile(n, avg_deg, 0.7, 0.9, seed);
@@ -51,6 +51,36 @@ fn aggregation_dominates_on_every_dataset() {
 }
 
 #[test]
+fn two_layer_gcn_unrolls_to_eight_stages() {
+    // §IV-A: an L-layer GCN pipelines as 4L stages (CO/AG forward per
+    // layer plus the two backward passes) — 8 for ddi's 2-layer model.
+    let wl = GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default());
+    assert_eq!(Dataset::Ddi.model().num_layers, 2);
+    assert_eq!(wl.stages().len(), 8);
+    // And 12 for Cora's 3-layer model.
+    let cora = GcnWorkload::build(Dataset::Cora, &WorkloadOptions::default());
+    assert_eq!(cora.stages().len(), 4 * Dataset::Cora.model().num_layers);
+}
+
+#[test]
+fn pipelining_never_exceeds_serial_on_real_datasets() {
+    // The defining inequality of §IV: overlapping micro-batches can
+    // only remove idle time, never add it.
+    for dataset in [Dataset::Ddi, Dataset::Cora] {
+        let wl = GcnWorkload::build(dataset, &WorkloadOptions::default());
+        let replicas = vec![1; wl.stages().len()];
+        let piped = simulate(&wl, &replicas, &PipelineOptions::intra_only());
+        let serial = simulate(&wl, &replicas, &PipelineOptions::serial());
+        assert!(
+            piped.makespan_ns <= serial.makespan_ns * 1.0001,
+            "{dataset}: pipelined {} vs serial {}",
+            piped.makespan_ns,
+            serial.makespan_ns
+        );
+    }
+}
+
+#[test]
 fn pipeline_never_beats_the_bottleneck_bound() {
     // Lower bound: n_mb × the slowest per-stage inter-departure (the
     // write channel and the compute replica are separate resources, so
@@ -62,8 +92,7 @@ fn pipeline_never_beats_the_bottleneck_bound() {
     let n_mb = wl.num_microbatches();
     let bottleneck: f64 = (0..s)
         .map(|i| {
-            let mean_w: f64 =
-                (0..n_mb).map(|j| wl.write_ns(i, j)).sum::<f64>() / n_mb as f64;
+            let mean_w: f64 = (0..n_mb).map(|j| wl.write_ns(i, j)).sum::<f64>() / n_mb as f64;
             wl.stages()[i].compute_ns.max(mean_w)
         })
         .fold(0.0, f64::max);
@@ -72,49 +101,60 @@ fn pipeline_never_beats_the_bottleneck_bound() {
     assert!(res.makespan_ns <= serial.makespan_ns * 1.0001);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn more_replicas_never_slow_the_pipeline() {
+    check_with(
+        "more_replicas_never_slow_the_pipeline",
+        Config::cases(12),
+        |d: &mut Draw| {
+            let n = d.draw("n", 500usize..3000);
+            let avg = d.draw("avg", 4.0f64..80.0);
+            let boost = d.draw("boost", 2usize..12);
+            let wl = custom_workload(n, avg, 64, 42);
+            let s = wl.stages().len();
+            let base = simulate(&wl, &vec![1; s], &PipelineOptions::default());
+            let boosted = simulate(&wl, &vec![boost; s], &PipelineOptions::default());
+            assert!(boosted.makespan_ns <= base.makespan_ns * 1.0001);
+        },
+    );
+}
 
-    #[test]
-    fn more_replicas_never_slow_the_pipeline(
-        n in 500usize..3000,
-        avg in 4.0f64..80.0,
-        boost in 2usize..12,
-    ) {
-        let wl = custom_workload(n, avg, 64, 42);
-        let s = wl.stages().len();
-        let base = simulate(&wl, &vec![1; s], &PipelineOptions::default());
-        let boosted = simulate(&wl, &vec![boost; s], &PipelineOptions::default());
-        prop_assert!(boosted.makespan_ns <= base.makespan_ns * 1.0001);
-    }
+#[test]
+fn makespan_is_positive_and_service_conserved() {
+    check_with(
+        "makespan_is_positive_and_service_conserved",
+        Config::cases(12),
+        |d: &mut Draw| {
+            let n = d.draw("n", 200usize..2000);
+            let avg = d.draw("avg", 2.0f64..50.0);
+            let b = d.pick("micro_batch", &[16usize, 32, 64, 128]);
+            let wl = custom_workload(n, avg, b, 7);
+            let s = wl.stages().len();
+            let piped = simulate(&wl, &vec![4; s], &PipelineOptions::default());
+            let serial = simulate(&wl, &vec![4; s], &PipelineOptions::serial());
+            // Total work is schedule-independent.
+            assert!((piped.total_service_ns - serial.total_service_ns).abs() < 1.0);
+            assert!(piped.makespan_ns > 0.0);
+            assert!(piped.makespan_ns <= serial.makespan_ns * 1.0001);
+        },
+    );
+}
 
-    #[test]
-    fn makespan_is_positive_and_service_conserved(
-        n in 200usize..2000,
-        avg in 2.0f64..50.0,
-        b in prop::sample::select(vec![16usize, 32, 64, 128]),
-    ) {
-        let wl = custom_workload(n, avg, b, 7);
-        let s = wl.stages().len();
-        let piped = simulate(&wl, &vec![4; s], &PipelineOptions::default());
-        let serial = simulate(&wl, &vec![4; s], &PipelineOptions::serial());
-        // Total work is schedule-independent.
-        prop_assert!((piped.total_service_ns - serial.total_service_ns).abs() < 1.0);
-        prop_assert!(piped.makespan_ns > 0.0);
-        prop_assert!(piped.makespan_ns <= serial.makespan_ns * 1.0001);
-    }
-
-    #[test]
-    fn idle_fractions_are_valid_probabilities(
-        n in 200usize..2000,
-        avg in 2.0f64..50.0,
-    ) {
-        let wl = custom_workload(n, avg, 64, 11);
-        let s = wl.stages().len();
-        let res = simulate(&wl, &vec![3; s], &PipelineOptions::default());
-        for st in &res.stages {
-            prop_assert!((0.0..=1.0).contains(&st.idle_fraction));
-            prop_assert!((0.0..=1.0).contains(&st.stage_idle_fraction));
-        }
-    }
+#[test]
+fn idle_fractions_are_valid_probabilities() {
+    check_with(
+        "idle_fractions_are_valid_probabilities",
+        Config::cases(12),
+        |d: &mut Draw| {
+            let n = d.draw("n", 200usize..2000);
+            let avg = d.draw("avg", 2.0f64..50.0);
+            let wl = custom_workload(n, avg, 64, 11);
+            let s = wl.stages().len();
+            let res = simulate(&wl, &vec![3; s], &PipelineOptions::default());
+            for st in &res.stages {
+                assert!((0.0..=1.0).contains(&st.idle_fraction));
+                assert!((0.0..=1.0).contains(&st.stage_idle_fraction));
+            }
+        },
+    );
 }

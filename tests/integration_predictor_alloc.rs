@@ -9,7 +9,7 @@ use gopim_graph::datasets::Dataset;
 use gopim_predictor::dataset_gen::generate_samples;
 use gopim_predictor::eval::{prediction_accuracy, split};
 use gopim_predictor::TimePredictor;
-use proptest::prelude::*;
+use gopim_testkit::prop::{check_with, Config, Draw};
 
 #[test]
 fn ml_driven_allocation_matches_profiling_within_tolerance() {
@@ -17,21 +17,34 @@ fn ml_driven_allocation_matches_profiling_within_tolerance() {
         crossbar_budget: Some(300_000),
         ..RunConfig::default()
     };
-    let (n_samples, epochs) = if cfg!(debug_assertions) { (200, 25) } else { (500, 80) };
-    let data = generate_samples(n_samples, 3);
-    let predictor = TimePredictor::train_paper(&data, epochs, 3);
+    let (n_samples, epochs) = if cfg!(debug_assertions) {
+        (300, 40)
+    } else {
+        (500, 80)
+    };
+    let data = generate_samples(n_samples, 5);
     let serial = run_system(Dataset::Ddi, System::Serial, &config);
     let exact = run_system(Dataset::Ddi, System::Gopim, &config);
-    let ml_config = RunConfig {
-        estimator: Estimator::Ml(predictor),
-        ..config
-    };
-    let ml = run_system(Dataset::Ddi, System::Gopim, &ml_config);
     let s_exact = serial.makespan_ns / exact.makespan_ns;
-    let s_ml = serial.makespan_ns / ml.makespan_ns;
+    // Training is noisy; average the achieved speedup over a few
+    // training seeds rather than betting on one lucky initialization.
+    let train_seeds = [3u64, 7, 9];
+    let s_ml: f64 = train_seeds
+        .iter()
+        .map(|&seed| {
+            let predictor = TimePredictor::train_paper(&data, epochs, seed);
+            let ml_config = RunConfig {
+                estimator: Estimator::Ml(predictor),
+                ..config.clone()
+            };
+            let ml = run_system(Dataset::Ddi, System::Gopim, &ml_config);
+            serial.makespan_ns / ml.makespan_ns
+        })
+        .sum::<f64>()
+        / train_seeds.len() as f64;
     assert!(
         (s_ml - s_exact).abs() / s_exact < 0.3,
-        "ml {s_ml} vs exact {s_exact}"
+        "mean ml speedup {s_ml} vs exact {s_exact}"
     );
 }
 
@@ -39,7 +52,11 @@ fn ml_driven_allocation_matches_profiling_within_tolerance() {
 fn predictor_generalizes_to_unseen_workloads() {
     // Train on one sample universe, evaluate time-space accuracy on a
     // disjoint one (the paper's §VII-G generalizability check, 93.4 %).
-    let (n_train, epochs) = if cfg!(debug_assertions) { (250, 30) } else { (600, 120) };
+    let (n_train, epochs) = if cfg!(debug_assertions) {
+        (250, 30)
+    } else {
+        (600, 120)
+    };
     let train_data = generate_samples(n_train, 101);
     let test_data = generate_samples(100, 999);
     let (train, _) = split(&train_data, 0.9, 1);
@@ -54,52 +71,95 @@ fn predictor_generalizes_to_unseen_workloads() {
     assert!(acc > 0.55, "unseen-workload accuracy {acc}");
 }
 
-fn arbitrary_input() -> impl Strategy<Value = AllocInput> {
-    (2usize..6, 1usize..200, 2usize..64).prop_flat_map(|(stages, budget, n_mb)| {
-        (
-            prop::collection::vec(1.0f64..500.0, stages),
-            prop::collection::vec(0.0f64..20.0, stages),
-            prop::collection::vec(1usize..8, stages),
-        )
-            .prop_map(move |(compute, write, footprints)| AllocInput {
-                quantum_ns: compute.iter().map(|c| c / 64.0).collect(),
-                compute_ns: compute,
-                write_ns: write,
-                crossbars_per_replica: footprints,
-                unused_crossbars: budget,
-                num_microbatches: n_mb,
-                max_replicas: Some(64),
-            })
-    })
+#[test]
+fn replicas_flow_to_the_aggregation_stages_on_real_workloads() {
+    // The paper's Table VI observation: since AG compute dwarfs CO
+    // compute, Algorithm 1 spends (nearly) the whole crossbar budget on
+    // Aggregation replicas. Odd stage indices are AG (CO/AG pairs).
+    let config = RunConfig {
+        crossbar_budget: Some(300_000),
+        ..RunConfig::default()
+    };
+    let run = run_system(Dataset::Ddi, System::Gopim, &config);
+    let ag_extra: usize = run
+        .replicas
+        .iter()
+        .zip(&run.footprints)
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 1)
+        .map(|(_, (&r, &f))| (r - 1) * f)
+        .sum();
+    let co_extra: usize = run
+        .replicas
+        .iter()
+        .zip(&run.footprints)
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 0)
+        .map(|(_, (&r, &f))| (r - 1) * f)
+        .sum();
+    assert!(
+        ag_extra > co_extra,
+        "AG replica crossbars {ag_extra} vs CO {co_extra}"
+    );
+    // And the plan stays within the chip budget.
+    assert!(run.total_crossbars() <= 300_000);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn greedy_stays_within_budget_and_near_reference(input in arbitrary_input()) {
-        let g = greedy_allocate(&input);
-        prop_assert!(g.extra_crossbars(&input.crossbars_per_replica) <= input.unused_crossbars);
-        prop_assert!(g.replicas.iter().all(|&r| r >= 1));
-
-        let r = reference_allocate(&input);
-        let tg = input.pipeline_time(&g.replicas);
-        let tr = input.pipeline_time(&r.replicas);
-        // The greedy never loses badly to the reference search.
-        prop_assert!(tg <= tr * 1.25 + 1e-9, "greedy {} vs reference {}", tg, tr);
-        // And any allocation is at least as good as Serial.
-        let serial = input.pipeline_time(&vec![1; input.num_stages()]);
-        prop_assert!(tg <= serial + 1e-9);
+fn arbitrary_input(d: &mut Draw) -> AllocInput {
+    let stages = d.draw("stages", 2usize..6);
+    let budget = d.draw("budget", 1usize..200);
+    let n_mb = d.draw("n_mb", 2usize..64);
+    let compute = d.vec("compute", stages..=stages, |d| d.draw("c", 1.0f64..500.0));
+    let write = d.vec("write", stages..=stages, |d| d.draw("w", 0.0f64..20.0));
+    let footprints = d.vec("footprints", stages..=stages, |d| d.draw("f", 1usize..8));
+    AllocInput {
+        quantum_ns: compute.iter().map(|c| c / 64.0).collect(),
+        compute_ns: compute,
+        write_ns: write,
+        crossbars_per_replica: footprints,
+        unused_crossbars: budget,
+        num_microbatches: n_mb,
+        max_replicas: Some(64),
     }
+}
 
-    #[test]
-    fn allocation_is_monotone_in_budget(input in arbitrary_input()) {
-        let mut richer = input.clone();
-        richer.unused_crossbars = input.unused_crossbars * 2 + 8;
-        let poor = greedy_allocate(&input);
-        let rich = greedy_allocate(&richer);
-        let tp = input.pipeline_time(&poor.replicas);
-        let tr = input.pipeline_time(&rich.replicas);
-        prop_assert!(tr <= tp + 1e-9, "richer budget must not hurt: {} vs {}", tr, tp);
-    }
+#[test]
+fn greedy_stays_within_budget_and_near_reference() {
+    check_with(
+        "greedy_stays_within_budget_and_near_reference",
+        Config::cases(48),
+        |d: &mut Draw| {
+            let input = arbitrary_input(d);
+            let g = greedy_allocate(&input);
+            assert!(g.extra_crossbars(&input.crossbars_per_replica) <= input.unused_crossbars);
+            assert!(g.replicas.iter().all(|&r| r >= 1));
+
+            let r = reference_allocate(&input);
+            let tg = input.pipeline_time(&g.replicas);
+            let tr = input.pipeline_time(&r.replicas);
+            // The greedy never loses badly to the reference search.
+            assert!(tg <= tr * 1.25 + 1e-9, "greedy {tg} vs reference {tr}");
+            // And any allocation is at least as good as Serial.
+            let serial = input.pipeline_time(&vec![1; input.num_stages()]);
+            assert!(tg <= serial + 1e-9);
+        },
+    );
+}
+
+#[test]
+fn allocation_is_monotone_in_budget() {
+    check_with(
+        "allocation_is_monotone_in_budget",
+        Config::cases(48),
+        |d: &mut Draw| {
+            let input = arbitrary_input(d);
+            let mut richer = input.clone();
+            richer.unused_crossbars = input.unused_crossbars * 2 + 8;
+            let poor = greedy_allocate(&input);
+            let rich = greedy_allocate(&richer);
+            let tp = input.pipeline_time(&poor.replicas);
+            let tr = input.pipeline_time(&rich.replicas);
+            assert!(tr <= tp + 1e-9, "richer budget must not hurt: {tr} vs {tp}");
+        },
+    );
 }
