@@ -27,9 +27,12 @@ fn main() {
     } else {
         Dataset::HEADLINE.to_vec()
     };
-    let mut rows = Vec::new();
-    for &dataset in &datasets {
-        let profile = dataset.profile(args.run_config().profile_seed);
+    // Per-dataset wear analyses are independent; fan them out and
+    // flatten the per-dataset row groups in order.
+    let profile_seed = args.run_config().profile_seed;
+    let row_groups = gopim_par::par_map(&datasets, |&dataset| {
+        let mut rows = Vec::new();
+        let profile = dataset.profile(profile_seed);
         let policy = SelectivePolicy::adaptive(&profile);
         let mask_all = SelectivePolicy::update_all().important_vertices(&profile);
         let mask_sel = policy.important_vertices(&profile);
@@ -64,7 +67,9 @@ fn main() {
                 format!("{:.2}x", wear.extension_over(&full)),
             ]);
         }
-    }
+        rows
+    });
+    let rows: Vec<Vec<String>> = row_groups.into_iter().flatten().collect();
     println!(
         "{}",
         report::table(

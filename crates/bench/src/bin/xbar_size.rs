@@ -93,15 +93,19 @@ fn main() {
     } else {
         &[32, 64, 128, 256]
     };
-    let mut rows = Vec::new();
-    for &s in sizes {
-        let (speedup, makespan_us) = run_at_size(s, s, args.budget);
-        rows.push(vec![
-            format!("{s}x{s}"),
-            report::speedup(speedup),
-            format!("{makespan_us:.0} us"),
-        ]);
-    }
+    // Each crossbar size is an independent end-to-end simulation.
+    let results = gopim_par::par_map(sizes, |&s| run_at_size(s, s, args.budget));
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .zip(&results)
+        .map(|(&s, &(speedup, makespan_us))| {
+            vec![
+                format!("{s}x{s}"),
+                report::speedup(speedup),
+                format!("{makespan_us:.0} us"),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         report::table(

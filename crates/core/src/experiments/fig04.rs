@@ -7,7 +7,7 @@
 
 use gopim_graph::datasets::Dataset;
 
-use crate::runner::{run_system, RunConfig};
+use crate::runner::{run_systems, RunConfig};
 use crate::system::System;
 
 /// One bar of Fig. 4.
@@ -25,9 +25,11 @@ pub struct IdleRow {
 
 /// Runs the Fig. 4 analysis for the given datasets.
 pub fn run(config: &RunConfig, datasets: &[Dataset]) -> Vec<IdleRow> {
+    // One independent simulation per dataset — fan them over the pool.
+    let configs: Vec<_> = datasets.iter().map(|&d| (d, System::SlimGnnLike)).collect();
+    let runs = run_systems(&configs, config);
     let mut rows = Vec::new();
-    for &dataset in datasets {
-        let run = run_system(dataset, System::SlimGnnLike, config);
+    for (&dataset, run) in datasets.iter().zip(&runs) {
         let num_forward = 2 * dataset.model().num_layers;
         for (i, stage) in run.schedule.stages.iter().take(num_forward).enumerate() {
             rows.push(IdleRow {

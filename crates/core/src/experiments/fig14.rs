@@ -24,12 +24,15 @@ pub struct AblationRow {
 
 /// Runs the ablation over the given datasets.
 pub fn run(config: &RunConfig, datasets: &[Dataset]) -> Vec<AblationRow> {
+    // Every (dataset, variant) cell is an independent simulation; fan
+    // the whole cross product over the pool and regroup per dataset.
+    let cells: Vec<(Dataset, Ablation)> = datasets
+        .iter()
+        .flat_map(|&d| Ablation::ALL.iter().map(move |&v| (d, v)))
+        .collect();
+    let all_runs = gopim_par::par_map(&cells, |&(d, v)| run_ablation(d, v, config));
     let mut rows = Vec::new();
-    for &dataset in datasets {
-        let runs: Vec<_> = Ablation::ALL
-            .iter()
-            .map(|&v| run_ablation(dataset, v, config))
-            .collect();
+    for (&dataset, runs) in datasets.iter().zip(all_runs.chunks(Ablation::ALL.len())) {
         let serial_time = runs[0].makespan_ns;
         let serial_energy = runs[0].energy_nj();
         for r in runs {

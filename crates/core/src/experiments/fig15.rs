@@ -30,23 +30,31 @@ pub fn run(
     dataset: Dataset,
     micro_batches: &[usize],
 ) -> Vec<IdleComparisonRow> {
-    let mut rows = Vec::new();
-    for &b in micro_batches {
+    // Each (micro-batch, system) pair is an independent simulation.
+    let cells: Vec<(usize, &str)> = micro_batches
+        .iter()
+        .flat_map(|&b| [(b, "Naive"), (b, "GoPIM")])
+        .collect();
+    let runs = gopim_par::par_map(&cells, |&(b, label)| {
         let cfg = RunConfig {
             micro_batch: b,
             ..config.clone()
         };
-        let naive = run_ablation(dataset, Ablation::PlusPp, &cfg);
-        let gopim = run_system(dataset, System::Gopim, &cfg);
-        for (label, run) in [("Naive", naive), ("GoPIM", gopim)] {
-            for (i, st) in run.schedule.stages.iter().enumerate() {
-                rows.push(IdleComparisonRow {
-                    micro_batch: b,
-                    system: label.to_string(),
-                    stage: format!("XBS{}", i + 1),
-                    idle_fraction: st.stage_idle_fraction,
-                });
-            }
+        if label == "Naive" {
+            run_ablation(dataset, Ablation::PlusPp, &cfg)
+        } else {
+            run_system(dataset, System::Gopim, &cfg)
+        }
+    });
+    let mut rows = Vec::new();
+    for (&(b, label), run) in cells.iter().zip(&runs) {
+        for (i, st) in run.schedule.stages.iter().enumerate() {
+            rows.push(IdleComparisonRow {
+                micro_batch: b,
+                system: label.to_string(),
+                stage: format!("XBS{}", i + 1),
+                idle_fraction: st.stage_idle_fraction,
+            });
         }
     }
     rows

@@ -48,25 +48,33 @@ pub fn run_multi_seed(
     seeds: &[u64],
 ) -> Vec<AccuracyRow> {
     assert!(!seeds.is_empty(), "need at least one seed");
+    // Every (dataset, seed) cell trains two GCNs from scratch —
+    // independent, heavy work. Fan the cross product over the pool
+    // and regroup per dataset; order is preserved so the statistics
+    // match the old nested loops exactly.
+    let cells: Vec<(Dataset, u64)> = datasets
+        .iter()
+        .flat_map(|&d| seeds.iter().map(move |&s| (d, s)))
+        .collect();
+    let results = gopim_par::par_map(&cells, |&(dataset, seed)| {
+        let (graph, labels) = dataset.numeric_graph(max_vertices, seed);
+        let profile = graph.to_degree_profile();
+        let policy = SelectivePolicy::adaptive(&profile);
+        let theta = policy.theta();
+        let mut opts = options.clone();
+        opts.seed = options.seed ^ seed;
+        let vanilla = train_gcn(&graph, &labels, &opts);
+        opts.selective = Some(policy);
+        let gopim = train_gcn(&graph, &labels, &opts);
+        (vanilla.test_accuracy, gopim.test_accuracy, theta)
+    });
     datasets
         .iter()
-        .map(|&dataset| {
-            let mut vanillas = Vec::with_capacity(seeds.len());
-            let mut gopims = Vec::with_capacity(seeds.len());
-            let mut theta = 0.0;
-            for &seed in seeds {
-                let (graph, labels) = dataset.numeric_graph(max_vertices, seed);
-                let profile = graph.to_degree_profile();
-                let policy = SelectivePolicy::adaptive(&profile);
-                theta = policy.theta();
-                let mut opts = options.clone();
-                opts.seed = options.seed ^ seed;
-                let vanilla = train_gcn(&graph, &labels, &opts);
-                opts.selective = Some(policy);
-                let gopim = train_gcn(&graph, &labels, &opts);
-                vanillas.push(vanilla.test_accuracy);
-                gopims.push(gopim.test_accuracy);
-            }
+        .zip(results.chunks(seeds.len()))
+        .map(|(&dataset, cells)| {
+            let vanillas: Vec<f64> = cells.iter().map(|c| c.0).collect();
+            let gopims: Vec<f64> = cells.iter().map(|c| c.1).collect();
+            let theta = cells.last().expect("at least one seed").2;
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
             let deltas: Vec<f64> = gopims
                 .iter()

@@ -207,6 +207,16 @@ pub fn run_system(dataset: Dataset, system: System, config: &RunConfig) -> Syste
     run_system_on_profile(dataset, &profile, system, config)
 }
 
+/// Runs several `(dataset, system)` configurations, fanning the
+/// independent simulations across the `gopim-par` pool. Results come
+/// back in input order and each run is identical to a standalone
+/// [`run_system`] call, so the fan-out is invisible to callers.
+pub fn run_systems(configs: &[(Dataset, System)], config: &RunConfig) -> Vec<SystemRun> {
+    gopim_par::par_map(configs, |&(dataset, system)| {
+        run_system(dataset, system, config)
+    })
+}
+
 /// Builds the workload a system would run on a dataset (for callers
 /// that want to inspect or re-simulate it, e.g. the trace/Gantt
 /// example).

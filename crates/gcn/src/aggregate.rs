@@ -48,23 +48,33 @@ impl NormalizedAdjacency {
         assert_eq!(x.rows(), n, "one feature row per vertex");
         let d = x.cols();
         let mut out = Matrix::zeros(n, d);
-        for v in 0..n {
-            let sv = self.inv_sqrt_deg[v];
-            // Self-loop contribution.
-            let out_row = out.row_mut(v);
-            for (o, &xv) in out_row.iter_mut().zip(x.row(v)) {
-                *o += sv * sv * xv;
-            }
-            for &u in graph.neighbors(v) {
-                let su = self.inv_sqrt_deg[u as usize];
-                let coeff = sv * su;
-                let xu = x.row(u as usize);
-                let out_row = out.row_mut(v);
-                for (o, &xv) in out_row.iter_mut().zip(xu) {
-                    *o += coeff * xv;
+        if n == 0 || d == 0 {
+            return out;
+        }
+        // Row-partitioned CSR gather: output row v reads only `x` and
+        // the graph, so contiguous row blocks are independent tasks.
+        // Per-row accumulation order (self-loop, then neighbors in
+        // CSR order) is fixed, so the bits match the serial loop at
+        // every thread count.
+        let block_rows = n.div_ceil(gopim_par::num_threads() * 4).clamp(1, n);
+        gopim_par::par_chunks_mut(out.as_mut_slice(), block_rows * d, |block, chunk| {
+            let v0 = block * block_rows;
+            for (dv, out_row) in chunk.chunks_mut(d).enumerate() {
+                let v = v0 + dv;
+                let sv = self.inv_sqrt_deg[v];
+                // Self-loop contribution.
+                for (o, &xv) in out_row.iter_mut().zip(x.row(v)) {
+                    *o += sv * sv * xv;
+                }
+                for &u in graph.neighbors(v) {
+                    let su = self.inv_sqrt_deg[u as usize];
+                    let coeff = sv * su;
+                    for (o, &xv) in out_row.iter_mut().zip(x.row(u as usize)) {
+                        *o += coeff * xv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 }
@@ -94,21 +104,28 @@ impl Propagation for MeanAggregator {
     fn propagate(&self, graph: &CsrGraph, x: &Matrix) -> Matrix {
         let n = graph.num_vertices();
         assert_eq!(x.rows(), n, "one feature row per vertex");
-        let mut out = Matrix::zeros(n, x.cols());
-        for v in 0..n {
-            let inv = 1.0 / (1.0 + graph.degree(v) as f64);
-            let row = out.row_mut(v);
-            for (o, &xv) in row.iter_mut().zip(x.row(v)) {
-                *o += inv * xv;
-            }
-            for &u in graph.neighbors(v) {
-                let xu = x.row(u as usize);
-                let row = out.row_mut(v);
-                for (o, &xv) in row.iter_mut().zip(xu) {
+        let d = x.cols();
+        let mut out = Matrix::zeros(n, d);
+        if n == 0 || d == 0 {
+            return out;
+        }
+        // Same row-partitioned gather as `NormalizedAdjacency::apply`.
+        let block_rows = n.div_ceil(gopim_par::num_threads() * 4).clamp(1, n);
+        gopim_par::par_chunks_mut(out.as_mut_slice(), block_rows * d, |block, chunk| {
+            let v0 = block * block_rows;
+            for (dv, row) in chunk.chunks_mut(d).enumerate() {
+                let v = v0 + dv;
+                let inv = 1.0 / (1.0 + graph.degree(v) as f64);
+                for (o, &xv) in row.iter_mut().zip(x.row(v)) {
                     *o += inv * xv;
                 }
+                for &u in graph.neighbors(v) {
+                    for (o, &xv) in row.iter_mut().zip(x.row(u as usize)) {
+                        *o += inv * xv;
+                    }
+                }
             }
-        }
+        });
         out
     }
 
@@ -126,15 +143,17 @@ impl Propagation for MeanAggregator {
                 *o += inv * xv;
             }
         }
+        // Scatter along edges: out[u] accumulates contributions from
+        // every v with u ∈ N(v), so rows of `out` are written from
+        // many source vertices — this pass stays serial.
         for v in 0..n {
             let inv = 1.0 / (1.0 + graph.degree(v) as f64);
             for &u in graph.neighbors(v) {
                 // Column v of M has entries inv at rows v and its
-                // neighbors ⇒ Mᵀ row v gathers x[neighbors] × their…
-                // equivalently scatter x[v]·inv_v into out[u].
-                let xv: Vec<f64> = x.row(v).to_vec();
+                // neighbors ⇒ scatter x[v]·inv_v into out[u].
+                let xv = x.row(v);
                 let row = out.row_mut(u as usize);
-                for (o, &val) in row.iter_mut().zip(&xv) {
+                for (o, &val) in row.iter_mut().zip(xv) {
                     *o += inv * val;
                 }
             }
@@ -222,6 +241,31 @@ mod tests {
         let mty = m.propagate_transpose(&g, &y);
         let dot = |a: &Matrix, b: &Matrix| -> f64 { (0..5).map(|i| a[(i, 0)] * b[(i, 0)]).sum() };
         assert!((dot(&x, &mty) - dot(&mx, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_bits_do_not_depend_on_thread_count() {
+        let g = CsrGraph::from_edges(60, &(0..59).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let x = Matrix::from_vec(60, 5, (0..300).map(|i| ((i as f64) * 0.41).sin()).collect());
+        let norm = NormalizedAdjacency::new(&g);
+        let mean = MeanAggregator::new();
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        let serial =
+            gopim_par::Pool::new(1).install(|| (norm.apply(&g, &x), mean.propagate(&g, &x)));
+        for threads in [2, 8] {
+            let par = gopim_par::Pool::new(threads)
+                .install(|| (norm.apply(&g, &x), mean.propagate(&g, &x)));
+            assert_eq!(
+                bits(&par.0),
+                bits(&serial.0),
+                "Â·X changed at {threads} threads"
+            );
+            assert_eq!(
+                bits(&par.1),
+                bits(&serial.1),
+                "M·X changed at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Inner matmul kernels shared by [`crate::Matrix::matmul`] and
+//! [`crate::Matrix::matmul_into`].
+//!
+//! Both kernels accumulate every output element over `k` in ascending
+//! order, so the bits they produce depend only on the operands — not
+//! on how the caller blocks rows or how many pool threads execute the
+//! blocks. That invariant is what the workspace-wide determinism
+//! tests (`tests/determinism.rs`) pin.
+//!
+//! Kernel choice:
+//!
+//! - [`axpy_block`] — the wide-output kernel. Streams each RHS row
+//!   across four output rows at once (register blocking), so the RHS
+//!   is read once per four rows instead of once per row, and the
+//!   four independent accumulator streams vectorize on plain SSE2.
+//! - [`dot_block`] — the narrow-output kernel (`n ≤` [`NARROW_COLS`]).
+//!   A row-streaming kernel degenerates to one multiply per RHS pass
+//!   when `n` is tiny (the MLP's 256→1 output head), so this one
+//!   iterates a transposed RHS contiguously with a hoisted LHS row
+//!   and a single running accumulation per element.
+//!
+//! On targets with FMA codegen the accumulation uses `f64::mul_add`
+//! (one rounding, one instruction). On targets without it, `mul_add`
+//! lowers to a libm call that measures ~5× slower than `mul + add`,
+//! so the plain form is used instead — which also keeps this kernel
+//! bit-identical to the pre-parallel serial implementation there.
+
+/// Column threshold at or below which the transposed-RHS dot kernel
+/// is used.
+pub(crate) const NARROW_COLS: usize = 8;
+
+/// Multiply-accumulate: fused on FMA targets, `acc + a * b` elsewhere.
+#[inline(always)]
+fn mac(acc: f64, a: f64, b: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, acc)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        acc + a * b
+    }
+}
+
+/// How many output rows the wide kernel computes per RHS pass.
+const MR: usize = 4;
+
+/// Column-tile width keeping the active output rows and RHS row
+/// segment inside L1 while a tile's `k` loop runs.
+const JB: usize = 256;
+
+/// `out = a × b` for a block of rows: `a` is `rows × kd` row-major,
+/// `b` is `kd × n` row-major, `out` is `rows × n` (overwritten).
+pub(crate) fn axpy_block(a: &[f64], b: &[f64], out: &mut [f64], kd: usize, n: usize) {
+    out.fill(0.0);
+    for (a_chunk, out_chunk) in a.chunks(MR * kd).zip(out.chunks_mut(MR * n)) {
+        if out_chunk.len() == MR * n {
+            let (a0, rest) = a_chunk.split_at(kd);
+            let (a1, rest) = rest.split_at(kd);
+            let (a2, a3) = rest.split_at(kd);
+            let (o0, rest) = out_chunk.split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, o3) = rest.split_at_mut(n);
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + JB).min(n);
+                for k in 0..kd {
+                    let b_row = &b[k * n + j0..k * n + j1];
+                    let (x0, x1, x2, x3) = (a0[k], a1[k], a2[k], a3[k]);
+                    let (t0, t1) = (&mut o0[j0..j1], &mut o1[j0..j1]);
+                    let (t2, t3) = (&mut o2[j0..j1], &mut o3[j0..j1]);
+                    for (jj, &bv) in b_row.iter().enumerate() {
+                        t0[jj] = mac(t0[jj], x0, bv);
+                        t1[jj] = mac(t1[jj], x1, bv);
+                        t2[jj] = mac(t2[jj], x2, bv);
+                        t3[jj] = mac(t3[jj], x3, bv);
+                    }
+                }
+                j0 = j1;
+            }
+        } else {
+            // Ragged tail: fewer than MR rows left.
+            for (a_row, out_row) in a_chunk.chunks(kd).zip(out_chunk.chunks_mut(n)) {
+                for k in 0..kd {
+                    let b_row = &b[k * n..(k + 1) * n];
+                    let x = a_row[k];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o = mac(*o, x, bv);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `out = a × bᵀᵀ` for a block of rows via dot products against the
+/// pre-transposed RHS: `a` is `rows × kd`, `b_t` is `n × kd` (the
+/// transpose of the `kd × n` RHS), `out` is `rows × n` (overwritten).
+pub(crate) fn dot_block(a: &[f64], b_t: &[f64], out: &mut [f64], kd: usize, n: usize) {
+    for (a_row, out_row) in a.chunks_exact(kd).zip(out.chunks_exact_mut(n)) {
+        for (o, bt_row) in out_row.iter_mut().zip(b_t.chunks_exact(kd)) {
+            let mut acc = 0.0;
+            for (&x, &y) in a_row.iter().zip(bt_row) {
+                acc = mac(acc, x, y);
+            }
+            *o = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(a: &[f64], b: &[f64], m: usize, kd: usize, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..kd {
+                    acc = mac(acc, a[i * kd + k], b[k * n + j]);
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn transpose(b: &[f64], kd: usize, n: usize) -> Vec<f64> {
+        let mut t = vec![0.0; n * kd];
+        for k in 0..kd {
+            for j in 0..n {
+                t[j * kd + k] = b[k * n + j];
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn kernels_agree_with_the_reference_bitwise() {
+        // Odd sizes exercise the ragged MR tail and partial J tiles.
+        for &(m, kd, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 3, 7),
+            (9, 16, 4),
+            (4, 300, 301),
+        ] {
+            let a: Vec<f64> = (0..m * kd).map(|i| ((i as f64) * 0.7).sin()).collect();
+            let b: Vec<f64> = (0..kd * n).map(|i| ((i as f64) * 0.3).cos()).collect();
+            let expect = reference(&a, &b, m, kd, n);
+            let mut out = vec![f64::NAN; m * n];
+            axpy_block(&a, &b, &mut out, kd, n);
+            assert!(
+                out.iter()
+                    .zip(&expect)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "axpy_block diverged at {m}x{kd}x{n}"
+            );
+            let bt = transpose(&b, kd, n);
+            let mut out2 = vec![f64::NAN; m * n];
+            dot_block(&a, &bt, &mut out2, kd, n);
+            assert!(
+                out2.iter()
+                    .zip(&expect)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "dot_block diverged at {m}x{kd}x{n}"
+            );
+        }
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod activation;
 pub mod init;
+mod kernels;
 pub mod loss;
 pub mod matrix;
 pub mod mlp;

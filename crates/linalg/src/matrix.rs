@@ -1,5 +1,6 @@
 //! Row-major dense matrix.
 
+use crate::kernels;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -118,32 +119,88 @@ impl Matrix {
 
     /// Matrix product `self × rhs`.
     ///
+    /// Parallelized over row ranges of the output through `gopim-par`;
+    /// each output element accumulates over `k` in ascending order
+    /// with a fixed kernel, so the result is bit-identical at every
+    /// thread count (see `tests/determinism.rs`).
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self × rhs` written into `out`, overwriting its
+    /// contents — the allocation-free form of [`Matrix::matmul`] for
+    /// callers that reuse an output buffer across iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out`'s shape is not
+    /// `self.rows() × rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "dimension mismatch: {}x{} × {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // ikj loop order keeps the inner loop contiguous in both the
-        // output row and the rhs row.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "output shape mismatch: got {}x{}, need {}x{}",
+            out.rows,
+            out.cols,
+            self.rows,
+            rhs.cols
+        );
+        let (kd, n) = (self.cols, rhs.cols);
+        if out.data.is_empty() {
+            return;
         }
-        out
+        if self.data.is_empty() {
+            out.data.fill(0.0);
+            return;
+        }
+        // Partition the output into contiguous row blocks; each block
+        // is one task. Per-element accumulation order is fixed by the
+        // kernels, so the block size (which scales with the pool) has
+        // no effect on the bits produced.
+        let block_rows = self
+            .rows
+            .div_ceil(gopim_par::num_threads() * 4)
+            .clamp(1, self.rows);
+        if n <= kernels::NARROW_COLS {
+            // Narrow outputs (e.g. the MLP's 256→1 head): the
+            // row-streaming kernel degenerates to one multiply per
+            // pass, so switch to transposed-RHS dot products.
+            let rhs_t = rhs.transpose();
+            gopim_par::par_chunks_mut(&mut out.data, block_rows * n, |block, chunk| {
+                let row0 = block * block_rows;
+                let rows = chunk.len() / n;
+                kernels::dot_block(
+                    &self.data[row0 * kd..(row0 + rows) * kd],
+                    &rhs_t.data,
+                    chunk,
+                    kd,
+                    n,
+                );
+            });
+        } else {
+            gopim_par::par_chunks_mut(&mut out.data, block_rows * n, |block, chunk| {
+                let row0 = block * block_rows;
+                let rows = chunk.len() / n;
+                kernels::axpy_block(
+                    &self.data[row0 * kd..(row0 + rows) * kd],
+                    &rhs.data,
+                    chunk,
+                    kd,
+                    n,
+                );
+            });
+        }
     }
 
     /// Transpose.
@@ -158,7 +215,7 @@ impl Matrix {
     }
 
     /// Element-wise map.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -244,6 +301,63 @@ mod tests {
         let a = Matrix::from_rows(&[&[3.0, 4.0]]);
         assert_eq!(a.frobenius_norm(), 5.0);
         assert_eq!(a.map(|x| x * 2.0), Matrix::from_rows(&[&[6.0, 8.0]]));
+    }
+
+    #[test]
+    fn matmul_into_overwrites_a_reused_buffer() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut out = Matrix::from_rows(&[&[9.9, 9.9], &[9.9, 9.9]]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_bits_do_not_depend_on_thread_count() {
+        // Wide output (axpy kernel) and narrow output (dot kernel),
+        // with sizes that force multiple row blocks.
+        for &(m, kd, n) in &[(70usize, 33usize, 40usize), (70, 33, 3)] {
+            let a = Matrix::from_vec(
+                m,
+                kd,
+                (0..m * kd).map(|i| ((i as f64) * 0.37).sin()).collect(),
+            );
+            let b = Matrix::from_vec(
+                kd,
+                n,
+                (0..kd * n).map(|i| ((i as f64) * 0.53).cos()).collect(),
+            );
+            let serial = gopim_par::Pool::new(1).install(|| a.matmul(&b));
+            for threads in [2, 8] {
+                let par = gopim_par::Pool::new(threads).install(|| a.matmul(&b));
+                assert!(
+                    par.as_slice()
+                        .iter()
+                        .zip(serial.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "matmul {m}x{kd}x{n} changed bits at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_handles_zero_sized_operands() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        assert_eq!(a.matmul(&b).shape(), (0, 4));
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 4);
+        assert_eq!(a.matmul(&b), Matrix::zeros(2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn matmul_into_rejects_wrong_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 3);
+        a.matmul_into(&b, &mut out);
     }
 
     #[test]

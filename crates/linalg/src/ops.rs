@@ -1,6 +1,15 @@
 //! Element-wise and broadcast operations on [`Matrix`].
+//!
+//! The loops here are per-element pure, so they parallelize with a
+//! fixed chunk length: every element's value is independent of which
+//! chunk (and therefore which thread) computed it, keeping outputs
+//! bit-identical at any pool size.
 
 use crate::Matrix;
+
+/// Fixed element count per parallel task — large enough to amortize
+/// dispatch, and independent of the pool size by construction.
+const ELEMWISE_CHUNK: usize = 32 * 1024;
 
 /// Element-wise sum `a + b`.
 ///
@@ -46,11 +55,20 @@ pub fn add_bias(a: &Matrix, bias: &Matrix) -> Matrix {
     assert_eq!(bias.rows(), 1, "bias must be a row vector");
     assert_eq!(bias.cols(), a.cols(), "bias width mismatch");
     let mut out = a.clone();
-    for r in 0..out.rows() {
-        for (o, &b) in out.row_mut(r).iter_mut().zip(bias.row(0)) {
-            *o += b;
-        }
+    let cols = a.cols();
+    if cols == 0 {
+        return out;
     }
+    let brow = bias.row(0);
+    // Whole rows per chunk so the bias broadcast never splits a row.
+    let chunk_len = (ELEMWISE_CHUNK / cols).max(1) * cols;
+    gopim_par::par_chunks_mut(out.as_mut_slice(), chunk_len, |_, chunk| {
+        for row in chunk.chunks_mut(cols) {
+            for (o, &b) in row.iter_mut().zip(brow) {
+                *o += b;
+            }
+        }
+    });
     out
 }
 
@@ -73,19 +91,25 @@ pub fn sum_rows(a: &Matrix) -> Matrix {
 /// Panics if the shapes differ.
 pub fn accumulate(acc: &mut Matrix, x: &Matrix) {
     assert_eq!(acc.shape(), x.shape(), "shape mismatch in accumulate");
-    for (a, &b) in acc.as_mut_slice().iter_mut().zip(x.as_slice()) {
-        *a += b;
-    }
+    let xs = x.as_slice();
+    gopim_par::par_chunks_mut(acc.as_mut_slice(), ELEMWISE_CHUNK, |i, chunk| {
+        let base = i * ELEMWISE_CHUNK;
+        for (a, &b) in chunk.iter_mut().zip(&xs[base..]) {
+            *a += b;
+        }
+    });
 }
 
-fn zip(a: &Matrix, b: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
-    let data = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| f(x, y))
-        .collect();
-    Matrix::from_vec(a.rows(), a.cols(), data)
+fn zip(a: &Matrix, b: &Matrix, f: impl Fn(f64, f64) -> f64 + Sync) -> Matrix {
+    let mut out = a.clone();
+    let bs = b.as_slice();
+    gopim_par::par_chunks_mut(out.as_mut_slice(), ELEMWISE_CHUNK, |i, chunk| {
+        let base = i * ELEMWISE_CHUNK;
+        for (o, &y) in chunk.iter_mut().zip(&bs[base..]) {
+            *o = f(*o, y);
+        }
+    });
+    out
 }
 
 #[cfg(test)]

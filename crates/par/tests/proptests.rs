@@ -1,0 +1,133 @@
+//! Property-based tests for the deterministic parallel runtime: the
+//! `par_*` primitives must agree with their serial definitions for
+//! arbitrary inputs, partition sizes and pool sizes.
+
+use gopim_par::{par_chunks_mut, par_map, par_map_reduce, Pool};
+use gopim_testkit::prop::{check_with, Config};
+
+#[test]
+fn par_map_reduce_equals_serial_fold_for_any_partition() {
+    check_with(
+        "par_map_reduce_equals_serial_fold_for_any_partition",
+        Config::cases(48),
+        |d| {
+            let items = d.vec("items", 0usize..200, |d| d.draw("x", 0u64..1 << 40));
+            let chunk_len = d.draw("chunk_len", 1usize..64);
+            let threads = d.pick("threads", &[1usize, 2, 4, 8]);
+            let serial = items.iter().fold(0u64, |acc, &x| acc.wrapping_add(x));
+            let got = Pool::new(threads).install(|| {
+                par_map_reduce(
+                    &items,
+                    chunk_len,
+                    0u64,
+                    |acc, &x| acc.wrapping_add(x),
+                    |a, b| a.wrapping_add(b),
+                )
+            });
+            assert_eq!(got, serial, "wrapping-sum diverged from serial fold");
+        },
+    );
+}
+
+#[test]
+fn par_map_reduce_max_and_count_agree_with_serial() {
+    check_with(
+        "par_map_reduce_max_and_count_agree_with_serial",
+        Config::cases(48),
+        |d| {
+            let items = d.vec("items", 0usize..150, |d| d.draw("x", -1000i64..1000));
+            let chunk_len = d.draw("chunk_len", 1usize..40);
+            let threads = d.pick("threads", &[1usize, 3, 7]);
+            let pool = Pool::new(threads);
+            let max = pool.install(|| {
+                par_map_reduce(
+                    &items,
+                    chunk_len,
+                    i64::MIN,
+                    |a, &x| a.max(x),
+                    |a, b| a.max(b),
+                )
+            });
+            assert_eq!(max, items.iter().copied().fold(i64::MIN, i64::max));
+            let evens = pool.install(|| {
+                par_map_reduce(
+                    &items,
+                    chunk_len,
+                    0usize,
+                    |acc, &x| acc + usize::from(x % 2 == 0),
+                    |a, b| a + b,
+                )
+            });
+            assert_eq!(evens, items.iter().filter(|&&x| x % 2 == 0).count());
+        },
+    );
+}
+
+#[test]
+fn par_map_reduce_is_partition_invariant_even_when_not_associative() {
+    // For a *fixed* chunk_len the result must not depend on the pool
+    // size, even for float folds where regrouping would change bits.
+    check_with(
+        "par_map_reduce_is_partition_invariant_even_when_not_associative",
+        Config::cases(32),
+        |d| {
+            let items = d.vec("items", 0usize..120, |d| d.draw("x", -1.0f64..1.0));
+            let chunk_len = d.draw("chunk_len", 1usize..32);
+            let sum = |threads: usize| {
+                Pool::new(threads).install(|| {
+                    par_map_reduce(&items, chunk_len, 0.0f64, |a, &x| a + x, |a, b| a + b)
+                })
+            };
+            let reference = sum(1);
+            for threads in [2, 5, 8] {
+                assert_eq!(
+                    sum(threads).to_bits(),
+                    reference.to_bits(),
+                    "float sum changed bits between 1 and {threads} threads"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn par_map_agrees_with_serial_map_at_any_pool_size() {
+    check_with(
+        "par_map_agrees_with_serial_map_at_any_pool_size",
+        Config::cases(32),
+        |d| {
+            let items = d.vec("items", 0usize..100, |d| d.draw("x", 0u32..1 << 20));
+            let threads = d.pick("threads", &[1usize, 2, 6]);
+            let serial: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3 + 1).collect();
+            let got = Pool::new(threads).install(|| par_map(&items, |&x| u64::from(x) * 3 + 1));
+            assert_eq!(got, serial);
+        },
+    );
+}
+
+#[test]
+fn par_chunks_mut_equals_serial_chunked_update() {
+    check_with(
+        "par_chunks_mut_equals_serial_chunked_update",
+        Config::cases(32),
+        |d| {
+            let mut data = d.vec("data", 0usize..150, |d| d.draw("x", 0u64..1 << 30));
+            let chunk_len = d.draw("chunk_len", 1usize..50);
+            let threads = d.pick("threads", &[1usize, 4]);
+            let mut expected = data.clone();
+            for (i, chunk) in expected.chunks_mut(chunk_len).enumerate() {
+                for x in chunk.iter_mut() {
+                    *x = x.wrapping_mul(31).wrapping_add(i as u64);
+                }
+            }
+            Pool::new(threads).install(|| {
+                par_chunks_mut(&mut data, chunk_len, |i, chunk| {
+                    for x in chunk.iter_mut() {
+                        *x = x.wrapping_mul(31).wrapping_add(i as u64);
+                    }
+                });
+            });
+            assert_eq!(data, expected);
+        },
+    );
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: everything must pass offline, with no registry
 # access. Runs the format check, a release build, the full test suite
-# (unit + property + integration + golden snapshot diffs), and makes
-# sure every bench target still compiles.
+# (unit + property + integration + golden snapshot diffs) twice — once
+# serial (GOPIM_THREADS=1) and once at the default pool size, so any
+# thread-count-dependent result fails the run — and makes sure every
+# bench target still compiles.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,7 +14,10 @@ cargo fmt --all -- --check
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace
 
-echo "== cargo test --offline (includes tests/golden diffs) =="
+echo "== cargo test --offline, GOPIM_THREADS=1 (serial reference) =="
+GOPIM_THREADS=1 cargo test -q --offline --workspace
+
+echo "== cargo test --offline, default GOPIM_THREADS (parallel) =="
 cargo test -q --offline --workspace
 
 echo "== bench targets compile =="

@@ -95,6 +95,69 @@ fn different_seeds_produce_different_workloads() {
     assert!(differs, "profile_seed has no effect on stage timings");
 }
 
+/// The parallel runtime's contract: the pool size must not change a
+/// single bit anywhere. One snapshot covers all three hot paths —
+/// dense matmul, sparse propagation, and a fanned-out DES sweep —
+/// computed under a 1-thread pool and an 8-thread pool.
+///
+/// (`scripts/verify.sh` covers the environment side by running the
+/// whole suite under `GOPIM_THREADS=1` and again at the default.)
+#[test]
+fn thread_count_never_changes_any_bits() {
+    use gopim::runner::{run_systems, RunConfig};
+    use gopim::system::System;
+    use gopim_gcn::aggregate::{MeanAggregator, NormalizedAdjacency, Propagation};
+    use gopim_graph::CsrGraph;
+    use gopim_linalg::Matrix;
+    use gopim_par::Pool;
+
+    let snapshot = || {
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        // Dense matmul, both kernel paths (wide and narrow output).
+        let a = Matrix::from_vec(
+            37,
+            29,
+            (0..37 * 29).map(|i| ((i as f64) * 0.61).sin()).collect(),
+        );
+        let wide = Matrix::from_vec(
+            29,
+            23,
+            (0..29 * 23).map(|i| ((i as f64) * 0.27).cos()).collect(),
+        );
+        let narrow = Matrix::from_vec(29, 2, (0..58).map(|i| ((i as f64) * 0.19).sin()).collect());
+        let mut mm = bits(&a.matmul(&wide));
+        mm.extend(bits(&a.matmul(&narrow)));
+        // Sparse propagation (both operators).
+        let g = CsrGraph::from_edges(40, &(0..39).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let x = Matrix::from_vec(40, 6, (0..240).map(|i| ((i as f64) * 0.43).sin()).collect());
+        let mut prop = bits(&NormalizedAdjacency::new(&g).propagate(&g, &x));
+        prop.extend(bits(&MeanAggregator::new().propagate(&g, &x)));
+        // A fanned-out DES sweep.
+        let config = RunConfig {
+            crossbar_budget: Some(200_000),
+            ..RunConfig::default()
+        };
+        let sweep = [
+            (Dataset::Ddi, System::Serial),
+            (Dataset::Ddi, System::Gopim),
+            (Dataset::Cora, System::Gopim),
+        ];
+        let des: Vec<u64> = run_systems(&sweep, &config)
+            .iter()
+            .map(|r| r.makespan_ns.to_bits())
+            .collect();
+        (mm, prop, des)
+    };
+    let serial = Pool::new(1).install(snapshot);
+    let par = Pool::new(8).install(snapshot);
+    assert_eq!(serial.0, par.0, "matmul bits changed with thread count");
+    assert_eq!(
+        serial.1, par.1,
+        "propagation bits changed with thread count"
+    );
+    assert_eq!(serial.2, par.2, "DES sweep bits changed with thread count");
+}
+
 /// The testkit's own PRNG: same seed ⇒ same stream, `mix_seed` keeps
 /// per-case streams decorrelated but reproducible.
 #[test]
