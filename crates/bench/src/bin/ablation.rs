@@ -101,6 +101,7 @@ fn run_with(params: LatencyParams, config: &RunConfig) -> (f64, f64) {
 }
 
 fn main() {
+    let _telemetry = gopim_bench::telemetry();
     let args = BenchArgs::from_env();
     banner(
         "Ablation (extension)",

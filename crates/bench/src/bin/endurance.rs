@@ -15,6 +15,7 @@ use gopim_reram::endurance::WearProfile;
 use gopim_reram::spec::AcceleratorSpec;
 
 fn main() {
+    let _telemetry = gopim_bench::telemetry();
     let args = BenchArgs::from_env();
     banner(
         "Endurance (extension)",

@@ -8,6 +8,7 @@ use gopim_bench::{banner, BenchArgs};
 use gopim_graph::datasets::Dataset;
 
 fn main() {
+    let _telemetry = gopim_bench::telemetry();
     let args = BenchArgs::from_env();
     banner(
         "Fig. 4",

@@ -9,6 +9,7 @@ use gopim_alloc::{greedy_allocate, AllocInput};
 use gopim_bench::{banner, BenchArgs};
 
 fn main() {
+    let _telemetry = gopim_bench::telemetry();
     let _args = BenchArgs::from_env();
     banner(
         "Fig. 5",

@@ -7,6 +7,7 @@ use gopim_bench::{banner, BenchArgs};
 use gopim_predictor::dataset_gen::generate_samples;
 
 fn main() {
+    let _telemetry = gopim_bench::telemetry();
     let args = BenchArgs::from_env();
     banner(
         "Fig. 9",
@@ -14,7 +15,7 @@ fn main() {
          Paper: the MLP wins; 3 layers and 256 hidden neurons are best; RMSE ~0.0022.",
     );
     let samples = generate_samples(args.scaled(2200, 400), 42);
-    println!("training samples: {}\n", samples.len());
+    gopim_obs::log_info!("training samples: {}", samples.len());
     let epochs = args.scaled(800, 40);
 
     println!("(a) model families:");

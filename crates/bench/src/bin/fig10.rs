@@ -11,6 +11,7 @@ use gopim_pipeline::trace::render_gantt;
 use gopim_pipeline::{GcnWorkload, WorkloadOptions};
 
 fn main() {
+    let _telemetry = gopim_bench::telemetry();
     let _args = BenchArgs::from_env();
     banner(
         "Fig. 10",

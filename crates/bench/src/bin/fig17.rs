@@ -6,6 +6,7 @@ use gopim::report;
 use gopim_bench::{banner, BenchArgs};
 
 fn main() {
+    let _telemetry = gopim_bench::telemetry();
     let args = BenchArgs::from_env();
     banner(
         "Fig. 17",

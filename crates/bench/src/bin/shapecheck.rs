@@ -41,6 +41,7 @@ impl Checker {
 }
 
 fn main() {
+    let _telemetry = gopim_bench::telemetry();
     let args = BenchArgs::from_env();
     banner(
         "Shape check",

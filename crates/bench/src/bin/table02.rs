@@ -10,6 +10,7 @@ use gopim_reram::noc::MeshNoc;
 use gopim_reram::spec::AcceleratorSpec;
 
 fn main() {
+    let _telemetry = gopim_bench::telemetry();
     let _args = BenchArgs::from_env();
     banner(
         "Table II",

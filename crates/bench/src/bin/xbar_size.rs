@@ -82,6 +82,7 @@ fn run_at_size(rows: usize, cols: usize, budget: Option<usize>) -> (f64, f64) {
 }
 
 fn main() {
+    let _telemetry = gopim_bench::telemetry();
     let args = BenchArgs::from_env();
     banner(
         "Crossbar-size sweep (extension)",

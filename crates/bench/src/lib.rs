@@ -44,7 +44,7 @@ impl BenchArgs {
                         .next()
                         .and_then(|v| v.parse::<usize>().ok())
                         .or_else(|| {
-                            eprintln!("--budget expects an integer");
+                            gopim_obs::log_warn!("--budget expects an integer");
                             None
                         });
                 }
@@ -88,6 +88,40 @@ pub fn banner(id: &str, description: &str) {
     println!("== GoPIM reproduction :: {id} ==");
     println!("{description}");
     println!();
+}
+
+/// Attaches telemetry for an experiment binary: holds the
+/// [`gopim_obs::TelemetryGuard`] that flushes `GOPIM_TRACE` /
+/// `GOPIM_METRICS` output on drop. When tracing is on, first runs a
+/// tiny host-kernel calibration (one matmul, one aggregation) so every
+/// trace carries `linalg.*`, `gcn.*` and `par.*` wall-clock spans even
+/// for binaries whose experiment path is purely analytic.
+///
+/// Bind the result for the whole of `main`:
+///
+/// ```no_run
+/// let _telemetry = gopim_bench::telemetry();
+/// ```
+pub fn telemetry() -> gopim_obs::TelemetryGuard {
+    let guard = gopim_obs::attach();
+    if gopim_obs::trace_enabled() {
+        let _span = gopim_obs::span!("bench.calibrate");
+        let fill = |rows: usize, cols: usize, salt: usize| {
+            let data = (0..rows * cols)
+                .map(|i| ((i * 31 + salt) % 13) as f64 * 0.1)
+                .collect();
+            gopim_linalg::Matrix::from_vec(rows, cols, data)
+        };
+        let c = fill(64, 64, 0).matmul(&fill(64, 64, 7));
+        std::hint::black_box(&c);
+        let n = 256u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let graph = gopim_graph::CsrGraph::from_edges(n as usize, &edges);
+        let adj = gopim_gcn::aggregate::NormalizedAdjacency::new(&graph);
+        let y = adj.apply(&graph, &fill(n as usize, 16, 3));
+        std::hint::black_box(&y);
+    }
+    guard
 }
 
 #[cfg(test)]

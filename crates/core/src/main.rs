@@ -221,12 +221,16 @@ fn cmd_custom(path: &str, micro_batch: usize) -> Result<(), String> {
 }
 
 fn main() {
+    // Flushes GOPIM_TRACE / GOPIM_METRICS output when dropped; inert
+    // when neither env var is set.
+    let telemetry = gopim_obs::attach();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = dispatch(&args);
     if let Err(msg) = result {
-        eprintln!("error: {msg}");
+        gopim_obs::log_error!("{msg}");
         eprintln!();
         eprintln!("{HELP}");
+        drop(telemetry);
         std::process::exit(2);
     }
 }

@@ -6,6 +6,10 @@
 
 use gopim_graph::CsrGraph;
 use gopim_linalg::Matrix;
+use gopim_obs::metrics::LazyCounter;
+
+static AGG_CALLS: LazyCounter = LazyCounter::new("gcn.aggregate.calls");
+static AGG_EDGES: LazyCounter = LazyCounter::new("gcn.aggregate.edges");
 
 /// A neighborhood propagation operator `P` applied as `P · X`.
 ///
@@ -47,6 +51,9 @@ impl NormalizedAdjacency {
         let n = graph.num_vertices();
         assert_eq!(x.rows(), n, "one feature row per vertex");
         let d = x.cols();
+        let _span = gopim_obs::span!("gcn.aggregate.normalized", n, d);
+        AGG_CALLS.add(1);
+        AGG_EDGES.add(graph.num_edges() as u64);
         let mut out = Matrix::zeros(n, d);
         if n == 0 || d == 0 {
             return out;
@@ -105,6 +112,9 @@ impl Propagation for MeanAggregator {
         let n = graph.num_vertices();
         assert_eq!(x.rows(), n, "one feature row per vertex");
         let d = x.cols();
+        let _span = gopim_obs::span!("gcn.aggregate.mean", n, d);
+        AGG_CALLS.add(1);
+        AGG_EDGES.add(graph.num_edges() as u64);
         let mut out = Matrix::zeros(n, d);
         if n == 0 || d == 0 {
             return out;

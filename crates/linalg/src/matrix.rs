@@ -1,8 +1,13 @@
 //! Row-major dense matrix.
 
 use crate::kernels;
+use gopim_obs::metrics::{LazyCounter, LazyHistogram};
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+static MATMUL_CALLS: LazyCounter = LazyCounter::new("linalg.matmul.calls");
+static MATMUL_FLOPS: LazyCounter = LazyCounter::new("linalg.matmul.flops");
+static MATMUL_NS: LazyHistogram = LazyHistogram::new("linalg.matmul.ns");
 
 /// A dense `rows × cols` matrix of `f64`, stored row-major.
 ///
@@ -156,6 +161,11 @@ impl Matrix {
             self.rows,
             rhs.cols
         );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let _span = gopim_obs::span!("linalg.matmul", m, k, n);
+        MATMUL_CALLS.add(1);
+        MATMUL_FLOPS.add(2 * (m as u64) * (k as u64) * (n as u64));
+        let _timer = MATMUL_NS.timer();
         let (kd, n) = (self.cols, rhs.cols);
         if out.data.is_empty() {
             return;

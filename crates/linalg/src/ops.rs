@@ -6,10 +6,14 @@
 //! bit-identical at any pool size.
 
 use crate::Matrix;
+use gopim_obs::metrics::LazyCounter;
 
 /// Fixed element count per parallel task — large enough to amortize
 /// dispatch, and independent of the pool size by construction.
 const ELEMWISE_CHUNK: usize = 32 * 1024;
+
+static ELEMWISE_CALLS: LazyCounter = LazyCounter::new("linalg.elemwise.calls");
+static ELEMWISE_ELEMS: LazyCounter = LazyCounter::new("linalg.elemwise.elems");
 
 /// Element-wise sum `a + b`.
 ///
@@ -59,6 +63,10 @@ pub fn add_bias(a: &Matrix, bias: &Matrix) -> Matrix {
     if cols == 0 {
         return out;
     }
+    let elems = out.as_slice().len();
+    let _span = gopim_obs::span!("linalg.add_bias", elems);
+    ELEMWISE_CALLS.add(1);
+    ELEMWISE_ELEMS.add(elems as u64);
     let brow = bias.row(0);
     // Whole rows per chunk so the bias broadcast never splits a row.
     let chunk_len = (ELEMWISE_CHUNK / cols).max(1) * cols;
@@ -91,6 +99,10 @@ pub fn sum_rows(a: &Matrix) -> Matrix {
 /// Panics if the shapes differ.
 pub fn accumulate(acc: &mut Matrix, x: &Matrix) {
     assert_eq!(acc.shape(), x.shape(), "shape mismatch in accumulate");
+    let elems = acc.as_slice().len();
+    let _span = gopim_obs::span!("linalg.accumulate", elems);
+    ELEMWISE_CALLS.add(1);
+    ELEMWISE_ELEMS.add(elems as u64);
     let xs = x.as_slice();
     gopim_par::par_chunks_mut(acc.as_mut_slice(), ELEMWISE_CHUNK, |i, chunk| {
         let base = i * ELEMWISE_CHUNK;
@@ -101,6 +113,10 @@ pub fn accumulate(acc: &mut Matrix, x: &Matrix) {
 }
 
 fn zip(a: &Matrix, b: &Matrix, f: impl Fn(f64, f64) -> f64 + Sync) -> Matrix {
+    let elems = a.as_slice().len();
+    let _span = gopim_obs::span!("linalg.zip", elems);
+    ELEMWISE_CALLS.add(1);
+    ELEMWISE_ELEMS.add(elems as u64);
     let mut out = a.clone();
     let bs = b.as_slice();
     gopim_par::par_chunks_mut(out.as_mut_slice(), ELEMWISE_CHUNK, |i, chunk| {

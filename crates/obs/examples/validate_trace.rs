@@ -1,0 +1,63 @@
+//! Offline validator for emitted Chrome traces — used by
+//! `scripts/verify.sh` to check a traced smoke run without external
+//! JSON tooling.
+//!
+//! Usage: `validate_trace <trace.json> [expected-name-prefix ...]`
+//!
+//! Exits non-zero (with a diagnostic on stderr) if the file is not
+//! valid JSON, has no `traceEvents`, or any expected prefix matches no
+//! span name.
+
+use gopim_obs::export::{parse_json, validate_chrome_trace, Json};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = match args.next() {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: validate_trace <trace.json> [expected-name-prefix ...]");
+            std::process::exit(2);
+        }
+    };
+    let expected: Vec<String> = args.collect();
+    let expected_refs: Vec<&str> = expected.iter().map(String::as_str).collect();
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_chrome_trace(&text, &expected_refs) {
+        Ok(spans) => {
+            let cats = distinct_cats(&text);
+            println!(
+                "ok: {spans} spans, {} categories ({}) in {path}",
+                cats.len(),
+                cats.join(", ")
+            );
+        }
+        Err(e) => {
+            eprintln!("validate_trace: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn distinct_cats(text: &str) -> Vec<String> {
+    let mut cats = Vec::new();
+    if let Ok(doc) = parse_json(text) {
+        if let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) {
+            for e in events {
+                if let Some(cat) = e.get("cat").and_then(Json::as_str) {
+                    if !cats.iter().any(|c| c == cat) {
+                        cats.push(cat.to_string());
+                    }
+                }
+            }
+        }
+    }
+    cats.sort();
+    cats
+}

@@ -1,0 +1,453 @@
+//! Exporters: Chrome trace-event JSON and a minimal JSON reader used
+//! to validate emitted traces offline.
+//!
+//! The trace format is the Trace Event Format's JSON-object flavor
+//! (`{"traceEvents": [...]}`) with complete (`"ph": "X"`) events,
+//! loadable in `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+//! Timestamps are microseconds (`f64`), the unit the format requires;
+//! the nanosecond source values are preserved to three decimals.
+
+use std::io::Write;
+
+use crate::span::SpanEvent;
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_event(e: &SpanEvent) -> String {
+    // meta.* events carry track labels, not intervals.
+    if let Some(kind) = e.cat.strip_prefix("meta.") {
+        return format!(
+            "{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            e.pid,
+            e.tid,
+            escape_json(&e.name)
+        );
+    }
+    let mut args = String::new();
+    for (i, (k, v)) in e.args.iter().enumerate() {
+        if i > 0 {
+            args.push(',');
+        }
+        args.push_str(&format!("\"{}\":{}", escape_json(k), fmt_num(*v)));
+    }
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+         \"pid\":{},\"tid\":{},\"args\":{{{args}}}}}",
+        escape_json(&e.name),
+        escape_json(e.cat),
+        e.start_ns as f64 / 1e3,
+        e.dur_ns as f64 / 1e3,
+        e.pid,
+        e.tid,
+    )
+}
+
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Serializes events as a Chrome trace-event JSON document.
+pub fn render_chrome_trace(events: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"host (wall clock)\"}}",
+    );
+    for e in events {
+        out.push_str(",\n");
+        out.push_str(&render_event(e));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes the Chrome trace for `events` to `path`.
+pub fn write_chrome_trace(path: &str, events: &[SpanEvent]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render_chrome_trace(events).as_bytes())
+}
+
+/// A minimal JSON value tree (just enough to validate our own traces
+/// without external dependencies).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered pairs).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))
+                            .map_err(String::from)?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            c => {
+                // Re-borrow the original UTF-8: collect continuation
+                // bytes of a multi-byte character verbatim.
+                if c < 0x80 {
+                    out.push(c as char);
+                } else {
+                    let start = *pos - 1;
+                    let mut end = *pos;
+                    while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&b[start..end])
+                            .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+                    );
+                    *pos = end;
+                }
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+/// Validates a Chrome trace document: parses it, checks the
+/// `traceEvents` array exists with well-formed events, and verifies
+/// every `expected_names` entry prefix-matches at least one event
+/// name or category (simulated intervals carry the stage as the name
+/// and `sim.*` as the category). Returns the number of non-metadata
+/// events.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem or missing
+/// span name.
+pub fn validate_chrome_trace(text: &str, expected_names: &[&str]) -> Result<usize, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut spans = 0usize;
+    let mut names = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing name"))?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing ph"))?;
+        match ph {
+            "M" => {}
+            "X" => {
+                e.get("ts")
+                    .and_then(Json::as_num)
+                    .ok_or(format!("event {i}: missing ts"))?;
+                e.get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or(format!("event {i}: missing dur"))?;
+                spans += 1;
+                names.push(name.to_string());
+                if let Some(cat) = e.get("cat").and_then(Json::as_str) {
+                    names.push(cat.to_string());
+                }
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    for expected in expected_names {
+        if !names.iter().any(|n| n.starts_with(expected)) {
+            return Err(format!("no span named {expected}* in the trace"));
+        }
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanEvent, WALL_PID};
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                pid: WALL_PID,
+                tid: 1,
+                name: "linalg.matmul".into(),
+                cat: "span",
+                start_ns: 1500,
+                dur_ns: 2500,
+                args: vec![("m", 64.0), ("n", 64.0)],
+            },
+            SpanEvent {
+                pid: 1,
+                tid: 0,
+                name: "sim: gopim/ddi".into(),
+                cat: "meta.process_name",
+                start_ns: 0,
+                dur_ns: 0,
+                args: Vec::new(),
+            },
+            SpanEvent {
+                pid: 1,
+                tid: 2,
+                name: "AG1".into(),
+                cat: "sim.compute",
+                start_ns: 10,
+                dur_ns: 90,
+                args: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_validator() {
+        let text = render_chrome_trace(&sample_events());
+        let spans = validate_chrome_trace(&text, &["linalg.matmul", "AG1"]).unwrap();
+        assert_eq!(spans, 2);
+        assert!(validate_chrome_trace(&text, &["missing.span"]).is_err());
+    }
+
+    #[test]
+    fn timestamps_convert_to_microseconds() {
+        let text = render_chrome_trace(&sample_events());
+        let doc = parse_json(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let matmul = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("linalg.matmul"))
+            .unwrap();
+        assert_eq!(matmul.get("ts").unwrap().as_num(), Some(1.5));
+        assert_eq!(matmul.get("dur").unwrap().as_num(), Some(2.5));
+        assert_eq!(
+            matmul.get("args").unwrap().get("m").unwrap().as_num(),
+            Some(64.0)
+        );
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc = parse_json(r#"{"a": [1, -2.5e3, "x\"\nA"], "b": {"c": null}}"#).unwrap();
+        let arr = doc.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[1].as_num(), Some(-2500.0));
+        assert_eq!(arr[2].as_str(), Some("x\"\nA"));
+        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert!(parse_json("{\"unterminated\": ").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+    }
+
+    #[test]
+    fn strings_escape_cleanly() {
+        let e = SpanEvent {
+            pid: WALL_PID,
+            tid: 1,
+            name: "has \"quotes\"\nand newline".into(),
+            cat: "span",
+            start_ns: 0,
+            dur_ns: 1,
+            args: Vec::new(),
+        };
+        let text = render_chrome_trace(&[e]);
+        let doc = parse_json(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(
+            events[1].get("name").and_then(Json::as_str),
+            Some("has \"quotes\"\nand newline")
+        );
+    }
+}

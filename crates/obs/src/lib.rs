@@ -1,0 +1,185 @@
+//! Dependency-free telemetry for the GoPIM reproduction.
+//!
+//! The workspace's hot paths — the matmul kernels, the `gopim-par`
+//! pool, the pipeline simulators, the experiment runner — record
+//! *what* they did and *how long* it took through this crate. Three
+//! subsystems, all hermetic and std-only in the same spirit as
+//! `gopim-rng` / `gopim-par`:
+//!
+//! - [`metrics`] — a global registry of counters, gauges and
+//!   fixed-bucket (power-of-two) histograms behind relaxed atomics.
+//!   Snapshots are cheap, mergeable and diffable, which is how the
+//!   testkit bench runner reports per-iteration counter deltas.
+//! - [`span`] — lightweight scoped timers ([`span!`]) recording into
+//!   per-thread buffers that a global collector drains. A second
+//!   event family carries *simulated-time* intervals (the pipeline
+//!   DES timeline), so one Chrome trace shows wall-clock work and the
+//!   simulated schedule side by side.
+//! - [`log`] — a level-gated logging facade ([`log_error!`] …
+//!   [`log_debug!`]) honoring `GOPIM_LOG`, replacing ad-hoc
+//!   `eprintln!` progress lines.
+//!
+//! # Overhead contract
+//!
+//! Everything is **off by default** and the disabled path is one
+//! relaxed atomic load plus a predictable branch — no allocation, no
+//! clock read, no locking. Enablement comes from the environment,
+//! read once:
+//!
+//! - `GOPIM_TRACE=<path>` — collect spans and write a Chrome
+//!   trace-event JSON file (loadable in `chrome://tracing` /
+//!   [Perfetto](https://ui.perfetto.dev)) to `<path>` when the
+//!   [`TelemetryGuard`] drops.
+//! - `GOPIM_METRICS=1` — collect metrics and print the plain-text
+//!   registry report to stderr when the guard drops.
+//! - `GOPIM_LOG=error|warn|info|debug|off` — log verbosity
+//!   (default `info`).
+//!
+//! Binaries opt in with one line:
+//!
+//! ```no_run
+//! fn main() {
+//!     let _telemetry = gopim_obs::attach();
+//!     // ... the run; spans/metrics flush when _telemetry drops ...
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+pub use span::SpanGuard;
+
+/// Tri-state cached enablement flag: 0 = unread, 1 = off, 2 = on.
+struct EnvFlag {
+    state: AtomicU8,
+    read: fn() -> bool,
+}
+
+impl EnvFlag {
+    const fn new(read: fn() -> bool) -> Self {
+        EnvFlag {
+            state: AtomicU8::new(0),
+            read,
+        }
+    }
+
+    #[inline]
+    fn get(&self) -> bool {
+        match self.state.load(Ordering::Relaxed) {
+            0 => self.init(),
+            s => s == 2,
+        }
+    }
+
+    #[cold]
+    fn init(&self) -> bool {
+        let on = (self.read)();
+        self.state.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+        on
+    }
+
+    fn set(&self, on: bool) {
+        self.state.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    }
+}
+
+static TRACE: EnvFlag = EnvFlag::new(|| trace_path().is_some());
+static METRICS: EnvFlag = EnvFlag::new(|| {
+    std::env::var("GOPIM_METRICS")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+});
+
+/// Whether span collection is on (`GOPIM_TRACE` set, or forced by
+/// [`set_trace_enabled`]). The disabled path is a relaxed load.
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE.get()
+}
+
+/// Whether metrics collection is on (`GOPIM_METRICS=1`, or forced by
+/// [`set_metrics_enabled`]). The disabled path is a relaxed load.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS.get()
+}
+
+/// Forces span collection on or off, overriding the environment —
+/// for tests and embedders that manage their own export.
+pub fn set_trace_enabled(on: bool) {
+    TRACE.set(on);
+}
+
+/// Forces metrics collection on or off, overriding the environment.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS.set(on);
+}
+
+/// The `GOPIM_TRACE` destination path, if set to a non-empty value.
+pub fn trace_path() -> Option<String> {
+    match std::env::var("GOPIM_TRACE") {
+        Ok(p) if !p.is_empty() => Some(p),
+        _ => None,
+    }
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the process's telemetry epoch (the
+/// first call to this function or to [`attach`]).
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Flushes telemetry on drop: writes the Chrome trace to the
+/// `GOPIM_TRACE` path and prints the metrics report to stderr when
+/// `GOPIM_METRICS` is on. Create one at the top of `main` via
+/// [`attach`].
+#[must_use = "telemetry flushes when the guard drops"]
+pub struct TelemetryGuard {
+    trace_path: Option<String>,
+}
+
+/// Initializes telemetry from the environment and returns the guard
+/// that exports everything on drop. Safe to call when neither env var
+/// is set — the guard is then inert.
+pub fn attach() -> TelemetryGuard {
+    // Pin the epoch at attach time so span timestamps are relative to
+    // the start of the run, not to the first span.
+    let _ = now_ns();
+    TelemetryGuard {
+        trace_path: if trace_enabled() { trace_path() } else { None },
+    }
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        if let Some(path) = &self.trace_path {
+            let dropped = span::dropped();
+            let events = span::drain();
+            if dropped > 0 {
+                crate::log_warn!("telemetry: span buffer full, dropped {dropped} events");
+            }
+            match export::write_chrome_trace(path, &events) {
+                Ok(()) => {
+                    crate::log_info!("telemetry: wrote {} trace events to {path}", events.len())
+                }
+                Err(e) => crate::log_error!("telemetry: failed to write {path}: {e}"),
+            }
+        }
+        if metrics_enabled() {
+            let snapshot = metrics::global().snapshot();
+            if !snapshot.is_empty() {
+                eprintln!("{}", snapshot.render());
+            }
+        }
+    }
+}

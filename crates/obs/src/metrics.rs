@@ -1,0 +1,574 @@
+//! Global metrics registry: counters, gauges and fixed-bucket
+//! histograms behind relaxed atomics.
+//!
+//! Instruments record through [`LazyCounter`] / [`LazyGauge`] /
+//! [`LazyHistogram`] statics, which check [`crate::metrics_enabled`]
+//! before touching the registry — the disabled path is one relaxed
+//! load. The raw [`Counter`] / [`Gauge`] / [`Histogram`] types record
+//! unconditionally, for callers (and tests) that manage their own
+//! gating.
+//!
+//! [`Registry::snapshot`] captures every instrument into a plain
+//! [`Snapshot`], which merges (cross-thread / cross-shard sums) and
+//! diffs (before/after deltas, how the bench runner reports
+//! per-iteration counters).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing sum (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds a nanosecond quantity given as `f64` (negative and
+    /// non-finite values count as zero).
+    #[inline]
+    pub fn add_ns(&self, ns: f64) {
+        if ns > 0.0 && ns.is_finite() {
+            self.add(ns as u64);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value / high-water instrument (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. Bucket `0` holds zeros; bucket `i ≥ 1`
+/// holds values in `[2^(i−1), 2^i)`; the last bucket absorbs
+/// everything at or above `2^(BUCKETS−2)` (≈ 4.6 × 10¹⁸, so in
+/// practice nothing saturates).
+pub const BUCKETS: usize = 64;
+
+/// A fixed-bucket power-of-two histogram of `u64` samples
+/// (typically nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Inclusive lower bound of bucket `i` (`0` for the zero bucket).
+    pub fn bucket_lower(i: usize) -> u64 {
+        assert!(i < BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Exclusive upper bound of bucket `i` (`u64::MAX` for the last,
+    /// open-ended bucket).
+    pub fn bucket_upper(i: usize) -> u64 {
+        assert!(i < BUCKETS, "bucket {i} out of range");
+        if i == BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a nanosecond sample given as `f64` (negative and
+    /// non-finite values clamp to zero).
+    #[inline]
+    pub fn record_ns(&self, ns: f64) {
+        let v = if ns > 0.0 && ns.is_finite() {
+            ns as u64
+        } else {
+            0
+        };
+        self.record(v);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: counts.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            counts,
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (length [`BUCKETS`]).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the smallest bucket whose cumulative count
+    /// reaches `q` (in `[0, 1]`) of the samples — a coarse quantile.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Histogram::bucket_upper(i);
+            }
+        }
+        Histogram::bucket_upper(BUCKETS - 1)
+    }
+}
+
+/// The registry all lazy instruments resolve against.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Captures every instrument's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Point-in-time copy of a whole registry. Ordered maps so rendering
+/// and comparison are deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram contents by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// True when no instrument has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Element-wise union: counters and histogram buckets add
+    /// (saturating, so extreme samples cannot wrap), gauges take the
+    /// maximum (high-water semantics). Saturating unsigned addition is
+    /// associative and commutative, so per-thread/per-shard snapshots
+    /// merge in any grouping to the same total — the property the obs
+    /// test suite pins.
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (k, v) in &other.counters {
+            let slot = out.counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (k, v) in &other.gauges {
+            let slot = out.gauges.entry(k.clone()).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        for (k, h) in &other.histograms {
+            let slot = out.histograms.entry(k.clone()).or_default();
+            if slot.counts.is_empty() {
+                slot.counts = vec![0; h.counts.len()];
+            }
+            for (a, b) in slot.counts.iter_mut().zip(&h.counts) {
+                *a = a.saturating_add(*b);
+            }
+            slot.count = slot.count.saturating_add(h.count);
+            slot.sum = slot.sum.saturating_add(h.sum);
+        }
+        out
+    }
+
+    /// Counter deltas `self − earlier` (saturating; gauges and
+    /// histograms are not differenced — deltas of high-water marks and
+    /// bucket vectors are rarely meaningful).
+    pub fn counter_deltas(&self, earlier: &Snapshot) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|(k, &v)| {
+                let before = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .filter(|(_, d)| *d > 0)
+            .collect()
+    }
+
+    /// Plain-text report: one sorted line per instrument.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== gopim metrics ==\n");
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter   {k:<44} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge     {k:<44} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {k:<44} count={} mean={:.1} p50<={} p99<={}\n",
+                h.count,
+                h.mean(),
+                h.quantile_upper_bound(0.50),
+                h.quantile_upper_bound(0.99),
+            ));
+        }
+        out
+    }
+}
+
+/// A named counter resolved against the global registry on first use
+/// and gated on [`crate::metrics_enabled`] — the form instrumentation
+/// sites declare as a `static`.
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<Arc<Counter>>,
+}
+
+impl LazyCounter {
+    /// Declares a counter named `name` (registered on first add).
+    pub const fn new(name: &'static str) -> Self {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Adds `n` when metrics are enabled; a relaxed load otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::metrics_enabled() {
+            self.cell.get_or_init(|| global().counter(self.name)).add(n);
+        }
+    }
+}
+
+/// A named gauge resolved lazily and gated like [`LazyCounter`].
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<Arc<Gauge>>,
+}
+
+impl LazyGauge {
+    /// Declares a gauge named `name`.
+    pub const fn new(name: &'static str) -> Self {
+        LazyGauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// High-water update when metrics are enabled.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        if crate::metrics_enabled() {
+            self.cell
+                .get_or_init(|| global().gauge(self.name))
+                .record_max(v);
+        }
+    }
+
+    /// Overwrites the value when metrics are enabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if crate::metrics_enabled() {
+            self.cell.get_or_init(|| global().gauge(self.name)).set(v);
+        }
+    }
+}
+
+/// A named histogram resolved lazily and gated like [`LazyCounter`].
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<Arc<Histogram>>,
+}
+
+impl LazyHistogram {
+    /// Declares a histogram named `name`.
+    pub const fn new(name: &'static str) -> Self {
+        LazyHistogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Records a sample when metrics are enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::metrics_enabled() {
+            self.cell
+                .get_or_init(|| global().histogram(self.name))
+                .record(v);
+        }
+    }
+
+    /// Records a nanosecond sample when metrics are enabled.
+    #[inline]
+    pub fn record_ns(&self, ns: f64) {
+        if crate::metrics_enabled() {
+            self.cell
+                .get_or_init(|| global().histogram(self.name))
+                .record_ns(ns);
+        }
+    }
+
+    /// Starts a scoped timer that records elapsed nanoseconds into
+    /// this histogram when dropped. Reads the clock only when metrics
+    /// are enabled.
+    #[inline]
+    pub fn timer(&self) -> HistogramTimer<'_> {
+        HistogramTimer {
+            start: crate::metrics_enabled().then(std::time::Instant::now),
+            hist: self,
+        }
+    }
+}
+
+/// Scoped duration sample for a [`LazyHistogram`] (see
+/// [`LazyHistogram::timer`]). Inert when metrics are off.
+#[must_use = "a timer measures the scope it is bound to"]
+pub struct HistogramTimer<'a> {
+    start: Option<std::time::Instant>,
+    hist: &'a LazyHistogram,
+}
+
+impl Drop for HistogramTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        r.counter("c").add(3);
+        r.counter("c").add(4);
+        r.gauge("g").record_max(5);
+        r.gauge("g").record_max(2);
+        let s = r.snapshot();
+        assert_eq!(s.counters["c"], 7);
+        assert_eq!(s.gauges["g"], 5);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_the_u64_line() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 1..BUCKETS - 1 {
+            assert_eq!(Histogram::bucket_upper(i - 1), Histogram::bucket_lower(i));
+        }
+    }
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 4, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1007);
+        assert_eq!(s.mean(), 1007.0 / 4.0);
+        // p50: two of four samples are ≤ 2, so the bound is bucket_upper
+        // of value 2's bucket (index 2 → upper 4).
+        assert_eq!(s.quantile_upper_bound(0.5), 4);
+        assert!(s.quantile_upper_bound(1.0) >= 1024);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let a = Registry::new();
+        a.counter("x").add(1);
+        a.gauge("g").set(9);
+        a.histogram("h").record(3);
+        let b = Registry::new();
+        b.counter("x").add(2);
+        b.counter("y").add(5);
+        b.gauge("g").set(4);
+        b.histogram("h").record(100);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.counters["x"], 3);
+        assert_eq!(m.counters["y"], 5);
+        assert_eq!(m.gauges["g"], 9);
+        assert_eq!(m.histograms["h"].count, 2);
+        assert_eq!(m.histograms["h"].sum, 103);
+    }
+
+    #[test]
+    fn counter_deltas_report_only_changes() {
+        let r = Registry::new();
+        r.counter("a").add(10);
+        r.counter("b").add(1);
+        let before = r.snapshot();
+        r.counter("a").add(7);
+        let deltas = r.snapshot().counter_deltas(&before);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas["a"], 7);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_labeled() {
+        let r = Registry::new();
+        r.counter("z.last").add(1);
+        r.counter("a.first").add(2);
+        let text = r.snapshot().render();
+        let a = text.find("a.first").unwrap();
+        let z = text.find("z.last").unwrap();
+        assert!(a < z, "sorted output");
+        assert!(text.starts_with("== gopim metrics =="));
+    }
+}

@@ -1,0 +1,353 @@
+//! Scoped timers and the per-thread span collector.
+//!
+//! Instrumented code opens a span with the [`span!`](crate::span!)
+//! macro (or [`SpanGuard::enter`] / [`SpanGuard::enter_dyn`]); the
+//! guard stamps the monotonic clock on entry and records a
+//! [`SpanEvent`] on drop. Events land in a per-thread buffer (one
+//! uncontended mutex per thread, registered with a global list on
+//! first use), and [`drain`] collects every buffer — including those
+//! of still-alive pool workers — for export.
+//!
+//! Two timelines share the collector:
+//!
+//! - **Wall-clock spans** (`pid` [`WALL_PID`]): real host execution,
+//!   one Chrome-trace thread lane per OS thread.
+//! - **Simulated spans** (`pid` ≥ [`SIM_PID_BASE`]): intervals in the
+//!   pipeline simulator's nanosecond timeline, one Chrome-trace
+//!   process per simulated run (see [`open_sim_track`]), one lane per
+//!   pipeline stage.
+//!
+//! When collection is off ([`crate::trace_enabled`] is false) every
+//! entry point degenerates to a relaxed load and a branch.
+
+use std::cell::OnceCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Chrome-trace process id of the wall-clock timeline.
+pub const WALL_PID: u32 = 0;
+
+/// First Chrome-trace process id handed out to simulated tracks.
+pub const SIM_PID_BASE: u32 = 1;
+
+/// Safety cap on buffered events; past it, events are counted in
+/// [`dropped`] instead of stored.
+const MAX_EVENTS: u64 = 4_000_000;
+
+/// One recorded interval (wall-clock or simulated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Chrome-trace process id ([`WALL_PID`] or a simulated track).
+    pub pid: u32,
+    /// Lane within the process: the recording thread for wall spans,
+    /// the pipeline stage index for simulated spans.
+    pub tid: u64,
+    /// Span name (e.g. `linalg.matmul`).
+    pub name: String,
+    /// Category: `span` for wall spans, `sim.dispatch` / `sim.write` /
+    /// `sim.compute` for simulated phases, `meta.*` for track labels.
+    pub cat: &'static str,
+    /// Start, ns — since the telemetry epoch for wall spans, simulated
+    /// time for simulated spans.
+    pub start_ns: u64,
+    /// Duration, ns.
+    pub dur_ns: u64,
+    /// Numeric annotations (shown in the trace viewer's args pane).
+    pub args: Vec<(&'static str, f64)>,
+}
+
+impl SpanEvent {
+    /// A stable identity for set comparisons across runs: everything
+    /// except timestamps and thread/process placement.
+    pub fn identity(&self) -> String {
+        let mut s = format!("{}|{}", self.cat, self.name);
+        for (k, v) in &self.args {
+            s.push_str(&format!("|{k}={v}"));
+        }
+        s
+    }
+}
+
+type Sink = Arc<Mutex<Vec<SpanEvent>>>;
+
+static SINKS: Mutex<Vec<Sink>> = Mutex::new(Vec::new());
+static RECORDED: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SIM_PID: AtomicU32 = AtomicU32::new(SIM_PID_BASE);
+
+thread_local! {
+    static LOCAL: OnceCell<(u64, Sink)> = const { OnceCell::new() };
+}
+
+fn with_local<R>(f: impl FnOnce(u64, &Sink) -> R) -> R {
+    LOCAL.with(|cell| {
+        let (tid, sink) = cell.get_or_init(|| {
+            let sink: Sink = Arc::new(Mutex::new(Vec::new()));
+            SINKS.lock().unwrap().push(Arc::clone(&sink));
+            (NEXT_TID.fetch_add(1, Ordering::Relaxed), sink)
+        });
+        f(*tid, sink)
+    })
+}
+
+/// Records a fully-formed event (no enablement check — callers gate).
+pub fn record(event: SpanEvent) {
+    if RECORDED.fetch_add(1, Ordering::Relaxed) >= MAX_EVENTS {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    with_local(|_, sink| sink.lock().unwrap().push(event));
+}
+
+/// Events discarded because the [`MAX_EVENTS`] cap was hit.
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Takes every buffered event out of every thread's buffer. The
+/// buffers stay registered, so threads keep recording afterwards.
+pub fn drain() -> Vec<SpanEvent> {
+    let sinks = SINKS.lock().unwrap();
+    let mut out = Vec::new();
+    for sink in sinks.iter() {
+        out.append(&mut sink.lock().unwrap());
+    }
+    RECORDED.store(0, Ordering::Relaxed);
+    DROPPED.store(0, Ordering::Relaxed);
+    out
+}
+
+/// Opens a new simulated track (one Chrome-trace process) labeled
+/// `label`, returning its pid. No-op returning [`SIM_PID_BASE`] when
+/// collection is off.
+pub fn open_sim_track(label: &str) -> u32 {
+    if !crate::trace_enabled() {
+        return SIM_PID_BASE;
+    }
+    let pid = NEXT_SIM_PID.fetch_add(1, Ordering::Relaxed);
+    record(SpanEvent {
+        pid,
+        tid: 0,
+        name: format!("sim: {label}"),
+        cat: "meta.process_name",
+        start_ns: 0,
+        dur_ns: 0,
+        args: Vec::new(),
+    });
+    pid
+}
+
+/// Labels lane `lane` of simulated track `pid` (e.g. a stage name).
+pub fn name_sim_lane(pid: u32, lane: u64, label: &str) {
+    if !crate::trace_enabled() {
+        return;
+    }
+    record(SpanEvent {
+        pid,
+        tid: lane,
+        name: label.to_string(),
+        cat: "meta.thread_name",
+        start_ns: 0,
+        dur_ns: 0,
+        args: Vec::new(),
+    });
+}
+
+/// Records one interval of simulated time on track `pid`, lane `lane`.
+pub fn record_sim(
+    pid: u32,
+    lane: u64,
+    name: &str,
+    cat: &'static str,
+    start_ns: f64,
+    end_ns: f64,
+    args: &[(&'static str, f64)],
+) {
+    if !crate::trace_enabled() {
+        return;
+    }
+    let start = start_ns.max(0.0) as u64;
+    let end = end_ns.max(0.0) as u64;
+    record(SpanEvent {
+        pid,
+        tid: lane,
+        name: name.to_string(),
+        cat,
+        start_ns: start,
+        dur_ns: end.saturating_sub(start),
+        args: args.to_vec(),
+    });
+}
+
+/// Active state of an entered span (name, category, args, start).
+struct Active {
+    name: String,
+    cat: &'static str,
+    args: Vec<(&'static str, f64)>,
+    start_ns: u64,
+}
+
+/// A scoped wall-clock timer: stamps the clock on entry, records a
+/// [`SpanEvent`] on drop. Inert (no allocation, no clock read) when
+/// collection is off.
+#[must_use = "a span measures the scope it is bound to"]
+pub struct SpanGuard(Option<Active>);
+
+impl SpanGuard {
+    /// Enters a span with a static name.
+    #[inline]
+    pub fn enter(name: &str, cat: &'static str, args: &[(&'static str, f64)]) -> SpanGuard {
+        if !crate::trace_enabled() {
+            return SpanGuard(None);
+        }
+        Self::enter_active(name.to_string(), cat, args)
+    }
+
+    /// Enters a span whose name is built only when collection is on —
+    /// for dynamic names (`runner.run_system/gopim/ddi`) that would
+    /// otherwise cost a format on the disabled path.
+    #[inline]
+    pub fn enter_dyn(
+        name: impl FnOnce() -> String,
+        cat: &'static str,
+        args: &[(&'static str, f64)],
+    ) -> SpanGuard {
+        if !crate::trace_enabled() {
+            return SpanGuard(None);
+        }
+        Self::enter_active(name(), cat, args)
+    }
+
+    #[cold]
+    fn enter_active(name: String, cat: &'static str, args: &[(&'static str, f64)]) -> SpanGuard {
+        SpanGuard(Some(Active {
+            name,
+            cat,
+            args: args.to_vec(),
+            start_ns: crate::now_ns(),
+        }))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            let end = crate::now_ns();
+            with_local(|tid, sink| {
+                if RECORDED.fetch_add(1, Ordering::Relaxed) >= MAX_EVENTS {
+                    DROPPED.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                sink.lock().unwrap().push(SpanEvent {
+                    pid: WALL_PID,
+                    tid,
+                    name: active.name,
+                    cat: active.cat,
+                    start_ns: active.start_ns,
+                    dur_ns: end.saturating_sub(active.start_ns),
+                    args: active.args,
+                });
+            });
+        }
+    }
+}
+
+/// Opens a wall-clock span over the enclosing scope.
+///
+/// ```
+/// # fn work() {}
+/// let rows = 8usize;
+/// let cols = 4usize;
+/// {
+///     let _span = gopim_obs::span!("matmul", rows, cols);
+///     work();
+/// } // span records here
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name, "span", &[])
+    };
+    ($name:expr, $($arg:ident),+ $(,)?) => {
+        $crate::span::SpanGuard::enter(
+            $name,
+            "span",
+            &[$((stringify!($arg), $arg as f64)),+],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span collection state is process-global, so exercise it from a
+    // single test to avoid cross-test interference.
+    #[test]
+    fn spans_record_drain_and_respect_gating() {
+        crate::set_trace_enabled(false);
+        {
+            let _off = crate::span!("disabled");
+        }
+        crate::set_trace_enabled(true);
+        let _ = drain();
+        let rows = 3usize;
+        {
+            let _s = crate::span!("unit.test_span", rows);
+        }
+        let pid = open_sim_track("unit");
+        name_sim_lane(pid, 0, "AG1");
+        record_sim(pid, 0, "AG1", "sim.compute", 10.0, 25.0, &[]);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = crate::span!("unit.worker_span");
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let events = drain();
+        crate::set_trace_enabled(false);
+
+        assert!(events.iter().all(|e| e.name != "disabled"));
+        let main_span = events
+            .iter()
+            .find(|e| e.name == "unit.test_span")
+            .expect("span recorded");
+        assert_eq!(main_span.args, vec![("rows", 3.0)]);
+        assert_eq!(main_span.pid, WALL_PID);
+        let sim = events
+            .iter()
+            .find(|e| e.cat == "sim.compute")
+            .expect("sim span recorded");
+        assert_eq!(sim.pid, pid);
+        assert_eq!((sim.start_ns, sim.dur_ns), (10, 15));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == "unit.worker_span")
+                .count(),
+            4,
+            "worker-thread buffers drain too"
+        );
+        assert!(drain().is_empty(), "drain empties every buffer");
+    }
+
+    #[test]
+    fn identity_excludes_time_and_placement() {
+        let mk = |tid, start| SpanEvent {
+            pid: WALL_PID,
+            tid,
+            name: "n".into(),
+            cat: "span",
+            start_ns: start,
+            dur_ns: 5,
+            args: vec![("k", 2.0)],
+        };
+        assert_eq!(mk(1, 10).identity(), mk(7, 999).identity());
+        assert_eq!(mk(1, 0).identity(), "span|n|k=2");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the metrics layer: histogram bucket geometry
+//! and snapshot merge algebra.
+
+use gopim_obs::metrics::{Histogram, Registry, Snapshot, BUCKETS};
+use gopim_testkit::prop::{check, Draw};
+
+fn arbitrary_u64(d: &mut Draw, name: &str) -> u64 {
+    // Mix magnitudes: raw draws over the full line rarely exercise
+    // small buckets, so half the samples come from a small range.
+    if d.any_bool("small") {
+        d.draw(name, 0u64..1024)
+    } else {
+        d.draw(name, 0u64..=u64::MAX)
+    }
+}
+
+#[test]
+fn every_sample_lands_inside_its_bucket_bounds() {
+    check("histogram_bucket_contains_sample", |d| {
+        let v = arbitrary_u64(d, "v");
+        let i = Histogram::bucket_index(v);
+        assert!(i < BUCKETS, "index {i} out of range for {v}");
+        let lower = Histogram::bucket_lower(i);
+        let upper = Histogram::bucket_upper(i);
+        assert!(lower <= v, "{v} below bucket {i} lower bound {lower}");
+        if i < BUCKETS - 1 {
+            assert!(v < upper, "{v} not below bucket {i} upper bound {upper}");
+        } else {
+            assert!(v <= upper, "{v} above the open-ended last bucket");
+        }
+    });
+}
+
+#[test]
+fn buckets_tile_the_line_without_gaps_or_overlap() {
+    check("histogram_buckets_tile", |d| {
+        let i = d.draw("bucket", 1usize..BUCKETS);
+        assert_eq!(
+            Histogram::bucket_upper(i - 1),
+            Histogram::bucket_lower(i),
+            "gap or overlap between buckets {} and {i}",
+            i - 1
+        );
+        // The boundary value itself belongs to the upper bucket.
+        let boundary = Histogram::bucket_lower(i);
+        assert_eq!(Histogram::bucket_index(boundary), i);
+        assert_eq!(Histogram::bucket_index(boundary - 1), i - 1);
+    });
+}
+
+/// Builds a snapshot from drawn counter adds, gauge marks and
+/// histogram samples over a small shared name pool. Values stay below
+/// 2^48 (realistic nanosecond magnitudes) so sums cannot wrap.
+fn arbitrary_snapshot(d: &mut Draw) -> Snapshot {
+    let r = Registry::new();
+    let names = ["alpha", "beta", "gamma"];
+    let events = d.vec("events", 0usize..12, |d| {
+        (
+            d.draw("kind", 0u8..3),
+            d.draw("name", 0usize..3),
+            d.draw("value", 0u64..(1 << 48)),
+        )
+    });
+    for (kind, name, value) in events {
+        match kind {
+            0 => r.counter(names[name]).add(value),
+            1 => r.gauge(names[name]).record_max(value),
+            _ => r.histogram(names[name]).record(value),
+        }
+    }
+    r.snapshot()
+}
+
+#[test]
+fn snapshot_merge_is_associative_and_commutative() {
+    check("snapshot_merge_algebra", |d| {
+        let a = arbitrary_snapshot(d);
+        let b = arbitrary_snapshot(d);
+        let c = arbitrary_snapshot(d);
+        assert_eq!(a.merge(&b), b.merge(&a), "merge must commute");
+        assert_eq!(
+            a.merge(&b).merge(&c),
+            a.merge(&b.merge(&c)),
+            "merge must associate"
+        );
+        let empty = Snapshot::default();
+        assert_eq!(a.merge(&empty), a, "empty snapshot is the identity");
+    });
+}
+
+#[test]
+fn merged_histograms_preserve_totals() {
+    check("merged_histogram_totals", |d| {
+        let a = arbitrary_snapshot(d);
+        let b = arbitrary_snapshot(d);
+        let m = a.merge(&b);
+        for (name, h) in &m.histograms {
+            let (ca, sa) = a
+                .histograms
+                .get(name)
+                .map(|h| (h.count, h.sum))
+                .unwrap_or((0, 0));
+            let (cb, sb) = b
+                .histograms
+                .get(name)
+                .map(|h| (h.count, h.sum))
+                .unwrap_or((0, 0));
+            assert_eq!(h.count, ca + cb, "count of {name}");
+            assert_eq!(h.sum, sa + sb, "sum of {name}");
+            assert_eq!(h.count, h.counts.iter().sum::<u64>(), "buckets of {name}");
+        }
+    });
+}
+
+#[test]
+fn cross_thread_counter_updates_merge_to_the_serial_total() {
+    check("cross_thread_counter_merge", |d| {
+        let per_thread = d.vec("adds", 1usize..5, |d| {
+            d.vec("thread_adds", 0usize..8, |d| d.draw("n", 0u64..1_000_000))
+        });
+        let r = Registry::new();
+        std::thread::scope(|scope| {
+            for adds in &per_thread {
+                let counter = r.counter("t");
+                scope.spawn(move || {
+                    for &n in adds {
+                        counter.add(n);
+                    }
+                });
+            }
+        });
+        let expected: u64 = per_thread.iter().flatten().sum();
+        assert_eq!(r.snapshot().counters.get("t"), Some(&expected));
+    });
+}

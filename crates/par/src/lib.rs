@@ -43,6 +43,10 @@ where
     RA: Send,
     RB: Send,
 {
+    // Spans open before the serial fast-path branch and carry only
+    // input-shape args, so the traced event set is identical at every
+    // thread count (pinned by tests/trace_determinism.rs).
+    let _span = gopim_obs::span!("par.join");
     let pool = current();
     if pool.threads() <= 1 {
         return (a(), b());
@@ -74,6 +78,10 @@ pub fn par_chunks_mut<T: Send>(
     f: impl Fn(usize, &mut [T]) + Sync,
 ) {
     assert!(chunk_len > 0, "chunk_len must be positive");
+    let elems = data.len();
+    // Shape-only args: callers often derive `chunk_len` from the pool
+    // width, which would break trace thread-count invariance.
+    let _span = gopim_obs::span!("par.chunks_mut", elems);
     let pool = current();
     if pool.threads() <= 1 || data.len() <= chunk_len {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
@@ -96,6 +104,7 @@ pub fn par_chunks_mut<T: Send>(
 /// result must not depend on which range it landed in) — the
 /// row-partitioned kernels' contract.
 pub fn par_index_ranges(count: usize, f: impl Fn(std::ops::Range<usize>) + Sync) {
+    let _span = gopim_obs::span!("par.index_ranges", count);
     let pool = current();
     let threads = pool.threads();
     if threads <= 1 || count <= 1 {
@@ -121,8 +130,9 @@ pub fn par_index_ranges(count: usize, f: impl Fn(std::ops::Range<usize>) + Sync)
 /// count — this is the fan-out primitive for the independent
 /// configuration/replica sweeps behind the figure harness.
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let pool = current();
     let n = items.len();
+    let _span = gopim_obs::span!("par.map", n);
+    let pool = current();
     if pool.threads() <= 1 || n <= 1 {
         return items.iter().map(f).collect();
     }
@@ -171,6 +181,10 @@ where
     A: Send + Clone,
 {
     assert!(chunk_len > 0, "chunk_len must be positive");
+    let items_len = items.len();
+    // Shape-only args (see par_chunks_mut): `chunk_len` may be derived
+    // from the pool width by callers.
+    let _span = gopim_obs::span!("par.map_reduce", items_len);
     let pool = current();
     let accs: Vec<A> = if pool.threads() <= 1 || items.len() <= chunk_len {
         items

@@ -12,6 +12,18 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use gopim_obs::metrics::{LazyCounter, LazyGauge};
+
+// Pool-internal telemetry is metrics-only (no spans): task placement
+// and queue dynamics are inherently thread-count-dependent, and the
+// trace contract is that the span set does not vary with GOPIM_THREADS.
+static SCOPE_TASKS: LazyCounter = LazyCounter::new("par.scope.tasks");
+static SCOPES: LazyCounter = LazyCounter::new("par.scope.calls");
+static QUEUE_HIWATER: LazyGauge = LazyGauge::new("par.queue_depth.hiwater");
+static WORKER_BUSY_NS: LazyCounter = LazyCounter::new("par.worker.busy_ns");
+static WORKER_IDLE_NS: LazyCounter = LazyCounter::new("par.worker.idle_ns");
 
 /// A type-erased unit of work. Jobs are `'static` only after the
 /// lifetime erasure in [`Pool::scope`]; the scope barrier restores the
@@ -86,6 +98,8 @@ impl Pool {
     /// the scope still waits for the rest, then resumes the first
     /// panic on the caller.
     pub fn scope<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        SCOPES.add(1);
+        SCOPE_TASKS.add(tasks.len() as u64);
         if self.inner.threads <= 1 || tasks.len() <= 1 {
             for task in tasks {
                 task();
@@ -122,6 +136,7 @@ impl Pool {
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
                 queue.push_back(job);
             }
+            QUEUE_HIWATER.record_max(queue.len() as u64);
             self.inner.shared.work_ready.notify_all();
         }
         // The caller participates: drain jobs (possibly from sibling
@@ -160,6 +175,9 @@ impl Pool {
 
 fn worker(shared: Arc<Shared>) {
     loop {
+        // Clock reads happen only when metrics collection is on; the
+        // default path stays free of Instant syscalls.
+        let idle_from = gopim_obs::metrics_enabled().then(Instant::now);
         let job = {
             let mut queue = shared.queue.lock().unwrap();
             loop {
@@ -172,8 +190,17 @@ fn worker(shared: Arc<Shared>) {
                 queue = shared.work_ready.wait(queue).unwrap();
             }
         };
+        if let Some(t) = idle_from {
+            WORKER_IDLE_NS.add(t.elapsed().as_nanos() as u64);
+        }
         match job {
-            Some(job) => job(),
+            Some(job) => {
+                let busy_from = gopim_obs::metrics_enabled().then(Instant::now);
+                job();
+                if let Some(t) = busy_from {
+                    WORKER_BUSY_NS.add(t.elapsed().as_nanos() as u64);
+                }
+            }
             None => return,
         }
     }

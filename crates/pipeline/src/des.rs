@@ -23,6 +23,10 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::workload::GcnWorkload;
+use gopim_obs::metrics::LazyCounter;
+
+static DES_RUNS: LazyCounter = LazyCounter::new("pipeline.des.runs");
+static DES_EVENTS: LazyCounter = LazyCounter::new("pipeline.des.events");
 
 /// How replicas serve micro-batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +78,9 @@ pub fn simulate_des(workload: &GcnWorkload, replicas: &[usize], model: ReplicaMo
     assert!(replicas.iter().all(|&r| r > 0), "replicas must be positive");
     let n_mb = workload.num_microbatches();
     let s = stages.len();
+    let _span = gopim_obs::span!("pipeline.des", s, n_mb);
+    DES_RUNS.add(1);
+    DES_EVENTS.add((s * n_mb) as u64);
     let b = workload.micro_batch();
     let overhead = workload.overhead_ns();
 

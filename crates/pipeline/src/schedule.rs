@@ -174,9 +174,11 @@ fn simulate_with_sink(
     );
     let n_mb = workload.num_microbatches();
     let s = stages.len();
+    let _span = gopim_obs::span!("pipeline.simulate", s, n_mb);
 
     let mut busy_compute = vec![0.0f64; s];
     let mut busy_write = vec![0.0f64; s];
+    let mut busy_dispatch = vec![0.0f64; s];
     // Union length of the intervals during which each stage has work
     // in flight (drives the Fig. 4 / Fig. 15 idle metric).
     let mut active_ns = vec![0.0f64; s];
@@ -203,6 +205,7 @@ fn simulate_with_sink(
                     t += overhead + w + st.compute_ns;
                     busy_compute[i] += st.compute_ns;
                     busy_write[i] += w;
+                    busy_dispatch[i] += overhead;
                     active_ns[i] += overhead + w + st.compute_ns;
                 }
             }
@@ -212,6 +215,7 @@ fn simulate_with_sink(
             workload,
             busy_compute,
             busy_write,
+            busy_dispatch,
             active_ns,
             makespan,
             replicas,
@@ -271,6 +275,7 @@ fn simulate_with_sink(
                 prev_end = c_end;
                 busy_compute[i] += st.compute_ns;
                 busy_write[i] += w;
+                busy_dispatch[i] += overhead;
                 // Interval-union occupancy time: [d_start, c_end),
                 // merged with whatever this stage already covered.
                 // Starts are non-decreasing in practice, so clamping to
@@ -290,20 +295,42 @@ fn simulate_with_sink(
         workload,
         busy_compute,
         busy_write,
+        busy_dispatch,
         active_ns,
         makespan,
         replicas,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish(
     workload: &GcnWorkload,
     busy_compute: Vec<f64>,
     busy_write: Vec<f64>,
+    busy_dispatch: Vec<f64>,
     active_ns: Vec<f64>,
     makespan: f64,
     replicas: &[usize],
 ) -> PipelineResult {
+    // Per-stage duration telemetry (compute / write / dispatch), keyed
+    // by stage name. Dynamic names go through the registry directly;
+    // the whole block is skipped when metrics are off.
+    if gopim_obs::metrics_enabled() {
+        let registry = gopim_obs::metrics::global();
+        for (i, st) in workload.stages().iter().enumerate() {
+            let name = st.name();
+            registry
+                .counter(&format!("pipeline.stage.{name}.compute_ns"))
+                .add_ns(busy_compute[i]);
+            registry
+                .counter(&format!("pipeline.stage.{name}.write_ns"))
+                .add_ns(busy_write[i]);
+            registry
+                .counter(&format!("pipeline.stage.{name}.dispatch_ns"))
+                .add_ns(busy_dispatch[i]);
+        }
+        registry.counter("pipeline.simulate.calls").add(1);
+    }
     let total_service: f64 = busy_compute.iter().sum::<f64>() + busy_write.iter().sum::<f64>();
     let stages = workload
         .stages()

@@ -10,15 +10,26 @@ use crate::workload::GcnWorkload;
 /// characters across the makespan. `#` marks compute, `w` the write
 /// window, `.` dispatch overhead, space idle.
 ///
+/// A schedule with no positive finite end time (no events, all
+/// zero-duration, or NaN-poisoned inputs) renders as a labeled
+/// one-line note rather than an empty string, so a blank Gantt is
+/// always distinguishable from a dropped one.
+///
 /// # Panics
 ///
 /// Panics if `width == 0`.
 pub fn render_gantt(workload: &GcnWorkload, events: &[TraceEvent], width: usize) -> String {
     assert!(width > 0, "width must be positive");
     let stages = workload.stages();
-    let makespan = events.iter().map(|e| e.end_ns).fold(0.0, f64::max);
+    // NaN-safe: `f64::max` would propagate a NaN end time into the
+    // scale; non-finite ends are excluded from the makespan instead.
+    let makespan = events
+        .iter()
+        .map(|e| e.end_ns)
+        .filter(|t| t.is_finite())
+        .fold(0.0, f64::max);
     if makespan <= 0.0 {
-        return String::new();
+        return "(empty schedule: no events with positive duration)\n".to_string();
     }
     let scale = width as f64 / makespan;
     let col = |t: f64| -> usize { ((t * scale) as usize).min(width - 1) };
@@ -60,6 +71,60 @@ pub fn render_gantt(workload: &GcnWorkload, events: &[TraceEvent], width: usize)
         out.push_str("|\n");
     }
     out
+}
+
+/// Exports a traced schedule into the telemetry collector as one
+/// simulated Chrome-trace track labeled `label`: one lane per stage,
+/// and per trace event a `sim.dispatch`, `sim.write` and `sim.compute`
+/// interval in simulated nanoseconds. No-op when span collection is
+/// off ([`gopim_obs::trace_enabled`]).
+pub fn export_spans(workload: &GcnWorkload, events: &[TraceEvent], label: &str) {
+    if !gopim_obs::trace_enabled() {
+        return;
+    }
+    let stages = workload.stages();
+    let pid = gopim_obs::span::open_sim_track(label);
+    for (i, st) in stages.iter().enumerate() {
+        gopim_obs::span::name_sim_lane(pid, i as u64, &st.name());
+    }
+    for e in events {
+        let lane = e.stage as u64;
+        let args = [
+            ("batch", e.batch as f64),
+            ("microbatch", e.microbatch as f64),
+        ];
+        let name = stages
+            .get(e.stage)
+            .map(|st| st.name())
+            .unwrap_or_else(|| format!("stage{}", e.stage));
+        gopim_obs::span::record_sim(
+            pid,
+            lane,
+            &name,
+            "sim.dispatch",
+            e.dispatch_ns,
+            e.write_start_ns,
+            &args,
+        );
+        gopim_obs::span::record_sim(
+            pid,
+            lane,
+            &name,
+            "sim.write",
+            e.write_start_ns,
+            e.compute_start_ns,
+            &args,
+        );
+        gopim_obs::span::record_sim(
+            pid,
+            lane,
+            &name,
+            "sim.compute",
+            e.compute_start_ns,
+            e.end_ns,
+            &args,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +187,113 @@ mod tests {
         assert_eq!(lines.len(), wl.stages().len());
         assert!(lines[0].contains("CO1"));
         assert!(gantt.contains('#'));
+    }
+
+    #[test]
+    fn empty_or_zero_duration_schedules_render_a_label() {
+        let wl = setup();
+        let empty = render_gantt(&wl, &[], 40);
+        assert!(empty.contains("empty schedule"), "got: {empty:?}");
+        // All-zero durations: same labeled note, not a blank string.
+        let zero = vec![TraceEvent {
+            stage: 0,
+            batch: 0,
+            microbatch: 0,
+            dispatch_ns: 0.0,
+            write_start_ns: 0.0,
+            compute_start_ns: 0.0,
+            end_ns: 0.0,
+        }];
+        assert!(render_gantt(&wl, &zero, 40).contains("empty schedule"));
+    }
+
+    #[test]
+    fn nan_end_times_do_not_poison_the_makespan() {
+        let wl = setup();
+        let mk = |end: f64| TraceEvent {
+            stage: 0,
+            batch: 0,
+            microbatch: 0,
+            dispatch_ns: 0.0,
+            write_start_ns: 0.0,
+            compute_start_ns: 0.0,
+            end_ns: end,
+        };
+        // A NaN event alongside a real one: the real makespan wins and
+        // the compute interval still paints.
+        let gantt = render_gantt(&wl, &[mk(f64::NAN), mk(100.0)], 40);
+        assert!(gantt.contains('#'), "got: {gantt:?}");
+        // Only non-finite ends: labeled empty result.
+        let gantt = render_gantt(&wl, &[mk(f64::NAN), mk(f64::INFINITY)], 40);
+        assert!(gantt.contains("empty schedule"));
+    }
+
+    #[test]
+    fn lane_painting_priority_is_compute_over_write_over_dispatch() {
+        let wl = setup();
+        // Two overlapping events in stage 0: one all-dispatch, then one
+        // whose write and compute windows cover the same columns. The
+        // later paints must win where phases overlap: '#' beats 'w'
+        // beats '.'.
+        let width = 100usize;
+        let long_dispatch = TraceEvent {
+            stage: 0,
+            batch: 0,
+            microbatch: 0,
+            dispatch_ns: 0.0,
+            write_start_ns: 100.0,
+            compute_start_ns: 100.0,
+            end_ns: 100.0,
+        };
+        let worker = TraceEvent {
+            stage: 0,
+            batch: 0,
+            microbatch: 1,
+            dispatch_ns: 0.0,
+            write_start_ns: 0.0,
+            compute_start_ns: 50.0,
+            end_ns: 100.0,
+        };
+        let gantt = render_gantt(&wl, &[long_dispatch, worker], width);
+        let lane0 = gantt.lines().next().unwrap();
+        let cells = &lane0[lane0.find('|').unwrap() + 1..lane0.rfind('|').unwrap()];
+        // First half: write window over dispatch ⇒ 'w'; second half:
+        // compute over everything ⇒ '#'. No '.' survives underneath.
+        assert_eq!(&cells[10..11], "w", "write must overwrite dispatch");
+        assert_eq!(&cells[60..61], "#", "compute must overwrite write");
+        assert!(
+            !cells.contains('.'),
+            "dispatch visible under overlap: {cells:?}"
+        );
+        // And compute is never overwritten by a later write window.
+        let gantt = render_gantt(&wl, &[worker, long_dispatch], width);
+        let lane0 = gantt.lines().next().unwrap();
+        let cells = &lane0[lane0.find('|').unwrap() + 1..lane0.rfind('|').unwrap()];
+        assert_eq!(&cells[60..61], "#", "later dispatch must not cover compute");
+    }
+
+    #[test]
+    fn export_spans_mirrors_the_trace_events() {
+        let wl = setup();
+        let r = vec![1; wl.stages().len()];
+        let (_, events) = simulate_traced(&wl, &r, &PipelineOptions::intra_only());
+        gopim_obs::set_trace_enabled(true);
+        let _ = gopim_obs::span::drain();
+        export_spans(&wl, &events, "unit/test");
+        let spans = gopim_obs::span::drain();
+        gopim_obs::set_trace_enabled(false);
+        let sim_compute = spans.iter().filter(|e| e.cat == "sim.compute").count();
+        let sim_write = spans.iter().filter(|e| e.cat == "sim.write").count();
+        let sim_dispatch = spans.iter().filter(|e| e.cat == "sim.dispatch").count();
+        assert_eq!(sim_compute, events.len());
+        assert_eq!(sim_write, events.len());
+        assert_eq!(sim_dispatch, events.len());
+        assert!(spans
+            .iter()
+            .any(|e| e.cat == "meta.process_name" && e.name.contains("unit/test")));
+        // Lane labels cover every stage.
+        let lanes = spans.iter().filter(|e| e.cat == "meta.thread_name").count();
+        assert_eq!(lanes, wl.stages().len());
     }
 
     #[test]

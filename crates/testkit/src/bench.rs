@@ -14,6 +14,9 @@
 //! - `GOPIM_BENCH_SAMPLES=<n>` — sample count (default 15).
 //! - `GOPIM_BENCH_FAST=1` — shrink warmup/sample budgets ~10× for
 //!   smoke runs.
+//! - `GOPIM_METRICS=1` — bracket each benchmark with a telemetry
+//!   registry snapshot; JSON records gain a `"metrics"` object of
+//!   per-iteration counter deltas (flops, edges, calls, …).
 //!
 //! ```no_run
 //! let mut b = gopim_testkit::bench::Runner::new("allocator");
@@ -42,14 +45,17 @@ pub struct Summary {
     pub samples: usize,
     /// Iterations per sample.
     pub iters_per_sample: u64,
+    /// Per-iteration telemetry counter deltas (`GOPIM_METRICS=1`
+    /// runs only; empty otherwise).
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl Summary {
     /// Renders the JSON-lines record.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut json = format!(
             "{{\"id\":\"{}\",\"median_ns\":{:.3},\"mad_ns\":{:.3},\"min_ns\":{:.3},\
-             \"max_ns\":{:.3},\"samples\":{},\"iters_per_sample\":{}}}",
+             \"max_ns\":{:.3},\"samples\":{},\"iters_per_sample\":{}",
             escape(&self.id),
             self.median_ns,
             self.mad_ns,
@@ -57,7 +63,19 @@ impl Summary {
             self.max_ns,
             self.samples,
             self.iters_per_sample
-        )
+        );
+        if !self.metrics.is_empty() {
+            json.push_str(",\"metrics\":{");
+            for (i, (name, per_iter)) in self.metrics.iter().enumerate() {
+                if i > 0 {
+                    json.push(',');
+                }
+                json.push_str(&format!("\"{}\":{:.3}", escape(name), per_iter));
+            }
+            json.push('}');
+        }
+        json.push('}');
+        json
     }
 }
 
@@ -129,6 +147,11 @@ impl Runner {
         let iters_per_sample =
             ((self.target_sample.as_nanos() as f64 / est_iter_ns).ceil() as u64).max(1);
 
+        // Under GOPIM_METRICS=1, bracket the timed samples with registry
+        // snapshots so each record carries its per-iteration counter
+        // deltas (e.g. flops or edges touched per call).
+        let metrics_before =
+            gopim_obs::metrics_enabled().then(|| gopim_obs::metrics::global().snapshot());
         let mut per_iter_ns: Vec<f64> = (0..self.samples)
             .map(|_| {
                 let t = Instant::now();
@@ -138,6 +161,17 @@ impl Runner {
                 t.elapsed().as_nanos() as f64 / iters_per_sample as f64
             })
             .collect();
+        let metrics = metrics_before
+            .map(|before| {
+                let total_iters = (self.samples as u64 * iters_per_sample).max(1) as f64;
+                gopim_obs::metrics::global()
+                    .snapshot()
+                    .counter_deltas(&before)
+                    .into_iter()
+                    .map(|(k, d)| (k, d as f64 / total_iters))
+                    .collect()
+            })
+            .unwrap_or_default();
         per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median_ns = median_sorted(&per_iter_ns);
         let mut deviations: Vec<f64> = per_iter_ns.iter().map(|v| (v - median_ns).abs()).collect();
@@ -150,6 +184,7 @@ impl Runner {
             max_ns: *per_iter_ns.last().unwrap(),
             samples: self.samples,
             iters_per_sample,
+            metrics,
         };
         eprintln!(
             "  {:<44} {:>12}/iter  ± {:<10} ({} × {} iters)",
@@ -217,11 +252,38 @@ mod tests {
             max_ns: 14.0,
             samples: 15,
             iters_per_sample: 1000,
+            metrics: Vec::new(),
         };
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\\\"q\\\""));
         assert!(j.contains("\"median_ns\":12.500"));
+        // No metrics snapshot → no metrics key at all.
+        assert!(!j.contains("\"metrics\""));
+    }
+
+    #[test]
+    fn metrics_deltas_serialize_as_a_nested_object() {
+        let s = Summary {
+            id: "g/n".into(),
+            median_ns: 1.0,
+            mad_ns: 0.0,
+            min_ns: 1.0,
+            max_ns: 1.0,
+            samples: 3,
+            iters_per_sample: 10,
+            metrics: vec![
+                ("linalg.matmul.flops".into(), 524288.0),
+                ("linalg.matmul.calls".into(), 1.0),
+            ],
+        };
+        let j = s.to_json();
+        assert!(
+            j.contains(
+                "\"metrics\":{\"linalg.matmul.flops\":524288.000,\"linalg.matmul.calls\":1.000}"
+            ),
+            "got: {j}"
+        );
     }
 
     #[test]

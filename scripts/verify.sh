@@ -23,4 +23,23 @@ cargo test -q --offline --workspace
 echo "== bench targets compile =="
 cargo build --offline --benches -p gopim-bench
 
+echo "== traced smoke run (fig04 --quick) =="
+# Telemetry must be output-invariant: a traced run's stdout must match
+# a plain run byte-for-byte, and the emitted Chrome trace must be valid
+# JSON carrying spans from every instrumented layer.
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run --release --offline -p gopim-bench --bin fig04 -- --quick \
+    > "$SMOKE_DIR/plain.out"
+GOPIM_TRACE="$SMOKE_DIR/trace.json" GOPIM_METRICS=1 \
+    cargo run --release --offline -p gopim-bench --bin fig04 -- --quick \
+    > "$SMOKE_DIR/traced.out" 2> "$SMOKE_DIR/traced.err"
+diff -u "$SMOKE_DIR/plain.out" "$SMOKE_DIR/traced.out" \
+    || { echo "verify: tracing changed fig04 stdout"; exit 1; }
+grep -q "== gopim metrics ==" "$SMOKE_DIR/traced.err" \
+    || { echo "verify: GOPIM_METRICS=1 printed no metrics report"; exit 1; }
+cargo run --release --offline -p gopim-obs --example validate_trace -- \
+    "$SMOKE_DIR/trace.json" \
+    linalg.matmul par. pipeline.simulate runner.run_system sim.
+
 echo "verify: all green"
