@@ -118,6 +118,31 @@ impl AllocInput {
         useful.clamp(1, self.cap())
     }
 
+    /// Withholds a fraction of the free crossbar pool as fault
+    /// spares before allocation, returning how many *spare crossbar
+    /// groups* (units of the largest per-replica footprint, so any
+    /// stage's dead group fits a spare) were reserved. The remaining
+    /// pool shrinks accordingly; `fraction` is clamped to `[0, 1]`.
+    /// With `fraction = 0.0` the input is untouched — the allocator's
+    /// fault-free plans are bit-identical.
+    pub fn reserve_spares(&mut self, fraction: f64) -> usize {
+        let fraction = fraction.clamp(0.0, 1.0);
+        if fraction == 0.0 || self.unused_crossbars == 0 {
+            return 0;
+        }
+        let unit = self
+            .crossbars_per_replica
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let reserved_crossbars = (self.unused_crossbars as f64 * fraction).floor() as usize;
+        let spare_groups = reserved_crossbars / unit;
+        self.unused_crossbars -= spare_groups * unit;
+        spare_groups
+    }
+
     /// Checks internal consistency.
     ///
     /// # Panics
@@ -233,5 +258,25 @@ mod tests {
     #[should_panic(expected = "replicas must be positive")]
     fn zero_replica_rejected() {
         toy().pipeline_time(&[0, 1]);
+    }
+
+    #[test]
+    fn reserve_spares_shrinks_the_pool_in_footprint_units() {
+        let mut input = toy();
+        input.crossbars_per_replica = vec![2, 4];
+        input.unused_crossbars = 100;
+        // 25% of 100 = 25 crossbars → 6 spare groups of 4 = 24 taken.
+        let spares = input.reserve_spares(0.25);
+        assert_eq!(spares, 6);
+        assert_eq!(input.unused_crossbars, 76);
+        // Zero fraction is a strict no-op.
+        let before = input.clone();
+        assert_eq!(input.reserve_spares(0.0), 0);
+        assert_eq!(input, before);
+        // Out-of-range fractions clamp instead of panicking.
+        let mut all = toy();
+        all.unused_crossbars = 7;
+        assert_eq!(all.reserve_spares(5.0), 7);
+        assert_eq!(all.unused_crossbars, 0);
     }
 }

@@ -1,0 +1,157 @@
+//! Fault-injection degradation campaign (reproduction extension, not a
+//! paper figure).
+//!
+//! Sweeps stuck-at/transient fault rates against the three mitigation
+//! policies on the GoPIM pipeline and prints the degradation table:
+//! makespan, energy and stand-in accuracy relative to the fault-free
+//! run. Seeded end to end — the same arguments replay bit-identically.
+//!
+//! Extra arguments on top of the shared `--quick` / `--budget`:
+//!
+//! - `<dataset>` — positional dataset name (default ddi);
+//! - `--json <path>` — append one JSON line per table row;
+//! - `--validate <path>` — parse a previously emitted JSON-lines file,
+//!   check its schema, and exit (no simulation).
+//!
+//! The fault knobs come from the same environment variables as
+//! `gopim faults`: `GOPIM_FAULT_SEED`, `GOPIM_FAULT_RATES`,
+//! `GOPIM_FAULT_SPARES`.
+
+use gopim::cli::{parse_dataset, parse_fault_rates, parse_fault_seed, parse_fault_spares};
+use gopim::experiments::faults::{degradation_table, run, CampaignConfig, CampaignReport};
+use gopim_bench::{banner, BenchArgs};
+use gopim_graph::datasets::Dataset;
+
+fn json_line(report: &CampaignReport, row_index: usize) -> String {
+    let r = &report.rows[row_index];
+    format!(
+        "{{\"id\":\"faults/{}/{}/{:.3}\",\"makespan_ns\":{},\"energy_nj\":{},\
+         \"accuracy\":{},\"injected\":{},\"remapped\":{},\"retries\":{},\
+         \"dropped_rows\":{},\"frozen\":{}}}",
+        report.dataset,
+        r.policy,
+        r.fault_rate,
+        r.makespan_ns,
+        r.energy_nj,
+        r.accuracy,
+        r.injected,
+        r.remapped,
+        r.retries,
+        r.dropped_rows,
+        r.frozen_vertices,
+    )
+}
+
+/// Validates a JSON-lines campaign file with the in-repo parser:
+/// every line must be an object with a string `id` and the numeric
+/// degradation fields.
+fn validate(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let mut checked = 0;
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value =
+            gopim_obs::export::parse_json(line).map_err(|e| format!("{path}:{}: {e}", n + 1))?;
+        value
+            .get("id")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{path}:{}: missing string 'id'", n + 1))?;
+        for key in [
+            "makespan_ns",
+            "energy_nj",
+            "accuracy",
+            "injected",
+            "remapped",
+            "retries",
+            "dropped_rows",
+            "frozen",
+        ] {
+            value
+                .get(key)
+                .and_then(|v| v.as_num())
+                .ok_or_else(|| format!("{path}:{}: missing numeric '{key}'", n + 1))?;
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err(format!("'{path}' holds no campaign records"));
+    }
+    Ok(checked)
+}
+
+fn main() {
+    let _telemetry = gopim_bench::telemetry();
+    let args = BenchArgs::from_env();
+
+    // --validate short-circuits: schema-check an emitted file and exit.
+    let mut rest = args.rest.iter().map(String::as_str).peekable();
+    let mut dataset = Dataset::Ddi;
+    let mut json_path: Option<String> = None;
+    while let Some(arg) = rest.next() {
+        match arg {
+            "--validate" => {
+                let path = rest.next().expect("--validate expects a path");
+                match validate(path) {
+                    Ok(n) => {
+                        println!("{path}: {n} campaign records ok");
+                        return;
+                    }
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--json" => {
+                json_path = Some(rest.next().expect("--json expects a path").to_string());
+            }
+            name => {
+                dataset = parse_dataset(name).unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+
+    banner(
+        "Fault campaign (extension)",
+        "Graceful degradation of the GoPIM pipeline under stuck-at and transient ReRAM\n\
+         faults, per mitigation policy (baseline / retry / remap-to-spares).",
+    );
+    let env = |name: &str| std::env::var(name).ok();
+    let mut config = CampaignConfig {
+        seed: parse_fault_seed(env("GOPIM_FAULT_SEED").as_deref())
+            .unwrap_or_else(|e| panic!("{e}")),
+        fault_rates: parse_fault_rates(env("GOPIM_FAULT_RATES").as_deref())
+            .unwrap_or_else(|e| panic!("{e}")),
+        spare_fraction: parse_fault_spares(env("GOPIM_FAULT_SPARES").as_deref())
+            .unwrap_or_else(|e| panic!("{e}")),
+        ..CampaignConfig::default()
+    };
+    if let Some(budget) = args.run_config().crossbar_budget {
+        config.crossbar_budget = Some(budget);
+    }
+    if args.quick {
+        config.train_vertices = 160;
+        config.epochs = 12;
+    }
+
+    let report = run(dataset, &config);
+    println!("{}", degradation_table(&report));
+    println!("Retry pays latency for transient faults; remap also re-steers dead crossbars");
+    println!("to the allocator's spares, trading write time and energy for accuracy.");
+
+    if let Some(path) = json_path {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("--json {path}: {e}"));
+        for i in 0..report.rows.len() {
+            writeln!(file, "{}", json_line(&report, i))
+                .unwrap_or_else(|e| panic!("--json {path}: {e}"));
+        }
+        println!("appended {} JSON records to {path}", report.rows.len());
+    }
+}

@@ -60,6 +60,72 @@ pub fn parse_micro_batch(arg: Option<&str>) -> Result<usize, String> {
     }
 }
 
+/// Parses the `GOPIM_FAULT_SEED` environment value (default 7).
+///
+/// # Errors
+///
+/// Returns a user-facing message for non-numeric values.
+pub fn parse_fault_seed(value: Option<&str>) -> Result<u64, String> {
+    match value {
+        None | Some("") => Ok(7),
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("invalid GOPIM_FAULT_SEED '{v}'")),
+    }
+}
+
+/// Parses the `GOPIM_FAULT_RATES` environment value: a comma-separated
+/// list of stuck-at rates in `[0, 1]` (default `0,0.05,0.2`).
+///
+/// # Errors
+///
+/// Returns a user-facing message for empty lists, non-numeric entries
+/// or rates outside `[0, 1]`.
+pub fn parse_fault_rates(value: Option<&str>) -> Result<Vec<f64>, String> {
+    let raw = match value {
+        None | Some("") => return Ok(vec![0.0, 0.05, 0.2]),
+        Some(v) => v,
+    };
+    let mut rates = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        let rate: f64 = part
+            .parse()
+            .map_err(|_| format!("invalid fault rate '{part}' in GOPIM_FAULT_RATES"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("fault rate {rate} outside [0, 1]"));
+        }
+        rates.push(rate);
+    }
+    if rates.is_empty() {
+        return Err("GOPIM_FAULT_RATES lists no rates".into());
+    }
+    Ok(rates)
+}
+
+/// Parses the `GOPIM_FAULT_SPARES` environment value: the fraction of
+/// the leftover crossbar pool reserved as remap spares, in `[0, 1]`
+/// (default 0.02).
+///
+/// # Errors
+///
+/// Returns a user-facing message for non-numeric values or fractions
+/// outside `[0, 1]`.
+pub fn parse_fault_spares(value: Option<&str>) -> Result<f64, String> {
+    match value {
+        None | Some("") => Ok(0.02),
+        Some(v) => {
+            let fraction: f64 = v
+                .parse()
+                .map_err(|_| format!("invalid GOPIM_FAULT_SPARES '{v}'"))?;
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(format!("spare fraction {fraction} outside [0, 1]"));
+            }
+            Ok(fraction)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +145,35 @@ mod tests {
         assert_eq!(parse_system("slimgnn-like").unwrap(), System::SlimGnnLike);
         assert_eq!(parse_system("REFLIP").unwrap(), System::ReFlip);
         assert!(parse_system("tpu").is_err());
+    }
+
+    #[test]
+    fn fault_seed_defaults_and_validates() {
+        assert_eq!(parse_fault_seed(None).unwrap(), 7);
+        assert_eq!(parse_fault_seed(Some("")).unwrap(), 7);
+        assert_eq!(parse_fault_seed(Some("42")).unwrap(), 42);
+        assert!(parse_fault_seed(Some("many")).is_err());
+    }
+
+    #[test]
+    fn fault_rates_parse_comma_lists() {
+        assert_eq!(parse_fault_rates(None).unwrap(), vec![0.0, 0.05, 0.2]);
+        assert_eq!(
+            parse_fault_rates(Some("0, 0.1 ,0.5")).unwrap(),
+            vec![0.0, 0.1, 0.5]
+        );
+        assert!(parse_fault_rates(Some("0.1,huge")).is_err());
+        assert!(parse_fault_rates(Some("1.5")).is_err());
+        assert!(parse_fault_rates(Some(",")).is_err());
+    }
+
+    #[test]
+    fn fault_spares_bound_the_fraction() {
+        assert_eq!(parse_fault_spares(None).unwrap(), 0.02);
+        assert_eq!(parse_fault_spares(Some("0.1")).unwrap(), 0.1);
+        assert!(parse_fault_spares(Some("-0.1")).is_err());
+        assert!(parse_fault_spares(Some("2")).is_err());
+        assert!(parse_fault_spares(Some("few")).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! index). Each returns typed rows; the `gopim-bench` binaries format
 //! and print them.
 
+pub mod faults;
 pub mod fig04;
 pub mod fig06;
 pub mod fig09;

@@ -29,6 +29,9 @@ COMMANDS:
     gantt <dataset> [system] [B]  print the schedule timeline
     custom <edge-file> [B]        run all systems on your own graph
                                   (text edge list: 'u v' per line, # comments)
+    faults <dataset> [B]          fault-injection degradation campaign
+                                  (env: GOPIM_FAULT_SEED, GOPIM_FAULT_RATES,
+                                   GOPIM_FAULT_SPARES)
     help                          show this message
 
 DATASETS:  ddi collab ppa proteins arxiv products Cora
@@ -37,7 +40,10 @@ SYSTEMS:   Serial SlimGNN-like ReGraphX ReFlip GoPIM-Vanilla GoPIM
 The paper's full 16 GB chip is assumed; see the gopim-bench binaries
 (fig04..fig17, table05..table07) for the per-figure experiments.";
 
-use gopim::cli::{parse_dataset, parse_micro_batch, parse_system};
+use gopim::cli::{
+    parse_dataset, parse_fault_rates, parse_fault_seed, parse_fault_spares, parse_micro_batch,
+    parse_system,
+};
 
 fn cmd_datasets() {
     let rows: Vec<Vec<String>> = Dataset::ALL
@@ -163,6 +169,26 @@ fn cmd_gantt(dataset: Dataset, system: System, micro_batch: usize) {
     print!("{}", render_gantt(&workload, &events, 100));
 }
 
+fn cmd_faults(dataset: Dataset, micro_batch: usize) -> Result<(), String> {
+    use gopim::experiments::faults::{degradation_table, run, CampaignConfig};
+
+    let env = |name: &str| std::env::var(name).ok();
+    let config = CampaignConfig {
+        seed: parse_fault_seed(env("GOPIM_FAULT_SEED").as_deref())?,
+        fault_rates: parse_fault_rates(env("GOPIM_FAULT_RATES").as_deref())?,
+        spare_fraction: parse_fault_spares(env("GOPIM_FAULT_SPARES").as_deref())?,
+        micro_batch,
+        ..CampaignConfig::default()
+    };
+    let report = run(dataset, &config);
+    println!("{}", degradation_table(&report));
+    println!(
+        "Retry pays latency for transient faults; remap also re-steers dead crossbars to\n\
+         the allocator's spares, trading write time and energy for accuracy."
+    );
+    Ok(())
+}
+
 fn cmd_custom(path: &str, micro_batch: usize) -> Result<(), String> {
     use gopim::runner::run_system_custom;
     use gopim_graph::datasets::ModelConfig;
@@ -275,6 +301,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "custom" => {
             let path = args.get(1).ok_or("custom needs an edge-list file")?;
             cmd_custom(path, micro_batch_at(2)?)
+        }
+        "faults" => {
+            let dataset = parse_dataset(args.get(1).ok_or("faults needs a dataset")?)?;
+            cmd_faults(dataset, micro_batch_at(2)?)
         }
         other => Err(format!("unknown command '{other}'")),
     }

@@ -161,8 +161,9 @@ fn workload_options(
     }
 }
 
-/// Allocator input derived from a workload and an estimator.
-fn alloc_input(
+/// Allocator input derived from a workload and an estimator (shared
+/// with the fault campaign, which reserves spares before allocating).
+pub(crate) fn alloc_input(
     workload: &GcnWorkload,
     avg_degree: f64,
     budget: usize,

@@ -1,0 +1,39 @@
+//! Deterministic ReRAM fault injection for the GoPIM pipeline.
+//!
+//! ReRAM crossbars fail: cells get stuck at 0 or 1, endurance budgets
+//! run out mid-campaign (§IV, Table II — the very pressure selective
+//! updating exists to relieve), and individual write pulses fail
+//! transiently. This crate models those failures as a *deterministic,
+//! seeded schedule* so that a faulty run replays bit-identically from
+//! its seed, and so that the fault layer is provably zero-cost when
+//! disabled.
+//!
+//! Two layers:
+//!
+//! - [`FaultPlan`] ([`plan`]): a pre-materialised, time-sorted list of
+//!   [`FaultEvent`]s (stuck-at / wear-out) over a `stages × groups`
+//!   grid, generated *prefix-monotonically* from a
+//!   [`FaultConfig`] — raising the fault rate only appends events,
+//!   never reshuffles them, so a superset plan always kills a superset
+//!   of groups.
+//! - [`FaultSession`] ([`session`]): consumes a plan during a
+//!   simulation, firing events as simulated time passes each write,
+//!   and applies a [`MitigationPolicy`] (do nothing, retry with capped
+//!   backoff, or remap onto spare groups) while accounting every extra
+//!   nanosecond and rewritten row for the energy model.
+//!
+//! Invariants the property tests pin down:
+//!
+//! - superset plan ⇒ no fewer dead groups at any time;
+//! - an inert session (empty plan, zero transient rate) returns each
+//!   write latency *bitwise unchanged*;
+//! - mitigation only ever adds time: total effective write time ≥
+//!   fault-free write time, so write energy is conserved or exceeded.
+
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod session;
+
+pub use plan::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
+pub use session::{FaultSession, MitigationPolicy, SessionConfig, SessionStats};

@@ -1,0 +1,311 @@
+//! Deterministic, prefix-monotone fault schedules.
+//!
+//! A [`FaultPlan`] is generated once per campaign point from a
+//! [`FaultConfig`] and the `stages × groups` shape of the workload.
+//! Generation draws a *full* permutation of candidate (group, time,
+//! kind) tuples per stage from a seeded stream, then keeps the first
+//! `round(stuck_rate · groups)` of them. Two plans that differ only in
+//! `stuck_rate` therefore share a common prefix: the higher-rate plan
+//! injects a strict superset of the lower-rate plan's events. That
+//! construction is what makes "more faults ⇒ no fewer dead groups"
+//! hold by design rather than by accident.
+
+use gopim_rng::rngs::SmallRng;
+use gopim_rng::seq::SliceRandom;
+use gopim_rng::{mix_seed, Rng, SeedableRng};
+
+/// Per-stage RNG stream tag, XORed into [`mix_seed`] so fault draws
+/// never alias other seeded streams in the workspace.
+const STREAM_TAG: u64 = 0xFA17;
+
+/// Maximum number of stuck columns a single stuck-at event covers.
+/// Events at or below the crossbar's spare-column budget are absorbed
+/// without killing the group.
+pub const MAX_STUCK_COLS: u32 = 8;
+
+/// What went wrong with a crossbar group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `cols` bitline columns read as all-zero conductance.
+    StuckAtZero {
+        /// Number of affected columns (1..=[`MAX_STUCK_COLS`]).
+        cols: u32,
+    },
+    /// `cols` bitline columns read as full-scale conductance.
+    StuckAtOne {
+        /// Number of affected columns (1..=[`MAX_STUCK_COLS`]).
+        cols: u32,
+    },
+    /// The group exhausted its endurance write budget; the whole
+    /// crossbar is considered dead regardless of spare columns.
+    WearOut,
+}
+
+impl FaultKind {
+    /// Whether the event kills its group outright given `spare_cols`
+    /// spare columns available for in-crossbar remapping.
+    pub fn is_fatal(&self, spare_cols: u32) -> bool {
+        match *self {
+            FaultKind::StuckAtZero { cols } | FaultKind::StuckAtOne { cols } => cols > spare_cols,
+            FaultKind::WearOut => true,
+        }
+    }
+}
+
+/// One fault striking one crossbar group at one simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated time at which the fault manifests.
+    pub time_ns: f64,
+    /// Pipeline stage index the group belongs to.
+    pub stage: usize,
+    /// Crossbar-group index within the stage.
+    pub group: u32,
+    /// Failure mode.
+    pub kind: FaultKind,
+}
+
+/// Campaign knobs for one fault plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for every fault draw (plan events and transient failures).
+    pub seed: u64,
+    /// Fraction of each stage's groups struck by a stuck-at event
+    /// within the horizon (0.0 disables stuck-at injection).
+    pub stuck_rate: f64,
+    /// Per-write-attempt probability of a transient programming
+    /// failure (0.0 disables; drawn lazily by the session).
+    pub transient_rate: f64,
+    /// Simulated window over which event times are drawn, ns.
+    pub horizon_ns: f64,
+}
+
+impl FaultConfig {
+    /// A config that injects nothing — the zero-cost disabled path.
+    pub fn disabled() -> Self {
+        FaultConfig {
+            seed: 0,
+            stuck_rate: 0.0,
+            transient_rate: 0.0,
+            horizon_ns: 0.0,
+        }
+    }
+}
+
+/// A time-sorted, replayable schedule of fault events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    events: Vec<FaultEvent>,
+    stages: usize,
+}
+
+impl FaultPlan {
+    /// The empty plan: no events, no transient failures.
+    pub fn disabled() -> Self {
+        FaultPlan {
+            config: FaultConfig::disabled(),
+            events: Vec::new(),
+            stages: 0,
+        }
+    }
+
+    /// Generates the schedule for a workload with `stage_groups[i]`
+    /// crossbar groups at stage `i` (0 for stages with no mapped
+    /// substrate, e.g. combination-only stages).
+    ///
+    /// Prefix-monotone: with `seed`, `horizon_ns` and `stage_groups`
+    /// fixed, raising `stuck_rate` yields a superset of events.
+    pub fn generate(config: FaultConfig, stage_groups: &[usize]) -> Self {
+        let mut events = Vec::new();
+        if config.stuck_rate > 0.0 && config.horizon_ns > 0.0 {
+            for (stage, &groups) in stage_groups.iter().enumerate() {
+                if groups == 0 {
+                    continue;
+                }
+                let stream = mix_seed(config.seed, (stage as u64) ^ STREAM_TAG);
+                let mut rng = SmallRng::seed_from_u64(stream);
+                let mut order: Vec<u32> = (0..groups as u32).collect();
+                order.shuffle(&mut rng);
+                // Draw time and kind for EVERY candidate in the fixed
+                // shuffled order, then truncate: this is the prefix
+                // that makes superset plans supersets.
+                let draws: Vec<FaultEvent> = order
+                    .iter()
+                    .map(|&group| {
+                        let time_ns = rng.gen_range(0.0..config.horizon_ns);
+                        let cols = rng.gen_range(1..=MAX_STUCK_COLS);
+                        let kind = if rng.gen::<f64>() < 0.5 {
+                            FaultKind::StuckAtZero { cols }
+                        } else {
+                            FaultKind::StuckAtOne { cols }
+                        };
+                        FaultEvent {
+                            time_ns,
+                            stage,
+                            group,
+                            kind,
+                        }
+                    })
+                    .collect();
+                let struck = ((config.stuck_rate * groups as f64).round() as usize).min(groups);
+                events.extend_from_slice(&draws[..struck]);
+            }
+        }
+        let mut plan = FaultPlan {
+            config,
+            events,
+            stages: stage_groups.len(),
+        };
+        plan.sort_events();
+        plan
+    }
+
+    /// Appends a wear-out death for `group` at `stage`, e.g. computed
+    /// from endurance counters crossing their write budget.
+    pub fn with_wearout(mut self, stage: usize, group: u32, time_ns: f64) -> Self {
+        self.push_event(FaultEvent {
+            time_ns,
+            stage,
+            group,
+            kind: FaultKind::WearOut,
+        });
+        self
+    }
+
+    /// Inserts an event, keeping the schedule time-sorted.
+    pub fn push_event(&mut self, event: FaultEvent) {
+        self.stages = self.stages.max(event.stage + 1);
+        self.events.push(event);
+        self.sort_events();
+    }
+
+    fn sort_events(&mut self) {
+        self.events.sort_by(|a, b| {
+            a.time_ns
+                .total_cmp(&b.time_ns)
+                .then(a.stage.cmp(&b.stage))
+                .then(a.group.cmp(&b.group))
+        });
+    }
+
+    /// The config this plan was generated from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// All scheduled events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of stages the plan spans.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// True when the plan can never perturb a run: no events and no
+    /// transient failures. Sessions over an inert plan return write
+    /// latencies bitwise unchanged.
+    pub fn is_inert(&self) -> bool {
+        self.events.is_empty() && self.config.transient_rate == 0.0
+    }
+
+    /// Groups of `stage` killed by events at `time_ns` or earlier,
+    /// given `spare_cols` spare columns per crossbar (sorted, dedup).
+    pub fn dead_groups(&self, stage: usize, time_ns: f64, spare_cols: u32) -> Vec<u32> {
+        let mut dead: Vec<u32> = self
+            .events
+            .iter()
+            .filter(|e| e.stage == stage && e.time_ns <= time_ns && e.kind.is_fatal(spare_cols))
+            .map(|e| e.group)
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rate: f64) -> FaultConfig {
+        FaultConfig {
+            seed: 42,
+            stuck_rate: rate,
+            transient_rate: 0.0,
+            horizon_ns: 1e6,
+        }
+    }
+
+    #[test]
+    fn disabled_plan_is_inert() {
+        let plan = FaultPlan::disabled();
+        assert!(plan.is_inert());
+        assert!(plan.events().is_empty());
+        let zero_rate = FaultPlan::generate(cfg(0.0), &[4, 8, 8, 8]);
+        assert!(zero_rate.is_inert());
+    }
+
+    #[test]
+    fn generation_replays_bit_identically() {
+        let a = FaultPlan::generate(cfg(0.3), &[0, 16, 16, 16]);
+        let b = FaultPlan::generate(cfg(0.3), &[0, 16, 16, 16]);
+        assert_eq!(a, b);
+        assert!(!a.events().is_empty());
+    }
+
+    #[test]
+    fn event_count_tracks_rate_and_skips_empty_stages() {
+        let plan = FaultPlan::generate(cfg(0.25), &[0, 16, 8, 0]);
+        assert_eq!(plan.events().len(), 4 + 2);
+        assert!(plan.events().iter().all(|e| e.stage == 1 || e.stage == 2));
+        assert!(plan
+            .events()
+            .windows(2)
+            .all(|w| w[0].time_ns <= w[1].time_ns));
+    }
+
+    #[test]
+    fn higher_rate_is_a_superset() {
+        let lo = FaultPlan::generate(cfg(0.2), &[32, 32]);
+        let hi = FaultPlan::generate(cfg(0.7), &[32, 32]);
+        for e in lo.events() {
+            assert!(hi.events().contains(e), "missing {e:?}");
+        }
+        assert!(hi.events().len() > lo.events().len());
+    }
+
+    #[test]
+    fn dead_groups_respects_time_and_spares() {
+        let mut plan = FaultPlan::disabled();
+        plan.push_event(FaultEvent {
+            time_ns: 10.0,
+            stage: 1,
+            group: 3,
+            kind: FaultKind::StuckAtZero { cols: 2 },
+        });
+        plan.push_event(FaultEvent {
+            time_ns: 20.0,
+            stage: 1,
+            group: 5,
+            kind: FaultKind::WearOut,
+        });
+        // cols=2 absorbed by 2 spare columns; wear-out never is.
+        assert_eq!(plan.dead_groups(1, 30.0, 2), vec![5]);
+        assert_eq!(plan.dead_groups(1, 30.0, 1), vec![3, 5]);
+        assert_eq!(plan.dead_groups(1, 15.0, 0), vec![3]);
+        assert!(plan.dead_groups(0, 30.0, 0).is_empty());
+    }
+
+    #[test]
+    fn with_wearout_keeps_sorted_order() {
+        let plan = FaultPlan::generate(cfg(0.5), &[16]).with_wearout(0, 2, 0.5);
+        assert_eq!(plan.events()[0].kind, FaultKind::WearOut);
+        assert!(plan
+            .events()
+            .windows(2)
+            .all(|w| w[0].time_ns <= w[1].time_ns));
+    }
+}

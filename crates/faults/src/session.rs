@@ -1,0 +1,426 @@
+//! Replaying a [`FaultPlan`] through a live simulation.
+//!
+//! A [`FaultSession`] sits between the DES write path and the plan:
+//! each simulated write calls [`FaultSession::write`] with the current
+//! simulated time and the fault-free write latency, and gets back the
+//! *effective* latency after any events that became due have fired and
+//! the configured [`MitigationPolicy`] has reacted. Everything the
+//! session does is deterministic in the plan's seed — transient
+//! failures are drawn from a stream keyed by `(stage, microbatch,
+//! attempt)`, not from wall-clock state — so a campaign replays
+//! bit-identically.
+//!
+//! Zero-cost disabled path: over an inert plan, `write` returns
+//! `base_ns` unchanged (same bits), no RNG is constructed, and no
+//! stats move.
+
+use crate::plan::{FaultKind, FaultPlan};
+use gopim_rng::rngs::SmallRng;
+use gopim_rng::{mix_seed, Rng, SeedableRng};
+
+/// Transient-failure RNG stream tag (distinct from the plan's).
+const TRANSIENT_TAG: u64 = 0x7245_5652;
+
+/// How the pipeline reacts to faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MitigationPolicy {
+    /// Accept the damage: dead groups' rows go stale, failed writes
+    /// are lost. No timing change, accuracy degrades.
+    Baseline,
+    /// Re-issue transiently failed writes with capped exponential
+    /// backoff (stuck-at deaths still drop rows — rewriting a dead
+    /// cell cannot help).
+    Retry,
+    /// Retry transients *and* remap dead groups onto reserved spare
+    /// groups, paying a one-time reprogramming cost; when spares run
+    /// out, surviving groups absorb the dead groups' write load.
+    Remap,
+}
+
+impl MitigationPolicy {
+    /// All policies, in campaign sweep order.
+    pub const ALL: [MitigationPolicy; 3] = [
+        MitigationPolicy::Baseline,
+        MitigationPolicy::Retry,
+        MitigationPolicy::Remap,
+    ];
+
+    /// Lower-case table/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MitigationPolicy::Baseline => "baseline",
+            MitigationPolicy::Retry => "retry",
+            MitigationPolicy::Remap => "remap",
+        }
+    }
+}
+
+/// Mitigation knobs for one session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Active policy.
+    pub policy: MitigationPolicy,
+    /// Latency of programming one crossbar row, ns (for costing remap
+    /// reprogramming and estimating rows per retried write).
+    pub ns_per_row: f64,
+    /// Rows reprogrammed when one dead group is remapped to a spare
+    /// (= rows dropped per dead group under non-remap policies).
+    pub remap_rows: usize,
+    /// Base backoff before a retry, ns.
+    pub backoff_ns: f64,
+    /// Backoff cap, ns.
+    pub backoff_cap_ns: f64,
+    /// Retries per write before giving the rows up as lost.
+    pub max_retries: u32,
+    /// Spare groups reserved by the allocator for remapping.
+    pub spare_groups: usize,
+    /// Spare columns per crossbar; stuck-at events covering at most
+    /// this many columns are absorbed without killing the group.
+    pub spare_cols: u32,
+}
+
+impl SessionConfig {
+    /// Defaults sized for 64×64 crossbars; campaigns override
+    /// `ns_per_row` and `remap_rows` from the workload's latency
+    /// parameters and mapping.
+    pub fn new(policy: MitigationPolicy) -> Self {
+        SessionConfig {
+            policy,
+            ns_per_row: 100.0,
+            remap_rows: 64,
+            backoff_ns: 50.0,
+            backoff_cap_ns: 800.0,
+            max_retries: 3,
+            spare_groups: 0,
+            spare_cols: 2,
+        }
+    }
+}
+
+/// Counters accumulated over one session.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionStats {
+    /// Fault events fired (fatal or absorbed).
+    pub injected: u64,
+    /// Dead groups successfully remapped onto spares.
+    pub remapped: u64,
+    /// Transient write retries issued.
+    pub retries: u64,
+    /// Rows lost to unmitigated faults (stale thereafter).
+    pub dropped_rows: u64,
+    /// Simulated time added to writes by mitigation, ns.
+    pub extra_write_ns: f64,
+    /// Extra crossbar rows actually rewritten (remap reprogramming +
+    /// retried writes) — feeds write-energy accounting.
+    pub extra_rows: f64,
+}
+
+/// Per-stage live/dead bookkeeping.
+#[derive(Debug, Clone)]
+struct StageState {
+    events: Vec<(f64, u32, FaultKind)>,
+    cursor: usize,
+    dead: Vec<bool>,
+    live: usize,
+    /// Write-load concentration factor; exactly 1.0 until spares run
+    /// out so the healthy path multiplies by literal 1.0 (bit-exact).
+    write_scale: f64,
+    /// One-time remap reprogramming cost charged to the next write.
+    pending_ns: f64,
+}
+
+/// Live fault state threaded through a DES run.
+#[derive(Debug, Clone)]
+pub struct FaultSession {
+    plan: FaultPlan,
+    cfg: SessionConfig,
+    stages: Vec<StageState>,
+    spares_left: usize,
+    inert: bool,
+    stats: SessionStats,
+}
+
+impl FaultSession {
+    /// Builds a session for a workload with `stage_groups[i]` groups
+    /// at stage `i` (same shape the plan was generated over).
+    pub fn new(plan: FaultPlan, cfg: SessionConfig, stage_groups: &[usize]) -> Self {
+        let inert = plan.is_inert();
+        let stages = stage_groups
+            .iter()
+            .enumerate()
+            .map(|(stage, &groups)| StageState {
+                events: plan
+                    .events()
+                    .iter()
+                    .filter(|e| e.stage == stage)
+                    .map(|e| (e.time_ns, e.group, e.kind))
+                    .collect(),
+                cursor: 0,
+                dead: vec![false; groups],
+                live: groups,
+                write_scale: 1.0,
+                pending_ns: 0.0,
+            })
+            .collect();
+        FaultSession {
+            plan,
+            cfg,
+            stages,
+            spares_left: cfg.spare_groups,
+            inert,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// An inert session over the given shape (the disabled path).
+    pub fn disabled(stage_groups: &[usize]) -> Self {
+        FaultSession::new(
+            FaultPlan::disabled(),
+            SessionConfig::new(MitigationPolicy::Baseline),
+            stage_groups,
+        )
+    }
+
+    /// Effective latency of the write of micro-batch `microbatch` at
+    /// `stage`, dispatched at simulated time `now_ns` with fault-free
+    /// latency `base_ns`. Fires every event due by `now_ns` first.
+    ///
+    /// Monotone: the returned latency is always ≥ `base_ns`, so total
+    /// write time — and with it write energy — is conserved or
+    /// exceeded, never lost. Over an inert plan the return value is
+    /// `base_ns` bitwise.
+    pub fn write(&mut self, stage: usize, microbatch: usize, now_ns: f64, base_ns: f64) -> f64 {
+        if self.inert || stage >= self.stages.len() {
+            return base_ns;
+        }
+        self.fire_due_events(stage, now_ns);
+        let st = &mut self.stages[stage];
+        let mut eff = base_ns * st.write_scale;
+        if st.pending_ns > 0.0 {
+            eff += st.pending_ns;
+            st.pending_ns = 0.0;
+        }
+        if self.plan.config().transient_rate > 0.0 {
+            eff += self.transient_overhead(stage, microbatch, base_ns);
+        }
+        if eff > base_ns {
+            self.stats.extra_write_ns += eff - base_ns;
+        }
+        eff
+    }
+
+    fn fire_due_events(&mut self, stage: usize, now_ns: f64) {
+        let spare_cols = self.cfg.spare_cols;
+        let remap_rows = self.cfg.remap_rows;
+        let st = &mut self.stages[stage];
+        while st.cursor < st.events.len() && st.events[st.cursor].0 <= now_ns {
+            let (_, group, kind) = st.events[st.cursor];
+            st.cursor += 1;
+            self.stats.injected += 1;
+            let g = group as usize;
+            if !kind.is_fatal(spare_cols) || g >= st.dead.len() || st.dead[g] {
+                continue;
+            }
+            st.dead[g] = true;
+            st.live -= 1;
+            match self.cfg.policy {
+                MitigationPolicy::Baseline | MitigationPolicy::Retry => {
+                    self.stats.dropped_rows += remap_rows as u64;
+                }
+                MitigationPolicy::Remap => {
+                    if self.spares_left > 0 {
+                        self.spares_left -= 1;
+                        self.stats.remapped += 1;
+                        st.pending_ns += remap_rows as f64 * self.cfg.ns_per_row;
+                        self.stats.extra_rows += remap_rows as f64;
+                    } else {
+                        // Spares exhausted: survivors absorb the dead
+                        // groups' write load.
+                        st.write_scale = st.dead.len() as f64 / st.live.max(1) as f64;
+                    }
+                }
+            }
+        }
+    }
+
+    fn transient_overhead(&mut self, stage: usize, microbatch: usize, base_ns: f64) -> f64 {
+        let rate = self.plan.config().transient_rate;
+        let key = ((stage as u64) << 32) ^ microbatch as u64;
+        let stream = mix_seed(mix_seed(self.plan.config().seed, TRANSIENT_TAG), key);
+        let mut rng = SmallRng::seed_from_u64(stream);
+        let rows = if self.cfg.ns_per_row > 0.0 {
+            (base_ns / self.cfg.ns_per_row).max(1.0)
+        } else {
+            1.0
+        };
+        let mut extra = 0.0;
+        let mut attempt: u32 = 0;
+        while rng.gen::<f64>() < rate {
+            match self.cfg.policy {
+                MitigationPolicy::Baseline => {
+                    // The write is simply lost: rows stay stale.
+                    self.stats.dropped_rows += rows as u64;
+                    break;
+                }
+                MitigationPolicy::Retry | MitigationPolicy::Remap => {
+                    if attempt >= self.cfg.max_retries {
+                        self.stats.dropped_rows += rows as u64;
+                        break;
+                    }
+                    self.stats.retries += 1;
+                    let backoff = (self.cfg.backoff_ns * f64::powi(2.0, attempt as i32))
+                        .min(self.cfg.backoff_cap_ns);
+                    extra += base_ns + backoff;
+                    self.stats.extra_rows += rows;
+                    attempt += 1;
+                }
+            }
+        }
+        extra
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Whether this session can never perturb a run.
+    pub fn is_inert(&self) -> bool {
+        self.inert
+    }
+
+    /// Whether `group` at `stage` has died so far.
+    pub fn is_dead(&self, stage: usize, group: u32) -> bool {
+        self.stages
+            .get(stage)
+            .and_then(|st| st.dead.get(group as usize))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Live groups remaining at `stage`.
+    pub fn live_groups(&self, stage: usize) -> usize {
+        self.stages.get(stage).map_or(0, |st| st.live)
+    }
+
+    /// Spare groups not yet consumed by remapping.
+    pub fn spares_left(&self) -> usize {
+        self.spares_left
+    }
+
+    /// The plan being replayed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The mitigation configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultConfig, FaultEvent};
+
+    fn one_death_plan(time_ns: f64) -> FaultPlan {
+        let mut plan = FaultPlan::disabled();
+        plan.push_event(FaultEvent {
+            time_ns,
+            stage: 0,
+            group: 1,
+            kind: FaultKind::WearOut,
+        });
+        plan
+    }
+
+    #[test]
+    fn inert_session_returns_base_bits() {
+        let mut s = FaultSession::disabled(&[4, 4]);
+        for (i, base) in [0.0, 1.5, 1e9, 0.1 + 0.2].into_iter().enumerate() {
+            let out = s.write(i % 2, i, 1e12, base);
+            assert_eq!(out.to_bits(), base.to_bits());
+        }
+        assert_eq!(*s.stats(), SessionStats::default());
+    }
+
+    #[test]
+    fn events_fire_only_once_due() {
+        let mut cfg = SessionConfig::new(MitigationPolicy::Baseline);
+        cfg.remap_rows = 10;
+        let mut s = FaultSession::new(one_death_plan(100.0), cfg, &[4]);
+        assert_eq!(s.write(0, 0, 50.0, 7.0), 7.0);
+        assert_eq!(s.stats().injected, 0);
+        assert_eq!(s.write(0, 1, 100.0, 7.0), 7.0); // baseline: no slowdown
+        assert_eq!(s.stats().injected, 1);
+        assert_eq!(s.stats().dropped_rows, 10);
+        assert!(s.is_dead(0, 1));
+        assert_eq!(s.live_groups(0), 3);
+    }
+
+    #[test]
+    fn remap_charges_one_time_cost_and_consumes_a_spare() {
+        let mut cfg = SessionConfig::new(MitigationPolicy::Remap);
+        cfg.spare_groups = 1;
+        cfg.remap_rows = 8;
+        cfg.ns_per_row = 10.0;
+        let mut s = FaultSession::new(one_death_plan(0.0), cfg, &[4]);
+        let first = s.write(0, 0, 1.0, 100.0);
+        assert_eq!(first, 100.0 + 80.0);
+        assert_eq!(s.spares_left(), 0);
+        assert_eq!(s.stats().remapped, 1);
+        assert_eq!(s.stats().extra_rows, 8.0);
+        // Cost is one-time; subsequent writes are clean.
+        assert_eq!(s.write(0, 1, 2.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn exhausted_spares_concentrate_write_load() {
+        let cfg = SessionConfig::new(MitigationPolicy::Remap); // 0 spares
+        let mut s = FaultSession::new(one_death_plan(0.0), cfg, &[4]);
+        let eff = s.write(0, 0, 1.0, 90.0);
+        assert_eq!(eff, 90.0 * (4.0 / 3.0));
+        assert_eq!(s.stats().remapped, 0);
+    }
+
+    #[test]
+    fn transient_retries_are_deterministic_and_capped() {
+        let plan = FaultPlan::generate(
+            FaultConfig {
+                seed: 9,
+                stuck_rate: 0.0,
+                transient_rate: 0.9,
+                horizon_ns: 1.0,
+            },
+            &[2],
+        );
+        let mk = || {
+            let mut cfg = SessionConfig::new(MitigationPolicy::Retry);
+            cfg.max_retries = 2;
+            FaultSession::new(plan.clone(), cfg, &[2])
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let mut any_retry = false;
+        for mb in 0..32 {
+            let (x, y) = (
+                a.write(0, mb, mb as f64, 500.0),
+                b.write(0, mb, mb as f64, 500.0),
+            );
+            assert_eq!(x.to_bits(), y.to_bits());
+            assert!(x >= 500.0);
+            any_retry |= x > 500.0;
+        }
+        assert!(any_retry, "rate 0.9 over 32 writes must retry");
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().retries <= 32 * 2);
+        // Baseline drops instead of retrying, and never slows down.
+        let mut base =
+            FaultSession::new(plan, SessionConfig::new(MitigationPolicy::Baseline), &[2]);
+        for mb in 0..32 {
+            assert_eq!(base.write(0, mb, mb as f64, 500.0), 500.0);
+        }
+        assert_eq!(base.stats().retries, 0);
+        assert!(base.stats().dropped_rows > 0);
+    }
+}

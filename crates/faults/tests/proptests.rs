@@ -1,0 +1,143 @@
+//! Property-based tests for the fault layer (gopim-testkit).
+
+use gopim_faults::{FaultConfig, FaultPlan, FaultSession, MitigationPolicy, SessionConfig};
+use gopim_testkit::prop::{check_with, Config};
+
+fn event_key(e: &gopim_faults::FaultEvent) -> (u64, usize, u32) {
+    (e.time_ns.to_bits(), e.stage, e.group)
+}
+
+#[test]
+fn higher_fault_rate_injects_a_superset_of_events() {
+    check_with(
+        "higher_fault_rate_injects_a_superset_of_events",
+        Config::cases(64),
+        |d| {
+            let seed = d.draw("seed", 0u64..1_000_000);
+            let shape = d.vec("stage_groups", 1usize..5, |d| d.draw("groups", 0usize..64));
+            let lo_rate = d.draw("lo_rate", 0.0f64..0.5);
+            let hi_rate = lo_rate + d.draw("rate_gap", 0.0f64..0.5);
+            let cfg = |rate| FaultConfig {
+                seed,
+                stuck_rate: rate,
+                transient_rate: 0.0,
+                horizon_ns: 1e6,
+            };
+            let lo = FaultPlan::generate(cfg(lo_rate), &shape);
+            let hi = FaultPlan::generate(cfg(hi_rate), &shape);
+            let hi_keys: Vec<_> = hi.events().iter().map(event_key).collect();
+            for e in lo.events() {
+                assert!(
+                    hi_keys.contains(&event_key(e)),
+                    "event {e:?} from rate {lo_rate} missing at rate {hi_rate}"
+                );
+            }
+            // Superset of events ⇒ no fewer dead groups at any time,
+            // at every spare-column budget.
+            for (stage, _) in shape.iter().enumerate() {
+                for spare_cols in [0u32, 2, 8] {
+                    for t in [0.0, 3e5, 1e6] {
+                        assert!(
+                            hi.dead_groups(stage, t, spare_cols).len()
+                                >= lo.dead_groups(stage, t, spare_cols).len()
+                        );
+                    }
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn plans_and_sessions_replay_bit_identically_from_the_seed() {
+    check_with(
+        "plans_and_sessions_replay_bit_identically_from_the_seed",
+        Config::cases(48),
+        |d| {
+            let seed = d.draw("seed", 0u64..1_000_000);
+            let shape = d.vec("stage_groups", 1usize..4, |d| d.draw("groups", 1usize..32));
+            let cfg = FaultConfig {
+                seed,
+                stuck_rate: d.draw("stuck_rate", 0.0f64..1.0),
+                transient_rate: d.draw("transient_rate", 0.0f64..0.3),
+                horizon_ns: 1e6,
+            };
+            let policy = d.pick("policy", &MitigationPolicy::ALL);
+            assert_eq!(
+                FaultPlan::generate(cfg, &shape),
+                FaultPlan::generate(cfg, &shape)
+            );
+            let mut scfg = SessionConfig::new(policy);
+            scfg.spare_groups = d.draw("spares", 0usize..4);
+            let mk = || FaultSession::new(FaultPlan::generate(cfg, &shape), scfg, &shape);
+            let (mut a, mut b) = (mk(), mk());
+            for mb in 0..24usize {
+                let stage = mb % shape.len();
+                let now = mb as f64 * 5e4;
+                let x = a.write(stage, mb, now, 700.0);
+                let y = b.write(stage, mb, now, 700.0);
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(a.stats(), b.stats());
+        },
+    );
+}
+
+#[test]
+fn mitigation_only_adds_write_time_so_write_energy_is_conserved() {
+    check_with(
+        "mitigation_only_adds_write_time_so_write_energy_is_conserved",
+        Config::cases(48),
+        |d| {
+            let shape = d.vec("stage_groups", 1usize..4, |d| d.draw("groups", 1usize..32));
+            let cfg = FaultConfig {
+                seed: d.draw("seed", 0u64..1_000_000),
+                stuck_rate: d.draw("stuck_rate", 0.0f64..1.0),
+                transient_rate: d.draw("transient_rate", 0.0f64..0.5),
+                horizon_ns: 1e6,
+            };
+            let policy = d.pick("policy", &MitigationPolicy::ALL);
+            let mut scfg = SessionConfig::new(policy);
+            scfg.spare_groups = d.draw("spares", 0usize..3);
+            let mut s = FaultSession::new(FaultPlan::generate(cfg, &shape), scfg, &shape);
+            let mut base_total = 0.0;
+            let mut eff_total = 0.0;
+            for mb in 0..32usize {
+                let stage = mb % shape.len();
+                let base = d.draw("base_ns", 1.0f64..5000.0);
+                let eff = s.write(stage, mb, mb as f64 * 4e4, base);
+                assert!(eff >= base, "write got cheaper: {eff} < {base}");
+                base_total += base;
+                eff_total += eff;
+            }
+            assert!(eff_total >= base_total);
+            let stats = s.stats();
+            assert!((eff_total - base_total - stats.extra_write_ns).abs() < 1e-6);
+            assert!(stats.extra_rows >= 0.0);
+        },
+    );
+}
+
+#[test]
+fn zero_rate_plans_are_inert_regardless_of_shape() {
+    check_with(
+        "zero_rate_plans_are_inert_regardless_of_shape",
+        Config::cases(32),
+        |d| {
+            let shape = d.vec("stage_groups", 1usize..6, |d| d.draw("groups", 0usize..128));
+            let cfg = FaultConfig {
+                seed: d.draw("seed", 0u64..1_000_000),
+                stuck_rate: 0.0,
+                transient_rate: 0.0,
+                horizon_ns: 1e9,
+            };
+            let plan = FaultPlan::generate(cfg, &shape);
+            assert!(plan.is_inert());
+            let mut s =
+                FaultSession::new(plan, SessionConfig::new(MitigationPolicy::Remap), &shape);
+            let base = d.draw("base_ns", 0.0f64..1e6);
+            let out = s.write(0, 0, 1e18, base);
+            assert_eq!(out.to_bits(), base.to_bits());
+        },
+    );
+}

@@ -17,17 +17,39 @@ pub struct StaleFeatureCache {
     layers: Vec<Option<Matrix>>,
     /// Importance mask per vertex.
     important: Vec<bool>,
+    /// Vertices whose crossbar rows can no longer be written (the
+    /// fault layer's dead groups): refreshes skip them forever.
+    frozen: Vec<bool>,
     policy: SelectivePolicy,
 }
 
 impl StaleFeatureCache {
     /// Creates a cache for `num_layers` layers with an importance mask.
     pub fn new(num_layers: usize, important: Vec<bool>, policy: SelectivePolicy) -> Self {
+        let frozen = vec![false; important.len()];
         StaleFeatureCache {
             layers: vec![None; num_layers],
             important,
+            frozen,
             policy,
         }
+    }
+
+    /// Marks `vertices` as frozen: their cached rows are never
+    /// refreshed again, modeling feature rows stranded on a dead
+    /// crossbar. Out-of-range ids are ignored; freezing is permanent
+    /// and idempotent.
+    pub fn freeze(&mut self, vertices: &[u32]) {
+        for &v in vertices {
+            if let Some(f) = self.frozen.get_mut(v as usize) {
+                *f = true;
+            }
+        }
+    }
+
+    /// Number of currently frozen vertices.
+    pub fn num_frozen(&self) -> usize {
+        self.frozen.iter().filter(|&&f| f).count()
     }
 
     /// Number of vertices marked unimportant (never refreshed eagerly).
@@ -61,7 +83,7 @@ impl StaleFeatureCache {
             Some(cached) => {
                 let mut stale = vec![false; fresh.rows()];
                 for (v, flag) in stale.iter_mut().enumerate() {
-                    if self.policy.updates_in_epoch(self.important[v], epoch) {
+                    if !self.frozen[v] && self.policy.updates_in_epoch(self.important[v], epoch) {
                         cached.row_mut(v).copy_from_slice(fresh.row(v));
                     } else {
                         *flag = true;
@@ -112,6 +134,34 @@ mod tests {
         let (seen, stale) = cache.observe(0, 4, &Matrix::from_rows(&[&[5.0], &[5.0]]));
         assert_eq!(seen[(0, 0)], 5.0);
         assert!(stale.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn frozen_rows_never_refresh_even_on_period() {
+        let mut cache = StaleFeatureCache::new(1, vec![true, true], policy());
+        cache.observe(0, 0, &Matrix::from_rows(&[&[1.0], &[2.0]]));
+        cache.freeze(&[1, 99]); // out-of-range id ignored
+        assert_eq!(cache.num_frozen(), 1);
+        // Row 0 (important, live) refreshes; row 1 is frozen at its
+        // epoch-0 value — even at a period-refresh epoch.
+        let (seen, stale) = cache.observe(0, 4, &Matrix::from_rows(&[&[10.0], &[20.0]]));
+        assert_eq!(seen[(0, 0)], 10.0);
+        assert_eq!(seen[(1, 0)], 2.0);
+        assert_eq!(stale, vec![false, true]);
+    }
+
+    #[test]
+    fn empty_freeze_is_a_no_op() {
+        let mk = || StaleFeatureCache::new(1, vec![true, false], policy());
+        let mut plain = mk();
+        let mut frozen = mk();
+        frozen.freeze(&[]);
+        for epoch in 0..6 {
+            let fresh = Matrix::from_rows(&[&[epoch as f64], &[epoch as f64 + 0.5]]);
+            let a = plain.observe(0, epoch, &fresh);
+            let b = frozen.observe(0, epoch, &fresh);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub struct TrainOptions {
     /// staleness, §IV-A: the next batch starts before the previous
     /// weight update lands). 0 = synchronous.
     pub weight_staleness: usize,
+    /// Vertices stranded on crossbars the fault layer killed: their
+    /// cached features stop refreshing at `freeze_epoch`. Empty =
+    /// the fault-free path, bit-identical to a build without the
+    /// fault layer.
+    pub frozen_vertices: Vec<u32>,
+    /// Epoch at which `frozen_vertices` freeze (the simulated instant
+    /// the crossbars died).
+    pub freeze_epoch: usize,
     /// RNG seed (weights, split, features).
     pub seed: u64,
 }
@@ -66,6 +74,8 @@ impl TrainOptions {
             train_fraction: 0.6,
             selective: None,
             weight_staleness: 0,
+            frozen_vertices: Vec::new(),
+            freeze_epoch: 0,
             seed: 1,
         }
     }
@@ -80,6 +90,8 @@ impl TrainOptions {
             train_fraction: 0.6,
             selective: None,
             weight_staleness: 0,
+            frozen_vertices: Vec::new(),
+            freeze_epoch: 0,
             seed: 11,
         }
     }
@@ -152,11 +164,23 @@ pub fn train_gcn(graph: &CsrGraph, labels: &[u32], options: &TrainOptions) -> Tr
 
     let norm = NormalizedAdjacency::new(graph);
     let mut model = GcnModel::new(&dims, options.learning_rate, options.seed);
-    let mut cache = options.selective.map(|policy| {
+    // A cache is needed for selective updating and/or fault-frozen
+    // vertices; with neither, the no-cache path is taken untouched
+    // (the fault layer's zero-cost-when-disabled guarantee).
+    let mut cache = if options.selective.is_some() || !options.frozen_vertices.is_empty() {
+        let policy = options
+            .selective
+            .unwrap_or_else(SelectivePolicy::update_all);
         let profile = graph.to_degree_profile();
         let important = policy.important_vertices(&profile);
-        StaleFeatureCache::new(options.num_layers, important, policy)
-    });
+        Some(StaleFeatureCache::new(
+            options.num_layers,
+            important,
+            policy,
+        ))
+    } else {
+        None
+    };
 
     // Bounded staleness: gradients are computed against a weight
     // snapshot `weight_staleness` epochs old, then applied to the
@@ -164,6 +188,11 @@ pub fn train_gcn(graph: &CsrGraph, labels: &[u32], options: &TrainOptions) -> Tr
     let mut snapshots: std::collections::VecDeque<GcnModel> = std::collections::VecDeque::new();
     let mut final_loss = 0.0;
     for epoch in 0..options.epochs {
+        if !options.frozen_vertices.is_empty() && epoch == options.freeze_epoch {
+            if let Some(c) = cache.as_mut() {
+                c.freeze(&options.frozen_vertices);
+            }
+        }
         if options.weight_staleness == 0 {
             final_loss =
                 model.train_epoch(graph, &norm, &x, labels, &train_mask, cache.as_mut(), epoch);
@@ -246,6 +275,28 @@ mod tests {
             adaptive.test_accuracy,
             aggressive.test_accuracy
         );
+    }
+
+    #[test]
+    fn frozen_vertices_degrade_accuracy_gracefully() {
+        let (g, labels) = planted_partition(240, 3, 14.0, 8.0, 2);
+        let clean = train_gcn(&g, &labels, &TrainOptions::quick_test());
+        // Freeze a third of the graph early: training must still run
+        // to completion and keep some signal, but lose accuracy.
+        let mut opts = TrainOptions::quick_test();
+        opts.frozen_vertices = (0..80).collect();
+        opts.freeze_epoch = 2;
+        let hurt = train_gcn(&g, &labels, &opts);
+        assert!(hurt.test_accuracy <= clean.test_accuracy + 1e-9);
+        assert!(
+            hurt.test_accuracy > 1.0 / 3.0,
+            "worse than chance: {hurt:?}"
+        );
+        // Empty frozen set is bit-identical to the fault-free path.
+        let mut noop = TrainOptions::quick_test();
+        noop.frozen_vertices = Vec::new();
+        noop.freeze_epoch = 7;
+        assert_eq!(train_gcn(&g, &labels, &noop), clean);
     }
 
     #[test]

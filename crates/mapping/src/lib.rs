@@ -41,9 +41,11 @@
 #![warn(missing_docs)]
 
 mod mapping;
+mod remap;
 mod selective;
 
 pub use mapping::{index_based, interleaved, GroupDegreeSummary, VertexMapping};
+pub use remap::{remap_to_spares, stranded_vertices, RemapOutcome};
 pub use selective::{
     adaptive_theta, update_load, update_rows_per_group, SelectivePolicy, UpdateLoad, DENSE_THETA,
     SPARSE_THETA, STALE_PERIOD_EPOCHS,

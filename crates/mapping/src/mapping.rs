@@ -26,7 +26,7 @@ pub struct GroupDegreeSummary {
 }
 
 impl VertexMapping {
-    fn from_groups(groups: Vec<Vec<u32>>, capacity: usize) -> Self {
+    pub(crate) fn from_groups(groups: Vec<Vec<u32>>, capacity: usize) -> Self {
         let num_vertices = groups.iter().map(Vec::len).sum();
         VertexMapping {
             groups,

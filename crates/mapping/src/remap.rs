@@ -1,0 +1,191 @@
+//! Remapping vertex groups around dead crossbars.
+//!
+//! When the fault layer kills a crossbar, its vertex rows become
+//! unwritable. The graceful path moves each dead group's vertex list
+//! wholesale onto one of the allocator's reserved *spare* crossbars —
+//! a pure physical re-steer that keeps the logical (interleaved)
+//! mapping, and with it ISU's balanced update profile, intact. When
+//! more groups die than spares exist, we fall back to a fresh
+//! index-based logical mapping packed round-robin over the surviving
+//! physical crossbars (matching the paper's baseline mapping): ISU's
+//! balance is sacrificed, but every vertex stays mapped and no dead
+//! crossbar is ever written again.
+
+use crate::mapping::{index_based, VertexMapping};
+
+/// Result of remapping a [`VertexMapping`] around a dead mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemapOutcome {
+    /// The logical mapping after remap (unchanged on the spare path,
+    /// rebuilt index-based on the fallback path).
+    pub mapping: VertexMapping,
+    /// Physical crossbar id backing each logical group. Original
+    /// groups occupy physical ids `0..G`, spares `G..G+spares`.
+    /// Never contains a dead id (unless nothing is left alive).
+    pub physical: Vec<u32>,
+    /// Vertices whose physical crossbar changed.
+    pub moved_vertices: usize,
+    /// Spare crossbars consumed.
+    pub spares_used: usize,
+    /// Whether the index-based fallback was taken.
+    pub fallback: bool,
+}
+
+/// Remaps `mapping` around `dead` physical crossbars (indexed by
+/// group id; shorter masks treat missing entries as alive), using up
+/// to `spare_groups` spare crossbars with physical ids starting at
+/// `mapping.num_groups()`.
+///
+/// Degenerate case: if every group is dead and there are no spares,
+/// there is nothing to remap onto — the identity outcome is returned
+/// with `fallback = true` (total loss; callers should treat every
+/// vertex as frozen).
+pub fn remap_to_spares(
+    mapping: &VertexMapping,
+    dead: &[bool],
+    spare_groups: usize,
+) -> RemapOutcome {
+    let num_groups = mapping.num_groups();
+    let is_dead = |g: usize| dead.get(g).copied().unwrap_or(false);
+    let dead_ids: Vec<usize> = (0..num_groups).filter(|&g| is_dead(g)).collect();
+
+    if dead_ids.is_empty() {
+        return RemapOutcome {
+            mapping: mapping.clone(),
+            physical: (0..num_groups as u32).collect(),
+            moved_vertices: 0,
+            spares_used: 0,
+            fallback: false,
+        };
+    }
+
+    if dead_ids.len() <= spare_groups {
+        // Spare path: re-steer each dead group to its own spare.
+        let mut physical: Vec<u32> = (0..num_groups as u32).collect();
+        let mut moved = 0;
+        for (i, &g) in dead_ids.iter().enumerate() {
+            physical[g] = (num_groups + i) as u32;
+            moved += mapping.groups()[g].len();
+        }
+        return RemapOutcome {
+            mapping: mapping.clone(),
+            physical,
+            moved_vertices: moved,
+            spares_used: dead_ids.len(),
+            fallback: false,
+        };
+    }
+
+    // Fallback: rebuild index-based and pack the logical groups
+    // round-robin over live originals plus all spares. Physical ids
+    // may repeat (time-multiplexed crossbars) but are never dead.
+    let avail: Vec<u32> = (0..num_groups as u32)
+        .filter(|&g| !is_dead(g as usize))
+        .chain((num_groups as u32..).take(spare_groups))
+        .collect();
+    if avail.is_empty() {
+        return RemapOutcome {
+            mapping: mapping.clone(),
+            physical: (0..num_groups as u32).collect(),
+            moved_vertices: 0,
+            spares_used: 0,
+            fallback: true,
+        };
+    }
+    let rebuilt = index_based(mapping.num_vertices(), mapping.capacity());
+    let physical: Vec<u32> = (0..rebuilt.num_groups())
+        .map(|g| avail[g % avail.len()])
+        .collect();
+    RemapOutcome {
+        mapping: rebuilt,
+        physical,
+        moved_vertices: mapping.num_vertices(),
+        spares_used: spare_groups,
+        fallback: true,
+    }
+}
+
+/// Vertices stranded on dead crossbars when *no* remapping happens
+/// (the baseline/retry policies): their feature rows can never be
+/// rewritten, so training must treat them as frozen.
+pub fn stranded_vertices(mapping: &VertexMapping, dead: &[bool]) -> Vec<u32> {
+    let mut stranded: Vec<u32> = mapping
+        .groups()
+        .iter()
+        .enumerate()
+        .filter(|(g, _)| dead.get(*g).copied().unwrap_or(false))
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .collect();
+    stranded.sort_unstable();
+    stranded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::interleaved;
+    use gopim_graph::DegreeProfile;
+
+    fn mapping_64() -> VertexMapping {
+        let p = DegreeProfile::from_degrees((0..64u32).map(|i| 1 + i * 7 % 301).collect());
+        interleaved(&p, 16)
+    }
+
+    #[test]
+    fn no_dead_groups_is_the_identity() {
+        let m = mapping_64();
+        let out = remap_to_spares(&m, &[false; 4], 2);
+        assert_eq!(out.mapping, m);
+        assert_eq!(out.physical, vec![0, 1, 2, 3]);
+        assert_eq!(out.moved_vertices, 0);
+        assert!(!out.fallback);
+    }
+
+    #[test]
+    fn dead_groups_move_wholesale_to_spares() {
+        let m = mapping_64();
+        let out = remap_to_spares(&m, &[false, true, false, true], 2);
+        assert!(!out.fallback);
+        assert_eq!(out.spares_used, 2);
+        // Logical mapping untouched — ISU balance preserved.
+        assert_eq!(out.mapping, m);
+        // Physical: group 1 → spare 4, group 3 → spare 5.
+        assert_eq!(out.physical, vec![0, 4, 2, 5]);
+        assert_eq!(out.moved_vertices, 32);
+    }
+
+    #[test]
+    fn exhausted_spares_fall_back_to_index_based_on_survivors() {
+        let m = mapping_64();
+        let out = remap_to_spares(&m, &[true, true, true, false], 1);
+        assert!(out.fallback);
+        assert_eq!(out.moved_vertices, 64);
+        out.mapping.validate().unwrap();
+        // Only live original (3) and the one spare (4) are used.
+        assert!(!out.physical.is_empty());
+        for &p in &out.physical {
+            assert!(p == 3 || p == 4, "physical {p} should be live or spare");
+        }
+    }
+
+    #[test]
+    fn total_loss_keeps_identity_and_flags_fallback() {
+        let m = mapping_64();
+        let out = remap_to_spares(&m, &[true; 4], 0);
+        assert!(out.fallback);
+        assert_eq!(out.moved_vertices, 0);
+        assert_eq!(out.physical, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stranded_vertices_cover_exactly_the_dead_groups() {
+        let m = mapping_64();
+        let dead = [false, true, false, false];
+        let stranded = stranded_vertices(&m, &dead);
+        assert_eq!(stranded.len(), m.groups()[1].len());
+        let mut expect: Vec<u32> = m.groups()[1].clone();
+        expect.sort_unstable();
+        assert_eq!(stranded, expect);
+        assert!(stranded_vertices(&m, &[false; 4]).is_empty());
+    }
+}

@@ -103,3 +103,48 @@ fn adaptive_rule_is_a_threshold_at_degree_eight() {
         },
     );
 }
+
+#[test]
+fn remapping_never_maps_vertices_onto_a_dead_crossbar() {
+    check_with(
+        "remapping_never_maps_vertices_onto_a_dead_crossbar",
+        Config::cases(64),
+        |d| {
+            let degrees = d.vec("degrees", 1usize..300, |d| d.draw("deg", 0u32..2000));
+            let capacity = d.pick("capacity", &[8usize, 16, 32]);
+            let profile = gopim_graph::DegreeProfile::from_degrees(degrees);
+            let mapping = interleaved(&profile, capacity);
+            let dead: Vec<bool> = (0..mapping.num_groups())
+                .map(|_| d.bool_with("dead", 0.3))
+                .collect();
+            let spares = d.draw("spares", 0usize..6);
+            let out = gopim_mapping::remap_to_spares(&mapping, &dead, spares);
+            // Every vertex stays mapped exactly once within capacity.
+            out.mapping.validate().unwrap();
+            assert_eq!(out.mapping.num_vertices(), mapping.num_vertices());
+            assert_eq!(out.physical.len(), out.mapping.num_groups());
+            // No live vertex group is ever backed by a dead crossbar
+            // (except the documented total-loss degenerate case).
+            let total_loss = spares == 0 && dead.iter().all(|&x| x);
+            if !total_loss {
+                for &p in &out.physical {
+                    let original = (p as usize) < mapping.num_groups();
+                    assert!(
+                        !original || !dead[p as usize],
+                        "group backed by dead crossbar {p}"
+                    );
+                }
+            }
+            // Stranded vertices are exactly the dead groups' members.
+            let stranded = gopim_mapping::stranded_vertices(&mapping, &dead);
+            let expect: usize = mapping
+                .groups()
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| dead[*g])
+                .map(|(_, vs)| vs.len())
+                .sum();
+            assert_eq!(stranded.len(), expect);
+        },
+    );
+}

@@ -27,6 +27,9 @@ use gopim_obs::metrics::LazyCounter;
 
 static DES_RUNS: LazyCounter = LazyCounter::new("pipeline.des.runs");
 static DES_EVENTS: LazyCounter = LazyCounter::new("pipeline.des.events");
+static FAULTS_INJECTED: LazyCounter = LazyCounter::new("faults.injected");
+static FAULTS_REMAPPED: LazyCounter = LazyCounter::new("faults.remapped");
+static FAULTS_RETRIES: LazyCounter = LazyCounter::new("faults.retries");
 
 /// How replicas serve micro-batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +125,82 @@ pub fn simulate_des(workload: &GcnWorkload, replicas: &[usize], model: ReplicaMo
     }
 }
 
+/// Runs the event-driven simulation through a fault session: each
+/// write's latency is filtered by
+/// [`FaultSession::write`](gopim_faults::FaultSession::write) at its
+/// dispatch time, so due fault events fire in simulated-time order and
+/// mitigation (retries with capped backoff, spare remapping, load
+/// concentration) stretches exactly the writes it should. The
+/// session's [stats](gopim_faults::FaultSession::stats) accumulate the
+/// retry/remap work for energy accounting, and the `faults.injected` /
+/// `faults.remapped` / `faults.retries` telemetry counters advance by
+/// this run's contribution.
+///
+/// Over an inert session this is *bit-identical* to [`simulate_des`]
+/// (the differential tests pin that), so the fault layer costs nothing
+/// when disabled.
+///
+/// # Panics
+///
+/// Panics if `replicas.len() != workload.stages().len()` or any count
+/// is zero.
+pub fn simulate_des_faulty(
+    workload: &GcnWorkload,
+    replicas: &[usize],
+    model: ReplicaModel,
+    session: &mut gopim_faults::FaultSession,
+) -> DesResult {
+    let stages = workload.stages();
+    assert_eq!(replicas.len(), stages.len(), "one replica count per stage");
+    assert!(replicas.iter().all(|&r| r > 0), "replicas must be positive");
+    let n_mb = workload.num_microbatches();
+    let s = stages.len();
+    let _span = gopim_obs::span!("pipeline.des", s, n_mb);
+    DES_RUNS.add(1);
+    DES_EVENTS.add((s * n_mb) as u64);
+    let b = workload.micro_batch();
+    let overhead = workload.overhead_ns();
+    let stats_before = *session.stats();
+
+    let mut servers: Vec<BinaryHeap<FreeAt>> = (0..s)
+        .map(|i| {
+            let (count, _) = server_shape(replicas[i], b, model);
+            (0..count).map(|_| FreeAt(0.0)).collect()
+        })
+        .collect();
+    let mut w_chan = vec![0.0f64; s];
+    let mut completions = vec![vec![0.0f64; n_mb]; s];
+    let mut makespan = 0.0f64;
+
+    #[allow(clippy::needless_range_loop)] // j indexes per-stage completion tables
+    for j in 0..n_mb {
+        let mut prev_end = 0.0f64;
+        for i in 0..s {
+            let (_, service) = server_shape(replicas[i], b, model);
+            let service = stages[i].compute_ns / service as f64;
+            let d_start = prev_end.max(w_chan[i]);
+            let w = session.write(i, j, d_start, workload.write_ns(i, j));
+            let w_end = d_start + overhead + w;
+            w_chan[i] = w_end;
+            let free = servers[i].pop().expect("non-empty pool").0;
+            let c_start = w_end.max(free);
+            let c_end = c_start + service;
+            servers[i].push(FreeAt(c_end));
+            completions[i][j] = c_end;
+            prev_end = c_end;
+        }
+        makespan = makespan.max(prev_end);
+    }
+    let stats = session.stats();
+    FAULTS_INJECTED.add(stats.injected - stats_before.injected);
+    FAULTS_REMAPPED.add(stats.remapped - stats_before.remapped);
+    FAULTS_RETRIES.add(stats.retries - stats_before.retries);
+    DesResult {
+        makespan_ns: makespan,
+        completions_ns: completions,
+    }
+}
+
 /// `(server count, split factor)` for a replica count under a model.
 fn server_shape(replicas: usize, micro_batch: usize, model: ReplicaModel) -> (usize, usize) {
     match model {
@@ -210,6 +289,56 @@ mod tests {
                 base.makespan_ns
             );
         }
+    }
+
+    #[test]
+    fn faulty_des_with_inert_session_is_bit_identical() {
+        let wl = ddi();
+        let s = wl.stages().len();
+        let shape = vec![8usize; s];
+        for model in [ReplicaModel::DiscreteServers, ReplicaModel::InputSplit] {
+            let clean = simulate_des(&wl, &vec![4; s], model);
+            let mut session = gopim_faults::FaultSession::disabled(&shape);
+            let faulty = simulate_des_faulty(&wl, &vec![4; s], model, &mut session);
+            assert_eq!(clean.makespan_ns.to_bits(), faulty.makespan_ns.to_bits());
+            assert_eq!(clean.completions_ns, faulty.completions_ns);
+            assert_eq!(*session.stats(), gopim_faults::SessionStats::default());
+        }
+    }
+
+    #[test]
+    fn faults_with_mitigation_strictly_stretch_the_makespan() {
+        use gopim_faults::{FaultConfig, FaultPlan, FaultSession, MitigationPolicy, SessionConfig};
+        let wl = ddi();
+        let s = wl.stages().len();
+        let reps = vec![4; s];
+        let clean = simulate_des(&wl, &reps, ReplicaModel::DiscreteServers);
+        let shape = vec![16usize; s];
+        let plan = FaultPlan::generate(
+            FaultConfig {
+                seed: 7,
+                stuck_rate: 0.5,
+                transient_rate: 0.05,
+                horizon_ns: clean.makespan_ns,
+            },
+            &shape,
+        );
+        let mut cfg = SessionConfig::new(MitigationPolicy::Remap);
+        cfg.spare_groups = 2;
+        let run = |mut session: FaultSession| {
+            let r = simulate_des_faulty(&wl, &reps, ReplicaModel::DiscreteServers, &mut session);
+            (r, *session.stats())
+        };
+        let (a, sa) = run(FaultSession::new(plan.clone(), cfg, &shape));
+        let (b, sb) = run(FaultSession::new(plan, cfg, &shape));
+        // Replays bit-identically from the same seed.
+        assert_eq!(a.makespan_ns.to_bits(), b.makespan_ns.to_bits());
+        assert_eq!(sa, sb);
+        // And degradation is real but graceful.
+        assert!(a.makespan_ns > clean.makespan_ns, "no degradation");
+        assert!(sa.injected > 0);
+        assert!(sa.remapped > 0);
+        assert!(sa.extra_write_ns > 0.0);
     }
 
     #[test]

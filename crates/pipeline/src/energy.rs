@@ -47,6 +47,34 @@ pub fn energy_of_run(
     result: &PipelineResult,
     num_batches: usize,
 ) -> EnergyBreakdown {
+    energy_with_extra_writes(
+        spec,
+        workload,
+        replicas,
+        result.makespan_ns,
+        0.0,
+        num_batches,
+    )
+}
+
+/// Computes the energy of a run with `extra_rows` additional crossbar
+/// row writes on top of the workload's own (fault-mitigation work:
+/// remap reprogramming and retried writes, from
+/// [`SessionStats::extra_rows`](gopim_faults::SessionStats)). With
+/// `extra_rows = 0.0` this is exactly [`energy_of_run`] — the extra
+/// term is branch-guarded so the fault-free path stays bit-identical.
+///
+/// # Panics
+///
+/// Panics if `replicas.len() != workload.stages().len()`.
+pub fn energy_with_extra_writes(
+    spec: &AcceleratorSpec,
+    workload: &GcnWorkload,
+    replicas: &[usize],
+    makespan_ns: f64,
+    extra_rows: f64,
+    num_batches: usize,
+) -> EnergyBreakdown {
     assert_eq!(
         replicas.len(),
         workload.stages().len(),
@@ -66,8 +94,11 @@ pub fn energy_of_run(
         write_nj += model.write_energy_nj(1) * st.rows_written * n_mb;
         occupied += (st.crossbars_per_replica * replicas[i]) as u64;
     }
-    let leakage_nj = model.leakage_energy_nj(occupied, result.makespan_ns);
-    let overhead_nj = model.overhead_energy_nj(result.makespan_ns);
+    if extra_rows > 0.0 {
+        write_nj += model.write_energy_nj(1) * extra_rows;
+    }
+    let leakage_nj = model.leakage_energy_nj(occupied, makespan_ns);
+    let overhead_nj = model.overhead_energy_nj(makespan_ns);
     EnergyBreakdown {
         compute_nj,
         write_nj,
@@ -122,6 +153,24 @@ mod tests {
         // Leakage *rate* rises with occupancy, but the makespan shrinks
         // by more, so total energy falls (paper Fig. 13(b) argument).
         assert!(boosted.total_nj() < base.total_nj());
+    }
+
+    #[test]
+    fn extra_rows_add_exactly_their_write_energy() {
+        let (spec, wl) = setup();
+        let s = wl.stages().len();
+        let run = simulate(&wl, &vec![1; s], &PipelineOptions::default());
+        let base = energy_of_run(&spec, &wl, &vec![1; s], &run, 1);
+        let zero = energy_with_extra_writes(&spec, &wl, &vec![1; s], run.makespan_ns, 0.0, 1);
+        // Zero extra rows: bit-identical to the fault-free accounting.
+        assert_eq!(base.write_nj.to_bits(), zero.write_nj.to_bits());
+        assert_eq!(base.total_nj().to_bits(), zero.total_nj().to_bits());
+        let faulted = energy_with_extra_writes(&spec, &wl, &vec![1; s], run.makespan_ns, 512.0, 1);
+        let model = EnergyModel::new(&spec);
+        let expect = base.write_nj + model.write_energy_nj(1) * 512.0;
+        assert!((faulted.write_nj - expect).abs() < 1e-9);
+        assert_eq!(faulted.compute_nj.to_bits(), base.compute_nj.to_bits());
+        assert_eq!(faulted.leakage_nj.to_bits(), base.leakage_nj.to_bits());
     }
 
     #[test]

@@ -101,3 +101,56 @@ fn selective_updating_never_increases_writes() {
         },
     );
 }
+
+#[test]
+fn faulty_des_conserves_write_time_and_energy() {
+    use gopim_faults::{FaultConfig, FaultPlan, FaultSession, MitigationPolicy, SessionConfig};
+    use gopim_pipeline::des::{simulate_des, simulate_des_faulty, ReplicaModel};
+    check_with(
+        "faulty_des_conserves_write_time_and_energy",
+        Config::cases(16),
+        |d| {
+            let n = d.draw("n", 256usize..2000);
+            let avg = d.draw("avg", 2.0f64..40.0);
+            let profile = power_law_profile(n, avg, 0.8, 0.9, 3);
+            let options = WorkloadOptions::default();
+            let wl = GcnWorkload::build_custom("prop", &profile, &model(2), &options);
+            let s = wl.stages().len();
+            let reps = vec![d.pick("r", &[1usize, 2, 4]); s];
+            let clean = simulate_des(&wl, &reps, ReplicaModel::DiscreteServers);
+            let shape = vec![d.draw("groups", 1usize..24); s];
+            let plan = FaultPlan::generate(
+                FaultConfig {
+                    seed: d.draw("seed", 0u64..1_000_000),
+                    stuck_rate: d.draw("stuck_rate", 0.0f64..1.0),
+                    transient_rate: d.draw("transient_rate", 0.0f64..0.2),
+                    horizon_ns: clean.makespan_ns,
+                },
+                &shape,
+            );
+            let mut cfg = SessionConfig::new(d.pick("policy", &MitigationPolicy::ALL));
+            cfg.spare_groups = d.draw("spares", 0usize..4);
+            let mut session = FaultSession::new(plan, cfg, &shape);
+            let faulty =
+                simulate_des_faulty(&wl, &reps, ReplicaModel::DiscreteServers, &mut session);
+            // Mitigation only adds simulated time: the faulty run can
+            // never beat the fault-free one, so total write time — and
+            // with it write energy — is conserved or exceeded.
+            assert!(
+                faulty.makespan_ns >= clean.makespan_ns,
+                "faulty {} < clean {}",
+                faulty.makespan_ns,
+                clean.makespan_ns
+            );
+            let stats = session.stats();
+            assert!(stats.extra_write_ns >= 0.0);
+            assert!(stats.extra_rows >= 0.0);
+            // The makespan stretch is bounded by the extra write time
+            // actually injected (each extra write-ns delays at most
+            // the full downstream chain once per stage visit).
+            if stats.extra_write_ns == 0.0 && stats.dropped_rows == 0 && stats.injected == 0 {
+                assert_eq!(faulty.makespan_ns.to_bits(), clean.makespan_ns.to_bits());
+            }
+        },
+    );
+}

@@ -1,0 +1,141 @@
+//! Crossbar-group health tracking under fault injection.
+//!
+//! Real ReRAM macros ship a few spare bitline columns per crossbar;
+//! column-level stuck-at faults are absorbed by steering around the
+//! bad column until the spares run out, at which point the whole
+//! group must be treated as dead (its rows can no longer be written
+//! correctly). [`CrossbarHealth`] keeps that per-group ledger:
+//! stuck-column counts accumulate across events, wear-out kills a
+//! group outright, and the resulting dead mask is what the mapping
+//! layer remaps around.
+
+/// Per-group fault ledger for one stage's crossbar groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossbarHealth {
+    stuck_cols: Vec<u32>,
+    dead: Vec<bool>,
+    spare_cols: u32,
+}
+
+impl CrossbarHealth {
+    /// A fully healthy ledger over `groups` crossbar groups, each with
+    /// `spare_cols` spare bitline columns.
+    pub fn new(groups: usize, spare_cols: u32) -> Self {
+        CrossbarHealth {
+            stuck_cols: vec![0; groups],
+            dead: vec![false; groups],
+            spare_cols,
+        }
+    }
+
+    /// Number of groups tracked.
+    pub fn groups(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Records `cols` newly stuck columns in `group`. Stuck columns
+    /// accumulate (saturating); once they exceed the spare budget the
+    /// group dies. Returns `true` if this event killed the group.
+    pub fn record_stuck(&mut self, group: usize, cols: u32) -> bool {
+        if group >= self.dead.len() || self.dead[group] {
+            return false;
+        }
+        self.stuck_cols[group] = self.stuck_cols[group].saturating_add(cols);
+        if self.stuck_cols[group] > self.spare_cols {
+            self.dead[group] = true;
+            return true;
+        }
+        false
+    }
+
+    /// Records endurance exhaustion of `group` — always fatal, spare
+    /// columns cannot help a worn-out array. Returns `true` if the
+    /// group was alive before.
+    pub fn record_wearout(&mut self, group: usize) -> bool {
+        if group >= self.dead.len() || self.dead[group] {
+            return false;
+        }
+        self.dead[group] = true;
+        true
+    }
+
+    /// Whether `group` is dead.
+    pub fn is_dead(&self, group: usize) -> bool {
+        self.dead.get(group).copied().unwrap_or(false)
+    }
+
+    /// Stuck columns accumulated so far in `group`.
+    pub fn stuck_cols(&self, group: usize) -> u32 {
+        self.stuck_cols.get(group).copied().unwrap_or(0)
+    }
+
+    /// The per-group dead mask, indexable by group id.
+    pub fn dead_mask(&self) -> &[bool] {
+        &self.dead
+    }
+
+    /// Dead group ids, ascending.
+    pub fn dead_groups(&self) -> Vec<u32> {
+        self.dead
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(g, _)| g as u32)
+            .collect()
+    }
+
+    /// Number of dead groups.
+    pub fn dead_count(&self) -> usize {
+        self.dead.iter().filter(|&&d| d).count()
+    }
+
+    /// Number of live groups.
+    pub fn live_count(&self) -> usize {
+        self.dead.len() - self.dead_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spare_columns_absorb_small_events() {
+        let mut h = CrossbarHealth::new(4, 2);
+        assert!(!h.record_stuck(0, 1));
+        assert!(!h.record_stuck(0, 1)); // 2 ≤ 2 spares: still alive
+        assert!(!h.is_dead(0));
+        assert!(h.record_stuck(0, 1)); // 3 > 2: dead
+        assert!(h.is_dead(0));
+        assert_eq!(h.dead_groups(), vec![0]);
+        assert_eq!(h.live_count(), 3);
+    }
+
+    #[test]
+    fn wearout_is_always_fatal_and_idempotent() {
+        let mut h = CrossbarHealth::new(3, 8);
+        assert!(h.record_wearout(1));
+        assert!(!h.record_wearout(1));
+        assert!(!h.record_stuck(1, 1)); // already dead: no double kill
+        assert_eq!(h.dead_count(), 1);
+        assert_eq!(h.dead_mask(), &[false, true, false]);
+    }
+
+    #[test]
+    fn stuck_column_counts_saturate() {
+        let mut h = CrossbarHealth::new(1, u32::MAX);
+        h.record_stuck(0, u32::MAX - 1);
+        h.record_stuck(0, 5);
+        assert_eq!(h.stuck_cols(0), u32::MAX);
+        assert!(!h.is_dead(0)); // saturated at the (absurd) spare budget
+    }
+
+    #[test]
+    fn out_of_range_groups_are_ignored() {
+        let mut h = CrossbarHealth::new(2, 0);
+        assert!(!h.record_stuck(7, 3));
+        assert!(!h.record_wearout(7));
+        assert!(!h.is_dead(7));
+        assert_eq!(h.dead_count(), 0);
+    }
+}

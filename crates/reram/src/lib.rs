@@ -37,6 +37,7 @@ pub mod chip;
 pub mod crossbar;
 pub mod endurance;
 pub mod energy;
+pub mod health;
 pub mod noc;
 pub mod spec;
 pub mod tiled;

@@ -42,4 +42,25 @@ cargo run --release --offline -p gopim-obs --example validate_trace -- \
     "$SMOKE_DIR/trace.json" \
     linalg.matmul par. pipeline.simulate runner.run_system sim.
 
+echo "== seeded fault-campaign smoke (faults --quick) =="
+# Two fault rates on a small graph; the JSON-lines output must pass the
+# in-repo parser's schema check, and a second run under the same seed
+# must replay byte-identically (stdout and JSON records).
+GOPIM_FAULT_SEED=7 GOPIM_FAULT_RATES="0,0.2" \
+    cargo run --release --offline -p gopim-bench --bin faults -- --quick cora \
+    --json "$SMOKE_DIR/faults_a.jsonl" > "$SMOKE_DIR/faults_a.out"
+GOPIM_FAULT_SEED=7 GOPIM_FAULT_RATES="0,0.2" \
+    cargo run --release --offline -p gopim-bench --bin faults -- --quick cora \
+    --json "$SMOKE_DIR/faults_b.jsonl" > "$SMOKE_DIR/faults_b.out"
+# The trailing "appended ... to <path>" line names the per-run JSON
+# file, so strip it from the stdout diff; the records themselves are
+# compared verbatim just below.
+diff -u <(grep -v '^appended ' "$SMOKE_DIR/faults_a.out") \
+    <(grep -v '^appended ' "$SMOKE_DIR/faults_b.out") \
+    || { echo "verify: fault campaign is not seed-deterministic"; exit 1; }
+diff -u "$SMOKE_DIR/faults_a.jsonl" "$SMOKE_DIR/faults_b.jsonl" \
+    || { echo "verify: fault campaign JSON records differ across replays"; exit 1; }
+cargo run --release --offline -p gopim-bench --bin faults -- \
+    --validate "$SMOKE_DIR/faults_a.jsonl"
+
 echo "verify: all green"

@@ -1,0 +1,180 @@
+//! Differential test layer for the fault subsystem: with faults
+//! disabled, every pipeline, mapping and accuracy output must be
+//! bit-identical to a build that never heard of faults — at
+//! `GOPIM_THREADS=1` and at the default pool width — and a seeded
+//! nonzero campaign must replay bit-identically while strictly
+//! stretching the makespan.
+
+use gopim::experiments::faults::{run, CampaignConfig};
+use gopim_faults::{FaultConfig, FaultPlan, FaultSession, MitigationPolicy, SessionConfig};
+use gopim_gcn::train::{train_gcn, TrainOptions};
+use gopim_graph::datasets::Dataset;
+use gopim_mapping::{interleaved, remap_to_spares};
+use gopim_pipeline::des::{simulate_des, simulate_des_faulty, ReplicaModel};
+use gopim_pipeline::{GcnWorkload, WorkloadOptions};
+
+fn workload() -> GcnWorkload {
+    GcnWorkload::build(Dataset::Ddi, &WorkloadOptions::default())
+}
+
+/// An inert session must leave the DES cross-check untouched down to
+/// the last bit — every completion time, not just the makespan.
+#[test]
+fn inert_session_leaves_the_des_bit_identical() {
+    let wl = workload();
+    let replicas = vec![3; wl.stages().len()];
+    let groups = vec![8; wl.stages().len()];
+    for model in [ReplicaModel::DiscreteServers, ReplicaModel::InputSplit] {
+        let clean = simulate_des(&wl, &replicas, model);
+        let mut session = FaultSession::disabled(&groups);
+        let faulty = simulate_des_faulty(&wl, &replicas, model, &mut session);
+        assert_eq!(
+            clean.makespan_ns.to_bits(),
+            faulty.makespan_ns.to_bits(),
+            "inert session changed the makespan under {model:?}"
+        );
+        assert_eq!(clean.completions_ns, faulty.completions_ns);
+        assert_eq!(session.stats().injected, 0);
+        assert_eq!(session.stats().extra_write_ns, 0.0);
+    }
+}
+
+/// The same inert differential, forced through a single-thread pool
+/// and through the default pool: both must agree with each other and
+/// with the fault-free simulation.
+#[test]
+fn inert_campaign_is_thread_count_invariant() {
+    let config = CampaignConfig {
+        fault_rates: vec![0.0],
+        train_vertices: 120,
+        epochs: 8,
+        ..CampaignConfig::default()
+    };
+    let single = gopim_par::Pool::new(1).install(|| run(Dataset::Ddi, &config));
+    let pooled = run(Dataset::Ddi, &config);
+    assert_eq!(single, pooled, "campaign varies with GOPIM_THREADS");
+    for row in &single.rows {
+        assert_eq!(
+            row.makespan_ns.to_bits(),
+            single.clean_makespan_ns.to_bits(),
+            "rate-0 {} row differs from the fault-free reference",
+            row.policy
+        );
+        assert_eq!(row.energy_nj.to_bits(), single.clean_energy_nj.to_bits());
+        assert_eq!(row.accuracy.to_bits(), single.clean_accuracy.to_bits());
+        assert_eq!(
+            (row.injected, row.remapped, row.retries, row.dropped_rows),
+            (0, 0, 0, 0)
+        );
+    }
+}
+
+/// Remapping around an all-alive mask is the identity on both the
+/// logical mapping and the physical steering.
+#[test]
+fn remap_with_no_dead_groups_is_the_identity() {
+    let profile = Dataset::Cora.profile(3);
+    let mapping = interleaved(&profile, 64);
+    let out = remap_to_spares(&mapping, &vec![false; mapping.num_groups()], 4);
+    assert_eq!(out.mapping, mapping);
+    assert_eq!(out.moved_vertices, 0);
+    assert_eq!(out.spares_used, 0);
+    assert!(!out.fallback);
+    assert_eq!(
+        out.physical,
+        (0..mapping.num_groups() as u32).collect::<Vec<u32>>()
+    );
+}
+
+/// Training with an empty frozen set must be indistinguishable from a
+/// build without the fault layer's freeze hook.
+#[test]
+fn empty_frozen_set_trains_bit_identically() {
+    let (graph, labels) = Dataset::Cora.numeric_graph(150, 11);
+    let vanilla = TrainOptions {
+        epochs: 10,
+        seed: 11,
+        ..TrainOptions::quick_test()
+    };
+    let frozen = TrainOptions {
+        frozen_vertices: Vec::new(),
+        freeze_epoch: 3,
+        ..vanilla.clone()
+    };
+    let a = train_gcn(&graph, &labels, &vanilla);
+    let b = train_gcn(&graph, &labels, &frozen);
+    assert_eq!(a, b, "empty frozen set perturbed training");
+}
+
+/// A seeded nonzero campaign completes, replays bit-identically, and
+/// mitigation strictly stretches the makespan past fault-free.
+#[test]
+fn nonzero_campaign_replays_and_degrades_gracefully() {
+    let config = CampaignConfig {
+        fault_rates: vec![0.0, 0.25],
+        train_vertices: 120,
+        epochs: 8,
+        ..CampaignConfig::default()
+    };
+    let a = run(Dataset::Ddi, &config);
+    let b = run(Dataset::Ddi, &config);
+    assert_eq!(a, b, "seeded campaign failed to replay bit-identically");
+    let faulted = &a.rows[MitigationPolicy::ALL.len()..];
+    assert!(faulted.iter().all(|r| r.fault_rate == 0.25));
+    assert!(
+        faulted.iter().any(|r| r.injected > 0),
+        "rate 0.25 must inject"
+    );
+    let remap = faulted.iter().find(|r| r.policy == "remap").unwrap();
+    assert!(
+        remap.makespan_ns > a.clean_makespan_ns,
+        "remap mitigation must cost simulated time ({} vs {})",
+        remap.makespan_ns,
+        a.clean_makespan_ns
+    );
+    assert!(remap.energy_nj > a.clean_energy_nj);
+    assert_eq!(remap.dropped_rows, 0, "spares must absorb every death");
+}
+
+/// Golden snapshot of the quick campaign's degradation table —
+/// regenerate intentionally with `GOPIM_GOLDEN=update cargo test -q`
+/// and review the diff like any other source change.
+#[test]
+fn golden_faults_campaign_table() {
+    use gopim::experiments::faults::degradation_table;
+    let report = run(Dataset::Ddi, &CampaignConfig::quick_test());
+    gopim_testkit::golden::check("faults_campaign", &degradation_table(&report));
+}
+
+/// The raw session layer is thread-invariant too: the same plan
+/// replayed through two sessions gives bitwise-equal write latencies
+/// regardless of pool shape (sessions are single-threaded state, so
+/// this locks the API against accidental global-RNG reliance).
+#[test]
+fn session_replay_is_bitwise_stable() {
+    let wl = workload();
+    let replicas = vec![2; wl.stages().len()];
+    let groups: Vec<usize> = wl.stages().iter().map(|_| 16).collect();
+    let plan = FaultPlan::generate(
+        FaultConfig {
+            seed: 23,
+            stuck_rate: 0.4,
+            transient_rate: 0.1,
+            horizon_ns: 1e7,
+        },
+        &groups,
+    );
+    let mut cfg = SessionConfig::new(MitigationPolicy::Remap);
+    cfg.spare_groups = 4;
+    let run_once = || {
+        let mut session = FaultSession::new(plan.clone(), cfg, &groups);
+        let result =
+            simulate_des_faulty(&wl, &replicas, ReplicaModel::DiscreteServers, &mut session);
+        (result, *session.stats())
+    };
+    let (ra, sa) = run_once();
+    let (rb, sb) = gopim_par::Pool::new(1).install(run_once);
+    assert_eq!(ra.makespan_ns.to_bits(), rb.makespan_ns.to_bits());
+    assert_eq!(ra.completions_ns, rb.completions_ns);
+    assert_eq!(sa, sb);
+}
