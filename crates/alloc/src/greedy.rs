@@ -95,26 +95,22 @@ pub fn greedy_allocate(input: &AllocInput) -> AllocPlan {
 
         match (best_single, best_set) {
             (None, None) => break,
-            (single, set) => {
-                let set_better = match (single, set) {
-                    (Some((gs, _)), Some((gg, _))) => gg > gs,
-                    (None, Some(_)) => true,
-                    _ => false,
-                };
-                if set_better {
-                    let members: Vec<usize> = set.unwrap().1.to_vec();
-                    for i in members {
-                        budget -= input.crossbars_per_replica[i];
-                        replicas[i] += 1;
-                        times[i] = input.stage_time(i, replicas[i]);
-                    }
-                } else {
-                    let i = single.unwrap().1;
+            (single, Some((gg, members))) if single.is_none_or(|(gs, _)| gg > gs) => {
+                let members: Vec<usize> = members.to_vec();
+                for i in members {
                     budget -= input.crossbars_per_replica[i];
                     replicas[i] += 1;
                     times[i] = input.stage_time(i, replicas[i]);
                 }
             }
+            (Some((_, i)), _) => {
+                budget -= input.crossbars_per_replica[i];
+                replicas[i] += 1;
+                times[i] = input.stage_time(i, replicas[i]);
+            }
+            // A set candidate always wins over an absent single one, so
+            // this arm only exists for match exhaustiveness.
+            (None, Some(_)) => break,
         }
     }
     AllocPlan { replicas }

@@ -33,7 +33,7 @@ pub fn reference_allocate(input: &AllocInput) -> AllocPlan {
             }
         }
     }
-    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    candidates.sort_by(f64::total_cmp);
     candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
     let mut best: Option<(f64, Vec<usize>)> = None;

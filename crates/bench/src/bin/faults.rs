@@ -10,7 +10,8 @@
 //!
 //! - `<dataset>` — positional dataset name (default ddi);
 //! - `--json <path>` — append one JSON line per table row;
-//! - `--validate <path>` — parse a previously emitted JSON-lines file,
+//! - `--validate <path>` — parse a previously emitted JSON file —
+//!   campaign JSON-lines or a `GOPIM_LINT_JSON` linter report —
 //!   check its schema, and exit (no simulation).
 //!
 //! The fault knobs come from the same environment variables as
@@ -42,11 +43,18 @@ fn json_line(report: &CampaignReport, row_index: usize) -> String {
     )
 }
 
-/// Validates a JSON-lines campaign file with the in-repo parser:
+/// Validates an emitted JSON file with the in-repo parser. Two shapes
+/// are accepted: a `GOPIM_LINT_JSON` linter report (one document with
+/// a `findings` array) and the campaign's own JSON-lines output, where
 /// every line must be an object with a string `id` and the numeric
-/// degradation fields.
-fn validate(path: &str) -> Result<usize, String> {
+/// degradation fields. Returns the record count and a label for it.
+fn validate(path: &str) -> Result<(usize, &'static str), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    if let Ok(doc) = gopim_obs::export::parse_json(&text) {
+        if doc.get("findings").is_some() {
+            return validate_lint_report(path, &doc).map(|n| (n, "lint findings"));
+        }
+    }
     let mut checked = 0;
     for (n, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -78,7 +86,46 @@ fn validate(path: &str) -> Result<usize, String> {
     if checked == 0 {
         return Err(format!("'{path}' holds no campaign records"));
     }
-    Ok(checked)
+    Ok((checked, "campaign records"))
+}
+
+/// Schema check for a `gopim lint` JSON report: numeric summary
+/// fields, a non-empty `rules` array, and `file`/`line`/`rule`/
+/// `message` on every finding.
+fn validate_lint_report(path: &str, doc: &gopim_obs::export::Json) -> Result<usize, String> {
+    for key in [
+        "version",
+        "files_scanned",
+        "suppressed",
+        "baseline_excused",
+        "new_findings",
+    ] {
+        doc.get(key)
+            .and_then(|v| v.as_num())
+            .ok_or_else(|| format!("'{path}': missing numeric '{key}'"))?;
+    }
+    let rules = doc
+        .get("rules")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| format!("'{path}': missing 'rules' array"))?;
+    if rules.is_empty() {
+        return Err(format!("'{path}': empty 'rules' array"));
+    }
+    let findings = doc
+        .get("findings")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| format!("'{path}': 'findings' is not an array"))?;
+    for (i, f) in findings.iter().enumerate() {
+        for key in ["file", "rule", "message"] {
+            f.get(key)
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("'{path}': finding {i}: missing string '{key}'"))?;
+        }
+        f.get("line")
+            .and_then(|v| v.as_num())
+            .ok_or_else(|| format!("'{path}': finding {i}: missing numeric 'line'"))?;
+    }
+    Ok(findings.len())
 }
 
 fn main() {
@@ -94,8 +141,8 @@ fn main() {
             "--validate" => {
                 let path = rest.next().expect("--validate expects a path");
                 match validate(path) {
-                    Ok(n) => {
-                        println!("{path}: {n} campaign records ok");
+                    Ok((n, kind)) => {
+                        println!("{path}: {n} {kind} ok");
                         return;
                     }
                     Err(msg) => {

@@ -85,8 +85,11 @@ impl BenchArgs {
 
 /// Prints the standard experiment banner.
 pub fn banner(id: &str, description: &str) {
+    // lint:allow(no-print-in-lib): banner helper that experiment binaries call to open their stdout report
     println!("== GoPIM reproduction :: {id} ==");
+    // lint:allow(no-print-in-lib): same banner helper, description line
     println!("{description}");
+    // lint:allow(no-print-in-lib): same banner helper, trailing blank line
     println!();
 }
 

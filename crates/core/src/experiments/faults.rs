@@ -301,6 +301,7 @@ pub fn run(dataset: Dataset, config: &CampaignConfig) -> CampaignReport {
     let accuracy_of = |k: usize| -> f64 {
         let idx = frozen_sizes
             .binary_search(&k)
+            // lint:allow(no-panic-in-lib): frozen_sizes is the sorted dedup of exactly the k values queried below
             .expect("every frozen size was trained");
         accuracies[idx]
     };

@@ -57,6 +57,7 @@ pub fn run(config: &RunConfig, datasets: &[Dataset]) -> Vec<ComparisonRow> {
 pub fn cell<'a>(rows: &'a [ComparisonRow], dataset: &str, system: &str) -> &'a ComparisonRow {
     rows.iter()
         .find(|r| r.dataset == dataset && r.system == system)
+        // lint:allow(no-panic-in-lib): documented panicking lookup for experiment tables (see # Panics above)
         .unwrap_or_else(|| panic!("no row for ({dataset}, {system})"))
 }
 

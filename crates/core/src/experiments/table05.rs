@@ -74,6 +74,7 @@ pub fn run_multi_seed(
         .map(|(&dataset, cells)| {
             let vanillas: Vec<f64> = cells.iter().map(|c| c.0).collect();
             let gopims: Vec<f64> = cells.iter().map(|c| c.1).collect();
+            // lint:allow(no-panic-in-lib): seeds is a non-empty compile-time constant, so every chunk is non-empty
             let theta = cells.last().expect("at least one seed").2;
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
             let deltas: Vec<f64> = gopims

@@ -32,6 +32,9 @@ COMMANDS:
     faults <dataset> [B]          fault-injection degradation campaign
                                   (env: GOPIM_FAULT_SEED, GOPIM_FAULT_RATES,
                                    GOPIM_FAULT_SPARES)
+    lint [--update-baseline]      determinism & hermeticity linter
+                                  (ratchets against lint-baseline.json;
+                                   GOPIM_LINT_JSON=<path> writes a JSON report)
     help                          show this message
 
 DATASETS:  ddi collab ppa proteins arxiv products Cora
@@ -189,6 +192,34 @@ fn cmd_faults(dataset: Dataset, micro_batch: usize) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lint(update_baseline: bool) -> Result<(), String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+    let root = gopim_lint::find_workspace_root(&cwd)?;
+    let outcome = gopim_lint::lint_workspace(&root)?;
+    if let Ok(json_path) = std::env::var(gopim_lint::JSON_ENV) {
+        if !json_path.is_empty() {
+            std::fs::write(&json_path, outcome.render_json())
+                .map_err(|e| format!("write {json_path}: {e}"))?;
+            eprintln!("lint: JSON report written to {json_path}");
+        }
+    }
+    print!("{}", outcome.render_human());
+    if update_baseline {
+        let pairs = gopim_lint::update_baseline(&root, &outcome)?;
+        println!(
+            "lint: baseline rewritten with {pairs} grandfathered (file, rule) pair(s) at {}",
+            root.join(gopim_lint::BASELINE_FILE).display()
+        );
+        return Ok(());
+    }
+    if !outcome.clean() {
+        // A distinct exit path from usage errors: findings beyond the
+        // baseline fail the run without reprinting the help text.
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
 fn cmd_custom(path: &str, micro_batch: usize) -> Result<(), String> {
     use gopim::runner::run_system_custom;
     use gopim_graph::datasets::ModelConfig;
@@ -305,6 +336,14 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "faults" => {
             let dataset = parse_dataset(args.get(1).ok_or("faults needs a dataset")?)?;
             cmd_faults(dataset, micro_batch_at(2)?)
+        }
+        "lint" => {
+            let update = match args.get(1).map(String::as_str) {
+                None => false,
+                Some("--update-baseline") => true,
+                Some(other) => return Err(format!("lint: unknown argument '{other}'")),
+            };
+            cmd_lint(update)
         }
         other => Err(format!("unknown command '{other}'")),
     }

@@ -207,7 +207,7 @@ pub fn train_link_predictor(split: &EdgeSplit, options: &LinkTrainOptions) -> Li
         let nv = eval_rng.gen_range(0..n);
         neg_scores.push(dot(h.row(nu), h.row(nv)));
     }
-    neg_scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    neg_scores.sort_by(|a, b| b.total_cmp(a));
     let threshold = neg_scores.get(19).copied().unwrap_or(f64::NEG_INFINITY);
     let hits = split
         .test_pos

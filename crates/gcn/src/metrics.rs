@@ -33,9 +33,8 @@ impl ConfusionMatrix {
             let predicted = row
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(j, _)| j)
-                .unwrap();
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map_or(0, |(j, _)| j);
             counts[actual][predicted] += 1;
         }
         ConfusionMatrix { counts }

@@ -253,6 +253,7 @@ impl ForwardCaches {
     /// The network output (final-layer activations; the GCN output
     /// layer is linear).
     pub fn output(&self) -> &Matrix {
+        // lint:allow(no-panic-in-lib): ForwardCaches is only built by forward passes over models with >= 1 layer
         self.pre_acts.last().expect("at least one layer")
     }
 }

@@ -199,6 +199,7 @@ pub fn train_gcn(graph: &CsrGraph, labels: &[u32], options: &TrainOptions) -> Tr
         } else {
             snapshots.push_back(model.clone());
             if snapshots.len() > options.weight_staleness {
+                // lint:allow(no-panic-in-lib): guarded by the len() > weight_staleness check above
                 let stale = snapshots.pop_front().expect("non-empty queue");
                 let caches = stale.forward_with_caches(graph, &norm, &x, cache.as_mut(), epoch);
                 let (loss, delta) = masked_ce(caches.output(), labels, &train_mask);

@@ -164,7 +164,7 @@ impl CsrGraph {
         if self.offsets.is_empty() || self.offsets[0] != 0 {
             return Err("offsets must start at 0".into());
         }
-        if *self.offsets.last().unwrap() != self.neighbors.len() {
+        if self.offsets.last().copied() != Some(self.neighbors.len()) {
             return Err("last offset must equal neighbor count".into());
         }
         if self.offsets.windows(2).any(|w| w[0] > w[1]) {

@@ -107,8 +107,8 @@ impl DegreeProfile {
                 std_dev: 0.0,
             };
         }
-        let min = *self.degrees.iter().min().unwrap();
-        let max = *self.degrees.iter().max().unwrap();
+        let min = self.degrees.iter().min().copied().unwrap_or(0);
+        let max = self.degrees.iter().max().copied().unwrap_or(0);
         let mean = self.avg_degree();
         let var = self
             .degrees

@@ -287,7 +287,7 @@ pub fn degree_weighted_sample(graph: &CsrGraph, keep_n: usize, seed: u64) -> Csr
             (rng.gen::<f64>().powf(1.0 / w), v)
         })
         .collect();
-    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut keep: Vec<u32> = keyed[..keep_n].iter().map(|&(_, v)| v).collect();
     keep.shuffle(&mut rng);
     graph.induced_subgraph(&keep)

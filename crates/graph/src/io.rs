@@ -6,7 +6,7 @@
 //! compacts them and `num_vertices` becomes `max id + 1` after
 //! compaction.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
 use crate::csr::CsrGraph;
@@ -35,7 +35,7 @@ impl std::error::Error for ParseEdgeListError {}
 /// Returns [`ParseEdgeListError`] on malformed lines; I/O errors are
 /// folded into the same type with the failing line number.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, ParseEdgeListError> {
-    let mut ids: HashMap<u64, u32> = HashMap::new();
+    let mut ids: BTreeMap<u64, u32> = BTreeMap::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line_no = idx + 1;

@@ -73,9 +73,8 @@ pub fn accuracy(logits: &Matrix, labels: &[u32]) -> f64 {
         let argmax = row
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(j, _)| j)
-            .unwrap();
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(j, _)| j);
         if argmax == label as usize {
             correct += 1;
         }

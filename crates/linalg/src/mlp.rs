@@ -132,6 +132,7 @@ impl Mlp {
     ///
     /// Panics if `x.cols()` does not match the input layer width.
     pub fn predict(&self, x: &Matrix) -> Matrix {
+        // lint:allow(no-panic-in-lib): MlpConfig construction rejects empty layer lists, so forward() output is non-empty
         self.forward(x).1.pop().expect("at least one layer")
     }
 
@@ -217,6 +218,7 @@ impl Mlp {
         assert!(batch_size > 0, "batch size must be positive");
         assert_eq!(
             y.cols(),
+            // lint:allow(no-panic-in-lib): layer_sizes is validated non-empty when the config is built
             *self.config.layer_sizes.last().unwrap(),
             "output width mismatch"
         );

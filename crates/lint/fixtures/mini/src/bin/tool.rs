@@ -1,0 +1,7 @@
+//! Fixture binary: printing and unwrapping are fine in a bin target,
+//! but spawning subprocesses still is not.
+
+fn main() {
+    let out = std::process::Command::new("echo").output().unwrap();
+    println!("{}", out.status);
+}

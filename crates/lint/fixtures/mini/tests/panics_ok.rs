@@ -1,0 +1,9 @@
+//! Fixture test target: panicking is the harness idiom here, so the
+//! lines below must produce no findings.
+
+#[test]
+fn panics_are_fine_in_tests() {
+    let v: Option<u32> = Some(3);
+    assert_eq!(v.unwrap(), 3);
+    println!("tests may print too");
+}

@@ -1,0 +1,232 @@
+//! The ratcheting baseline: grandfathered findings, counts only ever
+//! going down.
+//!
+//! `lint-baseline.json` at the workspace root records, per
+//! `(file, rule)` pair, how many findings existed when the pair was
+//! grandfathered. A lint run fails only on findings *beyond* the
+//! baseline — a brand-new pair, or a count above the recorded one.
+//! Counts below the recorded value pass but are reported as stale so
+//! the ratchet can be tightened with `gopim lint --update-baseline`
+//! (which rewrites the file from the current findings and therefore
+//! can only shrink pairs that improved).
+
+use std::collections::BTreeMap;
+
+use gopim_obs::export::{parse_json, Json};
+
+use crate::rules::Finding;
+
+/// Per-`(file, rule)` finding counts.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Aggregates findings into baseline-comparable counts.
+pub fn count_findings(findings: &[Finding]) -> Counts {
+    let mut counts = Counts::new();
+    for f in findings {
+        *counts.entry((f.file.clone(), f.rule.clone())).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Grandfathered counts.
+    pub counts: Counts,
+}
+
+/// Result of ratcheting actual counts against the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Ratchet {
+    /// `(file, rule, actual, allowed)` pairs over budget — these fail
+    /// the run.
+    pub new: Vec<(String, String, usize, usize)>,
+    /// `(file, rule, actual, allowed)` pairs under budget — the
+    /// baseline can be tightened.
+    pub stale: Vec<(String, String, usize, usize)>,
+    /// How many findings the baseline excused.
+    pub excused: usize,
+}
+
+impl Baseline {
+    /// Parses the baseline document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or a wrong schema.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = parse_json(text).map_err(|e| format!("baseline: {e}"))?;
+        let version = doc
+            .get("version")
+            .and_then(Json::as_num)
+            .ok_or("baseline: missing numeric 'version'")?;
+        if version != 1.0 {
+            return Err(format!("baseline: unsupported version {version}"));
+        }
+        let entries = doc
+            .get("findings")
+            .and_then(Json::as_arr)
+            .ok_or("baseline: missing 'findings' array")?;
+        let mut counts = Counts::new();
+        for (i, entry) in entries.iter().enumerate() {
+            let field = |key: &str| {
+                entry
+                    .get(key)
+                    .ok_or_else(|| format!("baseline: entry {i}: missing '{key}'"))
+            };
+            let file = field("file")?
+                .as_str()
+                .ok_or_else(|| format!("baseline: entry {i}: 'file' must be a string"))?;
+            let rule = field("rule")?
+                .as_str()
+                .ok_or_else(|| format!("baseline: entry {i}: 'rule' must be a string"))?;
+            let count = field("count")?
+                .as_num()
+                .filter(|n| *n >= 1.0 && n.fract() == 0.0)
+                .ok_or_else(|| {
+                    format!("baseline: entry {i}: 'count' must be a positive integer")
+                })?;
+            counts.insert((file.to_string(), rule.to_string()), count as usize);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Serializes counts as a baseline document (sorted, stable).
+    pub fn render(counts: &Counts) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        let mut first = true;
+        for ((file, rule), count) in counts {
+            if *count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"rule\": \"{}\", \"count\": {count}}}",
+                crate::report::escape_json(file),
+                crate::report::escape_json(rule),
+            ));
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Ratchets `actual` against this baseline.
+    pub fn ratchet(&self, actual: &Counts) -> Ratchet {
+        let mut result = Ratchet::default();
+        for ((file, rule), &count) in actual {
+            let allowed = self
+                .counts
+                .get(&(file.clone(), rule.clone()))
+                .copied()
+                .unwrap_or(0);
+            if count > allowed {
+                result
+                    .new
+                    .push((file.clone(), rule.clone(), count, allowed));
+                result.excused += allowed;
+            } else {
+                result.excused += count;
+                if count < allowed {
+                    result
+                        .stale
+                        .push((file.clone(), rule.clone(), count, allowed));
+                }
+            }
+        }
+        for ((file, rule), &allowed) in &self.counts {
+            if !actual.contains_key(&(file.clone(), rule.clone())) {
+                result.stale.push((file.clone(), rule.clone(), 0, allowed));
+            }
+        }
+        result.stale.sort();
+        result.new.sort();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 1,
+            rule: rule.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let findings = vec![
+            finding("b.rs", "no-panic-in-lib"),
+            finding("a.rs", "no-panic-in-lib"),
+            finding("a.rs", "no-panic-in-lib"),
+            finding("a.rs", "no-print-in-lib"),
+        ];
+        let counts = count_findings(&findings);
+        let text = Baseline::render(&counts);
+        let back = Baseline::parse(&text).unwrap();
+        assert_eq!(back.counts, counts);
+        assert_eq!(
+            back.counts[&("a.rs".to_string(), "no-panic-in-lib".to_string())],
+            2
+        );
+    }
+
+    #[test]
+    fn empty_baseline_renders_and_parses() {
+        let text = Baseline::render(&Counts::new());
+        let back = Baseline::parse(&text).unwrap();
+        assert!(back.counts.is_empty());
+    }
+
+    #[test]
+    fn ratchet_flags_new_pairs_and_growth() {
+        let baseline = Baseline::parse(
+            "{\"version\": 1, \"findings\": [\
+             {\"file\": \"a.rs\", \"rule\": \"r\", \"count\": 2}]}",
+        )
+        .unwrap();
+        // Growth beyond the grandfathered count fails.
+        let grown = count_findings(&[
+            finding("a.rs", "r"),
+            finding("a.rs", "r"),
+            finding("a.rs", "r"),
+        ]);
+        let out = baseline.ratchet(&grown);
+        assert_eq!(out.new, vec![("a.rs".into(), "r".into(), 3, 2)]);
+        // A brand-new pair fails.
+        let fresh = count_findings(&[finding("b.rs", "r")]);
+        assert_eq!(baseline.ratchet(&fresh).new.len(), 1);
+        // At or under budget passes; under budget is stale.
+        let shrunk = count_findings(&[finding("a.rs", "r")]);
+        let out = baseline.ratchet(&shrunk);
+        assert!(out.new.is_empty());
+        assert_eq!(out.stale, vec![("a.rs".into(), "r".into(), 1, 2)]);
+        assert_eq!(out.excused, 1);
+        // Fully fixed pairs surface as stale with zero actual.
+        let clean = Counts::new();
+        let out = baseline.ratchet(&clean);
+        assert!(out.new.is_empty());
+        assert_eq!(out.stale, vec![("a.rs".into(), "r".into(), 0, 2)]);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"version\": 2, \"findings\": []}").is_err());
+        assert!(Baseline::parse("{\"version\": 1}").is_err());
+        assert!(Baseline::parse(
+            "{\"version\": 1, \"findings\": [{\"file\": \"a\", \"rule\": \"r\", \"count\": 0}]}"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! `Cargo.toml` hermeticity checks for the `no-external-deps` rule.
+//!
+//! The repo's contract (PR 1) is that every dependency resolves
+//! inside the workspace: `foo.workspace = true` or an explicit
+//! `path = "…"`. Anything that could reach crates.io, git or another
+//! registry — bare version strings, `version = …` tables without a
+//! `path`, `git = …` — is a finding against the manifest file.
+//!
+//! The scanner is line-oriented: it only needs to recognize section
+//! headers and key/value shapes, not full TOML. Comments after `#`
+//! are stripped outside of strings.
+
+use crate::rules::{Finding, NO_EXTERNAL_DEPS};
+
+/// Whether a `[section]` name declares dependencies.
+fn is_dep_section(name: &str) -> bool {
+    name == "dependencies"
+        || name == "dev-dependencies"
+        || name == "build-dependencies"
+        || name == "workspace.dependencies"
+        || name.ends_with(".dependencies")
+        || name.ends_with(".dev-dependencies")
+        || name.ends_with(".build-dependencies")
+}
+
+/// Strips a trailing `# comment` (quote-aware).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// A dependency declared as its own `[dependencies.foo]` table,
+/// waiting for a `path`/`workspace` key before the section ends.
+struct PendingTable {
+    name: String,
+    line: usize,
+    hermetic: bool,
+}
+
+/// Scans one manifest. `path` is the workspace-relative path used in
+/// findings.
+pub fn check_manifest(path: &str, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut section = String::new();
+    let mut pending: Option<PendingTable> = None;
+    let flush = |p: &mut Option<PendingTable>, findings: &mut Vec<Finding>| {
+        if let Some(t) = p.take() {
+            if !t.hermetic {
+                findings.push(external_dep(path, t.line, &t.name));
+            }
+        }
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(&mut pending, &mut findings);
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            // `[dependencies.foo]`-style table: hermeticity judged by
+            // the keys that follow.
+            for deps in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+                if let Some(name) = section
+                    .strip_prefix(deps)
+                    .or_else(|| section.rsplit_once(deps).map(|(_, n)| n))
+                {
+                    if !name.is_empty() && !name.contains('.') {
+                        pending = Some(PendingTable {
+                            name: name.to_string(),
+                            line: line_no,
+                            hermetic: false,
+                        });
+                    }
+                }
+            }
+            continue;
+        }
+        if let Some(t) = &mut pending {
+            if line.starts_with("path") || line.starts_with("workspace") {
+                t.hermetic = true;
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        // `foo.workspace = true` and `foo.path = "…"` key shapes.
+        if key.ends_with(".workspace") || key.ends_with(".path") {
+            continue;
+        }
+        if value.contains("workspace = true") || value.contains("path =") {
+            continue;
+        }
+        let name = key.trim_matches('"');
+        findings.push(external_dep(path, line_no, name));
+    }
+    flush(&mut pending, &mut findings);
+    findings
+}
+
+fn external_dep(path: &str, line: usize, name: &str) -> Finding {
+    Finding {
+        file: path.to_string(),
+        line,
+        rule: NO_EXTERNAL_DEPS.to_string(),
+        message: format!(
+            "dependency `{name}` does not resolve inside the workspace — \
+             declare it with `workspace = true` or a `path`"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_and_path_deps_pass() {
+        let text = "\
+[package]\nname = \"x\"\n\n[dependencies]\n\
+gopim-rng.workspace = true\n\
+gopim-obs = { workspace = true }\n\
+local = { path = \"../local\" }\n\n\
+[dev-dependencies]\ngopim-testkit.workspace = true\n";
+        assert!(check_manifest("crates/x/Cargo.toml", text).is_empty());
+    }
+
+    #[test]
+    fn version_and_git_deps_fail() {
+        let text = "\
+[dependencies]\n\
+rand = \"0.8\"\n\
+serde = { version = \"1\", features = [\"derive\"] }\n\
+weird = { git = \"https://example.com/weird\" }\n";
+        let hits = check_manifest("crates/x/Cargo.toml", text);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|f| f.rule == "no-external-deps"));
+        assert!(hits[0].message.contains("`rand`"));
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn dep_tables_need_a_path_or_workspace_key() {
+        let bad = "[dependencies.rand]\nversion = \"0.8\"\n";
+        assert_eq!(check_manifest("Cargo.toml", bad).len(), 1);
+        let good = "[dependencies.local]\npath = \"../local\"\n";
+        assert!(check_manifest("Cargo.toml", good).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependency_catalog_is_checked() {
+        let text =
+            "[workspace.dependencies]\ngopim-rng = { path = \"crates/rng\" }\nrand = \"0.8\"\n";
+        let hits = check_manifest("Cargo.toml", text);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("`rand`"));
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let text = "[package]\nversion = \"0.1.0\"\n[profile.release]\ndebug = true\n\
+                    [features]\nfma = []\n";
+        assert!(check_manifest("Cargo.toml", text).is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_confuse_the_scanner() {
+        let text = "[dependencies] # all hermetic\ngopim-rng.workspace = true # in-repo\n";
+        assert!(check_manifest("Cargo.toml", text).is_empty());
+    }
+}

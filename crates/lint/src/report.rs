@@ -1,0 +1,227 @@
+//! Human-readable and JSON renderings of a lint run.
+
+use std::collections::BTreeMap;
+
+use crate::baseline::Ratchet;
+use crate::rules::{Finding, RULES};
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Everything a lint run produced, ready to render.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Unsuppressed findings, sorted by `(file, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Ratchet result against the baseline.
+    pub ratchet: Ratchet,
+    /// Findings silenced by well-formed inline suppressions.
+    pub suppressed: usize,
+    /// Source files scanned (`.rs` plus manifests).
+    pub files_scanned: usize,
+}
+
+impl Outcome {
+    /// Whether the run passes: nothing beyond the baseline.
+    pub fn clean(&self) -> bool {
+        self.ratchet.new.is_empty()
+    }
+
+    /// The findings that exceed the baseline budget, in report order.
+    /// Returns every finding of any `(file, rule)` pair that is over
+    /// budget (the individual occurrences are indistinguishable).
+    pub fn new_findings(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| {
+                self.ratchet
+                    .new
+                    .iter()
+                    .any(|(file, rule, _, _)| *file == f.file && *rule == f.rule)
+            })
+            .collect()
+    }
+
+    /// The human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let excused = !self
+                .ratchet
+                .new
+                .iter()
+                .any(|(file, rule, _, _)| *file == f.file && *rule == f.rule);
+            let marker = if excused { " (baseline)" } else { "" };
+            out.push_str(&format!(
+                "{}:{}: [{}]{marker} {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in &self.findings {
+            *per_rule.entry(f.rule.as_str()).or_insert(0) += 1;
+        }
+        if !per_rule.is_empty() {
+            out.push('\n');
+            for rule in RULES {
+                if let Some(n) = per_rule.get(rule.name) {
+                    out.push_str(&format!("  {:>4}  {}\n", n, rule.name));
+                }
+            }
+            for (rule, n) in &per_rule {
+                if crate::rules::rule_named(rule).is_none() {
+                    out.push_str(&format!("  {n:>4}  {rule}\n"));
+                }
+            }
+        }
+        let status = if self.findings.is_empty() {
+            "workspace clean".to_string()
+        } else if self.clean() {
+            format!(
+                "{} finding(s), all excused by the baseline",
+                self.findings.len()
+            )
+        } else {
+            format!(
+                "{} finding(s), {} beyond the baseline — FAIL",
+                self.findings.len(),
+                self.new_findings().len()
+            )
+        };
+        out.push_str(&format!(
+            "\ngopim-lint: {status} ({} files scanned, {} suppressed inline)\n",
+            self.files_scanned, self.suppressed
+        ));
+        if !self.ratchet.stale.is_empty() {
+            out.push_str(&format!(
+                "gopim-lint: {} baseline entr{} can be tightened — run `gopim lint --update-baseline`\n",
+                self.ratchet.stale.len(),
+                if self.ratchet.stale.len() == 1 { "y" } else { "ies" },
+            ));
+        }
+        out
+    }
+
+    /// The machine-readable report (`GOPIM_LINT_JSON`), a single JSON
+    /// document parseable by `gopim_obs::export::parse_json`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str(&format!(
+            "  \"baseline_excused\": {},\n",
+            self.ratchet.excused
+        ));
+        out.push_str(&format!(
+            "  \"new_findings\": {},\n",
+            self.new_findings().len()
+        ));
+        out.push_str("  \"rules\": [");
+        for (i, rule) in RULES.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", escape_json(rule.name)));
+        }
+        out.push_str("],\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                escape_json(&f.file),
+                f.line,
+                escape_json(&f.rule),
+                escape_json(&f.message),
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> Outcome {
+        let findings = vec![
+            Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                rule: "no-panic-in-lib".into(),
+                message: "`.unwrap()` — library code returns typed errors".into(),
+            },
+            Finding {
+                file: "crates/y/src/lib.rs".into(),
+                line: 9,
+                rule: "no-print-in-lib".into(),
+                message: "`println!` — stdout belongs to binaries".into(),
+            },
+        ];
+        let baseline = crate::baseline::Baseline::parse(
+            "{\"version\": 1, \"findings\": [\
+             {\"file\": \"crates/x/src/lib.rs\", \"rule\": \"no-panic-in-lib\", \"count\": 1}]}",
+        )
+        .unwrap();
+        let ratchet = baseline.ratchet(&crate::baseline::count_findings(&findings));
+        Outcome {
+            findings,
+            ratchet,
+            suppressed: 1,
+            files_scanned: 42,
+        }
+    }
+
+    #[test]
+    fn human_report_marks_excused_findings_and_fails_on_new() {
+        let out = outcome();
+        assert!(!out.clean());
+        let text = out.render_human();
+        assert!(text.contains("crates/x/src/lib.rs:3: [no-panic-in-lib] (baseline)"));
+        assert!(text.contains("crates/y/src/lib.rs:9: [no-print-in-lib] `println!`"));
+        assert!(text.contains("1 beyond the baseline — FAIL"));
+        assert!(text.contains("42 files scanned, 1 suppressed inline"));
+    }
+
+    #[test]
+    fn json_report_parses_with_the_obs_parser() {
+        let out = outcome();
+        let doc = gopim_obs::export::parse_json(&out.render_json()).unwrap();
+        assert_eq!(doc.get("version").unwrap().as_num(), Some(1.0));
+        assert_eq!(doc.get("files_scanned").unwrap().as_num(), Some(42.0));
+        assert_eq!(doc.get("new_findings").unwrap().as_num(), Some(1.0));
+        let findings = doc.get("findings").unwrap().as_arr().unwrap();
+        assert_eq!(findings.len(), 2);
+        assert_eq!(
+            findings[0].get("rule").unwrap().as_str(),
+            Some("no-panic-in-lib")
+        );
+        assert_eq!(findings[0].get("line").unwrap().as_num(), Some(3.0));
+    }
+
+    #[test]
+    fn clean_outcome_reports_clean() {
+        let out = Outcome {
+            files_scanned: 10,
+            ..Outcome::default()
+        };
+        assert!(out.clean());
+        assert!(out.render_human().contains("workspace clean"));
+    }
+}

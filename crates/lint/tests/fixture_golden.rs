@@ -1,0 +1,13 @@
+//! Golden snapshot of the linter's human-readable report over the
+//! fixture mini-crate at `fixtures/mini` (refresh with
+//! `GOPIM_GOLDEN=update cargo test -q -p gopim-lint`).
+
+use gopim_testkit::{golden, workspace_root};
+
+#[test]
+fn fixture_report_matches_golden_snapshot() {
+    let root = workspace_root().join("crates/lint/fixtures/mini");
+    let outcome = gopim_lint::lint_workspace(&root).expect("fixture lints");
+    assert!(!outcome.clean(), "the fixture must have findings");
+    golden::check("lint_fixture_report", &outcome.render_human());
+}

@@ -1,0 +1,106 @@
+//! Property tests for the linter's lexer: lexing arbitrary generated
+//! token soup — including unterminated and degenerate fragments —
+//! never panics, and the produced spans exactly tile the input, so
+//! concatenating every token's text round-trips the source.
+
+use gopim_lint::lexer::lex;
+use gopim_testkit::prop::{check_with, Config};
+
+/// Fragments mixing well-formed tokens with degenerate tails that a
+/// hostile source file could end on.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "ident_1",
+    "r#match",
+    "'a",
+    "'a,",
+    "'\\n'",
+    "'x'",
+    "b'x'",
+    "\"str \\\" esc\"",
+    "r\"raw\"",
+    "r#\"raw \" inside\"#",
+    "r##\"# nested \"# hashes\"##",
+    "b\"bytes\"",
+    "br#\"raw bytes\"#",
+    "/* block /* nested */ still */",
+    "// line comment",
+    "/// doc",
+    "0x1fE",
+    "0b10_01",
+    "1_000.5e-3",
+    "123u64",
+    "1.",
+    "0.5f32",
+    "::",
+    "->",
+    "=>",
+    "..=",
+    "#[attr(foo = \"bar\")]",
+    "#![inner]",
+    "{",
+    "}",
+    "(",
+    ")",
+    ";",
+    " ",
+    "\n",
+    "\t",
+    "\r\n",
+    // Degenerate / unterminated pieces.
+    "\"unterminated",
+    "r#\"open",
+    "/* open /* deeper",
+    "'",
+    "r#",
+    "#\"",
+    "b",
+    "br",
+    "\\",
+    "\u{1F600}",
+    "日本語",
+    "\u{0}",
+];
+
+fn assert_tiles(src: &str) {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    let mut rebuilt = String::new();
+    for t in &tokens {
+        assert_eq!(t.start, pos, "token gap/overlap at byte {pos} in {src:?}");
+        assert!(t.end > t.start, "empty token at byte {pos} in {src:?}");
+        rebuilt.push_str(t.text(src));
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "tokens must cover all of {src:?}");
+    assert_eq!(rebuilt, src, "token texts must round-trip the source");
+}
+
+#[test]
+fn lexing_token_soup_never_panics_and_tiles_spans() {
+    check_with(
+        "lexing_token_soup_never_panics_and_tiles_spans",
+        Config::cases(200),
+        |d| {
+            let parts = d.vec("parts", 0usize..40, |d| d.pick("frag", FRAGMENTS));
+            let src: String = parts.concat();
+            assert_tiles(&src);
+        },
+    );
+}
+
+#[test]
+fn lexing_arbitrary_char_salad_never_panics_and_tiles_spans() {
+    check_with(
+        "lexing_arbitrary_char_salad_never_panics_and_tiles_spans",
+        Config::cases(200),
+        |d| {
+            let chars = d.vec("chars", 0usize..120, |d| {
+                let c = d.draw("c", 0u32..0x2_0000);
+                char::from_u32(c).unwrap_or('\u{FFFD}')
+            });
+            let src: String = chars.into_iter().collect();
+            assert_tiles(&src);
+        },
+    );
+}

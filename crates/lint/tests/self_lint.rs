@@ -1,0 +1,15 @@
+//! Self-lint smoke: the linter holds its own workspace — including
+//! this crate — to the contracts it enforces. The tree must be clean
+//! modulo the committed `lint-baseline.json` ratchet.
+
+use gopim_testkit::workspace_root;
+
+#[test]
+fn workspace_is_clean_modulo_committed_baseline() {
+    let outcome = gopim_lint::lint_workspace(&workspace_root()).expect("workspace lints");
+    assert!(
+        outcome.clean(),
+        "lint findings beyond the committed baseline:\n{}",
+        outcome.render_human()
+    );
+}

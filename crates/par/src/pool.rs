@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+// lint:allow(no-nondeterministic-time): pool busy/idle telemetry below is metrics-gated wall-clock only
 use std::time::Instant;
 
 use gopim_obs::metrics::{LazyCounter, LazyGauge};
@@ -177,6 +178,7 @@ fn worker(shared: Arc<Shared>) {
     loop {
         // Clock reads happen only when metrics collection is on; the
         // default path stays free of Instant syscalls.
+        // lint:allow(no-nondeterministic-time): metrics-gated wall-clock telemetry, never feeds simulation state
         let idle_from = gopim_obs::metrics_enabled().then(Instant::now);
         let job = {
             let mut queue = shared.queue.lock().unwrap();
@@ -195,6 +197,7 @@ fn worker(shared: Arc<Shared>) {
         }
         match job {
             Some(job) => {
+                // lint:allow(no-nondeterministic-time): metrics-gated wall-clock telemetry, never feeds simulation state
                 let busy_from = gopim_obs::metrics_enabled().then(Instant::now);
                 job();
                 if let Some(t) = busy_from {

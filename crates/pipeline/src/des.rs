@@ -110,6 +110,7 @@ pub fn simulate_des(workload: &GcnWorkload, replicas: &[usize], model: ReplicaMo
             let w_end = d_start + overhead + w;
             w_chan[i] = w_end;
             // Earliest-free server.
+            // lint:allow(no-panic-in-lib): pool holds replicas[i] >= 1 servers and every pop is paired with a push below
             let free = servers[i].pop().expect("non-empty pool").0;
             let c_start = w_end.max(free);
             let c_end = c_start + service;
@@ -182,6 +183,7 @@ pub fn simulate_des_faulty(
             let w = session.write(i, j, d_start, workload.write_ns(i, j));
             let w_end = d_start + overhead + w;
             w_chan[i] = w_end;
+            // lint:allow(no-panic-in-lib): pool holds replicas[i] >= 1 servers and every pop is paired with a push below
             let free = servers[i].pop().expect("non-empty pool").0;
             let c_start = w_end.max(free);
             let c_end = c_start + service;

@@ -67,7 +67,7 @@ pub fn render_gantt(workload: &GcnWorkload, events: &[TraceEvent], width: usize)
     let mut out = String::new();
     for (i, lane) in lanes.iter().enumerate() {
         out.push_str(&format!("{:>4} |", stages[i].name()));
-        out.push_str(std::str::from_utf8(lane).expect("ascii lane"));
+        out.push_str(&String::from_utf8_lossy(lane));
         out.push_str("|\n");
     }
     out

@@ -154,8 +154,8 @@ impl GcnWorkload {
         // pacing quantity is the *maximum* rows landing on one group.
         let mut pacing_rows = vec![0.0f64; n_mb];
         {
-            let mut per_group: std::collections::HashMap<u32, f64> =
-                std::collections::HashMap::new();
+            let mut per_group: std::collections::BTreeMap<u32, f64> =
+                std::collections::BTreeMap::new();
             for (j, rows) in pacing_rows.iter_mut().enumerate() {
                 per_group.clear();
                 let start = j * b;

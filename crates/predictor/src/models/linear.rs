@@ -13,8 +13,8 @@ fn solve(mut a: Matrix, mut b: Vec<f64>) -> Vec<f64> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[(i, col)].abs().partial_cmp(&a[(j, col)].abs()).unwrap())
-            .unwrap();
+            .max_by(|&i, &j| a[(i, col)].abs().total_cmp(&a[(j, col)].abs()))
+            .unwrap_or(col);
         if pivot != col {
             for j in 0..n {
                 let tmp = a[(col, j)];

@@ -52,7 +52,7 @@ impl DecisionTree {
         let mut best: Option<(f64, usize, f64)> = None; // (sse, feature, threshold)
         for f in 0..x.cols() {
             let mut order: Vec<usize> = idx.to_vec();
-            order.sort_by(|&a, &b| x[(a, f)].partial_cmp(&x[(b, f)]).unwrap());
+            order.sort_by(|&a, &b| x[(a, f)].total_cmp(&x[(b, f)]));
             let mut left_sum = 0.0;
             let mut left_sq = 0.0;
             for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
@@ -126,6 +126,7 @@ impl Regressor for DecisionTree {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
+        // lint:allow(no-panic-in-lib): documented API contract — predict() requires a prior fit()
         let root = self.root.as_ref().expect("fit before predict");
         (0..x.rows()).map(|i| Self::eval(root, x.row(i))).collect()
     }

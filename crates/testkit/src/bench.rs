@@ -172,15 +172,16 @@ impl Runner {
                     .collect()
             })
             .unwrap_or_default();
-        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        per_iter_ns.sort_by(f64::total_cmp);
         let median_ns = median_sorted(&per_iter_ns);
         let mut deviations: Vec<f64> = per_iter_ns.iter().map(|v| (v - median_ns).abs()).collect();
-        deviations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        deviations.sort_by(f64::total_cmp);
         let summary = Summary {
             id: format!("{}/{}", self.group, name),
             median_ns,
             mad_ns: median_sorted(&deviations),
             min_ns: per_iter_ns[0],
+            // lint:allow(no-panic-in-lib): samples >= 1, so the sorted per-iteration vector is non-empty
             max_ns: *per_iter_ns.last().unwrap(),
             samples: self.samples,
             iters_per_sample,
@@ -195,6 +196,7 @@ impl Runner {
             summary.iters_per_sample
         );
         self.results.push(summary);
+        // lint:allow(no-panic-in-lib): the summary was pushed on the line above
         self.results.last().unwrap()
     }
 
@@ -208,11 +210,14 @@ impl Runner {
                     .create(true)
                     .append(true)
                     .open(&path)
+                    // lint:allow(no-panic-in-lib): bench harness aborts loudly on an unusable GOPIM_BENCH_JSON path
                     .unwrap_or_else(|e| panic!("GOPIM_BENCH_JSON={path}: {e}"));
                 file.write_all(lines.as_bytes())
+                    // lint:allow(no-panic-in-lib): bench harness aborts loudly on an unusable GOPIM_BENCH_JSON path
                     .unwrap_or_else(|e| panic!("GOPIM_BENCH_JSON={path}: {e}"));
                 eprintln!("  (JSON appended to {path})");
             }
+            // lint:allow(no-print-in-lib): JSON records go to stdout when no GOPIM_BENCH_JSON sink is set
             _ => print!("{lines}"),
         }
         self.results

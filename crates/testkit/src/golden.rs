@@ -62,20 +62,24 @@ pub fn check(name: &str, content: &str) {
 pub fn check_with_tolerance(name: &str, content: &str, rel_tol: f64) {
     let path = snapshot_path(name);
     if update_mode() {
+        // lint:allow(no-panic-in-lib): snapshot update mode aborts loudly on an unwritable golden dir
         fs::create_dir_all(golden_dir()).expect("create tests/golden");
         let mut normalized = content.trim_end().to_string();
         normalized.push('\n');
+        // lint:allow(no-panic-in-lib): snapshot update mode aborts loudly on an unwritable snapshot path
         fs::write(&path, normalized).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
         eprintln!("golden '{name}': snapshot updated at {path:?}");
         return;
     }
     let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        // lint:allow(no-panic-in-lib): panicking is how the golden harness reports a missing snapshot to the test runner
         panic!(
             "golden '{name}': no snapshot at {path:?}\n  \
              generate it with: GOPIM_GOLDEN=update cargo test -q"
         )
     });
     if let Err(msg) = diff(&expected, content, rel_tol) {
+        // lint:allow(no-panic-in-lib): panicking is how the golden harness reports a mismatch to the test runner
         panic!(
             "golden '{name}' mismatch against {path:?}\n  {msg}\n  \
              if the change is intentional: GOPIM_GOLDEN=update cargo test -q, \

@@ -44,6 +44,7 @@ pub fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(|p| p.parent())
+        // lint:allow(no-panic-in-lib): CARGO_MANIFEST_DIR is a compile-time constant two levels below the root
         .expect("crates/testkit sits two levels below the workspace root")
         .to_path_buf()
 }

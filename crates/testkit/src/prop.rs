@@ -71,6 +71,7 @@ fn env_seed() -> u64 {
             } else {
                 s.parse()
             };
+            // lint:allow(no-panic-in-lib): property harness aborts loudly on a malformed replay seed
             parsed.unwrap_or_else(|_| panic!("GOPIM_PT_SEED must be a u64, got {s:?}"))
         }
         Err(_) => DEFAULT_SEED,
@@ -82,6 +83,7 @@ fn env_cases(default: usize) -> usize {
         Ok(s) => s
             .trim()
             .parse()
+            // lint:allow(no-panic-in-lib): property harness aborts loudly on a malformed case count
             .unwrap_or_else(|_| panic!("GOPIM_PT_CASES must be a usize, got {s:?}", s = s)),
         Err(_) => default,
     }
@@ -339,6 +341,7 @@ pub fn check_with(name: &str, config: Config, prop: impl Fn(&mut Draw)) {
         for (key, value) in &log {
             lines.push_str(&format!("    {key} = {value}\n"));
         }
+        // lint:allow(no-panic-in-lib): panicking is how the property harness reports a counterexample to the test runner
         panic!(
             "property '{name}' failed at case {case}/{cases}\n  \
              minimal counterexample:\n{lines}  assertion: {msg}\n  \

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Determinism & hermeticity linter: tokenizes every workspace source
+# and enforces the repo contracts (no wall clock in simulation code,
+# no unordered hash iteration, no external dependencies, no panics or
+# prints in library crates), ratcheting against lint-baseline.json —
+# any finding beyond the committed baseline fails the run.
+#
+# The JSON report written via GOPIM_LINT_JSON is schema-checked with
+# the same in-repo parser that validates the campaign/bench output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LINT_DIR=$(mktemp -d)
+trap 'rm -rf "$LINT_DIR"' EXIT
+
+GOPIM_LINT_JSON="$LINT_DIR/lint.json" \
+    cargo run --release --offline -p gopim --bin gopim -- lint
+cargo run --release --offline -p gopim-bench --bin faults -- \
+    --validate "$LINT_DIR/lint.json"

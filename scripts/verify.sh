@@ -14,6 +14,12 @@ cargo fmt --all -- --check
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace
 
+echo "== gopim lint (serial + default legs) =="
+# The linter report must not depend on the pool size: run the ratchet
+# check under both thread settings the test suite uses.
+GOPIM_THREADS=1 scripts/lint.sh
+scripts/lint.sh
+
 echo "== cargo test --offline, GOPIM_THREADS=1 (serial reference) =="
 GOPIM_THREADS=1 cargo test -q --offline --workspace
 

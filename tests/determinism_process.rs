@@ -1,0 +1,102 @@
+//! Regression test for the `HashMap` → `BTreeMap` determinism fix:
+//! the id compaction in `gopim_graph::io::read_edge_list` and the
+//! per-group pacing in `gopim_pipeline::workload` must produce
+//! bit-identical outputs in two *separate OS processes*. `HashMap`'s
+//! `RandomState` draws fresh entropy per instance, so any unordered
+//! iteration on these paths shows up here as a digest mismatch even
+//! when a single-process rerun happens to agree.
+
+use gopim_graph::datasets::ModelConfig;
+use gopim_graph::io::read_edge_list;
+use gopim_pipeline::{GcnWorkload, WorkloadOptions};
+
+const CHILD_ENV: &str = "GOPIM_DET_DIGEST_OUT";
+const TEST_NAME: &str = "io_and_workload_outputs_are_bit_identical_across_processes";
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Parses a fixed synthetic edge list with sparse shuffled u64 ids
+/// (exercising the id-compaction map), builds the pacing workload on
+/// top of it, and folds every structural field and f64 bit pattern
+/// into one hex digest.
+fn digest() -> String {
+    let mut text = String::new();
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    let mut prev: Option<u64> = None;
+    for _ in 0..600 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let id = x >> 24;
+        if let Some(p) = prev {
+            if p != id {
+                text.push_str(&format!("{p} {id}\n"));
+            }
+        }
+        prev = Some(id);
+    }
+    let graph = read_edge_list(text.as_bytes()).expect("generated edge list is well-formed");
+
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv(&mut h, &(graph.num_vertices() as u64).to_le_bytes());
+    fnv(&mut h, &(graph.num_edges() as u64).to_le_bytes());
+    for v in 0..graph.num_vertices() {
+        for &n in graph.neighbors(v) {
+            fnv(&mut h, &n.to_le_bytes());
+        }
+    }
+
+    let model = ModelConfig {
+        num_layers: 2,
+        learning_rate: 0.01,
+        dropout: 0.0,
+        input_channels: 32,
+        hidden_channels: 64,
+        output_channels: 16,
+    };
+    let options = WorkloadOptions {
+        micro_batch: 32,
+        ..WorkloadOptions::default()
+    };
+    let wl = GcnWorkload::build_custom("determinism", &graph.to_degree_profile(), &model, &options);
+    for (i, stage) in wl.stages().iter().enumerate() {
+        fnv(&mut h, &stage.compute_ns.to_bits().to_le_bytes());
+        for j in 0..wl.num_microbatches() {
+            fnv(&mut h, &wl.write_ns(i, j).to_bits().to_le_bytes());
+        }
+    }
+    format!("{h:016x}")
+}
+
+#[test]
+fn io_and_workload_outputs_are_bit_identical_across_processes() {
+    let mine = digest();
+    if let Ok(path) = std::env::var(CHILD_ENV) {
+        // Child mode: report the digest and stop before re-spawning.
+        std::fs::write(path, &mine).expect("write child digest");
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let pid = std::process::id();
+    for run in 0..2 {
+        let out = std::env::temp_dir().join(format!("gopim_det_{pid}_{run}.txt"));
+        let status = std::process::Command::new(&exe)
+            .arg("--exact")
+            .arg(TEST_NAME)
+            .env(CHILD_ENV, &out)
+            .status()
+            .expect("spawn child test process");
+        assert!(status.success(), "child process run {run} failed");
+        let theirs = std::fs::read_to_string(&out).expect("read child digest");
+        let _ = std::fs::remove_file(&out);
+        assert_eq!(
+            theirs, mine,
+            "graph::io / pipeline::workload digest differs across processes (run {run})"
+        );
+    }
+}
