@@ -1,7 +1,9 @@
-//! Microbenchmarks for workload construction and schedule simulation —
-//! the inner loop of every experiment in the harness.
+//! Microbenchmarks for workload construction, schedule simulation and
+//! the discrete-event engine — the inner loop of every experiment in
+//! the harness.
 
 use gopim_graph::datasets::Dataset;
+use gopim_pipeline::des::{simulate_des, ReplicaModel};
 use gopim_pipeline::{simulate, GcnWorkload, PipelineOptions, WorkloadOptions};
 use gopim_testkit::bench::Runner;
 
@@ -18,5 +20,39 @@ fn main() {
             simulate(&wl, &replicas, &PipelineOptions::default())
         });
     }
+    // The DES event loop proper: small micro-batches make many events,
+    // large replica pools make each event-queue operation expensive —
+    // the configuration where the queue implementation dominates.
+    for (dataset, micro_batch) in [(Dataset::Ddi, 16), (Dataset::Collab, 32)] {
+        let name = dataset.name();
+        let wl = GcnWorkload::build(
+            dataset,
+            &WorkloadOptions {
+                micro_batch,
+                ..WorkloadOptions::default()
+            },
+        );
+        for r in [8usize, 256] {
+            let replicas = vec![r; wl.stages().len()];
+            runner.bench(&format!("simulate_des/{name}-b{micro_batch}-R{r}"), || {
+                simulate_des(&wl, &replicas, ReplicaModel::DiscreteServers)
+            });
+        }
+    }
+    // A fig04-style DES sweep: every motivation dataset through the
+    // event engine back to back (the shape of the experiment bins).
+    let sweep: Vec<GcnWorkload> = Dataset::MOTIVATION
+        .iter()
+        .map(|&d| GcnWorkload::build(d, &WorkloadOptions::default()))
+        .collect();
+    runner.bench("des_sweep/motivation-R64", || {
+        sweep
+            .iter()
+            .map(|wl| {
+                let replicas = vec![64; wl.stages().len()];
+                simulate_des(wl, &replicas, ReplicaModel::DiscreteServers).makespan_ns
+            })
+            .sum::<f64>()
+    });
     runner.finish();
 }

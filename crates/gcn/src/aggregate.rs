@@ -24,6 +24,32 @@ pub trait Propagation {
     fn propagate_transpose(&self, graph: &CsrGraph, x: &Matrix) -> Matrix {
         self.propagate(graph, x)
     }
+
+    /// Computes `P · X` into `out`, overwriting its contents — the
+    /// allocation-free form used by the arena-backed training path.
+    /// The default copies [`Propagation::propagate`]'s result; the
+    /// in-repo operators override it to write `out` directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out`'s shape differs from the result's.
+    fn propagate_into(&self, graph: &CsrGraph, x: &Matrix, out: &mut Matrix) {
+        let r = self.propagate(graph, x);
+        assert_eq!(out.shape(), r.shape(), "propagate output shape mismatch");
+        out.as_mut_slice().copy_from_slice(r.as_slice());
+    }
+
+    /// Computes `Pᵀ · X` into `out`, overwriting its contents (see
+    /// [`Propagation::propagate_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out`'s shape differs from the result's.
+    fn propagate_transpose_into(&self, graph: &CsrGraph, x: &Matrix, out: &mut Matrix) {
+        let r = self.propagate_transpose(graph, x);
+        assert_eq!(out.shape(), r.shape(), "propagate output shape mismatch");
+        out.as_mut_slice().copy_from_slice(r.as_slice());
+    }
 }
 
 /// Precomputed normalization coefficients for a graph.
@@ -48,41 +74,58 @@ impl NormalizedAdjacency {
     ///
     /// Panics if `x.rows() != graph.num_vertices()`.
     pub fn apply(&self, graph: &CsrGraph, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(graph.num_vertices(), x.cols());
+        self.apply_into(graph, x, &mut out);
+        out
+    }
+
+    /// [`NormalizedAdjacency::apply`] written into `out`, overwriting
+    /// its contents (the allocation-free form for arena buffers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != graph.num_vertices()` or `out`'s shape
+    /// differs from `x`'s.
+    pub fn apply_into(&self, graph: &CsrGraph, x: &Matrix, out: &mut Matrix) {
         let n = graph.num_vertices();
         assert_eq!(x.rows(), n, "one feature row per vertex");
+        assert_eq!(out.shape(), x.shape(), "propagate output shape mismatch");
         let d = x.cols();
         let _span = gopim_obs::span!("gcn.aggregate.normalized", n, d);
         AGG_CALLS.add(1);
         AGG_EDGES.add(graph.num_edges() as u64);
-        let mut out = Matrix::zeros(n, d);
+        out.as_mut_slice().fill(0.0);
         if n == 0 || d == 0 {
-            return out;
+            return;
         }
         // Row-partitioned CSR gather: output row v reads only `x` and
         // the graph, so contiguous row blocks are independent tasks.
         // Per-row accumulation order (self-loop, then neighbors in
         // CSR order) is fixed, so the bits match the serial loop at
-        // every thread count.
+        // every thread count; the whole per-vertex gather goes through
+        // `gopim_linalg::simd::gather_row`, whose SIMD and scalar
+        // paths are bit-identical.
         let block_rows = n.div_ceil(gopim_par::num_threads() * 4).clamp(1, n);
+        let xs = x.as_slice();
         gopim_par::par_chunks_mut(out.as_mut_slice(), block_rows * d, |block, chunk| {
             let v0 = block * block_rows;
             for (dv, out_row) in chunk.chunks_mut(d).enumerate() {
                 let v = v0 + dv;
                 let sv = self.inv_sqrt_deg[v];
-                // Self-loop contribution.
-                for (o, &xv) in out_row.iter_mut().zip(x.row(v)) {
-                    *o += sv * sv * xv;
-                }
-                for &u in graph.neighbors(v) {
-                    let su = self.inv_sqrt_deg[u as usize];
-                    let coeff = sv * su;
-                    for (o, &xv) in out_row.iter_mut().zip(x.row(u as usize)) {
-                        *o += coeff * xv;
-                    }
-                }
+                gopim_linalg::simd::gather_row(
+                    out_row,
+                    xs,
+                    d,
+                    v,
+                    sv * sv,
+                    graph.neighbors(v),
+                    gopim_linalg::simd::NeighborCoeffs::Scaled {
+                        scale: sv,
+                        table: &self.inv_sqrt_deg,
+                    },
+                );
             }
         });
-        out
     }
 }
 
@@ -90,7 +133,15 @@ impl Propagation for NormalizedAdjacency {
     fn propagate(&self, graph: &CsrGraph, x: &Matrix) -> Matrix {
         self.apply(graph, x)
     }
-    // Symmetric: the default transpose is correct.
+
+    fn propagate_into(&self, graph: &CsrGraph, x: &Matrix, out: &mut Matrix) {
+        self.apply_into(graph, x, out);
+    }
+
+    // Symmetric: the transpose is the same operator.
+    fn propagate_transpose_into(&self, graph: &CsrGraph, x: &Matrix, out: &mut Matrix) {
+        self.apply_into(graph, x, out);
+    }
 }
 
 /// GraphSAGE-style mean aggregation `M = D⁻¹(A + I)`: each vertex's
@@ -109,49 +160,61 @@ impl MeanAggregator {
 
 impl Propagation for MeanAggregator {
     fn propagate(&self, graph: &CsrGraph, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(graph.num_vertices(), x.cols());
+        self.propagate_into(graph, x, &mut out);
+        out
+    }
+
+    fn propagate_into(&self, graph: &CsrGraph, x: &Matrix, out: &mut Matrix) {
         let n = graph.num_vertices();
         assert_eq!(x.rows(), n, "one feature row per vertex");
+        assert_eq!(out.shape(), x.shape(), "propagate output shape mismatch");
         let d = x.cols();
         let _span = gopim_obs::span!("gcn.aggregate.mean", n, d);
         AGG_CALLS.add(1);
         AGG_EDGES.add(graph.num_edges() as u64);
-        let mut out = Matrix::zeros(n, d);
+        out.as_mut_slice().fill(0.0);
         if n == 0 || d == 0 {
-            return out;
+            return;
         }
         // Same row-partitioned gather as `NormalizedAdjacency::apply`.
         let block_rows = n.div_ceil(gopim_par::num_threads() * 4).clamp(1, n);
+        let xs = x.as_slice();
         gopim_par::par_chunks_mut(out.as_mut_slice(), block_rows * d, |block, chunk| {
             let v0 = block * block_rows;
             for (dv, row) in chunk.chunks_mut(d).enumerate() {
                 let v = v0 + dv;
                 let inv = 1.0 / (1.0 + graph.degree(v) as f64);
-                for (o, &xv) in row.iter_mut().zip(x.row(v)) {
-                    *o += inv * xv;
-                }
-                for &u in graph.neighbors(v) {
-                    for (o, &xv) in row.iter_mut().zip(x.row(u as usize)) {
-                        *o += inv * xv;
-                    }
-                }
+                gopim_linalg::simd::gather_row(
+                    row,
+                    xs,
+                    d,
+                    v,
+                    inv,
+                    graph.neighbors(v),
+                    gopim_linalg::simd::NeighborCoeffs::Uniform(inv),
+                );
             }
         });
-        out
     }
 
     fn propagate_transpose(&self, graph: &CsrGraph, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(graph.num_vertices(), x.cols());
+        self.propagate_transpose_into(graph, x, &mut out);
+        out
+    }
+
+    fn propagate_transpose_into(&self, graph: &CsrGraph, x: &Matrix, out: &mut Matrix) {
         // Mᵀ · X: scale each source row by its 1/(1+deg), then scatter
         // along edges (plus the self loop).
         let n = graph.num_vertices();
         assert_eq!(x.rows(), n, "one feature row per vertex");
-        let mut out = Matrix::zeros(n, x.cols());
+        assert_eq!(out.shape(), x.shape(), "propagate output shape mismatch");
+        out.as_mut_slice().fill(0.0);
         for v in 0..n {
             let inv = 1.0 / (1.0 + graph.degree(v) as f64);
             // Self contribution.
-            let row = out.row_mut(v);
-            for (o, &xv) in row.iter_mut().zip(x.row(v)) {
-                *o += inv * xv;
-            }
+            gopim_linalg::simd::axpy(out.row_mut(v), x.row(v), inv);
         }
         // Scatter along edges: out[u] accumulates contributions from
         // every v with u ∈ N(v), so rows of `out` are written from
@@ -161,14 +224,9 @@ impl Propagation for MeanAggregator {
             for &u in graph.neighbors(v) {
                 // Column v of M has entries inv at rows v and its
                 // neighbors ⇒ scatter x[v]·inv_v into out[u].
-                let xv = x.row(v);
-                let row = out.row_mut(u as usize);
-                for (o, &val) in row.iter_mut().zip(xv) {
-                    *o += inv * val;
-                }
+                gopim_linalg::simd::axpy(out.row_mut(u as usize), x.row(v), inv);
             }
         }
-        out
     }
 }
 

@@ -1,11 +1,14 @@
 //! The GCN model (the paper's Eqs. 1–2) with full-batch
 //! backpropagation.
 
+use std::cell::RefCell;
+
 use gopim_graph::CsrGraph;
-use gopim_linalg::activation::{relu, relu_grad};
+use gopim_linalg::activation::{relu, relu_into};
+use gopim_linalg::arena::BufferArena;
 use gopim_linalg::init::xavier_uniform;
 use gopim_linalg::loss::softmax_cross_entropy;
-use gopim_linalg::ops::hadamard;
+use gopim_linalg::ops::hadamard_relu_grad_in_place;
 use gopim_linalg::optimizer::Adam;
 use gopim_linalg::Matrix;
 
@@ -15,10 +18,19 @@ use crate::selective::StaleFeatureCache;
 /// A multi-layer GCN: layer `l` computes
 /// `X^{l+1} = σ(Â · (X^l · W^l))` — Combination (`X·W`) then
 /// Aggregation (`Â·C`), with ReLU on every layer but the last.
+///
+/// Per-epoch temporaries (layer inputs, combination outputs,
+/// aggregation outputs, backward deltas and transposes) come from an
+/// internal [`BufferArena`]; after [`GcnModel::recycle_caches`] (which
+/// [`GcnModel::train_epoch`] calls automatically) the steady-state
+/// epoch loop performs no heap allocation for them. Arena buffers are
+/// zero-filled on allocation, so the training trajectories stay
+/// bit-identical to the allocating implementation.
 #[derive(Debug, Clone)]
 pub struct GcnModel {
     weights: Vec<Matrix>,
     optimizers: Vec<Adam>,
+    scratch: RefCell<BufferArena>,
 }
 
 impl GcnModel {
@@ -40,6 +52,7 @@ impl GcnModel {
         GcnModel {
             weights,
             optimizers,
+            scratch: RefCell::new(BufferArena::new()),
         }
     }
 
@@ -85,23 +98,46 @@ impl GcnModel {
         assert_eq!(x.rows(), n, "one feature row per vertex");
         let num_layers = self.num_layers();
         let last = num_layers - 1;
+        let mut arena = self.scratch.borrow_mut();
         let mut inputs: Vec<Matrix> = Vec::with_capacity(num_layers);
         let mut stale_masks: Vec<Vec<bool>> = Vec::with_capacity(num_layers);
         let mut pre_acts: Vec<Matrix> = Vec::with_capacity(num_layers);
-        let mut h = x.clone();
+        let mut h = {
+            let mut first = arena.alloc(x.rows(), x.cols());
+            first.as_mut_slice().copy_from_slice(x.as_slice());
+            first
+        };
         for l in 0..num_layers {
-            inputs.push(h.clone());
-            let combined = h.matmul(&self.weights[l]);
-            let (observed, stale) = match cache.as_deref_mut() {
-                Some(c) => c.observe(l, epoch, &combined),
-                None => (combined, vec![false; n]),
+            inputs.push(h);
+            let input = &inputs[l];
+            let w = &self.weights[l];
+            let mut combined = arena.alloc(n, w.cols());
+            input.matmul_into(w, &mut combined);
+            // With an ISU cache, `observe` substitutes stale rows into
+            // a fresh matrix and `combined` goes back to the arena;
+            // without one, `combined` is observed as-is.
+            let (observed, stale, spent) = match cache.as_deref_mut() {
+                Some(c) => {
+                    let (o, s) = c.observe(l, epoch, &combined);
+                    (o, s, Some(combined))
+                }
+                None => (combined, vec![false; n], None),
             };
-            let aggregated = prop.propagate(graph, &observed);
+            let mut aggregated = arena.alloc(n, observed.cols());
+            prop.propagate_into(graph, &observed, &mut aggregated);
+            arena.recycle(observed);
+            if let Some(m) = spent {
+                arena.recycle(m);
+            }
             stale_masks.push(stale);
             h = if l == last {
-                aggregated.clone()
+                // The output layer is linear; `aggregated` below is
+                // the network output and `h` is never read again.
+                Matrix::zeros(0, 0)
             } else {
-                relu(&aggregated)
+                let mut act = arena.alloc(n, aggregated.cols());
+                relu_into(&aggregated, &mut act);
+                act
             };
             pre_acts.push(aggregated);
         }
@@ -109,6 +145,18 @@ impl GcnModel {
             inputs,
             pre_acts,
             stale_masks,
+        }
+    }
+
+    /// Returns the per-epoch temporaries held by `caches` to the
+    /// model's internal arena so the next epoch reuses their storage.
+    /// Optional — dropping the caches is always correct, it just
+    /// re-allocates next epoch. [`GcnModel::train_epoch`] calls this
+    /// itself.
+    pub fn recycle_caches(&self, caches: ForwardCaches) {
+        let mut arena = self.scratch.borrow_mut();
+        for m in caches.inputs.into_iter().chain(caches.pre_acts) {
+            arena.recycle(m);
         }
     }
 
@@ -137,13 +185,16 @@ impl GcnModel {
         // δ_pre = δ ⊙ σ'; δ_combined = Pᵀ δ_pre (P = Â is symmetric,
         // the mean aggregator is not); stale rows are constants so
         // their combined-gradient is zeroed; ∇W = Xᵀ δ_combined;
-        // δ_prev = δ_combined Wᵀ.
+        // δ_prev = δ_combined Wᵀ. All `N × d` temporaries come from
+        // the arena; only the weight-shaped gradients escape.
+        let mut arena = self.scratch.borrow_mut();
         let mut grads = vec![Matrix::zeros(0, 0); num_layers];
         for l in (0..num_layers).rev() {
             if l != last {
-                delta = hadamard(&delta, &relu_grad(&caches.pre_acts[l]));
+                hadamard_relu_grad_in_place(&mut delta, &caches.pre_acts[l]);
             }
-            let mut d_combined = prop.propagate_transpose(graph, &delta);
+            let mut d_combined = arena.alloc(delta.rows(), delta.cols());
+            prop.propagate_transpose_into(graph, &delta, &mut d_combined);
             for (v, &is_stale) in caches.stale_masks[l].iter().enumerate() {
                 if is_stale {
                     for g in d_combined.row_mut(v) {
@@ -151,11 +202,20 @@ impl GcnModel {
                     }
                 }
             }
-            grads[l] = caches.inputs[l].transpose().matmul(&d_combined);
+            let input = &caches.inputs[l];
+            let mut input_t = arena.alloc(input.cols(), input.rows());
+            input.transpose_into(&mut input_t);
+            grads[l] = input_t.matmul(&d_combined);
+            arena.recycle(input_t);
             if l > 0 {
-                delta = d_combined.matmul(&self.weights[l].transpose());
+                let w_t = self.weights[l].transpose();
+                let mut next = arena.alloc(d_combined.rows(), w_t.cols());
+                d_combined.matmul_into(&w_t, &mut next);
+                arena.recycle(std::mem::replace(&mut delta, next));
             }
+            arena.recycle(d_combined);
         }
+        arena.recycle(delta);
         grads
     }
 
@@ -236,6 +296,7 @@ impl GcnModel {
             delta.row_mut(v).copy_from_slice(tr_grad.row(i));
         }
         self.backward(graph, prop, &caches, delta);
+        self.recycle_caches(caches);
         loss
     }
 }

@@ -11,6 +11,19 @@ pub fn relu(x: &Matrix) -> Matrix {
     x.map(|v| v.max(0.0))
 }
 
+/// Element-wise ReLU written into `out` (the allocation-free form of
+/// [`relu`] for arena-backed buffers; bit-identical to it).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn relu_into(x: &Matrix, out: &mut Matrix) {
+    assert_eq!(x.shape(), out.shape(), "shape mismatch in relu_into");
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o = v.max(0.0);
+    }
+}
+
 /// Element-wise ReLU derivative evaluated at the *pre-activation* `x`
 /// (1 where `x > 0`, else 0).
 pub fn relu_grad(x: &Matrix) -> Matrix {

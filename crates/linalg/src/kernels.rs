@@ -24,6 +24,14 @@
 //! lowers to a libm call that measures ~5× slower than `mul + add`,
 //! so the plain form is used instead — which also keeps this kernel
 //! bit-identical to the pre-parallel serial implementation there.
+//!
+//! The wide kernel's row updates go through [`crate::simd`], which
+//! dispatches to AVX2/NEON when available and falls back to the same
+//! scalar loop otherwise; every path produces identical bits (lane
+//! `j` is exactly scalar element `j`, and the per-element reduction
+//! order over `k` never changes). The narrow dot kernel stays scalar:
+//! its single running accumulator would have to be split across lanes
+//! to vectorize, which reorders the reduction and changes the bits.
 
 /// Column threshold at or below which the transposed-RHS dot kernel
 /// is used.
@@ -53,6 +61,11 @@ const JB: usize = 256;
 /// `b` is `kd × n` row-major, `out` is `rows × n` (overwritten).
 pub(crate) fn axpy_block(a: &[f64], b: &[f64], out: &mut [f64], kd: usize, n: usize) {
     out.fill(0.0);
+    if kd == 0 || n == 0 {
+        // Degenerate product: the zero fill is the whole answer, and
+        // the chunked loops below cannot take a zero chunk size.
+        return;
+    }
     for (a_chunk, out_chunk) in a.chunks(MR * kd).zip(out.chunks_mut(MR * n)) {
         if out_chunk.len() == MR * n {
             let (a0, rest) = a_chunk.split_at(kd);
@@ -66,15 +79,16 @@ pub(crate) fn axpy_block(a: &[f64], b: &[f64], out: &mut [f64], kd: usize, n: us
                 let j1 = (j0 + JB).min(n);
                 for k in 0..kd {
                     let b_row = &b[k * n + j0..k * n + j1];
-                    let (x0, x1, x2, x3) = (a0[k], a1[k], a2[k], a3[k]);
-                    let (t0, t1) = (&mut o0[j0..j1], &mut o1[j0..j1]);
-                    let (t2, t3) = (&mut o2[j0..j1], &mut o3[j0..j1]);
-                    for (jj, &bv) in b_row.iter().enumerate() {
-                        t0[jj] = mac(t0[jj], x0, bv);
-                        t1[jj] = mac(t1[jj], x1, bv);
-                        t2[jj] = mac(t2[jj], x2, bv);
-                        t3[jj] = mac(t3[jj], x3, bv);
-                    }
+                    crate::simd::axpy4(
+                        [
+                            &mut o0[j0..j1],
+                            &mut o1[j0..j1],
+                            &mut o2[j0..j1],
+                            &mut o3[j0..j1],
+                        ],
+                        b_row,
+                        [a0[k], a1[k], a2[k], a3[k]],
+                    );
                 }
                 j0 = j1;
             }
@@ -83,10 +97,7 @@ pub(crate) fn axpy_block(a: &[f64], b: &[f64], out: &mut [f64], kd: usize, n: us
             for (a_row, out_row) in a_chunk.chunks(kd).zip(out_chunk.chunks_mut(n)) {
                 for k in 0..kd {
                     let b_row = &b[k * n..(k + 1) * n];
-                    let x = a_row[k];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o = mac(*o, x, bv);
-                    }
+                    crate::simd::axpy(out_row, b_row, a_row[k]);
                 }
             }
         }
@@ -97,6 +108,12 @@ pub(crate) fn axpy_block(a: &[f64], b: &[f64], out: &mut [f64], kd: usize, n: us
 /// pre-transposed RHS: `a` is `rows × kd`, `b_t` is `n × kd` (the
 /// transpose of the `kd × n` RHS), `out` is `rows × n` (overwritten).
 pub(crate) fn dot_block(a: &[f64], b_t: &[f64], out: &mut [f64], kd: usize, n: usize) {
+    if kd == 0 || n == 0 {
+        // Degenerate product: every dot is an empty sum, and the
+        // chunked loops below cannot take a zero chunk size.
+        out.fill(0.0);
+        return;
+    }
     for (a_row, out_row) in a.chunks_exact(kd).zip(out.chunks_exact_mut(n)) {
         for (o, bt_row) in out_row.iter_mut().zip(b_t.chunks_exact(kd)) {
             let mut acc = 0.0;
@@ -145,26 +162,80 @@ mod tests {
             (9, 16, 4),
             (4, 300, 301),
         ] {
-            let a: Vec<f64> = (0..m * kd).map(|i| ((i as f64) * 0.7).sin()).collect();
-            let b: Vec<f64> = (0..kd * n).map(|i| ((i as f64) * 0.3).cos()).collect();
-            let expect = reference(&a, &b, m, kd, n);
-            let mut out = vec![f64::NAN; m * n];
-            axpy_block(&a, &b, &mut out, kd, n);
+            check_against_reference(m, kd, n);
+        }
+    }
+
+    #[test]
+    fn edge_shapes_agree_with_the_reference_bitwise() {
+        // Degenerate and tail-heavy shapes: empty operands, a single
+        // element, widths around the 4-lane SIMD boundary (tails of
+        // 1–3), and row counts around the MR=4 register block.
+        for &(m, kd, n) in &[
+            (0usize, 3usize, 4usize),
+            (3, 0, 4),
+            (3, 4, 0),
+            (0, 0, 0),
+            (1, 1, 1),
+            (4, 1, 1),
+            (1, 4, 9),
+            (3, 5, 1),
+            (5, 5, 2),
+            (6, 7, 3),
+            (7, 2, 5),
+            (8, 3, 6),
+            (4, 16, 258),
+            (11, 9, 13),
+        ] {
+            check_against_reference(m, kd, n);
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_paths_are_bit_identical() {
+        // Toggle the runtime dispatch and pin the two paths against
+        // each other on shapes with ragged rows and lane tails.
+        let was = crate::simd::simd_enabled();
+        for &(m, kd, n) in &[(7usize, 13usize, 11usize), (4, 31, 258), (2, 5, 9)] {
+            let a: Vec<f64> = (0..m * kd).map(|i| ((i as f64) * 0.61).sin()).collect();
+            let b: Vec<f64> = (0..kd * n).map(|i| ((i as f64) * 0.23).cos()).collect();
+            let mut with_simd = vec![f64::NAN; m * n];
+            crate::simd::set_simd_enabled(true);
+            axpy_block(&a, &b, &mut with_simd, kd, n);
+            let mut without = vec![f64::NAN; m * n];
+            crate::simd::set_simd_enabled(false);
+            axpy_block(&a, &b, &mut without, kd, n);
             assert!(
-                out.iter()
-                    .zip(&expect)
+                with_simd
+                    .iter()
+                    .zip(&without)
                     .all(|(x, y)| x.to_bits() == y.to_bits()),
-                "axpy_block diverged at {m}x{kd}x{n}"
-            );
-            let bt = transpose(&b, kd, n);
-            let mut out2 = vec![f64::NAN; m * n];
-            dot_block(&a, &bt, &mut out2, kd, n);
-            assert!(
-                out2.iter()
-                    .zip(&expect)
-                    .all(|(x, y)| x.to_bits() == y.to_bits()),
-                "dot_block diverged at {m}x{kd}x{n}"
+                "SIMD path diverged from scalar at {m}x{kd}x{n}"
             );
         }
+        crate::simd::set_simd_enabled(was);
+    }
+
+    fn check_against_reference(m: usize, kd: usize, n: usize) {
+        let a: Vec<f64> = (0..m * kd).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..kd * n).map(|i| ((i as f64) * 0.3).cos()).collect();
+        let expect = reference(&a, &b, m, kd, n);
+        let mut out = vec![f64::NAN; m * n];
+        axpy_block(&a, &b, &mut out, kd, n);
+        assert!(
+            out.iter()
+                .zip(&expect)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "axpy_block diverged at {m}x{kd}x{n}"
+        );
+        let bt = transpose(&b, kd, n);
+        let mut out2 = vec![f64::NAN; m * n];
+        dot_block(&a, &bt, &mut out2, kd, n);
+        assert!(
+            out2.iter()
+                .zip(&expect)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "dot_block diverged at {m}x{kd}x{n}"
+        );
     }
 }

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod arena;
 pub mod init;
 mod kernels;
 pub mod loss;
@@ -34,6 +35,7 @@ pub mod matrix;
 pub mod mlp;
 pub mod ops;
 pub mod optimizer;
+pub mod simd;
 
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpConfig};

@@ -122,6 +122,12 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Consumes the matrix, returning its row-major buffer (used by
+    /// [`crate::arena::BufferArena`] to recycle storage).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Matrix product `self × rhs`.
     ///
     /// Parallelized over row ranges of the output through `gopim-par`;
@@ -216,12 +222,28 @@ impl Matrix {
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose written into `out`, overwriting its contents — the
+    /// allocation-free form of [`Matrix::transpose`] for callers that
+    /// reuse a buffer (e.g. the GCN backward pass's arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out`'s shape is not `self.cols() × self.rows()`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, self.rows),
+            "transpose output shape mismatch"
+        );
         for i in 0..self.rows {
             for j in 0..self.cols {
                 out[(j, i)] = self[(i, j)];
             }
         }
-        out
     }
 
     /// Element-wise map.

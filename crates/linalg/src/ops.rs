@@ -50,6 +50,34 @@ pub fn scale(a: &Matrix, s: f64) -> Matrix {
     a.map(|x| x * s)
 }
 
+/// In-place `delta ⊙ relu'(pre)`: multiplies each element of `delta`
+/// by 1 where the pre-activation is positive and 0 elsewhere.
+/// Bit-identical to `hadamard(delta, &relu_grad(pre))` without the two
+/// intermediate allocations — the backward pass runs it once per
+/// hidden layer on an `N × d` gradient.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn hadamard_relu_grad_in_place(delta: &mut Matrix, pre: &Matrix) {
+    assert_eq!(
+        delta.shape(),
+        pre.shape(),
+        "shape mismatch in hadamard_relu_grad_in_place"
+    );
+    let elems = delta.as_slice().len();
+    let _span = gopim_obs::span!("linalg.hadamard_relu_grad", elems);
+    ELEMWISE_CALLS.add(1);
+    ELEMWISE_ELEMS.add(elems as u64);
+    let ps = pre.as_slice();
+    gopim_par::par_chunks_mut(delta.as_mut_slice(), ELEMWISE_CHUNK, |i, chunk| {
+        let base = i * ELEMWISE_CHUNK;
+        for (d, &p) in chunk.iter_mut().zip(&ps[base..]) {
+            *d *= if p > 0.0 { 1.0 } else { 0.0 };
+        }
+    });
+}
+
 /// Adds row-vector `bias` (1 × cols) to every row of `a`.
 ///
 /// # Panics

@@ -217,7 +217,7 @@ impl Registry {
 
     /// The counter registered under `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Counter::new())),
@@ -226,7 +226,7 @@ impl Registry {
 
     /// The gauge registered under `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Gauge::new())),
@@ -235,7 +235,7 @@ impl Registry {
 
     /// The histogram registered under `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new())),
@@ -248,21 +248,21 @@ impl Registry {
             counters: self
                 .counters
                 .lock()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: self
                 .gauges
                 .lock()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             histograms: self
                 .histograms
                 .lock()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),

@@ -84,7 +84,10 @@ fn with_local<R>(f: impl FnOnce(u64, &Sink) -> R) -> R {
     LOCAL.with(|cell| {
         let (tid, sink) = cell.get_or_init(|| {
             let sink: Sink = Arc::new(Mutex::new(Vec::new()));
-            SINKS.lock().unwrap().push(Arc::clone(&sink));
+            SINKS
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::clone(&sink));
             (NEXT_TID.fetch_add(1, Ordering::Relaxed), sink)
         });
         f(*tid, sink)
@@ -97,7 +100,7 @@ pub fn record(event: SpanEvent) {
         DROPPED.fetch_add(1, Ordering::Relaxed);
         return;
     }
-    with_local(|_, sink| sink.lock().unwrap().push(event));
+    with_local(|_, sink| sink.lock().unwrap_or_else(|e| e.into_inner()).push(event));
 }
 
 /// Events discarded because the [`MAX_EVENTS`] cap was hit.
@@ -108,10 +111,10 @@ pub fn dropped() -> u64 {
 /// Takes every buffered event out of every thread's buffer. The
 /// buffers stay registered, so threads keep recording afterwards.
 pub fn drain() -> Vec<SpanEvent> {
-    let sinks = SINKS.lock().unwrap();
+    let sinks = SINKS.lock().unwrap_or_else(|e| e.into_inner());
     let mut out = Vec::new();
     for sink in sinks.iter() {
-        out.append(&mut sink.lock().unwrap());
+        out.append(&mut sink.lock().unwrap_or_else(|e| e.into_inner()));
     }
     RECORDED.store(0, Ordering::Relaxed);
     DROPPED.store(0, Ordering::Relaxed);
@@ -239,15 +242,17 @@ impl Drop for SpanGuard {
                     DROPPED.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
-                sink.lock().unwrap().push(SpanEvent {
-                    pid: WALL_PID,
-                    tid,
-                    name: active.name,
-                    cat: active.cat,
-                    start_ns: active.start_ns,
-                    dur_ns: end.saturating_sub(active.start_ns),
-                    args: active.args,
-                });
+                sink.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(SpanEvent {
+                        pid: WALL_PID,
+                        tid,
+                        name: active.name,
+                        cat: active.cat,
+                        start_ns: active.start_ns,
+                        dur_ns: end.saturating_sub(active.start_ns),
+                        args: active.args,
+                    });
             });
         }
     }

@@ -18,10 +18,14 @@
 //! With `R = 1` both collapse to the same recurrence and must agree
 //! with the analytic simulator exactly; the tests verify this, and the
 //! property tests bound the divergence elsewhere.
+//!
+//! The per-stage server pools run on a pluggable [`EventQueue`]: the
+//! default is the [`CalendarQueue`] keyed to the ReRAM timing grid,
+//! and [`simulate_des_with_queue`] runs the identical engine on any
+//! other implementation (the differential tests cross-check it against
+//! [`crate::queue::HeapQueue`] bit for bit).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::queue::{CalendarQueue, EventQueue};
 use crate::workload::GcnWorkload;
 use gopim_obs::metrics::LazyCounter;
 
@@ -49,33 +53,18 @@ pub struct DesResult {
     pub completions_ns: Vec<Vec<f64>>,
 }
 
-/// Min-heap item: a server becoming free.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct FreeAt(f64);
-
-impl Eq for FreeAt {}
-
-impl PartialOrd for FreeAt {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for FreeAt {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap behaviour inside BinaryHeap.
-        other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
-    }
-}
-
-/// Runs the event-driven simulation (single batch, intra-batch
-/// pipelining).
-///
-/// # Panics
-///
-/// Panics if `replicas.len() != workload.stages().len()` or any count
-/// is zero.
-pub fn simulate_des(workload: &GcnWorkload, replicas: &[usize], model: ReplicaModel) -> DesResult {
+/// The shared event-driven engine: per-stage server pools on any
+/// [`EventQueue`], with the per-write latency supplied by `write`
+/// (identity for clean runs, the fault session filter for faulty
+/// ones). All arithmetic is queue-independent, so two queues that
+/// drain in the same order produce bit-identical results.
+fn des_core<Q: EventQueue<()>>(
+    workload: &GcnWorkload,
+    replicas: &[usize],
+    model: ReplicaModel,
+    mut make_queue: impl FnMut() -> Q,
+    mut write: impl FnMut(usize, usize, f64, f64) -> f64,
+) -> DesResult {
     let stages = workload.stages();
     assert_eq!(replicas.len(), stages.len(), "one replica count per stage");
     assert!(replicas.iter().all(|&r| r > 0), "replicas must be positive");
@@ -87,12 +76,16 @@ pub fn simulate_des(workload: &GcnWorkload, replicas: &[usize], model: ReplicaMo
     let b = workload.micro_batch();
     let overhead = workload.overhead_ns();
 
-    // Per-stage server pools (min-heaps of free times) and write
+    // Per-stage server pools (event queues of free times) and write
     // channel availability.
-    let mut servers: Vec<BinaryHeap<FreeAt>> = (0..s)
+    let mut servers: Vec<Q> = (0..s)
         .map(|i| {
             let (count, _) = server_shape(replicas[i], b, model);
-            (0..count).map(|_| FreeAt(0.0)).collect()
+            let mut q = make_queue();
+            for _ in 0..count {
+                q.push(0.0, ());
+            }
+            q
         })
         .collect();
     let mut w_chan = vec![0.0f64; s];
@@ -105,16 +98,16 @@ pub fn simulate_des(workload: &GcnWorkload, replicas: &[usize], model: ReplicaMo
         for i in 0..s {
             let (_, service) = server_shape(replicas[i], b, model);
             let service = stages[i].compute_ns / service as f64;
-            let w = workload.write_ns(i, j);
             let d_start = prev_end.max(w_chan[i]);
+            let w = write(i, j, d_start, workload.write_ns(i, j));
             let w_end = d_start + overhead + w;
             w_chan[i] = w_end;
             // Earliest-free server.
             // lint:allow(no-panic-in-lib): pool holds replicas[i] >= 1 servers and every pop is paired with a push below
-            let free = servers[i].pop().expect("non-empty pool").0;
+            let (free, ()) = servers[i].pop().expect("non-empty pool");
             let c_start = w_end.max(free);
             let c_end = c_start + service;
-            servers[i].push(FreeAt(c_end));
+            servers[i].push(c_end, ());
             completions[i][j] = c_end;
             prev_end = c_end;
         }
@@ -124,6 +117,34 @@ pub fn simulate_des(workload: &GcnWorkload, replicas: &[usize], model: ReplicaMo
         makespan_ns: makespan,
         completions_ns: completions,
     }
+}
+
+/// Runs the event-driven simulation (single batch, intra-batch
+/// pipelining) on the default [`CalendarQueue`].
+///
+/// # Panics
+///
+/// Panics if `replicas.len() != workload.stages().len()` or any count
+/// is zero.
+pub fn simulate_des(workload: &GcnWorkload, replicas: &[usize], model: ReplicaModel) -> DesResult {
+    simulate_des_with_queue(workload, replicas, model, CalendarQueue::new)
+}
+
+/// [`simulate_des`] on a caller-chosen [`EventQueue`] (`make_queue`
+/// builds one empty queue per stage). The differential tests use this
+/// to pin calendar-vs-heap bit equivalence.
+///
+/// # Panics
+///
+/// Panics if `replicas.len() != workload.stages().len()` or any count
+/// is zero.
+pub fn simulate_des_with_queue<Q: EventQueue<()>>(
+    workload: &GcnWorkload,
+    replicas: &[usize],
+    model: ReplicaModel,
+    make_queue: impl FnMut() -> Q,
+) -> DesResult {
+    des_core(workload, replicas, model, make_queue, |_, _, _, w| w)
 }
 
 /// Runs the event-driven simulation through a fault session: each
@@ -151,56 +172,19 @@ pub fn simulate_des_faulty(
     model: ReplicaModel,
     session: &mut gopim_faults::FaultSession,
 ) -> DesResult {
-    let stages = workload.stages();
-    assert_eq!(replicas.len(), stages.len(), "one replica count per stage");
-    assert!(replicas.iter().all(|&r| r > 0), "replicas must be positive");
-    let n_mb = workload.num_microbatches();
-    let s = stages.len();
-    let _span = gopim_obs::span!("pipeline.des", s, n_mb);
-    DES_RUNS.add(1);
-    DES_EVENTS.add((s * n_mb) as u64);
-    let b = workload.micro_batch();
-    let overhead = workload.overhead_ns();
     let stats_before = *session.stats();
-
-    let mut servers: Vec<BinaryHeap<FreeAt>> = (0..s)
-        .map(|i| {
-            let (count, _) = server_shape(replicas[i], b, model);
-            (0..count).map(|_| FreeAt(0.0)).collect()
-        })
-        .collect();
-    let mut w_chan = vec![0.0f64; s];
-    let mut completions = vec![vec![0.0f64; n_mb]; s];
-    let mut makespan = 0.0f64;
-
-    #[allow(clippy::needless_range_loop)] // j indexes per-stage completion tables
-    for j in 0..n_mb {
-        let mut prev_end = 0.0f64;
-        for i in 0..s {
-            let (_, service) = server_shape(replicas[i], b, model);
-            let service = stages[i].compute_ns / service as f64;
-            let d_start = prev_end.max(w_chan[i]);
-            let w = session.write(i, j, d_start, workload.write_ns(i, j));
-            let w_end = d_start + overhead + w;
-            w_chan[i] = w_end;
-            // lint:allow(no-panic-in-lib): pool holds replicas[i] >= 1 servers and every pop is paired with a push below
-            let free = servers[i].pop().expect("non-empty pool").0;
-            let c_start = w_end.max(free);
-            let c_end = c_start + service;
-            servers[i].push(FreeAt(c_end));
-            completions[i][j] = c_end;
-            prev_end = c_end;
-        }
-        makespan = makespan.max(prev_end);
-    }
+    let result = des_core(
+        workload,
+        replicas,
+        model,
+        CalendarQueue::new,
+        |i, j, d_start, w| session.write(i, j, d_start, w),
+    );
     let stats = session.stats();
     FAULTS_INJECTED.add(stats.injected - stats_before.injected);
     FAULTS_REMAPPED.add(stats.remapped - stats_before.remapped);
     FAULTS_RETRIES.add(stats.retries - stats_before.retries);
-    DesResult {
-        makespan_ns: makespan,
-        completions_ns: completions,
-    }
+    result
 }
 
 /// `(server count, split factor)` for a replica count under a model.

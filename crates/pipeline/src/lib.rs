@@ -39,6 +39,7 @@ pub mod des;
 pub mod energy;
 pub mod epochs;
 pub mod latency;
+pub mod queue;
 pub mod schedule;
 pub mod stage;
 pub mod trace;

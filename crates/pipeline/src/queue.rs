@@ -1,0 +1,723 @@
+//! Pending-event queues for the discrete-event engine.
+//!
+//! The DES inner loop is dominated by priority-queue traffic: every
+//! (stage, micro-batch) step pops the earliest-free server from a pool
+//! and pushes its next free time back. [`EventQueue`] abstracts that
+//! queue so two implementations stay compiled and cross-checkable:
+//!
+//! - [`HeapQueue`] — the reference: a `BinaryHeap` min-heap with an
+//!   explicit insertion sequence number, so equal-timestamp events
+//!   drain strictly FIFO.
+//! - [`CalendarQueue`] — the fast path: a calendar/bucket queue
+//!   (Brown, CACM 1988) with a monotone fast lane. DES server pools
+//!   only ever push times at or after their newest pending event —
+//!   per-stage service times are constant and the write channel only
+//!   advances — so the pool is a sorted ring buffer by construction
+//!   and both ends are O(1) with no compares. Out-of-order streams
+//!   spill into the calendar proper, whose bucket width starts at the
+//!   ReRAM read quantum (29.31 ns; see
+//!   [`crate::latency::LatencyParams`]) and self-tunes to the
+//!   observed event spacing.
+//!
+//! **Equivalence contract.** Both queues drain in globally ascending
+//! `(time, insertion order)` — total order by `f64::total_cmp`, ties
+//! strictly FIFO. `tests/kernel_equivalence.rs` and the pipeline
+//! property tests pin that the two produce bit-identical drain orders
+//! on random streams, and that whole DES runs are bit-identical under
+//! either queue.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use gopim_obs::metrics::LazyCounter;
+
+static QUEUE_PUSHES: LazyCounter = LazyCounter::new("pipeline.queue.pushes");
+static QUEUE_LAP_JUMPS: LazyCounter = LazyCounter::new("pipeline.queue.lap_jumps");
+static QUEUE_RESIZES: LazyCounter = LazyCounter::new("pipeline.queue.resizes");
+static QUEUE_RETUNES: LazyCounter = LazyCounter::new("pipeline.queue.retunes");
+static QUEUE_SPILLS: LazyCounter = LazyCounter::new("pipeline.queue.spills");
+
+/// A pending-event set ordered by `(time, insertion order)`.
+///
+/// `pop` returns events in ascending time; events pushed with equal
+/// times drain in push order (FIFO). Time comparisons use
+/// [`f64::total_cmp`], so any payload of finite times behaves
+/// identically across implementations.
+pub trait EventQueue<T> {
+    /// Enqueues `item` at time `t`.
+    fn push(&mut self, t: f64, item: T);
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    fn pop(&mut self) -> Option<(f64, T)>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Heap entry ordered descending so `BinaryHeap` (a max-heap) pops the
+/// minimum `(t, seq)` first.
+#[derive(Debug)]
+struct HeapEntry<T> {
+    t: f64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smallest (t, seq) is the heap maximum.
+        other
+            .t
+            .total_cmp(&self.t)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The reference event queue: a binary min-heap with FIFO tie-break.
+#[derive(Debug, Default)]
+pub struct HeapQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    seq: u64,
+}
+
+impl<T> HeapQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> for HeapQueue<T> {
+    fn push(&mut self, t: f64, item: T) {
+        QUEUE_PUSHES.add(1);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapEntry { t, seq, item });
+    }
+
+    fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|e| (e.t, e.item))
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Initial bucket count (power of two, for mask indexing).
+const INITIAL_BUCKETS: usize = 16;
+
+/// Grow (double) the calendar when events-per-bucket exceeds this.
+/// Dense buckets are cheap — the monotone-push fast path appends in
+/// O(1) and pops take the front in O(1) — while more buckets spread
+/// the working set across more cache lines, so the calendar prefers
+/// few, crowded buckets over many sparse ones.
+const MAX_LOAD: usize = 16;
+
+/// Default bucket width, ns: the ReRAM read quantum. Every latency in
+/// the paper configuration is a sum of 29.31 ns reads and 50.88 ns row
+/// writes, so a 29.31 ns day is the natural *starting* grid. The queue
+/// then retunes its width to the observed event spacing (see
+/// [`CalendarQueue`]): server pools in a deep pipeline advance by many
+/// quanta per pop, and a width stuck at one quantum would make every
+/// pop a fruitless lap.
+pub const DEFAULT_BUCKET_WIDTH_NS: f64 = 29.31;
+
+/// Consecutive lap-jumps between retunes before the width adapts.
+const RETUNE_LAPS: u32 = 2;
+
+#[derive(Debug, Clone)]
+struct CalEntry<T> {
+    day: u64,
+    t: f64,
+    seq: u64,
+    item: T,
+}
+
+/// A calendar (bucket) event queue with a monotone fast lane.
+///
+/// While every push lands at or after the newest pending time, events
+/// sit in a plain ring buffer that is sorted by construction — the
+/// minimum is the front, and push/pop are O(1) with no compares. The
+/// DES's server pools stay in this lane for entire runs: a stage's
+/// completion times are provably non-decreasing (per-stage service is
+/// constant, the write channel only advances, and a pool's minimum
+/// free time never decreases), so the simulator never pays for
+/// ordering it gets for free.
+///
+/// The first out-of-order push spills the lane into the calendar
+/// proper: events are filed under their *day* — `floor(t / width)` —
+/// and days map to buckets modulo the bucket count, like dates on a
+/// wall calendar. Popping scans forward from the current day; a full
+/// lap with no hit (all events far in the future) jumps directly to
+/// the earliest pending event instead of walking empty days one by
+/// one.
+///
+/// The bucket width is self-tuning: the spill sets it from the mean
+/// spacing of the spilled events, and whenever [`RETUNE_LAPS`]
+/// consecutive pops needed the lap-jump — the signature of a width
+/// much smaller than the real event spacing — the queue resets its
+/// width to twice the average gap between the pops since the last
+/// retune and refiles. Retuning only moves entries between buckets;
+/// the drain order is `(t, seq)` in every mode and at any width, so
+/// all of this is a pure throughput knob. The tuning signal is the
+/// deterministic push/pop sequence itself, never wall-clock time.
+///
+/// # Example
+///
+/// ```
+/// use gopim_pipeline::queue::{CalendarQueue, EventQueue};
+///
+/// let mut q = CalendarQueue::new();
+/// q.push(58.62, "b");
+/// q.push(29.31, "a");
+/// q.push(29.31, "tie");
+/// assert_eq!(q.pop(), Some((29.31, "a")));
+/// assert_eq!(q.pop(), Some((29.31, "tie"))); // FIFO among ties
+/// assert_eq!(q.pop(), Some((58.62, "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<T> {
+    /// The monotone fast lane: while every push lands at or after the
+    /// newest pending time, the queue is a plain ring buffer — sorted
+    /// by construction, so the minimum is the front and both ends are
+    /// O(1) with no compares. The DES's server pools provably stay in
+    /// this lane for whole runs (see the type docs). Entries carry no
+    /// sequence number — ring order *is* FIFO order, and a spill
+    /// renumbers them order-preservingly — so a lane entry is exactly
+    /// as wide as its payload plus a time. At most one of `fifo` and
+    /// `buckets` is non-empty at any time.
+    fifo: VecDeque<(f64, T)>,
+    /// The calendar proper, engaged when an out-of-order push spills
+    /// the fast lane; empty — not even allocated — until then, so
+    /// constructing a queue and running it in lane mode never touches
+    /// the allocator for bucket bookkeeping. Buckets hold their
+    /// entries *unordered*: a push is a plain append, and a pop
+    /// linearly scans one small contiguous bucket for the day's
+    /// minimum.
+    buckets: Vec<Vec<CalEntry<T>>>,
+    /// Entries in `buckets` (the trait's `len` adds the lane's). Kept
+    /// separate so the lane fast path is one load and one branch.
+    cal_len: usize,
+    width: f64,
+    /// `1.0 / width`, cached so `day_of` multiplies instead of
+    /// dividing on every push.
+    inv_width: f64,
+    cur_day: u64,
+    /// Next calendar sequence number. Lane pushes never draw one —
+    /// ring order is FIFO order — so this only advances in calendar
+    /// mode and in the spill's order-preserving renumbering.
+    seq: u64,
+    /// Lap-jumps taken since the width was last retuned.
+    laps_since_tune: u32,
+    /// Pops completed since the width was last retuned.
+    pops_since_tune: u64,
+    /// Time of the pop that anchored the last retune window.
+    tune_anchor_t: f64,
+    /// Pushes accepted over this queue's lifetime, flushed to the
+    /// `pipeline.queue.pushes` counter in one batch on drop — a plain
+    /// integer bump keeps the per-push atomic load off the fast lane.
+    pushes: PushTally,
+}
+
+/// A push count that flushes on drop and resets on clone, so cloned
+/// queues never double-report their ancestor's pushes.
+#[derive(Debug, Default)]
+struct PushTally(u64);
+
+impl Clone for PushTally {
+    fn clone(&self) -> Self {
+        PushTally(0)
+    }
+}
+
+impl<T> Drop for CalendarQueue<T> {
+    fn drop(&mut self) {
+        QUEUE_PUSHES.add(self.pushes.0);
+    }
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty calendar on the ReRAM-quantum bucket width
+    /// ([`DEFAULT_BUCKET_WIDTH_NS`]).
+    pub fn new() -> Self {
+        CalendarQueue::with_width(DEFAULT_BUCKET_WIDTH_NS)
+    }
+
+    /// An empty calendar with an explicit bucket width (ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is finite and positive.
+    pub fn with_width(width: f64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "bucket width must be finite and positive"
+        );
+        CalendarQueue {
+            fifo: VecDeque::new(),
+            buckets: Vec::new(),
+            cal_len: 0,
+            width,
+            inv_width: width.recip(),
+            cur_day: 0,
+            seq: 0,
+            laps_since_tune: 0,
+            pops_since_tune: 0,
+            tune_anchor_t: 0.0,
+            pushes: PushTally(0),
+        }
+    }
+
+    fn day_of(&self, t: f64) -> u64 {
+        debug_assert!(!t.is_nan(), "event times must not be NaN");
+        let d = (t * self.inv_width).floor();
+        if d <= 0.0 {
+            0
+        } else {
+            d as u64
+        }
+    }
+
+    fn bucket_of(&self, day: u64) -> usize {
+        // Bucket counts are powers of two, so modulo is a mask.
+        (day as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Index of the bucket's minimum `(t, seq)` entry among those
+    /// filed under exactly `day`, scanning the whole (small) bucket.
+    fn day_min(bucket: &[CalEntry<T>], day: u64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, e) in bucket.iter().enumerate() {
+            if e.day != day {
+                continue;
+            }
+            best = match best {
+                Some(b)
+                    if bucket[b]
+                        .t
+                        .total_cmp(&e.t)
+                        .then_with(|| bucket[b].seq.cmp(&e.seq))
+                        .is_lt() =>
+                {
+                    Some(b)
+                }
+                _ => Some(i),
+            };
+        }
+        best
+    }
+
+    /// Location `(bucket, index)` of the globally minimum `(t, seq)`
+    /// entry — the far-future jump target after a fruitless lap.
+    fn global_min(&self) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize)> = None;
+        for (bi, bucket) in self.buckets.iter().enumerate() {
+            for (i, e) in bucket.iter().enumerate() {
+                best = match best {
+                    Some((pb, pi))
+                        if self.buckets[pb][pi]
+                            .t
+                            .total_cmp(&e.t)
+                            .then_with(|| self.buckets[pb][pi].seq.cmp(&e.seq))
+                            .is_lt() =>
+                    {
+                        Some((pb, pi))
+                    }
+                    _ => Some((bi, i)),
+                };
+            }
+        }
+        best
+    }
+
+    /// Spills the monotone fast lane into the calendar buckets after
+    /// an out-of-order push. The lane is already sorted, so its span
+    /// is `back - front`; the bucket width retunes to twice the mean
+    /// spacing of the spilled entries before they are filed. Lane
+    /// entries carry no sequence numbers, so the spill renumbers them
+    /// in ring order — FIFO order by construction — keeping every
+    /// assigned number below the numbers future pushes will draw.
+    fn spill_fifo(&mut self) {
+        QUEUE_SPILLS.add(1);
+        let spilled = self.fifo.len();
+        if let (Some(front), Some(back)) = (self.fifo.front(), self.fifo.back()) {
+            if spilled >= 2 {
+                let span = back.0 - front.0;
+                let new_width = 2.0 * span / spilled as f64;
+                if new_width.is_finite() && new_width > 0.0 {
+                    self.width = new_width;
+                    self.inv_width = new_width.recip();
+                }
+            }
+        }
+        let mut target = self.buckets.len().max(INITIAL_BUCKETS);
+        while spilled >= MAX_LOAD * target {
+            target *= 2;
+        }
+        if target != self.buckets.len() {
+            self.buckets.resize_with(target, Vec::new);
+        }
+        // Ring order is FIFO order, so renumbering front-to-back from
+        // the current counter preserves tie-breaks; the triggering
+        // push draws its number after the spill, keeping it younger
+        // than everything spilled.
+        let mut first_day = None;
+        while let Some((t, item)) = self.fifo.pop_front() {
+            let day = self.day_of(t);
+            if first_day.is_none() {
+                first_day = Some(day);
+            }
+            let seq = self.seq;
+            self.seq += 1;
+            let idx = self.bucket_of(day);
+            self.buckets[idx].push(CalEntry { day, t, seq, item });
+            self.cal_len += 1;
+        }
+        if let Some(day) = first_day {
+            self.cur_day = day;
+        }
+    }
+
+    /// Rebuilds the calendar with `new_buckets` buckets and `new_width`
+    /// days, refiling every entry under its recomputed day and
+    /// repositioning the cursor at the earliest pending day. The
+    /// drained buckets keep their buffers, so retiling allocates
+    /// nothing unless the calendar is actually growing.
+    fn retile(&mut self, new_buckets: usize, new_width: f64) {
+        self.width = new_width;
+        self.inv_width = new_width.recip();
+        let mut entries: Vec<CalEntry<T>> = Vec::with_capacity(self.cal_len);
+        for bucket in self.buckets.iter_mut() {
+            entries.append(bucket);
+        }
+        if new_buckets != self.buckets.len() {
+            self.buckets.resize_with(new_buckets, Vec::new);
+        }
+        let mut earliest: Option<(f64, u64, u64)> = None;
+        for mut entry in entries {
+            entry.day = self.day_of(entry.t);
+            let replace = match earliest {
+                Some((bt, bseq, _)) => entry
+                    .t
+                    .total_cmp(&bt)
+                    .then_with(|| entry.seq.cmp(&bseq))
+                    .is_lt(),
+                None => true,
+            };
+            if replace {
+                earliest = Some((entry.t, entry.seq, entry.day));
+            }
+            let idx = self.bucket_of(entry.day);
+            self.buckets[idx].push(entry);
+        }
+        if let Some((_, _, day)) = earliest {
+            self.cur_day = day;
+        }
+    }
+
+    /// Doubles the bucket count and refiles every entry.
+    fn grow(&mut self) {
+        QUEUE_RESIZES.add(1);
+        self.retile(self.buckets.len() * 2, self.width);
+    }
+
+    /// Widens the calendar day to track the observed event spacing.
+    ///
+    /// Called after a pop at time `t` that needed the lap-jump. Once
+    /// [`RETUNE_LAPS`] jumps accumulate, the width resets to twice the
+    /// mean pop-to-pop gap over the window since the last retune — the
+    /// spacing the queue is actually draining at — so subsequent pops
+    /// land within a day or two of the cursor instead of lapping.
+    fn maybe_retune(&mut self, t: f64) {
+        if self.laps_since_tune < RETUNE_LAPS {
+            return;
+        }
+        let gap = (t - self.tune_anchor_t) / self.pops_since_tune as f64;
+        let new_width = 2.0 * gap;
+        if new_width.is_finite() && new_width > 0.0 && self.cal_len > 0 {
+            QUEUE_RETUNES.add(1);
+            self.retile(self.buckets.len(), new_width);
+        }
+        self.tune_anchor_t = t;
+        self.laps_since_tune = 0;
+        self.pops_since_tune = 0;
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// The calendar-mode side of `push`: spill the lane if it is still
+    /// holding (the push was out of order), then file into a bucket.
+    /// Outlined and cold so the lane fast path stays small enough to
+    /// inline into the DES event loop.
+    #[cold]
+    #[inline(never)]
+    fn push_calendar(&mut self, t: f64, item: T) {
+        if self.cal_len == 0 {
+            self.spill_fifo();
+        }
+        if self.cal_len >= MAX_LOAD * self.buckets.len() {
+            self.grow();
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let day = self.day_of(t);
+        // A push into the past rewinds the cursor so no event is
+        // skipped (the DES never does this, but the queue is total).
+        if day < self.cur_day {
+            self.cur_day = day;
+        }
+        let idx = self.bucket_of(day);
+        self.buckets[idx].push(CalEntry { day, t, seq, item });
+        self.cal_len += 1;
+    }
+
+    /// The calendar-mode side of `pop` (outlined and cold, like
+    /// [`CalendarQueue::push_calendar`]). Only called with
+    /// `cal_len > 0`.
+    #[cold]
+    #[inline(never)]
+    fn pop_calendar(&mut self) -> Option<(f64, T)> {
+        // Walk forward day by day; a day's candidates all live in one
+        // bucket, which can also hold other "laps" (day + k·buckets)
+        // that the per-entry `day` check skips.
+        for step in 0..self.buckets.len() {
+            let day = self.cur_day + step as u64;
+            let idx = self.bucket_of(day);
+            if let Some(i) = Self::day_min(&self.buckets[idx], day) {
+                self.cur_day = day;
+                self.cal_len -= 1;
+                self.pops_since_tune += 1;
+                let e = self.buckets[idx].swap_remove(i);
+                return Some((e.t, e.item));
+            }
+        }
+        // Full lap without a hit: everything pending is at least one
+        // calendar year ahead. Jump straight to the earliest event.
+        QUEUE_LAP_JUMPS.add(1);
+        // lint:allow(no-panic-in-lib): cal_len > 0 was checked by the caller, so some bucket is non-empty
+        let (bi, i) = self.global_min().expect("pending events exist");
+        let e = self.buckets[bi].swap_remove(i);
+        self.cur_day = e.day;
+        self.cal_len -= 1;
+        self.pops_since_tune += 1;
+        self.laps_since_tune += 1;
+        self.maybe_retune(e.t);
+        Some((e.t, e.item))
+    }
+}
+
+impl<T> EventQueue<T> for CalendarQueue<T> {
+    #[inline]
+    fn push(&mut self, t: f64, item: T) {
+        self.pushes.0 += 1;
+        if self.cal_len == 0 {
+            // Fast lane: pushes at or after the newest pending time
+            // keep the ring buffer sorted by construction (ties are
+            // FIFO because ring order is push order).
+            match self.fifo.back() {
+                Some(back) if back.0.total_cmp(&t).is_gt() => {}
+                _ => {
+                    self.fifo.push_back((t, item));
+                    return;
+                }
+            }
+        }
+        self.push_calendar(t, item);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(f64, T)> {
+        // Fast lane: the ring buffer is sorted, so its front is the
+        // minimum. The lane and the calendar are never both occupied.
+        if let Some((t, item)) = self.fifo.pop_front() {
+            return Some((t, item));
+        }
+        if self.cal_len == 0 {
+            return None;
+        }
+        self.pop_calendar()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.cal_len + self.fifo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T, Q: EventQueue<T>>(q: &mut Q) -> Vec<(f64, T)> {
+        let mut out = Vec::new();
+        while let Some(ev) = q.pop() {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn both_queues_drain_ascending_with_fifo_ties() {
+        let events = [(50.88, 0usize), (29.31, 1), (29.31, 2), (0.0, 3)];
+        let mut heap = HeapQueue::new();
+        let mut cal = CalendarQueue::new();
+        for &(t, id) in &events {
+            heap.push(t, id);
+            cal.push(t, id);
+        }
+        let expect = vec![(0.0, 3), (29.31, 1), (29.31, 2), (50.88, 0)];
+        assert_eq!(drain(&mut heap), expect);
+        assert_eq!(drain(&mut cal), expect);
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_heap() {
+        let mut heap = HeapQueue::new();
+        let mut cal = CalendarQueue::new();
+        // Deterministic pseudo-random stream of operations.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..2000u64 {
+            let r = next();
+            if r % 3 == 0 {
+                assert_eq!(heap.pop(), cal.pop(), "pop {i} diverged");
+            } else {
+                // Quantized times with frequent ties.
+                let t = (r % 97) as f64 * 29.31;
+                heap.push(t, i);
+                cal.push(t, i);
+            }
+            assert_eq!(heap.len(), cal.len());
+        }
+        assert_eq!(drain(&mut heap), drain(&mut cal));
+    }
+
+    #[test]
+    fn far_future_events_take_the_lap_jump() {
+        let mut cal = CalendarQueue::with_width(1.0);
+        cal.push(1.0e9, "next year");
+        cal.push(2.0e9, "year after");
+        assert_eq!(cal.pop(), Some((1.0e9, "next year")));
+        assert_eq!(cal.pop(), Some((2.0e9, "year after")));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn growth_preserves_order() {
+        let mut cal = CalendarQueue::with_width(1.0);
+        let n = 10 * INITIAL_BUCKETS * MAX_LOAD;
+        for i in (0..n).rev() {
+            cal.push(i as f64, i);
+        }
+        assert!(cal.buckets.len() > INITIAL_BUCKETS, "calendar grew");
+        let drained = drain(&mut cal);
+        assert_eq!(drained.len(), n);
+        assert!(drained.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn pushes_into_the_past_rewind_the_cursor() {
+        let mut cal = CalendarQueue::with_width(1.0);
+        cal.push(100.0, "late");
+        assert_eq!(cal.pop(), Some((100.0, "late")));
+        cal.push(5.0, "early");
+        assert_eq!(cal.pop(), Some((5.0, "early")));
+    }
+
+    #[test]
+    fn out_of_order_push_spills_the_fast_lane_into_the_calendar() {
+        // A strictly monotone stream rides the ring-buffer lane; the
+        // first out-of-order push must spill every pending event into
+        // the calendar without disturbing the drain order.
+        let mut cal = CalendarQueue::with_width(1.0);
+        let mut heap = HeapQueue::new();
+        for i in 0..50u64 {
+            let t = i as f64 * 100.0;
+            cal.push(t, i);
+            heap.push(t, i);
+        }
+        assert_eq!(cal.fifo.len(), 50, "monotone stream stays in the lane");
+        cal.push(1.5, 50);
+        heap.push(1.5, 50);
+        assert!(cal.fifo.is_empty(), "out-of-order push spills the lane");
+        assert_eq!(drain(&mut cal), drain(&mut heap));
+    }
+
+    #[test]
+    fn repeated_lap_jumps_retune_the_width_to_the_event_spacing() {
+        // Spill into calendar mode first (one out-of-order push), then
+        // drain events spaced 1000× the day width: the untuned
+        // calendar must lap-jump, and after RETUNE_LAPS jumps the
+        // width snaps to the observed gap.
+        let mut cal = CalendarQueue::with_width(1.0);
+        let mut heap = HeapQueue::new();
+        cal.push(500.0, 999);
+        heap.push(500.0, 999);
+        for i in 0..200u64 {
+            let t = i as f64 * 1000.0;
+            cal.push(t, i);
+            heap.push(t, i);
+        }
+        assert!(cal.fifo.is_empty(), "calendar mode engaged");
+        for _ in 0..8 {
+            assert_eq!(cal.pop(), heap.pop());
+        }
+        assert!(
+            cal.width > 1.0,
+            "width should have retuned upward, still {}",
+            cal.width
+        );
+        // The retuned calendar keeps draining exactly like the heap,
+        // including fresh pushes filed under the new width.
+        for i in 200..260u64 {
+            let t = i as f64 * 1000.0;
+            cal.push(t, i);
+            heap.push(t, i);
+        }
+        assert_eq!(drain(&mut cal), drain(&mut heap));
+    }
+
+    #[test]
+    fn negative_and_zero_times_file_on_day_zero() {
+        let mut cal = CalendarQueue::new();
+        cal.push(0.0, "zero");
+        cal.push(-1.0, "negative");
+        assert_eq!(cal.pop(), Some((-1.0, "negative")));
+        assert_eq!(cal.pop(), Some((0.0, "zero")));
+    }
+}

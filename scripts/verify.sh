@@ -26,6 +26,12 @@ GOPIM_THREADS=1 cargo test -q --offline --workspace
 echo "== cargo test --offline, default GOPIM_THREADS (parallel) =="
 cargo test -q --offline --workspace
 
+echo "== cargo test --offline, GOPIM_NO_SIMD=1 (scalar kernels) =="
+# The SIMD kill-switch must be a pure dispatch knob, never a numerics
+# knob: the whole suite — bitwise goldens and the differential
+# equivalence harness included — must pass with vector paths disabled.
+GOPIM_NO_SIMD=1 cargo test -q --offline --workspace
+
 echo "== bench targets compile =="
 cargo build --offline --benches -p gopim-bench
 
