@@ -207,6 +207,26 @@ impl AllocPlan {
     }
 }
 
+impl gopim_cache::CanonicalHash for AllocInput {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("alloc.input/v1");
+        self.compute_ns.canonical_hash(h);
+        self.write_ns.canonical_hash(h);
+        self.quantum_ns.canonical_hash(h);
+        self.crossbars_per_replica.canonical_hash(h);
+        h.write_usize(self.unused_crossbars);
+        h.write_usize(self.num_microbatches);
+        self.max_replicas.canonical_hash(h);
+    }
+}
+
+impl gopim_cache::CanonicalHash for AllocPlan {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("alloc.plan/v1");
+        self.replicas.canonical_hash(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,348 @@
+//! Length-prefixed byte codec for cached values.
+//!
+//! The store holds *bytes*, not structures: a hit hands back exactly
+//! the byte string a fresh computation would have encoded, so the
+//! "cached results are bitwise identical" contract reduces to the
+//! codec being a bijection on the values it accepts. The format is
+//! deliberately primitive — little-endian fixed-width integers,
+//! IEEE-754 bit patterns for floats, `u64` length prefixes for
+//! sequences — with no self-description; the [`CacheKey`] already
+//! names the type and schema version of what the bytes mean.
+//!
+//! Decoding is total and panic-free: every `take_*` returns `Option`,
+//! and [`CacheValue::from_bytes`] additionally requires the buffer to
+//! be fully consumed, so a truncated or mis-typed record is a cache
+//! miss, never an error.
+//!
+//! [`CacheKey`]: crate::hash::CacheKey
+
+/// Append-only byte sink for encoding.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` in 64-bit form.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its exact bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Cursor over an encoded byte string; every read is checked.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Option<u32> {
+        let s = self.take(4)?;
+        let mut w = [0u8; 4];
+        w.copy_from_slice(s);
+        Some(u32::from_le_bytes(w))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Option<u64> {
+        let s = self.take(8)?;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(s);
+        Some(u64::from_le_bytes(w))
+    }
+
+    /// Reads a `usize`; fails if the stored value does not fit.
+    pub fn take_usize(&mut self) -> Option<usize> {
+        usize::try_from(self.take_u64()?).ok()
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn take_f64(&mut self) -> Option<f64> {
+        self.take_u64().map(f64::from_bits)
+    }
+
+    /// Reads a boolean; any byte other than 0/1 is a decode failure.
+    pub fn take_bool(&mut self) -> Option<bool> {
+        match self.take_u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.take_usize()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Option<String> {
+        let b = self.take_bytes()?;
+        String::from_utf8(b.to_vec()).ok()
+    }
+}
+
+/// A value that round-trips through the store as exact bytes.
+pub trait CacheValue: Sized {
+    /// Appends `self` to `e`.
+    fn encode(&self, e: &mut Encoder);
+
+    /// Reads one value from `d`; `None` on any malformed input.
+    fn decode(d: &mut Decoder<'_>) -> Option<Self>;
+
+    /// Encodes into a fresh byte string.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        self.encode(&mut e);
+        e.into_bytes()
+    }
+
+    /// Decodes a full byte string; trailing bytes are a failure.
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut d = Decoder::new(bytes);
+        let v = Self::decode(&mut d)?;
+        if d.is_exhausted() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+impl CacheValue for u32 {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u32(*self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        d.take_u32()
+    }
+}
+
+impl CacheValue for u64 {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u64(*self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        d.take_u64()
+    }
+}
+
+impl CacheValue for usize {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(*self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        d.take_usize()
+    }
+}
+
+impl CacheValue for f64 {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_f64(*self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        d.take_f64()
+    }
+}
+
+impl CacheValue for bool {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_bool(*self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        d.take_bool()
+    }
+}
+
+impl CacheValue for String {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        d.take_str()
+    }
+}
+
+impl<T: CacheValue> CacheValue for Vec<T> {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(self.len());
+        for v in self {
+            v.encode(e);
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        let n = d.take_usize()?;
+        // Guard against absurd lengths from corrupt records before
+        // reserving: each element needs at least one byte.
+        if n > d.buf.len().saturating_sub(d.pos) {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(d)?);
+        }
+        Some(out)
+    }
+}
+
+impl<T: CacheValue> CacheValue for Option<T> {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            None => e.put_u8(0),
+            Some(v) => {
+                e.put_u8(1);
+                v.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        match d.take_u8()? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(d)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<A: CacheValue, B: CacheValue> CacheValue for (A, B) {
+    fn encode(&self, e: &mut Encoder) {
+        self.0.encode(e);
+        self.1.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        Some((A::decode(d)?, B::decode(d)?))
+    }
+}
+
+impl<A: CacheValue, B: CacheValue, C: CacheValue> CacheValue for (A, B, C) {
+    fn encode(&self, e: &mut Encoder) {
+        self.0.encode(e);
+        self.1.encode(e);
+        self.2.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        Some((A::decode(d)?, B::decode(d)?, C::decode(d)?))
+    }
+}
+
+impl<A: CacheValue, B: CacheValue, C: CacheValue, D: CacheValue> CacheValue for (A, B, C, D) {
+    fn encode(&self, e: &mut Encoder) {
+        self.0.encode(e);
+        self.1.encode(e);
+        self.2.encode(e);
+        self.3.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        Some((A::decode(d)?, B::decode(d)?, C::decode(d)?, D::decode(d)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_exact() {
+        let v: (Vec<f64>, String, Option<usize>) = (
+            vec![1.5, -0.0, f64::INFINITY],
+            "hello".to_string(),
+            Some(42),
+        );
+        let bytes = v.to_bytes();
+        let back = <(Vec<f64>, String, Option<usize>)>::from_bytes(&bytes);
+        assert_eq!(back.as_ref(), Some(&v));
+        // Bitwise: -0.0 survives as -0.0.
+        let (floats, _, _) = back.unwrap();
+        assert_eq!(floats[1].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn truncated_and_trailing_bytes_fail() {
+        let bytes = vec![1.0f64, 2.0].to_bytes();
+        assert!(Vec::<f64>::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(Vec::<f64>::from_bytes(&extra).is_none());
+        assert!(Vec::<f64>::from_bytes(&bytes).is_some());
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_a_miss_not_an_abort() {
+        let mut bytes = vec![0u8; 8];
+        bytes[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Vec::<f64>::from_bytes(&bytes).is_none());
+    }
+}

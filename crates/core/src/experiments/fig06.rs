@@ -7,6 +7,7 @@ use gopim_graph::datasets::Dataset;
 use gopim_mapping::{index_based, interleaved};
 use gopim_reram::spec::AcceleratorSpec;
 
+use crate::runner::dataset_profile;
 use crate::runner::RunConfig;
 
 /// One dataset's per-crossbar degree summary.
@@ -29,7 +30,7 @@ pub fn run(config: &RunConfig, datasets: &[Dataset]) -> Vec<DegreeSpreadRow> {
     let capacity = AcceleratorSpec::paper().crossbar_rows;
     let mut rows = Vec::new();
     for &dataset in datasets {
-        let profile = dataset.profile(config.profile_seed);
+        let profile = dataset_profile(dataset, config.profile_seed);
         for (label, mapping) in [
             ("index", index_based(profile.num_vertices(), capacity)),
             ("interleaved", interleaved(&profile, capacity)),

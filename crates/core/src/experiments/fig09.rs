@@ -4,6 +4,7 @@
 //! (b) MLP depth sweep, 2–6 layers (3 wins);
 //! (c) hidden-width sweep on the 3-layer MLP (256 wins).
 
+use gopim_cache::{CacheValue, CanonicalHash, CanonicalHasher, Decoder, Encoder};
 use gopim_predictor::dataset_gen::SampleSet;
 use gopim_predictor::eval::{rmse, split};
 use gopim_predictor::models::{
@@ -20,10 +21,46 @@ pub struct RmseRow {
     pub rmse: f64,
 }
 
+impl CacheValue for RmseRow {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.model);
+        e.put_f64(self.rmse);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        Some(RmseRow {
+            model: d.take_str()?,
+            rmse: d.take_f64()?,
+        })
+    }
+}
+
+/// Hashes the full training inputs of a Fig. 9 sweep: the sample set's
+/// exact feature/target bits plus the sweep's own knobs. Training is
+/// deterministic in these, so the cached rows are bitwise what a fresh
+/// run would produce.
+fn sweep_key(tag: &str, samples: &SampleSet, knobs: &[u64]) -> gopim_cache::CacheKey {
+    let mut h = CanonicalHasher::new();
+    h.write_tag(tag);
+    samples.canonical_hash(&mut h);
+    for &k in knobs {
+        h.write_u64(k);
+    }
+    h.finish()
+}
+
 /// Fig. 9(a): the regressor-family comparison. Every model receives
 /// z-scored features (as scikit-learn pipelines would), fitted on the
 /// training split.
 pub fn model_comparison(samples: &SampleSet, mlp_epochs: usize, seed: u64) -> Vec<RmseRow> {
+    let key = sweep_key(
+        "experiments.fig09.model_comparison/v1",
+        samples,
+        &[mlp_epochs as u64, seed],
+    );
+    gopim_cache::global().get_or_compute(key, || model_comparison_fresh(samples, mlp_epochs, seed))
+}
+
+fn model_comparison_fresh(samples: &SampleSet, mlp_epochs: usize, seed: u64) -> Vec<RmseRow> {
     let (train, test) = split(samples, 0.8, seed);
     let norm = Normalizer::fit(&train.x);
     let train_x = norm.transform(&train.x);
@@ -60,6 +97,15 @@ pub fn model_comparison(samples: &SampleSet, mlp_epochs: usize, seed: u64) -> Ve
 /// Returns `(feature name, RMSE with the feature removed)`; compare
 /// against the full-feature RMSE from [`model_comparison`].
 pub fn feature_ablation(samples: &SampleSet, epochs: usize, seed: u64) -> Vec<(String, f64)> {
+    let key = sweep_key(
+        "experiments.fig09.feature_ablation/v1",
+        samples,
+        &[epochs as u64, seed],
+    );
+    gopim_cache::global().get_or_compute(key, || feature_ablation_fresh(samples, epochs, seed))
+}
+
+fn feature_ablation_fresh(samples: &SampleSet, epochs: usize, seed: u64) -> Vec<(String, f64)> {
     const NAMES: [&str; 10] = [
         "R_IFM_CO", "C_IFM_CO", "R_E_CO", "C_E_CO", "R_A_AG", "C_A_AG", "R_E_AG", "C_E_AG", "s",
         "k",
@@ -98,14 +144,23 @@ pub fn depth_sweep(
     epochs: usize,
     seed: u64,
 ) -> Vec<(usize, f64)> {
-    let (train, test) = split(samples, 0.8, seed);
-    depths
-        .iter()
-        .map(|&d| {
-            let p = TimePredictor::train(&train, d, hidden, epochs, seed);
-            (d, rmse(&p.predict_normalized(&test.x), &test.y))
-        })
-        .collect()
+    let mut h = CanonicalHasher::new();
+    h.write_tag("experiments.fig09.depth_sweep/v1");
+    samples.canonical_hash(&mut h);
+    depths.canonical_hash(&mut h);
+    h.write_usize(hidden);
+    h.write_usize(epochs);
+    h.write_u64(seed);
+    gopim_cache::global().get_or_compute(h.finish(), || {
+        let (train, test) = split(samples, 0.8, seed);
+        depths
+            .iter()
+            .map(|&d| {
+                let p = TimePredictor::train(&train, d, hidden, epochs, seed);
+                (d, rmse(&p.predict_normalized(&test.x), &test.y))
+            })
+            .collect()
+    })
 }
 
 /// Fig. 9(c): hidden-width sweep on the 3-layer MLP.
@@ -115,14 +170,22 @@ pub fn width_sweep(
     epochs: usize,
     seed: u64,
 ) -> Vec<(usize, f64)> {
-    let (train, test) = split(samples, 0.8, seed);
-    widths
-        .iter()
-        .map(|&w| {
-            let p = TimePredictor::train(&train, 3, w, epochs, seed);
-            (w, rmse(&p.predict_normalized(&test.x), &test.y))
-        })
-        .collect()
+    let mut h = CanonicalHasher::new();
+    h.write_tag("experiments.fig09.width_sweep/v1");
+    samples.canonical_hash(&mut h);
+    widths.canonical_hash(&mut h);
+    h.write_usize(epochs);
+    h.write_u64(seed);
+    gopim_cache::global().get_or_compute(h.finish(), || {
+        let (train, test) = split(samples, 0.8, seed);
+        widths
+            .iter()
+            .map(|&w| {
+                let p = TimePredictor::train(&train, 3, w, epochs, seed);
+                (w, rmse(&p.predict_normalized(&test.x), &test.y))
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]

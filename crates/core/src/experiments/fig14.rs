@@ -3,7 +3,7 @@
 
 use gopim_graph::datasets::Dataset;
 
-use crate::runner::{run_ablation, RunConfig};
+use crate::runner::{run_ablation_cached, RunConfig};
 use crate::system::Ablation;
 
 /// One (dataset, variant) cell of Fig. 14.
@@ -30,7 +30,7 @@ pub fn run(config: &RunConfig, datasets: &[Dataset]) -> Vec<AblationRow> {
         .iter()
         .flat_map(|&d| Ablation::ALL.iter().map(move |&v| (d, v)))
         .collect();
-    let all_runs = gopim_par::par_map(&cells, |&(d, v)| run_ablation(d, v, config));
+    let all_runs = gopim_par::par_map(&cells, |&(d, v)| run_ablation_cached(d, v, config));
     let mut rows = Vec::new();
     for (&dataset, runs) in datasets.iter().zip(all_runs.chunks(Ablation::ALL.len())) {
         let serial_time = runs[0].makespan_ns;

@@ -8,7 +8,7 @@
 
 use gopim_graph::datasets::Dataset;
 
-use crate::runner::{run_ablation, run_system, RunConfig};
+use crate::runner::{run_ablation_cached, run_system_cached, RunConfig};
 use crate::system::{Ablation, System};
 
 /// One bar of Fig. 15.
@@ -41,9 +41,9 @@ pub fn run(
             ..config.clone()
         };
         if label == "Naive" {
-            run_ablation(dataset, Ablation::PlusPp, &cfg)
+            run_ablation_cached(dataset, Ablation::PlusPp, &cfg)
         } else {
-            run_system(dataset, System::Gopim, &cfg)
+            run_system_cached(dataset, System::Gopim, &cfg)
         }
     });
     let mut rows = Vec::new();

@@ -5,11 +5,12 @@
 //! θ = 50 % safe for dense and θ = 80 % for sparse graphs;
 //! (c) speedup vs micro-batch size.
 
+use gopim_cache::{CacheValue, CanonicalHash, CanonicalHasher, Decoder, Encoder};
 use gopim_gcn::train::{train_gcn, TrainOptions};
 use gopim_graph::datasets::Dataset;
 use gopim_mapping::SelectivePolicy;
 
-use crate::runner::{run_system, RunConfig};
+use crate::runner::{run_system_cached, RunConfig};
 use crate::system::System;
 
 /// One point of the θ-accuracy sweep.
@@ -23,8 +24,44 @@ pub struct ThetaAccuracyRow {
     pub test_accuracy: f64,
 }
 
-/// Runs the θ sweep for one dataset's numeric stand-in graph.
+impl CacheValue for ThetaAccuracyRow {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.dataset);
+        e.put_f64(self.theta);
+        e.put_f64(self.test_accuracy);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        Some(ThetaAccuracyRow {
+            dataset: d.take_str()?,
+            theta: d.take_f64()?,
+            test_accuracy: d.take_f64()?,
+        })
+    }
+}
+
+/// Runs the θ sweep for one dataset's numeric stand-in graph. The sweep
+/// trains one GCN per θ — deterministic in `(dataset, seed, options)` —
+/// so the whole row set is cached under its canonical inputs.
 pub fn theta_sweep(
+    dataset: Dataset,
+    thetas: &[f64],
+    max_vertices: usize,
+    train_options: &TrainOptions,
+    seed: u64,
+) -> Vec<ThetaAccuracyRow> {
+    let mut h = CanonicalHasher::new();
+    h.write_tag("experiments.fig16.theta_sweep/v1");
+    dataset.canonical_hash(&mut h);
+    thetas.canonical_hash(&mut h);
+    h.write_usize(max_vertices);
+    train_options.canonical_hash(&mut h);
+    h.write_u64(seed);
+    gopim_cache::global().get_or_compute(h.finish(), || {
+        theta_sweep_fresh(dataset, thetas, max_vertices, train_options, seed)
+    })
+}
+
+fn theta_sweep_fresh(
     dataset: Dataset,
     thetas: &[f64],
     max_vertices: usize,
@@ -69,8 +106,8 @@ pub fn batch_sweep(config: &RunConfig, dataset: Dataset, sizes: &[usize]) -> Vec
                 micro_batch: b,
                 ..config.clone()
             };
-            let serial = run_system(dataset, System::Serial, &cfg);
-            let gopim = run_system(dataset, System::Gopim, &cfg);
+            let serial = run_system_cached(dataset, System::Serial, &cfg);
+            let gopim = run_system_cached(dataset, System::Gopim, &cfg);
             BatchSpeedupRow {
                 micro_batch: b,
                 speedup: serial.makespan_ns / gopim.makespan_ns,

@@ -12,7 +12,7 @@ use gopim_mapping::SelectivePolicy;
 use gopim_pipeline::latency::LatencyParams;
 use gopim_pipeline::{GcnWorkload, MappingKind, WorkloadOptions};
 
-use crate::runner::{run_system_on_profile, RunConfig};
+use crate::runner::{run_system_cached, RunConfig};
 use crate::system::System;
 
 /// One point of the feature-dimension sweep.
@@ -136,7 +136,9 @@ pub struct BudgetRow {
 pub fn budget_sweep(config: &RunConfig, dataset: Dataset, chips: &[f64]) -> Vec<BudgetRow> {
     use gopim_reram::spec::AcceleratorSpec;
     let one_chip = AcceleratorSpec::paper().total_crossbars();
-    let profile = dataset.profile(config.profile_seed);
+    // The dataset profile is shared through the runner's profile memo,
+    // so every budget point reuses one Arc'd profile and workload; the
+    // per-point results go through the run cache.
     chips
         .iter()
         .map(|&c| {
@@ -144,8 +146,8 @@ pub fn budget_sweep(config: &RunConfig, dataset: Dataset, chips: &[f64]) -> Vec<
                 crossbar_budget: Some((c * one_chip as f64) as usize),
                 ..config.clone()
             };
-            let serial = run_system_on_profile(dataset, &profile, System::Serial, &cfg);
-            let gopim = run_system_on_profile(dataset, &profile, System::Gopim, &cfg);
+            let serial = run_system_cached(dataset, System::Serial, &cfg);
+            let gopim = run_system_cached(dataset, System::Gopim, &cfg);
             BudgetRow {
                 chips: c,
                 speedup: serial.makespan_ns / gopim.makespan_ns,
@@ -167,9 +169,11 @@ pub struct ProductsRow {
 
 /// Runs Serial vs GoPIM on the full-size products dataset.
 pub fn products_run(config: &RunConfig) -> Vec<ProductsRow> {
-    let profile = Dataset::Products.profile(config.profile_seed);
-    let serial = run_system_on_profile(Dataset::Products, &profile, System::Serial, config);
-    let gopim = run_system_on_profile(Dataset::Products, &profile, System::Gopim, config);
+    // The big-graph case is where the cache pays most: a warm re-run
+    // (disk tier) skips the multi-million-vertex profile and workload
+    // builds entirely.
+    let serial = run_system_cached(Dataset::Products, System::Serial, config);
+    let gopim = run_system_cached(Dataset::Products, System::Gopim, config);
     vec![
         ProductsRow {
             system: "Serial".into(),

@@ -2,6 +2,7 @@
 //! period 20) vs GoPIM-Vanilla (every vertex fresh every epoch), on the
 //! numeric stand-in graphs of the five headline datasets.
 
+use gopim_cache::{CacheValue, CanonicalHash, CanonicalHasher, Decoder, Encoder};
 use gopim_gcn::train::{train_gcn, TrainOptions};
 use gopim_graph::datasets::Dataset;
 use gopim_mapping::SelectivePolicy;
@@ -22,6 +23,27 @@ pub struct AccuracyRow {
     pub delta_std_pp: f64,
     /// θ the adaptive rule chose.
     pub theta: f64,
+}
+
+impl CacheValue for AccuracyRow {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.dataset);
+        e.put_f64(self.vanilla);
+        e.put_f64(self.gopim);
+        e.put_f64(self.delta_pp);
+        e.put_f64(self.delta_std_pp);
+        e.put_f64(self.theta);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        Some(AccuracyRow {
+            dataset: d.take_str()?,
+            vanilla: d.take_f64()?,
+            gopim: d.take_f64()?,
+            delta_pp: d.take_f64()?,
+            delta_std_pp: d.take_f64()?,
+            theta: d.take_f64()?,
+        })
+    }
 }
 
 /// Runs the Table V comparison with one seed.
@@ -48,6 +70,25 @@ pub fn run_multi_seed(
     seeds: &[u64],
 ) -> Vec<AccuracyRow> {
     assert!(!seeds.is_empty(), "need at least one seed");
+    // Training is deterministic in the graph seed and TrainOptions, so
+    // the whole table is cacheable under its canonical inputs.
+    let mut h = CanonicalHasher::new();
+    h.write_tag("experiments.table05/v1");
+    datasets.canonical_hash(&mut h);
+    h.write_usize(max_vertices);
+    options.canonical_hash(&mut h);
+    seeds.canonical_hash(&mut h);
+    gopim_cache::global().get_or_compute(h.finish(), || {
+        run_multi_seed_fresh(datasets, max_vertices, options, seeds)
+    })
+}
+
+fn run_multi_seed_fresh(
+    datasets: &[Dataset],
+    max_vertices: usize,
+    options: &TrainOptions,
+    seeds: &[u64],
+) -> Vec<AccuracyRow> {
     // Every (dataset, seed) cell trains two GCNs from scratch —
     // independent, heavy work. Fan the cross product over the pool
     // and regroup per dataset; order is preserved so the statistics

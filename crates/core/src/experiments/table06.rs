@@ -3,7 +3,7 @@
 
 use gopim_graph::datasets::Dataset;
 
-use crate::runner::{run_system, RunConfig};
+use crate::runner::{run_system_cached, RunConfig};
 use crate::system::System;
 
 /// The allocation detail of one system on one dataset.
@@ -26,7 +26,7 @@ pub fn run(config: &RunConfig, dataset: Dataset) -> Vec<AllocationDetail> {
     [System::Serial, System::Gopim]
         .iter()
         .map(|&system| {
-            let r = run_system(dataset, system, config);
+            let r = run_system_cached(dataset, system, config);
             let crossbars: Vec<usize> = r
                 .replicas
                 .iter()

@@ -9,7 +9,7 @@
 //! ```
 
 use gopim::report;
-use gopim::runner::{build_workload, run_system, RunConfig};
+use gopim::runner::{build_workload, run_system, run_systems, RunConfig};
 use gopim::system::System;
 use gopim_graph::datasets::Dataset;
 use gopim_pipeline::schedule::simulate_traced;
@@ -115,10 +115,10 @@ fn cmd_compare(dataset: Dataset, micro_batch: usize) {
         micro_batch,
         ..RunConfig::default()
     };
-    let runs: Vec<_> = System::ALL
-        .iter()
-        .map(|&s| run_system(dataset, s, &config))
-        .collect();
+    // The cached sweep path: six systems fan out in parallel, identical
+    // cells dedup, and a GOPIM_CACHE directory serves warm reruns.
+    let cells: Vec<_> = System::ALL.iter().map(|&s| (dataset, s)).collect();
+    let runs = run_systems(&cells, &config);
     let serial_time = runs[0].makespan_ns;
     let serial_energy = runs[0].energy_nj();
     let rows: Vec<Vec<String>> = runs

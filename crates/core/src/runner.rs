@@ -1,6 +1,27 @@
 //! End-to-end system runner: workload → allocation → schedule → energy.
+//!
+//! # Incremental sweeps
+//!
+//! Sweep-level entry points ([`run_systems`], [`run_system_cached`],
+//! [`run_ablation_cached`]) consult the canonical-hash run cache
+//! (`gopim-cache`) before simulating: identical request tuples within
+//! one sweep are deduplicated, repeated requests across experiments hit
+//! the in-process tier, and with `GOPIM_CACHE=dir` whole re-runs hit
+//! the disk tier. Intermediates — degree profiles, built workloads,
+//! allocator inputs — are memoized behind `Arc`s so sweep points that
+//! differ only downstream share one copy. Everything is a pure
+//! performance layer: a cache hit returns bytes a fresh simulation
+//! would produce bitwise (pinned by `tests/cache_differential.rs`).
+//! The singular [`run_system`] stays uncached so span-level tooling
+//! (and the trace-determinism tests) always observe a real simulation;
+//! ML-estimator runs bypass the cache entirely because a trained
+//! predictor has no canonical content hash.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use gopim_alloc::{fixed, greedy_allocate, AllocInput, AllocPlan};
+use gopim_cache::{CacheKey, CacheValue, CanonicalHash, CanonicalHasher, Decoder, Encoder, Memo};
 use gopim_graph::datasets::Dataset;
 use gopim_graph::DegreeProfile;
 use gopim_mapping::SelectivePolicy;
@@ -19,6 +40,13 @@ use gopim_reram::spec::AcceleratorSpec;
 use crate::system::{Ablation, System};
 
 static RUNS: LazyCounter = LazyCounter::new("runner.system_runs");
+static SWEEP_DEDUP: LazyCounter = LazyCounter::new("cache.sweep_dedup");
+
+/// Profiles are small and few; workloads dominate memory (per-stage ×
+/// per-micro-batch write matrices), so both tables stay bounded.
+static PROFILE_MEMO: Memo<DegreeProfile> = Memo::new(64);
+static WORKLOAD_MEMO: Memo<GcnWorkload> = Memo::new(96);
+static ALLOC_INPUT_MEMO: Memo<AllocInput> = Memo::new(256);
 
 /// Simulates the schedule, and — when span collection is on — re-runs
 /// it traced and exports the schedule as one simulated Chrome-trace
@@ -118,6 +146,50 @@ impl SystemRun {
             .zip(&self.footprints)
             .map(|(&r, &x)| r * x)
             .sum()
+    }
+}
+
+impl CanonicalHash for RunConfig {
+    fn canonical_hash(&self, h: &mut CanonicalHasher) {
+        h.write_tag("core.run_config/v1");
+        h.write_usize(self.micro_batch);
+        self.crossbar_budget.canonical_hash(h);
+        h.write_u64(self.profile_seed);
+        // The estimator hashes by variant only: `Exact` is a constant,
+        // and a trained `Ml` predictor has no canonical content hash —
+        // which is exactly why `run_key` refuses to cache ML runs.
+        h.write_u8(match self.estimator {
+            Estimator::Exact => 0,
+            Estimator::Ml(_) => 1,
+        });
+        h.write_usize(self.num_batches);
+        h.write_f64(self.slimgnn_prune_retain);
+        h.write_f64(self.reflip_reload_rows_per_edge);
+    }
+}
+
+impl CacheValue for SystemRun {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.system_name);
+        e.put_str(&self.dataset_name);
+        e.put_f64(self.makespan_ns);
+        self.energy.encode(e);
+        self.schedule.encode(e);
+        self.replicas.encode(e);
+        self.footprints.encode(e);
+        self.stage_names.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        Some(SystemRun {
+            system_name: d.take_str()?,
+            dataset_name: d.take_str()?,
+            makespan_ns: d.take_f64()?,
+            energy: EnergyBreakdown::decode(d)?,
+            schedule: PipelineResult::decode(d)?,
+            replicas: Vec::decode(d)?,
+            footprints: Vec::decode(d)?,
+            stage_names: Vec::decode(d)?,
+        })
     }
 }
 
@@ -225,34 +297,145 @@ fn allocate(system: System, input: &AllocInput, workload: &GcnWorkload) -> Alloc
     }
 }
 
+/// The pipeline options a system implies (hoisted out of `finish_run`
+/// so cache keys can cover them without building a workload first).
+fn pipeline_options_for(system: System, config: &RunConfig) -> PipelineOptions {
+    if !system.pipelined() {
+        PipelineOptions::serial()
+    } else {
+        PipelineOptions {
+            intra_batch: true,
+            inter_batch: system.inter_batch(),
+            num_batches: config.num_batches,
+        }
+    }
+}
+
+/// The memoized degree profile of a dataset (shared `Arc` across every
+/// sweep point requesting the same `(dataset, seed)`).
+pub(crate) fn dataset_profile(dataset: Dataset, seed: u64) -> Arc<DegreeProfile> {
+    let key = gopim_cache::key_of("runner.profile/v1", &(dataset, seed));
+    PROFILE_MEMO.get_or_build(key, || dataset.profile(seed))
+}
+
+/// The memoized workload for `(name, profile, model, options)`; the
+/// returned key canonically covers every build input, so it doubles as
+/// the provenance component of downstream allocator-input keys.
+fn memo_workload(
+    name: &str,
+    profile: &DegreeProfile,
+    model: &gopim_graph::datasets::ModelConfig,
+    options: &WorkloadOptions,
+) -> (CacheKey, Arc<GcnWorkload>) {
+    let mut h = CanonicalHasher::new();
+    h.write_tag("runner.workload/v1");
+    h.write_str(name);
+    profile.canonical_hash(&mut h);
+    model.canonical_hash(&mut h);
+    options.canonical_hash(&mut h);
+    let key = h.finish();
+    let workload = WORKLOAD_MEMO.get_or_build(key, || {
+        GcnWorkload::build_custom(name, profile, model, options)
+    });
+    (key, workload)
+}
+
+/// The canonical request key of one `(dataset, system, config)` run —
+/// everything the result depends on, per DESIGN.md §12: the dataset
+/// (profiles are pure functions of `(dataset, seed)`), the system, the
+/// full run config, the latency model (hardware spec included), and
+/// the derived pipeline options. `None` when the run is uncacheable
+/// (ML estimator).
+pub fn run_key(dataset: Dataset, system: System, config: &RunConfig) -> Option<CacheKey> {
+    if !matches!(config.estimator, Estimator::Exact) {
+        return None;
+    }
+    let mut h = CanonicalHasher::new();
+    h.write_tag("runner.run_system/v1");
+    dataset.canonical_hash(&mut h);
+    system.canonical_hash(&mut h);
+    config.canonical_hash(&mut h);
+    LatencyParams::paper().canonical_hash(&mut h);
+    pipeline_options_for(system, config).canonical_hash(&mut h);
+    Some(h.finish())
+}
+
 /// Runs one system on one dataset end to end.
+///
+/// Always simulates (the cache-aware entry points are
+/// [`run_system_cached`] and [`run_systems`]): span-level tooling and
+/// the trace-determinism tests rely on this function emitting a real
+/// `runner.run_system` span every call.
 pub fn run_system(dataset: Dataset, system: System, config: &RunConfig) -> SystemRun {
-    let profile = dataset.profile(config.profile_seed);
+    let profile = dataset_profile(dataset, config.profile_seed);
     run_system_on_profile(dataset, &profile, system, config)
+}
+
+/// [`run_system`] behind the canonical-hash run cache: a repeated
+/// request — within this process or, with `GOPIM_CACHE=dir`, from an
+/// earlier one — decodes the stored result instead of simulating.
+/// Cached and fresh results are bitwise identical.
+pub fn run_system_cached(dataset: Dataset, system: System, config: &RunConfig) -> SystemRun {
+    match run_key(dataset, system, config) {
+        Some(key) => {
+            gopim_cache::global().get_or_compute(key, || run_system(dataset, system, config))
+        }
+        None => run_system(dataset, system, config),
+    }
 }
 
 /// Runs several `(dataset, system)` configurations, fanning the
 /// independent simulations across the `gopim-par` pool. Results come
-/// back in input order and each run is identical to a standalone
-/// [`run_system`] call, so the fan-out is invisible to callers.
+/// back in input order and each run is bitwise identical to a
+/// standalone [`run_system`] call. Identical tuples are simulated once
+/// (sweep dedup), and every unique tuple consults the run cache before
+/// simulating.
 pub fn run_systems(configs: &[(Dataset, System)], config: &RunConfig) -> Vec<SystemRun> {
-    gopim_par::par_map(configs, |&(dataset, system)| {
-        run_system(dataset, system, config)
-    })
+    // Dedup identical requests by canonical key; uncacheable runs
+    // (`None` key) always simulate individually.
+    let keys: Vec<Option<CacheKey>> = configs
+        .iter()
+        .map(|&(d, s)| run_key(d, s, config))
+        .collect();
+    let mut first_slot: BTreeMap<u128, usize> = BTreeMap::new();
+    let mut unique: Vec<usize> = Vec::new();
+    let mut slots: Vec<usize> = Vec::with_capacity(configs.len());
+    for (i, key) in keys.iter().enumerate() {
+        let slot = match key {
+            Some(k) => *first_slot.entry(k.as_u128()).or_insert_with(|| {
+                unique.push(i);
+                unique.len() - 1
+            }),
+            None => {
+                unique.push(i);
+                unique.len() - 1
+            }
+        };
+        slots.push(slot);
+    }
+    if unique.len() < configs.len() {
+        SWEEP_DEDUP.add((configs.len() - unique.len()) as u64);
+    }
+    let runs = gopim_par::par_map(&unique, |&i| {
+        run_system_cached(configs[i].0, configs[i].1, config)
+    });
+    slots.iter().map(|&s| runs[s].clone()).collect()
 }
 
 /// Builds the workload a system would run on a dataset (for callers
 /// that want to inspect or re-simulate it, e.g. the trace/Gantt
-/// example).
+/// example). Served from the workload memo when the same build was
+/// already requested this process.
 pub fn build_workload(dataset: Dataset, system: System, config: &RunConfig) -> GcnWorkload {
-    let profile = dataset.profile(config.profile_seed);
+    let base = dataset_profile(dataset, config.profile_seed);
     let profile = if system == System::SlimGnnLike {
-        scaled_profile(&profile, config.slimgnn_prune_retain)
+        scaled_profile(&base, config.slimgnn_prune_retain)
     } else {
-        profile
+        (*base).clone()
     };
     let options = workload_options(system, &profile, config);
-    GcnWorkload::build_custom(dataset.name(), &profile, &dataset.model(), &options)
+    let (_, workload) = memo_workload(dataset.name(), &profile, &dataset.model(), &options);
+    (*workload).clone()
 }
 
 /// Runs one system on a custom (profile, model) pair — the entry point
@@ -270,8 +453,15 @@ pub fn run_system_custom(
         profile.clone()
     };
     let options = workload_options(system, &profile, config);
-    let workload = GcnWorkload::build_custom(name, &profile, model, &options);
-    finish_run(system.name(), &profile, workload, system, config)
+    let (workload_key, workload) = memo_workload(name, &profile, model, &options);
+    finish_run(
+        system.name(),
+        &profile,
+        workload_key,
+        &workload,
+        system,
+        config,
+    )
 }
 
 /// Runs one system on an explicit degree profile (used by the
@@ -288,14 +478,23 @@ pub fn run_system_on_profile(
         profile.clone()
     };
     let options = workload_options(system, &profile, config);
-    let workload = GcnWorkload::build_custom(dataset.name(), &profile, &dataset.model(), &options);
-    finish_run(system.name(), &profile, workload, system, config)
+    let (workload_key, workload) =
+        memo_workload(dataset.name(), &profile, &dataset.model(), &options);
+    finish_run(
+        system.name(),
+        &profile,
+        workload_key,
+        &workload,
+        system,
+        config,
+    )
 }
 
 fn finish_run(
     name: &str,
     profile: &DegreeProfile,
-    workload: GcnWorkload,
+    workload_key: CacheKey,
+    workload: &GcnWorkload,
     system: System,
     config: &RunConfig,
 ) -> SystemRun {
@@ -310,33 +509,40 @@ fn finish_run(
         .crossbar_budget
         .unwrap_or_else(|| spec.total_crossbars());
     let budget = total.saturating_sub(workload.base_crossbars());
-    let input = alloc_input(&workload, profile.avg_degree(), budget, &config.estimator);
-    let plan = allocate(system, &input, &workload);
-
-    let pipeline_options = if !system.pipelined() {
-        PipelineOptions::serial()
-    } else if system.inter_batch() {
-        PipelineOptions {
-            intra_batch: true,
-            inter_batch: true,
-            num_batches: config.num_batches,
+    // With the exact estimator the allocator input is a pure function
+    // of (workload, avg_degree, budget), all covered by the workload
+    // key — share one Arc across every system that derives the same
+    // input (Serial/ReGraphX/GoPIM-Vanilla on one dataset, for one).
+    let input: Arc<AllocInput> = match config.estimator {
+        Estimator::Exact => {
+            let mut h = CanonicalHasher::new();
+            h.write_tag("runner.alloc_input/v1");
+            workload_key.as_u128().canonical_hash(&mut h);
+            h.write_f64(profile.avg_degree());
+            h.write_usize(budget);
+            ALLOC_INPUT_MEMO.get_or_build(h.finish(), || {
+                alloc_input(workload, profile.avg_degree(), budget, &config.estimator)
+            })
         }
-    } else {
-        PipelineOptions {
-            intra_batch: true,
-            inter_batch: false,
-            num_batches: config.num_batches,
-        }
+        Estimator::Ml(_) => Arc::new(alloc_input(
+            workload,
+            profile.avg_degree(),
+            budget,
+            &config.estimator,
+        )),
     };
+    let plan = allocate(system, &input, workload);
+
+    let pipeline_options = pipeline_options_for(system, config);
     let schedule = simulate_and_export(
-        &workload,
+        workload,
         &plan.replicas,
         &pipeline_options,
         &format!("{name}/{}", workload.name()),
     );
     let energy = energy_of_run(
         &spec,
-        &workload,
+        workload,
         &plan.replicas,
         &schedule,
         config.num_batches,
@@ -357,9 +563,45 @@ fn finish_run(
     }
 }
 
+/// The canonical request key of one ablation run; `None` when
+/// uncacheable (ML estimator) or when the variant delegates to
+/// [`run_system`] (those share `run_system` keys instead).
+pub fn ablation_key(dataset: Dataset, variant: Ablation, config: &RunConfig) -> Option<CacheKey> {
+    if !matches!(config.estimator, Estimator::Exact) {
+        return None;
+    }
+    if matches!(variant, Ablation::Serial | Ablation::Full) {
+        return None;
+    }
+    let mut h = CanonicalHasher::new();
+    h.write_tag("runner.run_ablation/v1");
+    dataset.canonical_hash(&mut h);
+    variant.canonical_hash(&mut h);
+    config.canonical_hash(&mut h);
+    LatencyParams::paper().canonical_hash(&mut h);
+    Some(h.finish())
+}
+
+/// [`run_ablation`] behind the run cache. The `Serial`/`Full` variants
+/// share cache entries with the plain system sweep ([`run_system_cached`]
+/// with `System::Serial`/`System::Gopim`); the pipeline-only variants
+/// get their own keys.
+pub fn run_ablation_cached(dataset: Dataset, variant: Ablation, config: &RunConfig) -> SystemRun {
+    match variant {
+        Ablation::Serial => run_system_cached(dataset, System::Serial, config),
+        Ablation::Full => run_system_cached(dataset, System::Gopim, config),
+        Ablation::PlusPp | Ablation::PlusIsu => match ablation_key(dataset, variant, config) {
+            Some(key) => {
+                gopim_cache::global().get_or_compute(key, || run_ablation(dataset, variant, config))
+            }
+            None => run_ablation(dataset, variant, config),
+        },
+    }
+}
+
 /// Runs one Fig. 14 ablation variant on a dataset.
 pub fn run_ablation(dataset: Dataset, variant: Ablation, config: &RunConfig) -> SystemRun {
-    let profile = dataset.profile(config.profile_seed);
+    let profile = dataset_profile(dataset, config.profile_seed);
     match variant {
         Ablation::Serial => run_system(dataset, System::Serial, config),
         Ablation::Full => run_system(dataset, System::Gopim, config),
@@ -378,8 +620,7 @@ pub fn run_ablation(dataset: Dataset, variant: Ablation, config: &RunConfig) -> 
                 repeated_load_rows_per_edge: 0.0,
                 profile_seed: config.profile_seed,
             };
-            let workload =
-                GcnWorkload::build_custom(dataset.name(), &profile, &dataset.model(), &options);
+            let (_, workload) = memo_workload(dataset.name(), &profile, &dataset.model(), &options);
             // Pipelining without replicas: force a serial plan.
             let spec = AcceleratorSpec::paper();
             let plan = AllocPlan::serial(workload.stages().len());

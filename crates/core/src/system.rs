@@ -106,6 +106,20 @@ impl fmt::Display for Ablation {
     }
 }
 
+impl gopim_cache::CanonicalHash for System {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("core.system/v1");
+        h.write_str(self.name());
+    }
+}
+
+impl gopim_cache::CanonicalHash for Ablation {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("core.ablation/v1");
+        h.write_str(self.name());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

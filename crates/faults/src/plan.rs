@@ -226,6 +226,16 @@ impl FaultPlan {
     }
 }
 
+impl gopim_cache::CanonicalHash for FaultConfig {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("faults.config/v1");
+        h.write_u64(self.seed);
+        h.write_f64(self.stuck_rate);
+        h.write_f64(self.transient_rate);
+        h.write_f64(self.horizon_ns);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

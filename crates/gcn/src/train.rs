@@ -63,6 +63,22 @@ pub struct TrainOptions {
     pub seed: u64,
 }
 
+impl gopim_cache::CanonicalHash for TrainOptions {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("gcn.train_options/v1");
+        h.write_usize(self.hidden);
+        h.write_usize(self.num_layers);
+        h.write_usize(self.epochs);
+        h.write_f64(self.learning_rate);
+        h.write_f64(self.train_fraction);
+        self.selective.canonical_hash(h);
+        h.write_usize(self.weight_staleness);
+        self.frozen_vertices.canonical_hash(h);
+        h.write_usize(self.freeze_epoch);
+        h.write_u64(self.seed);
+    }
+}
+
 impl TrainOptions {
     /// A fast configuration for unit tests.
     pub fn quick_test() -> Self {

@@ -333,6 +333,25 @@ impl std::fmt::Display for Dataset {
     }
 }
 
+impl gopim_cache::CanonicalHash for Dataset {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("graph.dataset/v1");
+        h.write_str(self.name());
+    }
+}
+
+impl gopim_cache::CanonicalHash for ModelConfig {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("graph.model/v1");
+        h.write_usize(self.num_layers);
+        h.write_f64(self.learning_rate);
+        h.write_f64(self.dropout);
+        h.write_usize(self.input_channels);
+        h.write_usize(self.hidden_channels);
+        h.write_usize(self.output_channels);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

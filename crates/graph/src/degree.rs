@@ -128,6 +128,17 @@ impl DegreeProfile {
     }
 }
 
+impl gopim_cache::CanonicalHash for DegreeProfile {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("graph.degree_profile/v1");
+        let degrees = self.degrees();
+        h.write_u64(degrees.len() as u64);
+        for &d in degrees {
+            h.write_u32(d);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

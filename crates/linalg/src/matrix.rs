@@ -295,6 +295,17 @@ impl fmt::Debug for Matrix {
     }
 }
 
+impl gopim_cache::CanonicalHash for Matrix {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("linalg.matrix/v1");
+        h.write_usize(self.rows);
+        h.write_usize(self.cols);
+        for &v in &self.data {
+            h.write_f64(v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -145,6 +145,14 @@ pub fn update_load(mapping: &VertexMapping, selected: &[bool]) -> UpdateLoad {
     }
 }
 
+impl gopim_cache::CanonicalHash for SelectivePolicy {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("mapping.selective/v1");
+        h.write_f64(self.theta);
+        h.write_usize(self.stale_period);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

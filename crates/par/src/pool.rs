@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 // lint:allow(no-nondeterministic-time): pool busy/idle telemetry below is metrics-gated wall-clock only
 use std::time::Instant;
 
@@ -30,6 +30,20 @@ static WORKER_IDLE_NS: LazyCounter = LazyCounter::new("par.worker.idle_ns");
 /// lifetime erasure in [`Pool::scope`]; the scope barrier restores the
 /// borrow discipline the type system can no longer see.
 type Job = Box<dyn FnOnce() + Send>;
+
+/// Locks `m`, recovering from poisoning: every mutex in this module
+/// guards state that stays structurally valid mid-update (a job queue,
+/// a task counter, a panic slot), and `scope` already forwards the
+/// first task panic to the caller — a second panic from a poisoned
+/// lock would only mask it.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_recover`].
+fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
@@ -76,15 +90,26 @@ impl Pool {
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
+        let mut contexts = 1;
         for i in 1..threads {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
+            let worker_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
                 .name(format!("gopim-par-{i}"))
-                .spawn(move || worker(shared))
-                .expect("failed to spawn pool worker");
+                .spawn(move || worker(worker_shared))
+            {
+                Ok(_) => contexts += 1,
+                // Resource exhaustion: degrade to however many workers
+                // exist. The calling thread always participates, so a
+                // pool with zero workers still completes every scope —
+                // just serially.
+                Err(_) => break,
+            }
         }
         Pool {
-            inner: Arc::new(Inner { shared, threads }),
+            inner: Arc::new(Inner {
+                shared,
+                threads: contexts,
+            }),
         }
     }
 
@@ -113,17 +138,17 @@ impl Pool {
             panic: Mutex::new(None),
         });
         {
-            let mut queue = self.inner.shared.queue.lock().unwrap();
+            let mut queue = lock_recover(&self.inner.shared.queue);
             for task in tasks {
                 let state = Arc::clone(&state);
                 let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
                     if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                        let mut slot = state.panic.lock().unwrap();
+                        let mut slot = lock_recover(&state.panic);
                         if slot.is_none() {
                             *slot = Some(payload);
                         }
                     }
-                    let mut remaining = state.remaining.lock().unwrap();
+                    let mut remaining = lock_recover(&state.remaining);
                     *remaining -= 1;
                     if *remaining == 0 {
                         state.all_done.notify_all();
@@ -144,19 +169,19 @@ impl Pool {
         // scopes — work conservation) until this scope's tasks are
         // done and the queue offers nothing else to help with.
         loop {
-            let job = self.inner.shared.queue.lock().unwrap().pop_front();
+            let job = lock_recover(&self.inner.shared.queue).pop_front();
             match job {
                 Some(job) => job(),
                 None => {
-                    let mut remaining = state.remaining.lock().unwrap();
+                    let mut remaining = lock_recover(&state.remaining);
                     while *remaining != 0 {
-                        remaining = state.all_done.wait(remaining).unwrap();
+                        remaining = wait_recover(&state.all_done, remaining);
                     }
                     break;
                 }
             }
         }
-        let payload = state.panic.lock().unwrap().take();
+        let payload = lock_recover(&state.panic).take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
@@ -181,7 +206,7 @@ fn worker(shared: Arc<Shared>) {
         // lint:allow(no-nondeterministic-time): metrics-gated wall-clock telemetry, never feeds simulation state
         let idle_from = gopim_obs::metrics_enabled().then(Instant::now);
         let job = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = lock_recover(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break Some(job);
@@ -189,7 +214,7 @@ fn worker(shared: Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared.work_ready.wait(queue).unwrap();
+                queue = wait_recover(&shared.work_ready, queue);
             }
         };
         if let Some(t) = idle_from {

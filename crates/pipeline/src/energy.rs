@@ -107,6 +107,23 @@ pub fn energy_with_extra_writes(
     }
 }
 
+impl gopim_cache::CacheValue for EnergyBreakdown {
+    fn encode(&self, e: &mut gopim_cache::Encoder) {
+        e.put_f64(self.compute_nj);
+        e.put_f64(self.write_nj);
+        e.put_f64(self.leakage_nj);
+        e.put_f64(self.overhead_nj);
+    }
+    fn decode(d: &mut gopim_cache::Decoder<'_>) -> Option<Self> {
+        Some(EnergyBreakdown {
+            compute_nj: d.take_f64()?,
+            write_nj: d.take_f64()?,
+            leakage_nj: d.take_f64()?,
+            overhead_nj: d.take_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

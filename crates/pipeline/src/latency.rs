@@ -133,6 +133,17 @@ impl Default for LatencyParams {
     }
 }
 
+impl gopim_cache::CanonicalHash for LatencyParams {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("pipeline.latency_params/v1");
+        self.spec.canonical_hash(h);
+        h.write_f64(self.group_issue_ns);
+        h.write_f64(self.edge_stream_ns);
+        h.write_f64(self.gc_compute_factor);
+        h.write_f64(self.microbatch_overhead_ns);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -110,6 +110,11 @@ impl<T> HeapQueue<T> {
 }
 
 impl<T> EventQueue<T> for HeapQueue<T> {
+    // `#[inline]`: the DES engine is generic over the queue, and these
+    // one-liners must disappear into its monomorphized event loop —
+    // benchmarking showed the un-inlined trait surface alone costing
+    // ~5-10% at small pool sizes (BENCH_pr6's R=8 caveat).
+    #[inline]
     fn push(&mut self, t: f64, item: T) {
         QUEUE_PUSHES.add(1);
         let seq = self.seq;
@@ -117,10 +122,12 @@ impl<T> EventQueue<T> for HeapQueue<T> {
         self.heap.push(HeapEntry { t, seq, item });
     }
 
+    #[inline]
     fn pop(&mut self) -> Option<(f64, T)> {
         self.heap.pop().map(|e| (e.t, e.item))
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.heap.len()
     }

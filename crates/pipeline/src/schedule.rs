@@ -363,6 +363,51 @@ fn finish(
     }
 }
 
+impl gopim_cache::CanonicalHash for PipelineOptions {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("pipeline.options/v1");
+        h.write_bool(self.intra_batch);
+        h.write_bool(self.inter_batch);
+        h.write_usize(self.num_batches);
+    }
+}
+
+impl gopim_cache::CacheValue for StageActivity {
+    fn encode(&self, e: &mut gopim_cache::Encoder) {
+        e.put_str(&self.name);
+        e.put_usize(self.replicas);
+        e.put_f64(self.busy_compute_ns);
+        e.put_f64(self.busy_write_ns);
+        e.put_f64(self.idle_fraction);
+        e.put_f64(self.stage_idle_fraction);
+    }
+    fn decode(d: &mut gopim_cache::Decoder<'_>) -> Option<Self> {
+        Some(StageActivity {
+            name: d.take_str()?,
+            replicas: d.take_usize()?,
+            busy_compute_ns: d.take_f64()?,
+            busy_write_ns: d.take_f64()?,
+            idle_fraction: d.take_f64()?,
+            stage_idle_fraction: d.take_f64()?,
+        })
+    }
+}
+
+impl gopim_cache::CacheValue for PipelineResult {
+    fn encode(&self, e: &mut gopim_cache::Encoder) {
+        e.put_f64(self.makespan_ns);
+        e.put_f64(self.total_service_ns);
+        self.stages.encode(e);
+    }
+    fn decode(d: &mut gopim_cache::Decoder<'_>) -> Option<Self> {
+        Some(PipelineResult {
+            makespan_ns: d.take_f64()?,
+            total_service_ns: d.take_f64()?,
+            stages: Vec::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -327,6 +327,38 @@ pub fn mapping_for(profile: &DegreeProfile, kind: MappingKind, capacity: usize) 
     }
 }
 
+impl gopim_cache::CanonicalHash for MappingKind {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_u8(match self {
+            MappingKind::IndexBased => 0,
+            MappingKind::Interleaved => 1,
+        });
+    }
+}
+
+impl gopim_cache::CanonicalHash for UpdateAccounting {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_u8(match self {
+            UpdateAccounting::Amortized => 0,
+            UpdateAccounting::SteadyEpoch => 1,
+            UpdateAccounting::RefreshEpoch => 2,
+        });
+    }
+}
+
+impl gopim_cache::CanonicalHash for WorkloadOptions {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("pipeline.workload_options/v1");
+        h.write_usize(self.micro_batch);
+        self.mapping.canonical_hash(h);
+        self.selective.canonical_hash(h);
+        self.accounting.canonical_hash(h);
+        self.params.canonical_hash(h);
+        h.write_f64(self.repeated_load_rows_per_edge);
+        h.write_u64(self.profile_seed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

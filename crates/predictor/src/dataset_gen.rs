@@ -50,6 +50,14 @@ impl SampleSet {
     }
 }
 
+impl gopim_cache::CanonicalHash for SampleSet {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("predictor.sample_set/v1");
+        self.x.canonical_hash(h);
+        self.y.canonical_hash(h);
+    }
+}
+
 impl SampleSet {
     /// Concatenates two sample sets.
     ///

@@ -212,6 +212,51 @@ impl Default for AcceleratorSpec {
     }
 }
 
+impl gopim_cache::CanonicalHash for ComponentSpec {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_f64(self.power_mw);
+        h.write_f64(self.area_mm2);
+    }
+}
+
+impl gopim_cache::CanonicalHash for AcceleratorSpec {
+    fn canonical_hash(&self, h: &mut gopim_cache::CanonicalHasher) {
+        h.write_tag("reram.spec/v1");
+        h.write_usize(self.crossbar_rows);
+        h.write_usize(self.crossbar_cols);
+        h.write_u32(self.bits_per_cell);
+        h.write_u32(self.value_bits);
+        h.write_u32(self.dac_bits);
+        h.write_u32(self.adc_bits);
+        h.write_usize(self.differential_pairs);
+        h.write_usize(self.crossbars_per_pe);
+        h.write_usize(self.pes_per_tile);
+        h.write_usize(self.tiles_per_chip);
+        h.write_f64(self.read_latency_ns);
+        h.write_f64(self.write_latency_ns);
+        h.write_usize(self.concurrent_write_rows);
+        for c in [
+            &self.adc,
+            &self.dac,
+            &self.sample_hold,
+            &self.crossbar,
+            &self.input_register,
+            &self.output_register,
+            &self.shift_add,
+            &self.input_buffer,
+            &self.crossbar_buffer,
+            &self.output_buffer,
+            &self.nfu,
+            &self.pfu,
+            &self.weight_computer,
+            &self.activation_module,
+            &self.central_controller,
+        ] {
+            c.canonical_hash(h);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

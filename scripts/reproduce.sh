@@ -8,23 +8,45 @@ cd "$(dirname "$0")/.."
 EXTRA="${1:-}"
 
 mkdir -p results
+METRICS_DIR=$(mktemp -d)
+trap 'rm -rf "$METRICS_DIR"' EXIT
 BINARIES=(table02 table03 fig04 fig05 fig06 fig09 fig10 fig13 fig14 \
           fig15 fig16 fig17 table05 table06 table07 \
           ablation endurance xbar_size shapecheck)
 for bin in "${BINARIES[@]}"; do
     echo "== $bin =="
-    cargo run --release -p gopim-bench --bin "$bin" -- $EXTRA \
-        | tee "results/$bin.txt"
+    # GOPIM_METRICS is output-invariant (stdout stays byte-identical);
+    # the stderr report feeds the per-experiment cache summary below.
+    GOPIM_METRICS=1 cargo run --release -p gopim-bench --bin "$bin" -- $EXTRA \
+        2> "$METRICS_DIR/$bin.err" | tee "results/$bin.txt" \
+        || { cat "$METRICS_DIR/$bin.err" >&2; exit 1; }
+done
+
+# Per-experiment run-cache traffic: with GOPIM_CACHE set, reruns of an
+# unchanged tree are served from disk and the hit column fills up.
+echo "== run-cache summary =="
+printf '%-12s %10s %10s %10s\n' experiment hits misses disk_hits
+for bin in "${BINARIES[@]}"; do
+    awk -v bin="$bin" '
+        $1 == "counter" && $2 == "cache.hits"      { hits = $3 }
+        $1 == "counter" && $2 == "cache.misses"    { misses = $3 }
+        $1 == "counter" && $2 == "cache.disk_hits" { disk = $3 }
+        END { printf "%-12s %10d %10d %10d\n", bin, hits, misses, disk }
+    ' "$METRICS_DIR/$bin.err"
 done
 
 # Microbenchmarks: human summary to the console, JSON-lines trajectory
 # appended under results/ for trend tracking across runs.
 echo "== microbenchmarks =="
 rm -f results/bench.jsonl
+# Absolute path: cargo runs bench binaries with the *package* directory
+# as their cwd, so a relative GOPIM_BENCH_JSON would land (or fail) in
+# crates/bench/ instead of the repo root.
+BENCH_JSON="$PWD/results/bench.jsonl"
 if [ "$EXTRA" = "--quick" ]; then
-    GOPIM_BENCH_FAST=1 GOPIM_BENCH_JSON=results/bench.jsonl \
+    GOPIM_BENCH_FAST=1 GOPIM_BENCH_JSON="$BENCH_JSON" \
         cargo bench --offline -p gopim-bench
 else
-    GOPIM_BENCH_JSON=results/bench.jsonl cargo bench --offline -p gopim-bench
+    GOPIM_BENCH_JSON="$BENCH_JSON" cargo bench --offline -p gopim-bench
 fi
 echo "All outputs written to results/ (bench trajectories: results/bench.jsonl)."

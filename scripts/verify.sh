@@ -54,6 +54,29 @@ cargo run --release --offline -p gopim-obs --example validate_trace -- \
     "$SMOKE_DIR/trace.json" \
     linalg.matmul par. pipeline.simulate runner.run_system sim.
 
+echo "== run-cache smoke (fig04 --quick, cold vs warm disk tier) =="
+# The run cache must be a pure speed knob: a warm rerun against a
+# just-populated GOPIM_CACHE directory must print byte-identical stdout
+# and actually be served from the disk tier (nonzero cache.disk_hits).
+CACHE_DIR="$SMOKE_DIR/run_cache"
+mkdir -p "$CACHE_DIR"
+GOPIM_CACHE="$CACHE_DIR" GOPIM_METRICS=1 \
+    cargo run --release --offline -p gopim-bench --bin fig04 -- --quick \
+    > "$SMOKE_DIR/cache_cold.out" 2> "$SMOKE_DIR/cache_cold.err"
+GOPIM_CACHE="$CACHE_DIR" GOPIM_METRICS=1 \
+    cargo run --release --offline -p gopim-bench --bin fig04 -- --quick \
+    > "$SMOKE_DIR/cache_warm.out" 2> "$SMOKE_DIR/cache_warm.err"
+diff -u "$SMOKE_DIR/cache_cold.out" "$SMOKE_DIR/cache_warm.out" \
+    || { echo "verify: warm cached fig04 stdout differs from cold run"; exit 1; }
+diff -u "$SMOKE_DIR/plain.out" "$SMOKE_DIR/cache_warm.out" \
+    || { echo "verify: cached fig04 stdout differs from uncached run"; exit 1; }
+awk '$1 == "counter" && $2 == "cache.hits" && $3 > 0 { found = 1 }
+     END { exit !found }' "$SMOKE_DIR/cache_warm.err" \
+    || { echo "verify: warm fig04 run reported no cache hits"; exit 1; }
+awk '$1 == "counter" && $2 == "cache.disk_hits" && $3 > 0 { found = 1 }
+     END { exit !found }' "$SMOKE_DIR/cache_warm.err" \
+    || { echo "verify: warm fig04 run never touched the disk tier"; exit 1; }
+
 echo "== seeded fault-campaign smoke (faults --quick) =="
 # Two fault rates on a small graph; the JSON-lines output must pass the
 # in-repo parser's schema check, and a second run under the same seed

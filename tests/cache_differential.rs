@@ -1,0 +1,183 @@
+//! Differential harness for the run cache: a cache hit must hand back
+//! bytes *bitwise identical* to a fresh simulation. Three fronts:
+//!
+//! 1. in-process — warm [`run_systems`]/[`run_ablation_cached`] results
+//!    vs the same requests computed under
+//!    [`gopim_cache::with_disabled`];
+//! 2. cross-process — a child process populates an on-disk tier
+//!    (`GOPIM_CACHE`), a second child serves the same sweep from disk,
+//!    and both digests must match the parent's fresh computation;
+//! 3. thread counts — a cache populated under a 1-thread pool must
+//!    serve byte-identical results under an 8-thread pool (and the
+//!    fresh leg agrees with both).
+//!
+//! Comparison is on the [`CacheValue`] encodings — the exact byte
+//! strings the store persists — so equality here *is* the bitwise
+//! contract, f64 payloads included.
+
+use gopim::runner::{run_ablation_cached, run_system_cached, run_systems, RunConfig};
+use gopim::system::{Ablation, System};
+use gopim::SystemRun;
+use gopim_cache::CacheValue;
+use gopim_graph::datasets::Dataset;
+use gopim_par::Pool;
+
+const CHILD_ENV: &str = "GOPIM_CACHE_DIFF_OUT";
+const TEST_NAME: &str = "disk_tier_serves_bitwise_identical_results_across_processes";
+
+fn test_config() -> RunConfig {
+    RunConfig {
+        crossbar_budget: Some(200_000),
+        ..RunConfig::default()
+    }
+}
+
+fn sweep() -> Vec<(Dataset, System)> {
+    vec![
+        (Dataset::Ddi, System::Serial),
+        (Dataset::Ddi, System::Gopim),
+        (Dataset::Cora, System::Gopim),
+        (Dataset::Collab, System::Serial),
+    ]
+}
+
+/// The store's own byte encoding of a result list: bit-exact identity.
+fn encode(runs: &[SystemRun]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in runs {
+        out.extend_from_slice(&r.to_bytes());
+    }
+    out
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn cached_sweep_is_bitwise_identical_to_fresh() {
+    let config = test_config();
+    let cells = sweep();
+    let warmup = encode(&run_systems(&cells, &config));
+    let before = gopim_cache::global().stats();
+    let cached = encode(&run_systems(&cells, &config));
+    let after = gopim_cache::global().stats();
+    let fresh = gopim_cache::with_disabled(|| encode(&run_systems(&cells, &config)));
+    assert_eq!(warmup, cached, "warm rerun changed bytes");
+    assert_eq!(cached, fresh, "cache hit differs from fresh simulation");
+    // The second sweep must have been served by the store (other tests
+    // running in parallel can only add hits, so >= is exact enough).
+    assert!(
+        after.hits - before.hits >= 3,
+        "expected cache hits on the warm sweep: {before:?} -> {after:?}"
+    );
+}
+
+#[test]
+fn cached_ablation_is_bitwise_identical_to_fresh() {
+    let config = test_config();
+    for variant in Ablation::ALL {
+        let warm = run_ablation_cached(Dataset::Ddi, variant, &config);
+        let cached = run_ablation_cached(Dataset::Ddi, variant, &config);
+        let fresh =
+            gopim_cache::with_disabled(|| run_ablation_cached(Dataset::Ddi, variant, &config));
+        assert_eq!(
+            warm.to_bytes(),
+            cached.to_bytes(),
+            "{variant:?} warm rerun changed bytes"
+        );
+        assert_eq!(
+            cached.to_bytes(),
+            fresh.to_bytes(),
+            "{variant:?} cache hit differs from fresh"
+        );
+    }
+}
+
+/// A cache populated at one thread count must serve the same bytes at
+/// another, and both must match a fresh run — the cache cannot be
+/// allowed to launder a thread-count dependence into "deterministic"
+/// results.
+#[test]
+fn cache_populated_serial_serves_identical_bytes_parallel() {
+    // A budget this test alone uses, so the cold leg is really cold.
+    let config = RunConfig {
+        crossbar_budget: Some(222_000),
+        ..RunConfig::default()
+    };
+    let cells = sweep();
+    let cold = Pool::new(1).install(|| encode(&run_systems(&cells, &config)));
+    let warm = Pool::new(8).install(|| encode(&run_systems(&cells, &config)));
+    let fresh = Pool::new(8)
+        .install(|| gopim_cache::with_disabled(|| encode(&run_systems(&cells, &config))));
+    assert_eq!(cold, warm, "1-thread-populated cache differs at 8 threads");
+    assert_eq!(warm, fresh, "cached bytes differ from fresh at 8 threads");
+}
+
+#[test]
+fn disk_tier_serves_bitwise_identical_results_across_processes() {
+    let config = test_config();
+    if std::env::var(CHILD_ENV).is_ok() {
+        // Child mode: simulate the sweep (consulting whatever
+        // GOPIM_CACHE the parent pointed us at), report a digest plus
+        // the disk-tier hit count, and stop before re-spawning.
+        let out = std::env::var(CHILD_ENV).expect("checked above");
+        let mut runs = Vec::new();
+        for (d, s) in sweep() {
+            runs.push(run_system_cached(d, s, &config));
+        }
+        let stats = gopim_cache::global().stats();
+        let line = format!("{:016x} {}", fnv(&encode(&runs)), stats.disk_hits);
+        std::fs::write(out, line).expect("write child digest");
+        return;
+    }
+
+    // Parent: the reference digest comes from a fully uncached run.
+    let fresh_digest = gopim_cache::with_disabled(|| {
+        let runs: Vec<SystemRun> = sweep()
+            .into_iter()
+            .map(|(d, s)| run_system_cached(d, s, &config))
+            .collect();
+        format!("{:016x}", fnv(&encode(&runs)))
+    });
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let pid = std::process::id();
+    let cache_dir = std::env::temp_dir().join(format!("gopim_cache_diff_{pid}"));
+    std::fs::create_dir_all(&cache_dir).expect("create cache dir");
+
+    let mut disk_hits = Vec::new();
+    for run in 0..2 {
+        let out = std::env::temp_dir().join(format!("gopim_cache_diff_{pid}_{run}.txt"));
+        let status = std::process::Command::new(&exe)
+            .arg("--exact")
+            .arg(TEST_NAME)
+            .env(CHILD_ENV, &out)
+            .env("GOPIM_CACHE", &cache_dir)
+            .status()
+            .expect("spawn child test process");
+        assert!(status.success(), "child process run {run} failed");
+        let report = std::fs::read_to_string(&out).expect("read child digest");
+        let _ = std::fs::remove_file(&out);
+        let (digest, hits) = report.split_once(' ').expect("digest + disk_hits");
+        assert_eq!(
+            digest, fresh_digest,
+            "child run {run} digest differs from fresh simulation"
+        );
+        disk_hits.push(hits.trim().parse::<u64>().expect("disk hit count"));
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // First child starts from an empty directory; the second must have
+    // been served (at least partly) by the records the first wrote.
+    assert_eq!(disk_hits[0], 0, "cold child run cannot have disk hits");
+    assert!(
+        disk_hits[1] > 0,
+        "warm child run never touched the disk tier"
+    );
+}

@@ -1,0 +1,222 @@
+//! Property tests for the canonical request key (DESIGN.md §12):
+//!
+//! - equal requests hash equal (trivially, but pinned);
+//! - perturbing any single `RunConfig` / `WorkloadOptions` field
+//!   changes the key — the key really covers every field;
+//! - keys are stable across processes and builds (fixture-pinned hex:
+//!   the disk tier's addresses must survive a recompile, and any
+//!   intentional schema change must bump
+//!   [`gopim_cache::KEY_SCHEMA_VERSION`], which shows up here as a
+//!   fixture update in the same diff);
+//! - collision smoke over the full fig04/fig14/fig15 sweep grids —
+//!   every distinct request in the shipped experiments gets a distinct
+//!   key.
+
+use std::collections::BTreeSet;
+
+use gopim::runner::{ablation_key, run_key, Estimator, RunConfig};
+use gopim::system::{Ablation, System};
+use gopim_cache::key_of;
+use gopim_graph::datasets::Dataset;
+use gopim_mapping::SelectivePolicy;
+use gopim_pipeline::workload::{MappingKind, UpdateAccounting, WorkloadOptions};
+
+fn base_key(config: &RunConfig) -> u128 {
+    run_key(Dataset::Ddi, System::Gopim, config)
+        .expect("exact estimator is cacheable")
+        .as_u128()
+}
+
+#[test]
+fn equal_configs_hash_equal() {
+    let a = RunConfig::default();
+    let b = RunConfig::default();
+    assert_eq!(base_key(&a), base_key(&b));
+    assert_eq!(
+        key_of("t", &WorkloadOptions::default()).as_u128(),
+        key_of("t", &WorkloadOptions::default()).as_u128(),
+    );
+}
+
+#[test]
+fn every_run_config_field_perturbation_changes_the_key() {
+    let base = RunConfig::default();
+    let k0 = base_key(&base);
+    let perturbed: Vec<(&str, RunConfig)> = vec![
+        (
+            "micro_batch",
+            RunConfig {
+                micro_batch: 65,
+                ..base.clone()
+            },
+        ),
+        (
+            "crossbar_budget",
+            RunConfig {
+                crossbar_budget: Some(200_000),
+                ..base.clone()
+            },
+        ),
+        (
+            "profile_seed",
+            RunConfig {
+                profile_seed: 8,
+                ..base.clone()
+            },
+        ),
+        (
+            "num_batches",
+            RunConfig {
+                num_batches: 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "slimgnn_prune_retain",
+            RunConfig {
+                slimgnn_prune_retain: 0.76,
+                ..base.clone()
+            },
+        ),
+        (
+            "reflip_reload_rows_per_edge",
+            RunConfig {
+                reflip_reload_rows_per_edge: 0.51,
+                ..base.clone()
+            },
+        ),
+    ];
+    let mut seen = BTreeSet::from([k0]);
+    for (field, config) in &perturbed {
+        let k = base_key(config);
+        assert!(
+            seen.insert(k),
+            "perturbing {field} collided with an earlier key"
+        );
+    }
+    // The ML estimator is uncacheable by design, not just differently
+    // keyed: a trained predictor has no canonical content hash.
+    let samples = gopim_predictor::dataset_gen::generate_samples(12, 1);
+    let ml = RunConfig {
+        estimator: Estimator::Ml(gopim_predictor::TimePredictor::train(&samples, 2, 4, 1, 1)),
+        ..base
+    };
+    assert!(run_key(Dataset::Ddi, System::Gopim, &ml).is_none());
+}
+
+#[test]
+fn every_workload_options_field_perturbation_changes_the_key() {
+    let base = WorkloadOptions::default();
+    let k0 = key_of("t", &base).as_u128();
+    let perturbed: Vec<(&str, WorkloadOptions)> = vec![
+        (
+            "micro_batch",
+            WorkloadOptions {
+                micro_batch: 32,
+                ..base.clone()
+            },
+        ),
+        (
+            "mapping",
+            WorkloadOptions {
+                mapping: MappingKind::Interleaved,
+                ..base.clone()
+            },
+        ),
+        (
+            "selective",
+            WorkloadOptions {
+                selective: Some(SelectivePolicy::with_theta(0.5, 20)),
+                ..base.clone()
+            },
+        ),
+        (
+            "accounting",
+            WorkloadOptions {
+                accounting: UpdateAccounting::SteadyEpoch,
+                ..base.clone()
+            },
+        ),
+        (
+            "repeated_load_rows_per_edge",
+            WorkloadOptions {
+                repeated_load_rows_per_edge: 1.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "profile_seed",
+            WorkloadOptions {
+                profile_seed: 8,
+                ..base.clone()
+            },
+        ),
+    ];
+    let mut seen = BTreeSet::from([k0]);
+    for (field, options) in &perturbed {
+        assert!(
+            seen.insert(key_of("t", options).as_u128()),
+            "perturbing {field} collided with an earlier key"
+        );
+    }
+}
+
+/// Fixture-pinned key: this exact hex was produced by the current key
+/// schema. If this test fails, the key layout changed — that is only
+/// acceptable together with a `KEY_SCHEMA_VERSION` bump (which itself
+/// changes this value), so update the fixture in the same commit.
+#[test]
+fn keys_are_stable_across_processes_and_builds() {
+    let k = run_key(Dataset::Ddi, System::Gopim, &RunConfig::default())
+        .expect("exact estimator is cacheable");
+    assert_eq!(k.to_hex(), "044b537fb7036fc4a85146228b545f80");
+    let w = key_of("fixture", &WorkloadOptions::default());
+    assert_eq!(w.to_hex(), "4ba7e8c93359ea3ad4b55c99a89187d6");
+}
+
+/// Collision smoke over the shipped sweep grids: fig04's full
+/// dataset × system cross product, fig14/fig15's ablation grids, and a
+/// micro-batch/budget spread. Every cacheable cell must key uniquely.
+#[test]
+fn no_collisions_across_the_shipped_sweep_grids() {
+    let mut keys = BTreeSet::new();
+    let mut cells = 0usize;
+
+    let config = RunConfig::default();
+    for dataset in Dataset::ALL {
+        for system in System::ALL {
+            let k = run_key(dataset, system, &config).expect("cacheable");
+            cells += 1;
+            assert!(keys.insert(k.as_u128()), "{dataset:?}/{system:?} collided");
+        }
+        for variant in Ablation::ALL {
+            if let Some(k) = ablation_key(dataset, variant, &config) {
+                cells += 1;
+                assert!(keys.insert(k.as_u128()), "{dataset:?}/{variant:?} collided");
+            }
+        }
+    }
+    for micro_batch in [16, 32, 64, 128, 256] {
+        for budget in [Some(100_000), Some(200_000), Some(400_000), None] {
+            if micro_batch == 64 && budget.is_none() {
+                // Identical to the fig04 grid's default-config cell
+                // above — same request, deliberately the same key.
+                continue;
+            }
+            let c = RunConfig {
+                micro_batch,
+                crossbar_budget: budget,
+                ..RunConfig::default()
+            };
+            for system in [System::Serial, System::Gopim] {
+                let k = run_key(Dataset::Ddi, system, &c).expect("cacheable");
+                cells += 1;
+                assert!(
+                    keys.insert(k.as_u128()),
+                    "b={micro_batch} budget={budget:?} {system:?} collided"
+                );
+            }
+        }
+    }
+    assert_eq!(keys.len(), cells, "every distinct request keys uniquely");
+}

@@ -142,7 +142,11 @@ fn thread_count_never_changes_any_bits() {
             (Dataset::Ddi, System::Gopim),
             (Dataset::Cora, System::Gopim),
         ];
-        let des: Vec<u64> = run_systems(&sweep, &config)
+        // Bypass the run cache: this test exists to observe real
+        // simulations at both thread counts, not one simulation and a
+        // cache hit (tests/cache_differential.rs covers the cached
+        // path).
+        let des: Vec<u64> = gopim_cache::with_disabled(|| run_systems(&sweep, &config))
             .iter()
             .map(|r| r.makespan_ns.to_bits())
             .collect();
