@@ -352,7 +352,23 @@ fn parse_record(raw: &[u8], key: CacheKey) -> Option<Vec<u8>> {
 /// use.
 pub fn global() -> &'static RunCache {
     static GLOBAL: OnceLock<RunCache> = OnceLock::new();
-    GLOBAL.get_or_init(RunCache::from_env)
+    GLOBAL.get_or_init(|| {
+        // Contribute end-of-run cache statistics to the run manifest
+        // (no-op unless GOPIM_MANIFEST is set). The provider is polled
+        // at render time, so the counts cover the whole run.
+        gopim_obs::manifest::register_provider(|| {
+            use gopim_obs::manifest::Value;
+            let s = global().stats();
+            vec![
+                ("cache.hits".to_string(), Value::U64(s.hits)),
+                ("cache.misses".to_string(), Value::U64(s.misses)),
+                ("cache.disk_hits".to_string(), Value::U64(s.disk_hits)),
+                ("cache.evictions".to_string(), Value::U64(s.evictions)),
+                ("cache.corrupt".to_string(), Value::U64(s.corrupt)),
+            ]
+        });
+        RunCache::from_env()
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,679 @@
+//! Statistical comparison of benchmark record files — the engine
+//! behind `gopim bench-diff`.
+//!
+//! Reads the two record shapes the repo produces:
+//!
+//! - **JSON-lines** appended by the testkit bench runner
+//!   (`GOPIM_BENCH_JSON=<path>`), one compact object per line;
+//! - **results documents** (`BENCH_pr*.json`): a pretty-printed
+//!   object with a `note` and a `results` array whose entries carry
+//!   an optional `phase` tag.
+//!
+//! The comparison is a median ± MAD overlap test. Each record's
+//! standard error is estimated as `1.4826 · MAD / √samples` (the MAD
+//! is a consistent estimator of σ at that scale for normal noise);
+//! two records differ significantly when the median gap exceeds
+//! `z · √(se_a² + se_b²)` *and* a relative floor (`min_rel`) that
+//! guards against statistically-significant-but-tiny deltas. Ratchet
+//! mode adds a tolerance band on top: a regression must also exceed
+//! `old · (1 + tolerance)`, absorbing machine-to-machine wall-clock
+//! drift against a committed baseline.
+
+use std::collections::BTreeMap;
+
+use gopim_obs::export::{escape_json, parse_json, Json};
+
+use crate::report;
+
+/// MAD → σ scale factor for normally distributed noise.
+const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// One benchmark measurement, normalized from either input shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Bench group — explicit `"group"` field when present (new
+    /// records), else the `id` prefix.
+    pub group: String,
+    /// Optional phase tag (`before`, `after-t1`, …) from trajectory
+    /// documents.
+    pub phase: Option<String>,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-sample ns/iter values.
+    pub mad_ns: f64,
+    /// Timed samples behind the median (weights the overlap test).
+    pub samples: u64,
+}
+
+impl BenchRecord {
+    fn from_json(obj: &Json) -> Result<BenchRecord, String> {
+        let id = obj
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("record missing string 'id'")?
+            .to_string();
+        let median_ns = obj
+            .get("median_ns")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("record '{id}' missing numeric 'median_ns'"))?;
+        let group = obj
+            .get("group")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| id.split('/').next().unwrap_or("").to_string());
+        Ok(BenchRecord {
+            group,
+            phase: obj.get("phase").and_then(Json::as_str).map(str::to_string),
+            median_ns,
+            mad_ns: obj.get("mad_ns").and_then(Json::as_num).unwrap_or(0.0),
+            samples: obj
+                .get("samples")
+                .and_then(Json::as_num)
+                .map_or(1, |s| s.max(1.0) as u64),
+            id,
+        })
+    }
+
+    /// Standard error of the median estimated from MAD and sample
+    /// count.
+    pub fn std_error_ns(&self) -> f64 {
+        MAD_TO_SIGMA * self.mad_ns / (self.samples.max(1) as f64).sqrt()
+    }
+}
+
+/// Parses a bench record file in any of the supported shapes
+/// (results document, bare array, single object, or JSON-lines).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed record.
+pub fn parse_records(text: &str) -> Result<Vec<BenchRecord>, String> {
+    if let Ok(doc) = parse_json(text) {
+        let items: &[Json] = match &doc {
+            Json::Obj(_) if doc.get("results").is_some() => doc
+                .get("results")
+                .and_then(Json::as_arr)
+                .ok_or("'results' is not an array")?,
+            Json::Arr(items) => items,
+            Json::Obj(_) => std::slice::from_ref(&doc),
+            _ => return Err("not a bench record document".to_string()),
+        };
+        return items.iter().map(BenchRecord::from_json).collect();
+    }
+    // JSON-lines: one compact record per non-empty line.
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        records
+            .push(BenchRecord::from_json(&obj).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    if records.is_empty() {
+        return Err("no bench records found".to_string());
+    }
+    Ok(records)
+}
+
+/// Reduces records to one per id — the **last** occurrence in file
+/// order (re-runs append, so the last record is the freshest; in
+/// phased trajectory documents it is the final phase). An explicit
+/// `phase` filter selects that phase instead.
+pub fn latest_by_id(records: &[BenchRecord], phase: Option<&str>) -> BTreeMap<String, BenchRecord> {
+    let mut map = BTreeMap::new();
+    for r in records {
+        if let Some(want) = phase {
+            if r.phase.as_deref() != Some(want) {
+                continue;
+            }
+        }
+        map.insert(r.id.clone(), r.clone());
+    }
+    map
+}
+
+/// Knobs of the overlap test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOptions {
+    /// Relative-change floor below which a delta is never significant.
+    pub min_rel: f64,
+    /// z-score multiplier on the combined standard error.
+    pub z: f64,
+    /// Ratchet tolerance band: when set, a regression (improvement)
+    /// must also move beyond `old · (1 ± tolerance)`.
+    pub tolerance: Option<f64>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            min_rel: 0.03,
+            z: 2.0,
+            tolerance: None,
+        }
+    }
+}
+
+/// Classification of one compared id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Significantly slower (and past the tolerance band, if any).
+    Regression,
+    /// Significantly faster.
+    Improvement,
+    /// Within noise (or inside the tolerance band).
+    Neutral,
+    /// Present only in the old file.
+    OnlyOld,
+    /// Present only in the new file.
+    OnlyNew,
+}
+
+impl Verdict {
+    /// The stable lowercase tag used in both output formats.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Regression => "regression",
+            Verdict::Improvement => "improvement",
+            Verdict::Neutral => "neutral",
+            Verdict::OnlyOld => "only-old",
+            Verdict::OnlyNew => "only-new",
+        }
+    }
+}
+
+/// One row of a diff report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Benchmark id.
+    pub id: String,
+    /// Old median ns (absent for [`Verdict::OnlyNew`]).
+    pub old_ns: Option<f64>,
+    /// New median ns (absent for [`Verdict::OnlyOld`]).
+    pub new_ns: Option<f64>,
+    /// Relative change `(new − old) / old`, matched rows only.
+    pub delta_rel: Option<f64>,
+    /// The noise threshold the delta was tested against, as a
+    /// fraction of the old median.
+    pub noise_rel: Option<f64>,
+    /// Classification.
+    pub verdict: Verdict,
+}
+
+/// A full comparison: one row per id in either input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Rows, sorted by id.
+    pub rows: Vec<DiffRow>,
+    /// The options the classification used.
+    pub options: DiffOptions,
+}
+
+fn classify(old: &BenchRecord, new: &BenchRecord, opts: &DiffOptions) -> (Verdict, f64, f64) {
+    let delta = new.median_ns - old.median_ns;
+    let rel = if old.median_ns > 0.0 {
+        delta / old.median_ns
+    } else {
+        0.0
+    };
+    let noise_ns = opts.z * new.std_error_ns().hypot(old.std_error_ns());
+    let noise_rel = if old.median_ns > 0.0 {
+        noise_ns / old.median_ns
+    } else {
+        0.0
+    };
+    let significant = delta.abs() > noise_ns && rel.abs() >= opts.min_rel;
+    let verdict = if !significant {
+        Verdict::Neutral
+    } else {
+        match opts.tolerance {
+            None if delta > 0.0 => Verdict::Regression,
+            None => Verdict::Improvement,
+            Some(tol) if new.median_ns > old.median_ns * (1.0 + tol) => Verdict::Regression,
+            Some(tol) if new.median_ns < old.median_ns / (1.0 + tol) => Verdict::Improvement,
+            Some(_) => Verdict::Neutral,
+        }
+    };
+    (verdict, rel, noise_rel)
+}
+
+/// Compares two id→record maps.
+pub fn diff(
+    old: &BTreeMap<String, BenchRecord>,
+    new: &BTreeMap<String, BenchRecord>,
+    options: DiffOptions,
+) -> DiffReport {
+    let mut ids: Vec<&String> = old.keys().chain(new.keys()).collect();
+    ids.sort();
+    ids.dedup();
+    let rows = ids
+        .into_iter()
+        .map(|id| match (old.get(id), new.get(id)) {
+            (Some(a), Some(b)) => {
+                let (verdict, rel, noise_rel) = classify(a, b, &options);
+                DiffRow {
+                    id: id.clone(),
+                    old_ns: Some(a.median_ns),
+                    new_ns: Some(b.median_ns),
+                    delta_rel: Some(rel),
+                    noise_rel: Some(noise_rel),
+                    verdict,
+                }
+            }
+            (Some(a), None) => DiffRow {
+                id: id.clone(),
+                old_ns: Some(a.median_ns),
+                new_ns: None,
+                delta_rel: None,
+                noise_rel: None,
+                verdict: Verdict::OnlyOld,
+            },
+            (None, b) => DiffRow {
+                id: id.clone(),
+                old_ns: None,
+                new_ns: b.map(|b| b.median_ns),
+                delta_rel: None,
+                noise_rel: None,
+                verdict: Verdict::OnlyNew,
+            },
+        })
+        .collect();
+    DiffReport { rows, options }
+}
+
+impl DiffReport {
+    /// Rows classified as regressions.
+    pub fn regressions(&self) -> usize {
+        self.count(Verdict::Regression)
+    }
+
+    fn count(&self, v: Verdict) -> usize {
+        self.rows.iter().filter(|r| r.verdict == v).count()
+    }
+
+    /// Renders the classified comparison table plus a summary line.
+    pub fn render_human(&self) -> String {
+        let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), report::time_ns);
+        let fmt_pct = |v: Option<f64>| v.map_or("-".to_string(), |r| format!("{:+.1}%", r * 100.0));
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.id.clone(),
+                    fmt_opt(r.old_ns),
+                    fmt_opt(r.new_ns),
+                    fmt_pct(r.delta_rel),
+                    r.noise_rel
+                        .map_or("-".to_string(), |n| format!("±{:.1}%", n * 100.0)),
+                    r.verdict.as_str().to_string(),
+                ]
+            })
+            .collect();
+        let tolerance = self
+            .options
+            .tolerance
+            .map_or("off".to_string(), |t| format!("{:.0}%", t * 100.0));
+        format!(
+            "{}bench-diff: {} id(s) — {} regression(s), {} improvement(s), {} neutral, \
+             {} only-old, {} only-new (z={}, min_rel={:.0}%, tolerance={tolerance})\n",
+            report::table(&["id", "old", "new", "delta", "noise", "verdict"], &rows),
+            self.rows.len(),
+            self.regressions(),
+            self.count(Verdict::Improvement),
+            self.count(Verdict::Neutral),
+            self.count(Verdict::OnlyOld),
+            self.count(Verdict::OnlyNew),
+            self.options.z,
+            self.options.min_rel * 100.0,
+        )
+    }
+
+    /// Renders the machine-readable report
+    /// (schema `gopim.bench_diff/v1`, parseable by the in-repo
+    /// parser).
+    pub fn render_json(&self) -> String {
+        let num = |v: Option<f64>| v.map_or("null".to_string(), |n| format!("{n:.3}"));
+        let mut out = format!(
+            "{{\"schema\":\"gopim.bench_diff/v1\",\"regressions\":{},\"improvements\":{},\
+             \"neutral\":{},\"only_old\":{},\"only_new\":{},\"rows\":[",
+            self.regressions(),
+            self.count(Verdict::Improvement),
+            self.count(Verdict::Neutral),
+            self.count(Verdict::OnlyOld),
+            self.count(Verdict::OnlyNew),
+        );
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":\"{}\",\"old_ns\":{},\"new_ns\":{},\"delta_rel\":{},\
+                 \"noise_rel\":{},\"verdict\":\"{}\"}}",
+                escape_json(&r.id),
+                num(r.old_ns),
+                num(r.new_ns),
+                num(r.delta_rel),
+                num(r.noise_rel),
+                r.verdict.as_str(),
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Renders a trajectory table over several record files: one row per
+/// id, one column per file (e.g. `BENCH_pr2.json … BENCH_pr7.json`),
+/// with the latest record per id in each file. Ids absent from a file
+/// show `-` — across the PR sequence most benchmarks exist only in
+/// the PRs that touched them, and the table makes that visible.
+///
+/// # Errors
+///
+/// Returns the first file's parse failure, labeled.
+pub fn trajectory(files: &[(String, String)]) -> Result<String, String> {
+    let mut columns = Vec::new();
+    for (label, text) in files {
+        let records = parse_records(text).map_err(|e| format!("{label}: {e}"))?;
+        columns.push((label.as_str(), latest_by_id(&records, None)));
+    }
+    let mut ids: Vec<&String> = columns.iter().flat_map(|(_, m)| m.keys()).collect();
+    ids.sort();
+    ids.dedup();
+    let mut header: Vec<&str> = vec!["id"];
+    header.extend(columns.iter().map(|(label, _)| *label));
+    let rows: Vec<Vec<String>> = ids
+        .iter()
+        .map(|id| {
+            let mut row = vec![(*id).clone()];
+            row.extend(columns.iter().map(|(_, m)| {
+                m.get(*id)
+                    .map_or("-".to_string(), |r| report::time_ns(r.median_ns))
+            }));
+            row
+        })
+        .collect();
+    Ok(format!(
+        "{}trajectory: {} id(s) across {} file(s)\n",
+        report::table(&header, &rows),
+        ids.len(),
+        columns.len(),
+    ))
+}
+
+/// Parsed `gopim bench-diff` command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiffArgs {
+    /// Input files, in order.
+    pub files: Vec<String>,
+    /// Emit JSON instead of the table.
+    pub json: bool,
+    /// Phase filter applied to both inputs.
+    pub phase: Option<String>,
+    /// Trajectory mode (≥ 2 files, one column each).
+    pub trajectory: bool,
+    /// Ratchet mode: apply a tolerance band and signal failure on
+    /// regressions.
+    pub ratchet: bool,
+    /// Explicit tolerance override.
+    pub tolerance: Option<f64>,
+}
+
+/// Ratchet tolerance applied when `--ratchet` is given without an
+/// explicit `--tolerance`. Generous because the committed baseline
+/// and the verifying machine are rarely the same hardware.
+pub const DEFAULT_RATCHET_TOLERANCE: f64 = 0.35;
+
+impl BenchDiffArgs {
+    /// Parses the argument list after the `bench-diff` word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags, missing flag values,
+    /// or a file count that does not fit the mode.
+    pub fn parse(args: &[String]) -> Result<BenchDiffArgs, String> {
+        let mut parsed = BenchDiffArgs {
+            files: Vec::new(),
+            json: false,
+            phase: None,
+            trajectory: false,
+            ratchet: false,
+            tolerance: None,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => parsed.json = true,
+                "--trajectory" => parsed.trajectory = true,
+                "--ratchet" => parsed.ratchet = true,
+                "--phase" => {
+                    parsed.phase = Some(
+                        it.next()
+                            .ok_or("bench-diff: --phase needs a value")?
+                            .clone(),
+                    );
+                }
+                "--tolerance" => {
+                    let raw = it.next().ok_or("bench-diff: --tolerance needs a value")?;
+                    let tol: f64 = raw
+                        .parse()
+                        .map_err(|_| format!("bench-diff: bad tolerance '{raw}'"))?;
+                    if !(0.0..10.0).contains(&tol) {
+                        return Err(format!("bench-diff: tolerance {tol} out of [0, 10)"));
+                    }
+                    parsed.tolerance = Some(tol);
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("bench-diff: unknown flag '{flag}'"));
+                }
+                file => parsed.files.push(file.to_string()),
+            }
+        }
+        if parsed.trajectory {
+            if parsed.files.len() < 2 {
+                return Err("bench-diff: --trajectory needs at least two files".to_string());
+            }
+        } else if parsed.files.len() != 2 {
+            return Err("bench-diff needs exactly two files: <old.json> <new.json>".to_string());
+        }
+        Ok(parsed)
+    }
+
+    /// The [`DiffOptions`] this invocation implies.
+    pub fn options(&self) -> DiffOptions {
+        DiffOptions {
+            tolerance: self
+                .tolerance
+                .or(self.ratchet.then_some(DEFAULT_RATCHET_TOLERANCE)),
+            ..DiffOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, median: f64, mad: f64, samples: u64) -> BenchRecord {
+        BenchRecord {
+            id: id.to_string(),
+            group: id.split('/').next().unwrap_or("").to_string(),
+            phase: None,
+            median_ns: median,
+            mad_ns: mad,
+            samples,
+        }
+    }
+
+    fn map(records: &[BenchRecord]) -> BTreeMap<String, BenchRecord> {
+        latest_by_id(records, None)
+    }
+
+    #[test]
+    fn parses_json_lines_and_results_documents() {
+        let lines = "{\"id\":\"g/a\",\"group\":\"g\",\"median_ns\":10.0,\"mad_ns\":1.0,\
+                     \"samples\":15,\"iters_per_sample\":3}\n\
+                     {\"id\":\"g/b\",\"median_ns\":20.0}\n";
+        let records = parse_records(lines).expect("json-lines parse");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].group, "g");
+        assert_eq!(records[1].group, "g", "group falls back to the id prefix");
+        assert_eq!(records[1].samples, 1, "missing samples default to 1");
+
+        let doc = r#"{"note": "x", "results": [
+            {"id": "g/a", "median_ns": 5.0, "mad_ns": 0.1, "samples": 15, "phase": "before"},
+            {"id": "g/a", "median_ns": 4.0, "mad_ns": 0.1, "samples": 15, "phase": "after"}
+        ]}"#;
+        let records = parse_records(doc).expect("results doc parse");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].phase.as_deref(), Some("after"));
+        let latest = latest_by_id(&records, None);
+        assert_eq!(latest["g/a"].median_ns, 4.0, "last record wins");
+        let before = latest_by_id(&records, Some("before"));
+        assert_eq!(before["g/a"].median_ns, 5.0, "phase filter selects");
+        assert!(parse_records("").is_err());
+        assert!(parse_records("not json at all {{{").is_err());
+    }
+
+    #[test]
+    fn overlap_test_classifies_regressions_and_improvements() {
+        // Tight measurements, 50% slower: clear regression.
+        let old = map(&[rec("g/a", 100.0, 1.0, 15)]);
+        let new = map(&[rec("g/a", 150.0, 1.0, 15)]);
+        let report = diff(&old, &new, DiffOptions::default());
+        assert_eq!(report.rows[0].verdict, Verdict::Regression);
+        assert_eq!(report.regressions(), 1);
+
+        // Same medians: neutral.
+        let report = diff(&old, &old, DiffOptions::default());
+        assert_eq!(report.rows[0].verdict, Verdict::Neutral);
+
+        // Faster: improvement.
+        let report = diff(&new, &old, DiffOptions::default());
+        assert_eq!(report.rows[0].verdict, Verdict::Improvement);
+
+        // Large delta but huge MAD: the noise threshold absorbs it.
+        let noisy_old = map(&[rec("g/a", 100.0, 40.0, 5)]);
+        let noisy_new = map(&[rec("g/a", 150.0, 40.0, 5)]);
+        let report = diff(&noisy_old, &noisy_new, DiffOptions::default());
+        assert_eq!(report.rows[0].verdict, Verdict::Neutral);
+
+        // Significant but tiny: the min_rel floor absorbs it.
+        let a = map(&[rec("g/a", 1000.0, 0.5, 100)]);
+        let b = map(&[rec("g/a", 1010.0, 0.5, 100)]);
+        let report = diff(&a, &b, DiffOptions::default());
+        assert_eq!(report.rows[0].verdict, Verdict::Neutral);
+    }
+
+    #[test]
+    fn tolerance_band_gates_the_ratchet() {
+        let old = map(&[rec("g/a", 100.0, 1.0, 15)]);
+        let new = map(&[rec("g/a", 120.0, 1.0, 15)]);
+        let strict = diff(&old, &new, DiffOptions::default());
+        assert_eq!(strict.rows[0].verdict, Verdict::Regression);
+        let banded = diff(
+            &old,
+            &new,
+            DiffOptions {
+                tolerance: Some(0.35),
+                ..DiffOptions::default()
+            },
+        );
+        assert_eq!(
+            banded.rows[0].verdict,
+            Verdict::Neutral,
+            "+20% sits inside a 35% band"
+        );
+        let way_over = map(&[rec("g/a", 200.0, 1.0, 15)]);
+        let banded = diff(
+            &old,
+            &way_over,
+            DiffOptions {
+                tolerance: Some(0.35),
+                ..DiffOptions::default()
+            },
+        );
+        assert_eq!(banded.rows[0].verdict, Verdict::Regression);
+    }
+
+    #[test]
+    fn unmatched_ids_render_as_classified_rows() {
+        let old = map(&[rec("g/gone", 10.0, 1.0, 15)]);
+        let new = map(&[rec("g/new", 20.0, 1.0, 15)]);
+        let report = diff(&old, &new, DiffOptions::default());
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].verdict, Verdict::OnlyOld);
+        assert_eq!(report.rows[1].verdict, Verdict::OnlyNew);
+        let human = report.render_human();
+        assert!(human.contains("only-old") && human.contains("only-new"));
+        assert!(human.contains("2 id(s)"));
+    }
+
+    #[test]
+    fn json_report_parses_with_the_in_repo_parser() {
+        let old = map(&[rec("g/a", 100.0, 1.0, 15), rec("g/gone", 5.0, 0.1, 15)]);
+        let new = map(&[rec("g/a", 150.0, 1.0, 15)]);
+        let text = diff(&old, &new, DiffOptions::default()).render_json();
+        let doc = parse_json(&text).expect("bench-diff JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("gopim.bench_diff/v1")
+        );
+        assert_eq!(doc.get("regressions").and_then(Json::as_num), Some(1.0));
+        let rows = doc.get("rows").and_then(Json::as_arr).expect("rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[1].get("new_ns"),
+            Some(&Json::Null),
+            "only-old rows carry null new_ns"
+        );
+    }
+
+    #[test]
+    fn trajectory_spans_files_with_disjoint_ids() {
+        let a = (
+            "pr2".to_string(),
+            "{\"id\":\"g/a\",\"median_ns\":10.0}\n".to_string(),
+        );
+        let b = (
+            "pr7".to_string(),
+            "{\"id\":\"g/b\",\"median_ns\":20.0}\n".to_string(),
+        );
+        let text = trajectory(&[a, b]).expect("trajectory renders");
+        assert!(text.contains("pr2") && text.contains("pr7"));
+        assert!(text.contains("g/a") && text.contains("g/b"));
+        assert!(text.contains("2 id(s) across 2 file(s)"));
+    }
+
+    #[test]
+    fn args_parse_modes_and_flags() {
+        let argv = |s: &[&str]| -> Vec<String> { s.iter().map(|s| s.to_string()).collect() };
+        let a = BenchDiffArgs::parse(&argv(&["old.json", "new.json"])).expect("basic");
+        assert_eq!(a.files, vec!["old.json", "new.json"]);
+        assert_eq!(a.options().tolerance, None);
+
+        let a = BenchDiffArgs::parse(&argv(&["--ratchet", "base.jsonl", "cur.jsonl", "--json"]))
+            .expect("ratchet");
+        assert!(a.ratchet && a.json);
+        assert_eq!(a.options().tolerance, Some(DEFAULT_RATCHET_TOLERANCE));
+
+        let a = BenchDiffArgs::parse(&argv(&["--ratchet", "--tolerance", "0.5", "a", "b"]))
+            .expect("tolerance override");
+        assert_eq!(a.options().tolerance, Some(0.5));
+
+        let a = BenchDiffArgs::parse(&argv(&["--trajectory", "a", "b", "c"])).expect("trajectory");
+        assert!(a.trajectory);
+        assert_eq!(a.files.len(), 3);
+
+        assert!(BenchDiffArgs::parse(&argv(&["one-file"])).is_err());
+        assert!(BenchDiffArgs::parse(&argv(&["--trajectory", "a"])).is_err());
+        assert!(BenchDiffArgs::parse(&argv(&["a", "b", "--bogus"])).is_err());
+        assert!(BenchDiffArgs::parse(&argv(&["a", "b", "--tolerance", "nope"])).is_err());
+        assert!(BenchDiffArgs::parse(&argv(&["a", "b", "--phase"])).is_err());
+    }
+}

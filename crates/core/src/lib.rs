@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod benchdiff;
 pub mod cli;
 pub mod experiments;
 pub mod paper;

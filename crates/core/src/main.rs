@@ -35,6 +35,15 @@ COMMANDS:
     lint [--update-baseline]      determinism & hermeticity linter
                                   (ratchets against lint-baseline.json;
                                    GOPIM_LINT_JSON=<path> writes a JSON report)
+    bench-diff <old> <new>        statistical comparison of two bench record
+                                  files (JSON-lines or BENCH_pr*.json):
+                                  median±MAD overlap test, each id classified
+                                  regression/improvement/neutral
+                                  [--json] machine-readable report
+                                  [--phase <p>] select a phase tag
+                                  [--ratchet] tolerance band + exit 1 on
+                                  regression  [--tolerance <frac>]
+    bench-diff --trajectory <f..> one column per file across BENCH_pr*.json
     help                          show this message
 
 DATASETS:  ddi collab ppa proteins arxiv products Cora
@@ -220,6 +229,56 @@ fn cmd_lint(update_baseline: bool) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
+    use gopim::benchdiff::{diff, latest_by_id, parse_records, trajectory, BenchDiffArgs};
+
+    let parsed = BenchDiffArgs::parse(args)?;
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("bench-diff: cannot read {path}: {e}"))
+    };
+    if parsed.trajectory {
+        let files: Vec<(String, String)> = parsed
+            .files
+            .iter()
+            .map(|p| {
+                // Column label: the file stem (BENCH_pr2.json → BENCH_pr2).
+                let label = std::path::Path::new(p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| p.clone());
+                read(p).map(|text| (label, text))
+            })
+            .collect::<Result<_, _>>()?;
+        print!("{}", trajectory(&files)?);
+        return Ok(());
+    }
+    let phase = parsed.phase.as_deref();
+    let old_records = parse_records(&read(&parsed.files[0])?)
+        .map_err(|e| format!("bench-diff: {}: {e}", parsed.files[0]))?;
+    let new_records = parse_records(&read(&parsed.files[1])?)
+        .map_err(|e| format!("bench-diff: {}: {e}", parsed.files[1]))?;
+    let report = diff(
+        &latest_by_id(&old_records, phase),
+        &latest_by_id(&new_records, phase),
+        parsed.options(),
+    );
+    if parsed.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if parsed.ratchet && report.regressions() > 0 {
+        eprintln!(
+            "bench-diff: {} regression(s) beyond the ratchet tolerance",
+            report.regressions()
+        );
+        // Distinct from usage errors: a real regression fails the run
+        // without reprinting the help text.
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
 fn cmd_custom(path: &str, micro_batch: usize) -> Result<(), String> {
     use gopim::runner::run_system_custom;
     use gopim_graph::datasets::ModelConfig;
@@ -337,6 +396,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let dataset = parse_dataset(args.get(1).ok_or("faults needs a dataset")?)?;
             cmd_faults(dataset, micro_batch_at(2)?)
         }
+        "bench-diff" => cmd_bench_diff(&args[1..]),
         "lint" => {
             let update = match args.get(1).map(String::as_str) {
                 None => false,

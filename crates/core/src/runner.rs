@@ -397,6 +397,21 @@ pub fn run_systems(configs: &[(Dataset, System)], config: &RunConfig) -> Vec<Sys
         .iter()
         .map(|&(d, s)| run_key(d, s, config))
         .collect();
+    if gopim_obs::manifest_enabled() {
+        // Fold the sweep's canonical cell keys into one configuration
+        // hash for the run manifest, so two manifests are comparable
+        // at a glance: same hash ⇒ same requested work.
+        let mut h = CanonicalHasher::new();
+        h.write_tag("runner.sweep_manifest/v1");
+        for key in keys.iter().flatten() {
+            key.as_u128().canonical_hash(&mut h);
+        }
+        gopim_obs::manifest::record_str(
+            "run.config_hash",
+            format!("{:032x}", h.finish().as_u128()),
+        );
+        gopim_obs::manifest::record_u64("run.sweep_cells", configs.len() as u64);
+    }
     let mut first_slot: BTreeMap<u128, usize> = BTreeMap::new();
     let mut unique: Vec<usize> = Vec::new();
     let mut slots: Vec<usize> = Vec::with_capacity(configs.len());

@@ -1,0 +1,53 @@
+//! Offline validator for run manifests — used by `scripts/verify.sh`
+//! to check a traced smoke run's `GOPIM_MANIFEST` artifact without
+//! external JSON tooling.
+//!
+//! Usage: `validate_manifest <manifest.json> [--require-spans]`
+//!
+//! Exits non-zero (with a diagnostic on stderr) if the file is not a
+//! schema-valid manifest; with `--require-spans`, also when the
+//! manifest carries no span aggregates.
+
+use gopim_obs::manifest::validate_manifest;
+
+fn main() {
+    let mut path = None;
+    let mut require_spans = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--require-spans" => require_spans = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("validate_manifest: unexpected argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = match path {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: validate_manifest <manifest.json> [--require-spans]");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_manifest: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_manifest(&text) {
+        Ok(labels) => {
+            if require_spans && labels == 0 {
+                eprintln!("validate_manifest: {path}: no span aggregates in manifest");
+                std::process::exit(1);
+            }
+            println!("ok: schema-valid manifest with {labels} span label(s) in {path}");
+        }
+        Err(e) => {
+            eprintln!("validate_manifest: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

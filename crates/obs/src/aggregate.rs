@@ -1,0 +1,290 @@
+//! Span aggregation: turns a drained event buffer into per-label
+//! statistics (count, total, self-time, quantiles) and collapsed
+//! stacks suitable for `flamegraph.pl` / speedscope.
+//!
+//! Aggregation reconstructs the call tree per `(pid, tid)` lane from
+//! interval containment: within a lane, spans are sorted by start
+//! (ties broken longest-first, then record order), and a span whose
+//! interval begins before the previous one ends is its child. Self
+//! time is a span's duration minus its direct children's durations —
+//! the quantity flamegraphs assign to each frame.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{Histogram, HistogramSnapshot, BUCKETS};
+use crate::span::SpanEvent;
+
+/// Aggregated statistics for one span label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelStats {
+    /// Number of spans with this label.
+    pub count: u64,
+    /// Sum of span durations, ns (inclusive of children).
+    pub total_ns: u64,
+    /// Sum of self times, ns (durations minus direct children).
+    pub self_ns: u64,
+    /// Shortest span, ns.
+    pub min_ns: u64,
+    /// Longest span, ns.
+    pub max_ns: u64,
+    /// Power-of-two duration histogram — quantiles come from
+    /// [`HistogramSnapshot::quantile`].
+    pub durations: HistogramSnapshot,
+}
+
+impl LabelStats {
+    fn new() -> LabelStats {
+        LabelStats {
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            durations: HistogramSnapshot {
+                counts: vec![0; BUCKETS],
+                count: 0,
+                sum: 0,
+            },
+        }
+    }
+
+    fn record(&mut self, dur_ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(dur_ns);
+        self.min_ns = self.min_ns.min(dur_ns);
+        self.max_ns = self.max_ns.max(dur_ns);
+        self.durations.counts[Histogram::bucket_index(dur_ns)] += 1;
+        self.durations.count += 1;
+        self.durations.sum = self.durations.sum.saturating_add(dur_ns);
+    }
+}
+
+/// The full aggregation result for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanAggregate {
+    /// Per-label statistics, sorted by label.
+    pub labels: BTreeMap<String, LabelStats>,
+    /// Collapsed stacks: `parent;child` path → total self ns on that
+    /// path (the flamegraph.pl input format, see
+    /// [`crate::report::render_folded`]).
+    pub folded: BTreeMap<String, u64>,
+    /// Non-metadata events aggregated.
+    pub spans: usize,
+    /// Events lost to the collector cap (from [`crate::span::dropped`],
+    /// captured by the caller before draining).
+    pub dropped: u64,
+}
+
+/// The label a span aggregates under: the bare name for wall-clock
+/// `span` events, `category:name` for everything else (so simulated
+/// stage intervals like `sim.compute:AG1` stay distinguishable from
+/// wall spans).
+pub fn label_of(e: &SpanEvent) -> String {
+    if e.cat == "span" {
+        e.name.clone()
+    } else {
+        format!("{}:{}", e.cat, e.name)
+    }
+}
+
+/// A frame on the in-flight stack during lane reconstruction.
+struct Frame {
+    label: String,
+    end_ns: u64,
+    self_ns: u64,
+}
+
+/// Aggregates drained events into per-label stats and folded stacks.
+/// `dropped` is the collector's loss count for the same window
+/// (read [`crate::span::dropped`] *before* draining).
+pub fn aggregate(events: &[SpanEvent], dropped: u64) -> SpanAggregate {
+    let mut agg = SpanAggregate {
+        dropped,
+        ..SpanAggregate::default()
+    };
+
+    // Group event indices per (pid, tid) lane; metadata events carry
+    // no interval and are skipped.
+    let mut lanes: BTreeMap<(u32, u64), Vec<usize>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.cat.starts_with("meta.") {
+            continue;
+        }
+        lanes.entry((e.pid, e.tid)).or_default().push(i);
+        agg.spans += 1;
+    }
+
+    for indices in lanes.values_mut() {
+        // Start ascending; at equal starts the longer span is the
+        // parent; record order breaks exact ties deterministically.
+        indices.sort_by(|&a, &b| {
+            let (ea, eb) = (&events[a], &events[b]);
+            ea.start_ns
+                .cmp(&eb.start_ns)
+                .then(eb.dur_ns.cmp(&ea.dur_ns))
+                .then(a.cmp(&b))
+        });
+        let mut stack: Vec<Frame> = Vec::new();
+        for &i in indices.iter() {
+            let e = &events[i];
+            while stack.last().is_some_and(|top| e.start_ns >= top.end_ns) {
+                finalize(&mut agg, &mut stack);
+            }
+            let dur = e.dur_ns;
+            let label = label_of(e);
+            if let Some(parent) = stack.last_mut() {
+                parent.self_ns = parent.self_ns.saturating_sub(dur);
+            }
+            agg.labels
+                .entry(label.clone())
+                .or_insert_with(LabelStats::new)
+                .record(dur);
+            stack.push(Frame {
+                label,
+                end_ns: e.start_ns.saturating_add(dur),
+                self_ns: dur,
+            });
+        }
+        while !stack.is_empty() {
+            finalize(&mut agg, &mut stack);
+        }
+    }
+    agg
+}
+
+/// Pops the top frame, crediting its self time to its label and to
+/// the folded path formed by the frames still below it.
+fn finalize(agg: &mut SpanAggregate, stack: &mut Vec<Frame>) {
+    if let Some(top) = stack.pop() {
+        if let Some(stats) = agg.labels.get_mut(&top.label) {
+            stats.self_ns = stats.self_ns.saturating_add(top.self_ns);
+        }
+        if top.self_ns > 0 {
+            let mut path = String::new();
+            for frame in stack.iter() {
+                path.push_str(&frame.label);
+                path.push(';');
+            }
+            path.push_str(&top.label);
+            let slot = agg.folded.entry(path).or_insert(0);
+            *slot = slot.saturating_add(top.self_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::WALL_PID;
+
+    fn ev(name: &str, cat: &'static str, tid: u64, start: u64, dur: u64) -> SpanEvent {
+        SpanEvent {
+            pid: WALL_PID,
+            tid,
+            name: name.into(),
+            cat,
+            start_ns: start,
+            dur_ns: dur,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        // parent [0, 100) contains child [10, 40): parent self 70.
+        let events = vec![
+            ev("parent", "span", 1, 0, 100),
+            ev("child", "span", 1, 10, 30),
+        ];
+        let agg = aggregate(&events, 0);
+        assert_eq!(agg.spans, 2);
+        assert_eq!(agg.labels["parent"].total_ns, 100);
+        assert_eq!(agg.labels["parent"].self_ns, 70);
+        assert_eq!(agg.labels["child"].self_ns, 30);
+        assert_eq!(agg.folded["parent"], 70);
+        assert_eq!(agg.folded["parent;child"], 30);
+    }
+
+    #[test]
+    fn siblings_both_subtract_from_the_parent() {
+        let events = vec![
+            ev("parent", "span", 1, 0, 100),
+            ev("a", "span", 1, 5, 20),
+            ev("b", "span", 1, 30, 40),
+        ];
+        let agg = aggregate(&events, 0);
+        assert_eq!(agg.labels["parent"].self_ns, 40);
+        assert_eq!(agg.folded["parent;a"], 20);
+        assert_eq!(agg.folded["parent;b"], 40);
+    }
+
+    #[test]
+    fn lanes_do_not_nest_across_threads() {
+        // Same intervals on different tids: no containment.
+        let events = vec![ev("x", "span", 1, 0, 100), ev("y", "span", 2, 10, 30)];
+        let agg = aggregate(&events, 0);
+        assert_eq!(agg.labels["x"].self_ns, 100);
+        assert_eq!(agg.labels["y"].self_ns, 30);
+        assert_eq!(agg.folded["x"], 100);
+        assert_eq!(agg.folded["y"], 30);
+    }
+
+    #[test]
+    fn labels_merge_counts_and_track_extremes() {
+        let events = vec![
+            ev("k", "span", 1, 0, 10),
+            ev("k", "span", 1, 20, 50),
+            ev("k", "span", 2, 0, 30),
+        ];
+        let agg = aggregate(&events, 7);
+        let s = &agg.labels["k"];
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 90);
+        assert_eq!((s.min_ns, s.max_ns), (10, 50));
+        assert_eq!(s.durations.count, 3);
+        assert_eq!(agg.dropped, 7);
+        // p50 lands in value 30's bucket ([16, 32)).
+        let p50 = s.durations.quantile(0.5);
+        assert!((16.0..=32.0).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn meta_events_and_sim_categories_are_handled() {
+        let events = vec![
+            SpanEvent {
+                pid: 1,
+                tid: 0,
+                name: "sim: run".into(),
+                cat: "meta.process_name",
+                start_ns: 0,
+                dur_ns: 0,
+                args: Vec::new(),
+            },
+            SpanEvent {
+                pid: 1,
+                tid: 2,
+                name: "AG1".into(),
+                cat: "sim.compute",
+                start_ns: 10,
+                dur_ns: 90,
+                args: Vec::new(),
+            },
+        ];
+        let agg = aggregate(&events, 0);
+        assert_eq!(agg.spans, 1, "meta events are skipped");
+        assert!(agg.labels.contains_key("sim.compute:AG1"));
+    }
+
+    #[test]
+    fn zero_self_time_paths_are_omitted_from_folded() {
+        // Child exactly covers the parent: parent self 0.
+        let events = vec![
+            ev("parent", "span", 1, 0, 50),
+            ev("child", "span", 1, 0, 50),
+        ];
+        let agg = aggregate(&events, 0);
+        assert_eq!(agg.labels["parent"].self_ns, 0);
+        assert!(!agg.folded.contains_key("parent"));
+        assert_eq!(agg.folded["parent;child"], 50);
+    }
+}

@@ -11,7 +11,10 @@ use std::io::Write;
 
 use crate::span::SpanEvent;
 
-fn escape_json(s: &str) -> String {
+/// Escapes a string for embedding inside a JSON string literal
+/// (shared with the manifest renderer and downstream JSON emitters
+/// like `gopim bench-diff`).
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -137,7 +140,19 @@ impl Json {
     }
 }
 
+/// Maximum container nesting the parser accepts. Recursive-descent
+/// parsing burns one stack frame per level, so an unbounded depth
+/// turns adversarial input (`[[[[…`) into a stack overflow; past this
+/// limit the parser returns an error instead.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a JSON document.
+///
+/// Hardened against adversarial input: truncated documents, nesting
+/// past [`MAX_DEPTH`], and numbers that do not parse to a *finite*
+/// `f64` (`NaN`/`Infinity` literals are not JSON, and overflowing
+/// exponents like `1e999` are rejected rather than silently becoming
+/// `inf`) all return `Err`, never panic or overflow the stack.
 ///
 /// # Errors
 ///
@@ -145,7 +160,7 @@ impl Json {
 pub fn parse_json(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -168,8 +183,11 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(b, pos);
+    if depth >= MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     match b.get(*pos) {
         None => Err("unexpected end of input".to_string()),
         Some(b'{') => {
@@ -185,7 +203,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 let key = parse_string(b, pos)?;
                 skip_ws(b, pos);
                 expect(b, pos, b':')?;
-                let value = parse_value(b, pos)?;
+                let value = parse_value(b, pos, depth + 1)?;
                 pairs.push((key, value));
                 skip_ws(b, pos);
                 match b.get(*pos) {
@@ -207,7 +225,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(b, pos)?);
+                items.push(parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -297,9 +315,14 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
+    // `f64::parse` accepts "inf"/"NaN" spellings we never reach (the
+    // byte class above excludes letters other than e/E), but it also
+    // maps overflowing exponents like 1e999 to infinity — reject any
+    // non-finite result so downstream consumers can trust the values.
     std::str::from_utf8(&b[start..*pos])
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
         .map(Json::Num)
         .ok_or_else(|| format!("invalid number at byte {start}"))
 }

@@ -32,6 +32,14 @@
 //!   [`TelemetryGuard`] drops.
 //! - `GOPIM_METRICS=1` — collect metrics and print the plain-text
 //!   registry report to stderr when the guard drops.
+//! - `GOPIM_PROFILE=1|stderr|<path>` — collect spans and render the
+//!   aggregated per-label profile ([`report::render_profile`]) to
+//!   stderr (`1`/`stderr`) or a file.
+//! - `GOPIM_PROFILE_FOLDED=<path>` — collect spans and write
+//!   collapsed stacks (`flamegraph.pl` / speedscope format).
+//! - `GOPIM_MANIFEST=<path>` — write a self-describing run manifest
+//!   ([`manifest`]) capturing command, env, fields, metrics and span
+//!   aggregates.
 //! - `GOPIM_LOG=error|warn|info|debug|off` — log verbosity
 //!   (default `info`).
 //!
@@ -46,9 +54,12 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod export;
 pub mod log;
+pub mod manifest;
 pub mod metrics;
+pub mod report;
 pub mod span;
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -91,12 +102,21 @@ impl EnvFlag {
     }
 }
 
-static TRACE: EnvFlag = EnvFlag::new(|| trace_path().is_some());
+// Spans are collected whenever *any* span consumer is configured:
+// the Chrome trace, the profile report, the folded-stack export, or
+// the run manifest.
+static TRACE: EnvFlag = EnvFlag::new(|| {
+    trace_path().is_some()
+        || profile_dest().is_some()
+        || folded_path().is_some()
+        || manifest_path().is_some()
+});
 static METRICS: EnvFlag = EnvFlag::new(|| {
     std::env::var("GOPIM_METRICS")
         .map(|v| !v.is_empty() && v != "0")
         .unwrap_or(false)
 });
+static MANIFEST: EnvFlag = EnvFlag::new(|| manifest_path().is_some());
 
 /// Whether span collection is on (`GOPIM_TRACE` set, or forced by
 /// [`set_trace_enabled`]). The disabled path is a relaxed load.
@@ -123,12 +143,57 @@ pub fn set_metrics_enabled(on: bool) {
     METRICS.set(on);
 }
 
-/// The `GOPIM_TRACE` destination path, if set to a non-empty value.
-pub fn trace_path() -> Option<String> {
-    match std::env::var("GOPIM_TRACE") {
+/// Whether run-manifest collection is on (`GOPIM_MANIFEST` set, or
+/// forced by [`set_manifest_enabled`]). The disabled path is a
+/// relaxed load — [`manifest::record_u64`] and friends check this
+/// before touching any lock.
+#[inline]
+pub fn manifest_enabled() -> bool {
+    MANIFEST.get()
+}
+
+/// Forces manifest collection on or off, overriding the environment.
+pub fn set_manifest_enabled(on: bool) {
+    MANIFEST.set(on);
+}
+
+fn env_path(name: &str) -> Option<String> {
+    match std::env::var(name) {
         Ok(p) if !p.is_empty() => Some(p),
         _ => None,
     }
+}
+
+/// The `GOPIM_TRACE` destination path, if set to a non-empty value.
+pub fn trace_path() -> Option<String> {
+    env_path("GOPIM_TRACE")
+}
+
+/// Where the aggregated profile report goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileDest {
+    /// Print to stderr (`GOPIM_PROFILE=1` or `stderr`).
+    Stderr,
+    /// Write to a file (`GOPIM_PROFILE=<path>`).
+    File(String),
+}
+
+/// The `GOPIM_PROFILE` destination, if configured.
+pub fn profile_dest() -> Option<ProfileDest> {
+    match env_path("GOPIM_PROFILE")?.as_str() {
+        "1" | "stderr" => Some(ProfileDest::Stderr),
+        path => Some(ProfileDest::File(path.to_string())),
+    }
+}
+
+/// The `GOPIM_PROFILE_FOLDED` destination path, if set.
+pub fn folded_path() -> Option<String> {
+    env_path("GOPIM_PROFILE_FOLDED")
+}
+
+/// The `GOPIM_MANIFEST` destination path, if set.
+pub fn manifest_path() -> Option<String> {
+    env_path("GOPIM_MANIFEST")
 }
 
 static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -139,40 +204,88 @@ pub fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
-/// Flushes telemetry on drop: writes the Chrome trace to the
-/// `GOPIM_TRACE` path and prints the metrics report to stderr when
-/// `GOPIM_METRICS` is on. Create one at the top of `main` via
-/// [`attach`].
+/// Flushes telemetry on drop: writes the Chrome trace (`GOPIM_TRACE`),
+/// the aggregated profile (`GOPIM_PROFILE`), the collapsed stacks
+/// (`GOPIM_PROFILE_FOLDED`), the run manifest (`GOPIM_MANIFEST`), and
+/// prints the metrics report to stderr when `GOPIM_METRICS` is on.
+/// Create one at the top of `main` via [`attach`].
 #[must_use = "telemetry flushes when the guard drops"]
 pub struct TelemetryGuard {
     trace_path: Option<String>,
+    profile: Option<ProfileDest>,
+    folded_path: Option<String>,
+    manifest_path: Option<String>,
+    command: String,
 }
 
 /// Initializes telemetry from the environment and returns the guard
-/// that exports everything on drop. Safe to call when neither env var
-/// is set — the guard is then inert.
+/// that exports everything on drop. Safe to call when no telemetry
+/// env var is set — the guard is then inert.
 pub fn attach() -> TelemetryGuard {
     // Pin the epoch at attach time so span timestamps are relative to
     // the start of the run, not to the first span.
     let _ = now_ns();
+    let collecting = trace_enabled();
     TelemetryGuard {
-        trace_path: if trace_enabled() { trace_path() } else { None },
+        trace_path: collecting.then(trace_path).flatten(),
+        profile: collecting.then(profile_dest).flatten(),
+        folded_path: collecting.then(folded_path).flatten(),
+        manifest_path: manifest_enabled().then(manifest_path).flatten(),
+        command: std::env::args().collect::<Vec<_>>().join(" "),
+    }
+}
+
+fn write_artifact(what: &str, path: &str, contents: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => crate::log_info!("telemetry: wrote {what} to {path}"),
+        Err(e) => crate::log_error!("telemetry: failed to write {what} {path}: {e}"),
     }
 }
 
 impl Drop for TelemetryGuard {
     fn drop(&mut self) {
-        if let Some(path) = &self.trace_path {
+        let consuming_spans = self.trace_path.is_some()
+            || self.profile.is_some()
+            || self.folded_path.is_some()
+            || self.manifest_path.is_some();
+        if consuming_spans {
+            // Read the loss count *before* draining (drain resets it),
+            // then drain exactly once and feed every consumer from the
+            // same buffer.
             let dropped = span::dropped();
             let events = span::drain();
             if dropped > 0 {
                 crate::log_warn!("telemetry: span buffer full, dropped {dropped} events");
             }
-            match export::write_chrome_trace(path, &events) {
-                Ok(()) => {
-                    crate::log_info!("telemetry: wrote {} trace events to {path}", events.len())
+            if let Some(path) = &self.trace_path {
+                match export::write_chrome_trace(path, &events) {
+                    Ok(()) => {
+                        crate::log_info!("telemetry: wrote {} trace events to {path}", events.len())
+                    }
+                    Err(e) => crate::log_error!("telemetry: failed to write {path}: {e}"),
                 }
-                Err(e) => crate::log_error!("telemetry: failed to write {path}: {e}"),
+            }
+            if self.profile.is_some() || self.folded_path.is_some() || self.manifest_path.is_some()
+            {
+                let agg = aggregate::aggregate(&events, dropped);
+                match &self.profile {
+                    Some(ProfileDest::Stderr) => eprint!("{}", report::render_profile(&agg)),
+                    Some(ProfileDest::File(path)) => {
+                        write_artifact("profile", path, &report::render_profile(&agg));
+                    }
+                    None => {}
+                }
+                if let Some(path) = &self.folded_path {
+                    write_artifact("folded stacks", path, &report::render_folded(&agg));
+                }
+                if let Some(path) = &self.manifest_path {
+                    let snapshot = metrics::global().snapshot();
+                    write_artifact(
+                        "run manifest",
+                        path,
+                        &manifest::render_manifest(&self.command, &agg, &snapshot),
+                    );
+                }
             }
         }
         if metrics_enabled() {

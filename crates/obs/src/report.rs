@@ -1,0 +1,124 @@
+//! Renderers for [`SpanAggregate`](crate::aggregate::SpanAggregate):
+//! a plain-text profile table (`GOPIM_PROFILE`) and a collapsed-stack
+//! export (`GOPIM_PROFILE_FOLDED`) consumable by `flamegraph.pl` or
+//! [speedscope](https://www.speedscope.app).
+
+use crate::aggregate::SpanAggregate;
+
+/// Formats nanoseconds with a readable unit (ns/µs/ms/s).
+fn human_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:.2}s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}µs", v / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the per-label profile table, sorted by self time
+/// descending (the flamegraph ordering: where did the run actually
+/// spend its time).
+pub fn render_profile(agg: &SpanAggregate) -> String {
+    let mut out = String::from("== gopim profile ==\n");
+    out.push_str(&format!(
+        "{} span(s) aggregated, {} dropped at the collector cap\n",
+        agg.spans, agg.dropped
+    ));
+    if agg.labels.is_empty() {
+        out.push_str("(no spans recorded)\n");
+        return out;
+    }
+    let mut rows: Vec<(&String, &crate::aggregate::LabelStats)> = agg.labels.iter().collect();
+    rows.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then(a.0.cmp(b.0)));
+    out.push_str(&format!(
+        "{:<44} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "label", "count", "total", "self", "p50", "p95", "p99"
+    ));
+    for (label, s) in rows {
+        out.push_str(&format!(
+            "{:<44} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            label,
+            s.count,
+            human_ns(s.total_ns),
+            human_ns(s.self_ns),
+            human_ns(s.durations.quantile(0.50) as u64),
+            human_ns(s.durations.quantile(0.95) as u64),
+            human_ns(s.durations.quantile(0.99) as u64),
+        ));
+    }
+    out
+}
+
+/// Renders collapsed stacks: one `path value` line per stack, where
+/// `path` is `;`-joined frame labels and `value` is the self time in
+/// integer nanoseconds — the input format of `flamegraph.pl` and
+/// speedscope's "collapsed" importer. Paths with zero self time are
+/// omitted by construction.
+pub fn render_folded(agg: &SpanAggregate) -> String {
+    let mut out = String::new();
+    for (path, &self_ns) in &agg.folded {
+        out.push_str(&format!("{path} {self_ns}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::aggregate;
+    use crate::span::{SpanEvent, WALL_PID};
+
+    fn sample_agg() -> SpanAggregate {
+        let ev = |name: &str, start: u64, dur: u64| SpanEvent {
+            pid: WALL_PID,
+            tid: 1,
+            name: name.into(),
+            cat: "span",
+            start_ns: start,
+            dur_ns: dur,
+            args: Vec::new(),
+        };
+        aggregate(&[ev("outer", 0, 2_000_000), ev("inner", 100, 500_000)], 2)
+    }
+
+    #[test]
+    fn profile_orders_by_self_time_and_reports_drops() {
+        let text = render_profile(&sample_agg());
+        assert!(text.starts_with("== gopim profile =="));
+        assert!(text.contains("2 span(s) aggregated, 2 dropped"));
+        let outer = text.find("outer").expect("outer row");
+        let inner = text.find("inner").expect("inner row");
+        assert!(outer < inner, "outer has more self time:\n{text}");
+        assert!(text.contains("p95"), "quantile columns present");
+    }
+
+    #[test]
+    fn empty_aggregate_renders_a_placeholder() {
+        let text = render_profile(&SpanAggregate::default());
+        assert!(text.contains("(no spans recorded)"));
+    }
+
+    #[test]
+    fn folded_lines_are_flamegraph_shaped() {
+        let text = render_folded(&sample_agg());
+        assert!(text.contains("outer 1500000\n"), "outer self time:\n{text}");
+        assert!(text.contains("outer;inner 500000\n"));
+        for line in text.lines() {
+            let (path, value) = line.rsplit_once(' ').expect("path value");
+            assert!(!path.is_empty());
+            assert!(value.parse::<u64>().expect("integer ns") > 0);
+        }
+    }
+
+    #[test]
+    fn human_ns_picks_units() {
+        assert_eq!(human_ns(12), "12ns");
+        assert_eq!(human_ns(1_500), "1.50µs");
+        assert_eq!(human_ns(2_500_000), "2.50ms");
+        assert_eq!(human_ns(3_000_000_000), "3.00s");
+    }
+}

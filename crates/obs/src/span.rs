@@ -21,8 +21,10 @@
 //! entry point degenerates to a relaxed load and a branch.
 
 use std::cell::OnceCell;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crate::metrics::LazyCounter;
 
 /// Chrome-trace process id of the wall-clock timeline.
 pub const WALL_PID: u32 = 0;
@@ -30,9 +32,12 @@ pub const WALL_PID: u32 = 0;
 /// First Chrome-trace process id handed out to simulated tracks.
 pub const SIM_PID_BASE: u32 = 1;
 
-/// Safety cap on buffered events; past it, events are counted in
-/// [`dropped`] instead of stored.
-const MAX_EVENTS: u64 = 4_000_000;
+/// Default safety cap on buffered events; past it, events are counted
+/// in [`dropped`] instead of stored.
+const DEFAULT_MAX_EVENTS: u64 = 4_000_000;
+
+/// Active cap (tests shrink it via [`set_event_cap`]).
+static MAX_EVENTS: AtomicU64 = AtomicU64::new(DEFAULT_MAX_EVENTS);
 
 /// One recorded interval (wall-clock or simulated).
 #[derive(Debug, Clone, PartialEq)]
@@ -94,16 +99,43 @@ fn with_local<R>(f: impl FnOnce(u64, &Sink) -> R) -> R {
     })
 }
 
+static SPANS_DROPPED: LazyCounter = LazyCounter::new("obs.spans_dropped");
+static DROP_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// Collector-full bookkeeping: counts the loss (internal tally plus
+/// the `obs.spans_dropped` metrics counter, so the drop shows up in
+/// the metrics report and the run manifest) and logs a one-shot
+/// warning so silent truncation cannot masquerade as a quiet run.
+#[cold]
+fn note_drop() {
+    DROPPED.fetch_add(1, Ordering::Relaxed);
+    SPANS_DROPPED.add(1);
+    if !DROP_WARNED.swap(true, Ordering::Relaxed) {
+        crate::log_warn!(
+            "telemetry: span collector cap ({} events) reached; dropping further spans",
+            MAX_EVENTS.load(Ordering::Relaxed)
+        );
+    }
+}
+
+/// Overrides the collector's event cap — for tests that exercise the
+/// drop path without buffering millions of events. Restore with
+/// `set_event_cap(u64::MAX >> 1)`-style large values or leave the
+/// process to exit.
+pub fn set_event_cap(cap: u64) {
+    MAX_EVENTS.store(cap, Ordering::Relaxed);
+}
+
 /// Records a fully-formed event (no enablement check — callers gate).
 pub fn record(event: SpanEvent) {
-    if RECORDED.fetch_add(1, Ordering::Relaxed) >= MAX_EVENTS {
-        DROPPED.fetch_add(1, Ordering::Relaxed);
+    if RECORDED.fetch_add(1, Ordering::Relaxed) >= MAX_EVENTS.load(Ordering::Relaxed) {
+        note_drop();
         return;
     }
     with_local(|_, sink| sink.lock().unwrap_or_else(|e| e.into_inner()).push(event));
 }
 
-/// Events discarded because the [`MAX_EVENTS`] cap was hit.
+/// Events discarded because the collector cap was hit.
 pub fn dropped() -> u64 {
     DROPPED.load(Ordering::Relaxed)
 }
@@ -118,6 +150,7 @@ pub fn drain() -> Vec<SpanEvent> {
     }
     RECORDED.store(0, Ordering::Relaxed);
     DROPPED.store(0, Ordering::Relaxed);
+    DROP_WARNED.store(false, Ordering::Relaxed);
     out
 }
 
@@ -238,8 +271,8 @@ impl Drop for SpanGuard {
         if let Some(active) = self.0.take() {
             let end = crate::now_ns();
             with_local(|tid, sink| {
-                if RECORDED.fetch_add(1, Ordering::Relaxed) >= MAX_EVENTS {
-                    DROPPED.fetch_add(1, Ordering::Relaxed);
+                if RECORDED.fetch_add(1, Ordering::Relaxed) >= MAX_EVENTS.load(Ordering::Relaxed) {
+                    note_drop();
                     return;
                 }
                 sink.lock()
@@ -339,6 +372,28 @@ mod tests {
             "worker-thread buffers drain too"
         );
         assert!(drain().is_empty(), "drain empties every buffer");
+
+        // Collector-cap drop accounting: shrink the cap, overflow it,
+        // and check the loss is tallied, mirrored into the metrics
+        // registry, and reset by drain.
+        crate::set_trace_enabled(true);
+        crate::set_metrics_enabled(true);
+        set_event_cap(2);
+        for _ in 0..5 {
+            let _s = crate::span!("unit.capped");
+        }
+        assert_eq!(dropped(), 3, "three spans past the cap of two");
+        let kept = drain();
+        assert_eq!(kept.len(), 2, "capped buffer keeps the first two");
+        assert_eq!(dropped(), 0, "drain resets the drop tally");
+        let metrics = crate::metrics::global().snapshot();
+        assert!(
+            metrics.counters.get("obs.spans_dropped").copied() >= Some(3),
+            "drops surface as the obs.spans_dropped counter: {metrics:?}"
+        );
+        set_event_cap(DEFAULT_MAX_EVENTS);
+        crate::set_metrics_enabled(false);
+        crate::set_trace_enabled(false);
     }
 
     #[test]

@@ -1,6 +1,9 @@
-//! Property tests for the metrics layer: histogram bucket geometry
-//! and snapshot merge algebra.
+//! Property tests for the metrics layer (histogram bucket geometry,
+//! snapshot merge algebra) and adversarial coverage of the
+//! `obs::export` JSON parser (truncation, non-finite numbers, deep
+//! nesting, duplicate keys, arbitrary garbage).
 
+use gopim_obs::export::{parse_json, Json, MAX_DEPTH};
 use gopim_obs::metrics::{Histogram, Registry, Snapshot, BUCKETS};
 use gopim_testkit::prop::{check, Draw};
 
@@ -131,5 +134,106 @@ fn cross_thread_counter_updates_merge_to_the_serial_total() {
         });
         let expected: u64 = per_thread.iter().flatten().sum();
         assert_eq!(r.snapshot().counters.get("t"), Some(&expected));
+    });
+}
+
+/// Builds a well-formed ASCII JSON object document from draws — every
+/// *strict* prefix of an object document is invalid JSON, which makes
+/// truncation outcomes decidable.
+fn arbitrary_object_doc(d: &mut Draw) -> String {
+    let pairs = d.vec("pairs", 1usize..6, |d| {
+        let key = format!("k{}", d.draw("key", 0u32..100));
+        let value = match d.draw("kind", 0u8..4) {
+            0 => format!("{}", d.draw("num", -1_000_000i64..1_000_000)),
+            1 => format!("\"s{}\"", d.draw("str", 0u32..100)),
+            2 => format!("[{}, null, true]", d.draw("item", 0u32..100)),
+            _ => "false".to_string(),
+        };
+        (key, value)
+    });
+    let body: Vec<String> = pairs.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+#[test]
+fn truncated_records_error_without_panicking() {
+    check("json_truncation", |d| {
+        let doc = arbitrary_object_doc(d);
+        assert!(parse_json(&doc).is_ok(), "fixture must parse: {doc}");
+        let cut = d.draw("cut", 0usize..doc.len());
+        assert!(
+            parse_json(&doc[..cut]).is_err(),
+            "strict prefix of an object doc parsed: {:?}",
+            &doc[..cut]
+        );
+    });
+}
+
+#[test]
+fn non_finite_numbers_are_rejected() {
+    for bad in [
+        "NaN",
+        "nan",
+        "Infinity",
+        "-Infinity",
+        "inf",
+        "-inf",
+        "1e999",
+        "-1e999",
+        "[1e999]",
+        "{\"x\": 1e999}",
+        "1e+400",
+    ] {
+        assert!(parse_json(bad).is_err(), "{bad:?} should not parse");
+    }
+    // Boundary: the largest finite f64 magnitudes still parse.
+    assert!(parse_json("1e308").is_ok());
+    assert!(parse_json("-1e308").is_ok());
+}
+
+#[test]
+fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+    check("json_deep_nesting", |d| {
+        let depth = d.draw("depth", 1usize..10_000);
+        let doc = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        let result = parse_json(&doc);
+        if depth < MAX_DEPTH {
+            assert!(result.is_ok(), "depth {depth} should parse");
+        } else {
+            let err = result.expect_err("past MAX_DEPTH must error");
+            assert!(err.contains("nesting"), "unexpected error: {err}");
+        }
+    });
+}
+
+#[test]
+fn duplicate_keys_resolve_to_the_first_occurrence() {
+    check("json_duplicate_keys", |d| {
+        let first = d.draw("first", -1000i64..1000);
+        let second = d.draw("second", -1000i64..1000);
+        let doc = format!("{{\"k\": {first}, \"k\": {second}, \"other\": 1}}");
+        let parsed = parse_json(&doc).expect("duplicate keys still parse");
+        assert_eq!(
+            parsed.get("k").and_then(Json::as_num),
+            Some(first as f64),
+            "get must return the first occurrence"
+        );
+    });
+}
+
+#[test]
+fn arbitrary_garbage_never_panics_the_parser() {
+    check("json_garbage", |d| {
+        let bytes = d.vec("bytes", 0usize..64, |d| d.draw("b", 0u8..=255));
+        let text = String::from_utf8_lossy(&bytes);
+        // The only contract on garbage: return, never panic.
+        let _ = parse_json(&text);
+        // Mutating one byte of a valid doc must also never panic.
+        let mut doc = arbitrary_object_doc(d).into_bytes();
+        if !doc.is_empty() {
+            let at = d.draw("at", 0usize..doc.len());
+            doc[at] = d.draw("to", 0u8..=255);
+            let _ = parse_json(&String::from_utf8_lossy(&doc));
+        }
     });
 }

@@ -275,7 +275,15 @@ pub fn current() -> Pool {
     if let Some(pool) = OVERRIDE.with(|stack| stack.borrow().last().cloned()) {
         return pool;
     }
-    GLOBAL.get_or_init(|| Pool::new(env_threads())).clone()
+    GLOBAL
+        .get_or_init(|| {
+            let n = env_threads();
+            // One-time fact for the run manifest (no-op unless
+            // GOPIM_MANIFEST is set).
+            gopim_obs::manifest::record_u64("par.threads", n as u64);
+            Pool::new(n)
+        })
+        .clone()
 }
 
 #[cfg(test)]

@@ -33,6 +33,10 @@ use std::time::{Duration, Instant};
 pub struct Summary {
     /// `group/name` identifier.
     pub id: String,
+    /// The bench group (the runner's name), also recoverable as the
+    /// prefix of `id` — carried explicitly so downstream consumers
+    /// (`gopim bench-diff`) can group records without string surgery.
+    pub group: String,
     /// Median time per iteration, ns.
     pub median_ns: f64,
     /// Median absolute deviation of the per-sample ns/iter values.
@@ -54,9 +58,10 @@ impl Summary {
     /// Renders the JSON-lines record.
     pub fn to_json(&self) -> String {
         let mut json = format!(
-            "{{\"id\":\"{}\",\"median_ns\":{:.3},\"mad_ns\":{:.3},\"min_ns\":{:.3},\
+            "{{\"id\":\"{}\",\"group\":\"{}\",\"median_ns\":{:.3},\"mad_ns\":{:.3},\"min_ns\":{:.3},\
              \"max_ns\":{:.3},\"samples\":{},\"iters_per_sample\":{}",
             escape(&self.id),
+            escape(&self.group),
             self.median_ns,
             self.mad_ns,
             self.min_ns,
@@ -178,6 +183,7 @@ impl Runner {
         deviations.sort_by(f64::total_cmp);
         let summary = Summary {
             id: format!("{}/{}", self.group, name),
+            group: self.group.clone(),
             median_ns,
             mad_ns: median_sorted(&deviations),
             min_ns: per_iter_ns[0],
@@ -251,6 +257,7 @@ mod tests {
     fn json_record_is_parseable_shape() {
         let s = Summary {
             id: "g/n \"q\"".into(),
+            group: "g".into(),
             median_ns: 12.5,
             mad_ns: 0.5,
             min_ns: 12.0,
@@ -262,6 +269,7 @@ mod tests {
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\\\"q\\\""));
+        assert!(j.contains("\"group\":\"g\""));
         assert!(j.contains("\"median_ns\":12.500"));
         // No metrics snapshot → no metrics key at all.
         assert!(!j.contains("\"metrics\""));
@@ -271,6 +279,7 @@ mod tests {
     fn metrics_deltas_serialize_as_a_nested_object() {
         let s = Summary {
             id: "g/n".into(),
+            group: "g".into(),
             median_ns: 1.0,
             mad_ns: 0.0,
             min_ns: 1.0,

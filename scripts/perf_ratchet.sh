@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Perf ratchet: run the curated smoke-bench suite (the linalg and
+# sparse-aggregation kernels — fast, single-process, scheduler-light)
+# and compare it against the committed baseline with `gopim
+# bench-diff --ratchet`. Mirrors the lint ratchet: the baseline is a
+# committed artifact, drift beyond the tolerance band fails the run,
+# and an explicit update flow rewrites it.
+#
+#   scripts/perf_ratchet.sh                                # check
+#   GOPIM_BENCH_BASELINE=update scripts/perf_ratchet.sh    # rewrite baseline
+#
+# Knobs:
+#   GOPIM_BENCH_TOLERANCE  ratchet band as a fraction (default 0.5 —
+#                          generous, because the committed baseline and
+#                          the verifying machine rarely share hardware)
+#   GOPIM_BENCH_SAMPLES    samples per benchmark (default 11)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="bench-baseline.jsonl"
+RATCHET_DIR=$(mktemp -d)
+trap 'rm -rf "$RATCHET_DIR"' EXIT
+# Absolute path: cargo runs bench binaries with the package directory
+# as their cwd (see scripts/reproduce.sh).
+CURRENT="$RATCHET_DIR/current.jsonl"
+
+echo "== perf-ratchet: smoke-bench suite (linalg + aggregate) =="
+GOPIM_BENCH_FAST=1 GOPIM_BENCH_SAMPLES="${GOPIM_BENCH_SAMPLES:-11}" \
+GOPIM_BENCH_JSON="$CURRENT" \
+    cargo bench --offline -p gopim-bench --bench linalg --bench aggregate
+
+if [ "${GOPIM_BENCH_BASELINE:-}" = "update" ]; then
+    cp "$CURRENT" "$BASELINE"
+    echo "perf-ratchet: baseline rewritten at $BASELINE ($(wc -l < "$BASELINE") records)"
+    exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+    echo "perf-ratchet: no $BASELINE committed; seed it with:" >&2
+    echo "  GOPIM_BENCH_BASELINE=update scripts/perf_ratchet.sh" >&2
+    exit 1
+fi
+
+echo "== perf-ratchet: bench-diff against $BASELINE =="
+cargo run --release --offline -p gopim -- bench-diff --ratchet \
+    --tolerance "${GOPIM_BENCH_TOLERANCE:-0.5}" "$BASELINE" "$CURRENT"

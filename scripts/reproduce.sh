@@ -15,9 +15,14 @@ BINARIES=(table02 table03 fig04 fig05 fig06 fig09 fig10 fig13 fig14 \
           ablation endurance xbar_size shapecheck)
 for bin in "${BINARIES[@]}"; do
     echo "== $bin =="
-    # GOPIM_METRICS is output-invariant (stdout stays byte-identical);
-    # the stderr report feeds the per-experiment cache summary below.
-    GOPIM_METRICS=1 cargo run --release -p gopim-bench --bin "$bin" -- $EXTRA \
+    # GOPIM_METRICS and GOPIM_MANIFEST are output-invariant (stdout stays
+    # byte-identical); the stderr report feeds the per-experiment cache
+    # summary below, and the manifest records what produced each result
+    # (config hash, thread count, env, metrics, span aggregates).
+    # Absolute manifest path: cargo runs these binaries with the package
+    # directory as their cwd.
+    GOPIM_METRICS=1 GOPIM_MANIFEST="$PWD/results/$bin.manifest.json" \
+        cargo run --release -p gopim-bench --bin "$bin" -- $EXTRA \
         2> "$METRICS_DIR/$bin.err" | tee "results/$bin.txt" \
         || { cat "$METRICS_DIR/$bin.err" >&2; exit 1; }
 done
@@ -49,4 +54,5 @@ if [ "$EXTRA" = "--quick" ]; then
 else
     GOPIM_BENCH_JSON="$BENCH_JSON" cargo bench --offline -p gopim-bench
 fi
-echo "All outputs written to results/ (bench trajectories: results/bench.jsonl)."
+echo "All outputs written to results/ (bench trajectories: results/bench.jsonl,"
+echo "run manifests: results/<experiment>.manifest.json)."

@@ -38,12 +38,17 @@ cargo build --offline --benches -p gopim-bench
 echo "== traced smoke run (fig04 --quick) =="
 # Telemetry must be output-invariant: a traced run's stdout must match
 # a plain run byte-for-byte, and the emitted Chrome trace must be valid
-# JSON carrying spans from every instrumented layer.
+# JSON carrying spans from every instrumented layer. The same run now
+# exercises the whole observatory: profile report, folded stacks, and
+# a schema-valid manifest with nonzero span aggregates.
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 cargo run --release --offline -p gopim-bench --bin fig04 -- --quick \
     > "$SMOKE_DIR/plain.out"
 GOPIM_TRACE="$SMOKE_DIR/trace.json" GOPIM_METRICS=1 \
+    GOPIM_PROFILE="$SMOKE_DIR/profile.txt" \
+    GOPIM_PROFILE_FOLDED="$SMOKE_DIR/folded.txt" \
+    GOPIM_MANIFEST="$SMOKE_DIR/manifest.json" \
     cargo run --release --offline -p gopim-bench --bin fig04 -- --quick \
     > "$SMOKE_DIR/traced.out" 2> "$SMOKE_DIR/traced.err"
 diff -u "$SMOKE_DIR/plain.out" "$SMOKE_DIR/traced.out" \
@@ -53,6 +58,38 @@ grep -q "== gopim metrics ==" "$SMOKE_DIR/traced.err" \
 cargo run --release --offline -p gopim-obs --example validate_trace -- \
     "$SMOKE_DIR/trace.json" \
     linalg.matmul par. pipeline.simulate runner.run_system sim.
+cargo run --release --offline -p gopim-obs --example validate_manifest -- \
+    "$SMOKE_DIR/manifest.json" --require-spans
+grep -q "== gopim profile ==" "$SMOKE_DIR/profile.txt" \
+    || { echo "verify: GOPIM_PROFILE wrote no profile report"; exit 1; }
+grep -q "p95" "$SMOKE_DIR/profile.txt" \
+    || { echo "verify: profile report carries no quantile columns"; exit 1; }
+# Folded stacks: every line must be "path <integer-ns>" with a nested
+# path (a ';') appearing somewhere — fig04 nests matmuls under the
+# runner span.
+awk 'NF < 2 || $NF !~ /^[0-9]+$/ { bad = 1 } /;/ { nested = 1 }
+     END { exit (bad || !nested) }' "$SMOKE_DIR/folded.txt" \
+    || { echo "verify: folded-stack export is malformed"; exit 1; }
+
+echo "== bench-diff smoke (committed BENCH trajectories) =="
+# The classified comparison table over real record files, plus the
+# trajectory view — both must render without error.
+cargo run --release --offline -p gopim -- bench-diff \
+    BENCH_pr2.json BENCH_pr7.json > "$SMOKE_DIR/benchdiff.out"
+grep -q "verdict" "$SMOKE_DIR/benchdiff.out" \
+    || { echo "verify: bench-diff printed no classified table"; exit 1; }
+cargo run --release --offline -p gopim -- bench-diff --trajectory \
+    BENCH_pr2.json BENCH_pr3.json BENCH_pr6.json BENCH_pr7.json \
+    > "$SMOKE_DIR/trajectory.out"
+grep -q "BENCH_pr7" "$SMOKE_DIR/trajectory.out" \
+    || { echo "verify: trajectory table missing a file column"; exit 1; }
+
+if [ "${GOPIM_NO_PERF_RATCHET:-0}" != "1" ]; then
+    echo "== perf ratchet (skip with GOPIM_NO_PERF_RATCHET=1) =="
+    scripts/perf_ratchet.sh
+else
+    echo "== perf ratchet skipped (GOPIM_NO_PERF_RATCHET=1) =="
+fi
 
 echo "== run-cache smoke (fig04 --quick, cold vs warm disk tier) =="
 # The run cache must be a pure speed knob: a warm rerun against a

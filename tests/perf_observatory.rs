@@ -1,0 +1,233 @@
+//! Integration coverage for the perf observatory (PR 8): bench-diff
+//! against the repo's real BENCH_pr*.json trajectory files, the span
+//! aggregation → manifest → validation pipeline, and the quantile
+//! plumbing that feeds both.
+
+use gopim::benchdiff::{
+    diff, latest_by_id, parse_records, trajectory, BenchDiffArgs, DiffOptions, Verdict,
+};
+use gopim_obs::aggregate::aggregate;
+use gopim_obs::export::{parse_json, Json};
+use gopim_obs::manifest::{render_manifest, validate_manifest};
+use gopim_obs::metrics::Registry;
+use gopim_obs::span::{SpanEvent, WALL_PID};
+
+fn bench_file(name: &str) -> String {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn committed_bench_trajectories_parse_and_diff() {
+    let pr2 = parse_records(&bench_file("BENCH_pr2.json")).expect("BENCH_pr2 parses");
+    let pr7 = parse_records(&bench_file("BENCH_pr7.json")).expect("BENCH_pr7 parses");
+    assert!(!pr2.is_empty() && !pr7.is_empty());
+    assert!(
+        pr2.iter().all(|r| r.median_ns > 0.0 && r.samples >= 1),
+        "sane records"
+    );
+
+    // The acceptance command: the id sets are disjoint, so every row
+    // must still appear, classified as only-old / only-new.
+    let report = diff(
+        &latest_by_id(&pr2, None),
+        &latest_by_id(&pr7, None),
+        DiffOptions::default(),
+    );
+    assert!(!report.rows.is_empty());
+    assert!(report
+        .rows
+        .iter()
+        .all(|r| matches!(r.verdict, Verdict::OnlyOld | Verdict::OnlyNew)));
+    let human = report.render_human();
+    assert!(human.contains("| id") && human.contains("verdict"));
+    assert!(human.contains("only-old") && human.contains("only-new"));
+
+    // Phase filtering selects pr2's 'before' records only.
+    let before = latest_by_id(&pr2, Some("before"));
+    assert!(!before.is_empty());
+    assert!(before.len() <= pr2.len());
+}
+
+#[test]
+fn pr2_phases_diff_as_an_improvement() {
+    // PR 2's own before → after-t1 phase change contained real kernel
+    // speedups; the overlap test must find at least one improvement
+    // and no regressions beyond a generous band.
+    let pr2 = parse_records(&bench_file("BENCH_pr2.json")).expect("parse");
+    let report = diff(
+        &latest_by_id(&pr2, Some("before")),
+        &latest_by_id(&pr2, Some("after-t1")),
+        DiffOptions::default(),
+    );
+    let improvements = report
+        .rows
+        .iter()
+        .filter(|r| r.verdict == Verdict::Improvement)
+        .count();
+    assert!(
+        improvements >= 1,
+        "PR2 recorded kernel wins:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn trajectory_mode_spans_the_pr_sequence() {
+    let files: Vec<(String, String)> = ["BENCH_pr2.json", "BENCH_pr3.json", "BENCH_pr7.json"]
+        .iter()
+        .map(|name| (name.to_string(), bench_file(name)))
+        .collect();
+    let text = trajectory(&files).expect("trajectory renders");
+    assert!(text.contains("BENCH_pr2.json") && text.contains("BENCH_pr7.json"));
+    assert!(text.contains("file(s)"));
+    // Disjoint ids show as '-' cells somewhere.
+    assert!(text.contains(" - "));
+}
+
+#[test]
+fn bench_diff_json_round_trips_through_the_parser() {
+    let pr2 = parse_records(&bench_file("BENCH_pr2.json")).expect("parse");
+    let report = diff(
+        &latest_by_id(&pr2, Some("before")),
+        &latest_by_id(&pr2, Some("after-t4")),
+        DiffOptions {
+            tolerance: Some(0.35),
+            ..DiffOptions::default()
+        },
+    );
+    let doc = parse_json(&report.render_json()).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gopim.bench_diff/v1")
+    );
+    let rows = doc.get("rows").and_then(Json::as_arr).expect("rows array");
+    assert_eq!(rows.len(), report.rows.len());
+    for row in rows {
+        let verdict = row.get("verdict").and_then(Json::as_str).expect("verdict");
+        assert!(
+            [
+                "regression",
+                "improvement",
+                "neutral",
+                "only-old",
+                "only-new"
+            ]
+            .contains(&verdict),
+            "unexpected verdict {verdict}"
+        );
+    }
+}
+
+#[test]
+fn ratchet_args_fail_only_on_regression() {
+    let argv: Vec<String> = ["--ratchet", "a", "b"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let args = BenchDiffArgs::parse(&argv).expect("parse");
+    assert!(args.options().tolerance.is_some(), "ratchet implies a band");
+}
+
+/// Synthetic spans → aggregate → manifest → validator, with no global
+/// collector state (everything flows through explicit values).
+#[test]
+fn span_aggregation_flows_into_a_schema_valid_manifest() {
+    let ev = |name: &str, tid: u64, start: u64, dur: u64| SpanEvent {
+        pid: WALL_PID,
+        tid,
+        name: name.into(),
+        cat: "span",
+        start_ns: start,
+        dur_ns: dur,
+        args: Vec::new(),
+    };
+    // A two-level tree on one lane plus repeated leaf spans on another,
+    // shaped like runner.run_system wrapping linalg.matmul calls.
+    let mut events = vec![
+        ev("runner.run_system/ddi", 1, 0, 10_000),
+        ev("linalg.matmul", 1, 1_000, 3_000),
+        ev("linalg.matmul", 1, 5_000, 2_000),
+    ];
+    for i in 0..40u64 {
+        events.push(ev("linalg.matmul", 2, i * 100, 60 + i));
+    }
+    let agg = aggregate(&events, 3);
+
+    assert_eq!(agg.spans, events.len());
+    let runner = &agg.labels["runner.run_system/ddi"];
+    assert_eq!(runner.total_ns, 10_000);
+    assert_eq!(runner.self_ns, 5_000, "two matmul children subtracted");
+    let matmul = &agg.labels["linalg.matmul"];
+    assert_eq!(matmul.count, 42);
+    let (p50, p95, p99) = (
+        matmul.durations.quantile(0.50),
+        matmul.durations.quantile(0.95),
+        matmul.durations.quantile(0.99),
+    );
+    assert!(
+        p50 > 0.0 && p50 <= p95 && p95 <= p99,
+        "({p50}, {p95}, {p99})"
+    );
+    assert_eq!(
+        agg.folded["runner.run_system/ddi;linalg.matmul"], 5_000,
+        "nested matmul self time folds under the runner frame"
+    );
+
+    let registry = Registry::new();
+    registry.counter("cache.hits").add(11);
+    let manifest = render_manifest("gopim compare ddi", &agg, &registry.snapshot());
+    let labels = validate_manifest(&manifest).expect("schema-valid manifest");
+    assert_eq!(labels, 2);
+    let doc = parse_json(&manifest).expect("parses");
+    assert_eq!(
+        doc.get("spans")
+            .and_then(|s| s.get("dropped"))
+            .and_then(Json::as_num),
+        Some(3.0)
+    );
+    let matmul_doc = doc
+        .get("spans")
+        .and_then(|s| s.get("labels"))
+        .and_then(|l| l.get("linalg.matmul"))
+        .expect("matmul label");
+    let p50_doc = matmul_doc
+        .get("p50_ns")
+        .and_then(Json::as_num)
+        .expect("p50");
+    let p99_doc = matmul_doc
+        .get("p99_ns")
+        .and_then(Json::as_num)
+        .expect("p99");
+    assert!(
+        p50_doc > 0.0 && p50_doc <= p99_doc,
+        "nonzero ordered quantiles in the artifact"
+    );
+}
+
+#[test]
+fn old_bench_records_without_group_stay_parseable() {
+    // The pre-PR8 compact record shape (no "group" key) must keep
+    // parsing, with the group recovered from the id prefix.
+    let line = "{\"id\":\"linalg/matmul/64x64\",\"median_ns\":62396.968,\"mad_ns\":2019.054,\
+                \"min_ns\":59201.903,\"max_ns\":69440.752,\"samples\":15,\"iters_per_sample\":777}";
+    let records = parse_records(line).expect("old shape parses");
+    assert_eq!(records[0].group, "linalg");
+    assert_eq!(records[0].samples, 15);
+
+    // And the new runner emits group + samples explicitly.
+    let s = gopim_testkit::bench::Summary {
+        id: "linalg/matmul/64x64".into(),
+        group: "linalg".into(),
+        median_ns: 100.0,
+        mad_ns: 1.0,
+        min_ns: 99.0,
+        max_ns: 102.0,
+        samples: 15,
+        iters_per_sample: 10,
+        metrics: Vec::new(),
+    };
+    let records = parse_records(&s.to_json()).expect("new shape parses");
+    assert_eq!(records[0].group, "linalg");
+    assert_eq!(records[0].samples, 15);
+}
