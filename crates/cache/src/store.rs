@@ -212,6 +212,29 @@ impl RunCache {
         }
     }
 
+    /// Byte-level lookup with hit/miss accounting. The serve layer's
+    /// entry point: a job server relays results as opaque codec bytes
+    /// and never decodes them, so the typed
+    /// [`RunCache::get_or_compute`] path does not apply, but the
+    /// hit/miss statistics should still tell the truth.
+    pub fn get_bytes(&self, key: CacheKey) -> Option<Arc<Vec<u8>>> {
+        if !self.is_active() {
+            return None;
+        }
+        match self.lookup(key) {
+            Some(bytes) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                HITS.add(1);
+                Some(bytes)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                MISSES.add(1);
+                None
+            }
+        }
+    }
+
     /// Raw store into both tiers.
     pub fn store(&self, key: CacheKey, bytes: Arc<Vec<u8>>) {
         if !self.is_active() {

@@ -60,6 +60,28 @@ pub fn parse_micro_batch(arg: Option<&str>) -> Result<usize, String> {
     }
 }
 
+/// Parses an optional listen address for `gopim serve` (default
+/// `127.0.0.1:4857`; `:0` picks an ephemeral port). Accepts `host:port`
+/// or a bare port.
+///
+/// # Errors
+///
+/// Returns a user-facing message for unparsable addresses.
+pub fn parse_serve_addr(arg: Option<&str>) -> Result<String, String> {
+    match arg {
+        None | Some("") => Ok("127.0.0.1:4857".to_string()),
+        Some(v) if v.chars().all(|c| c.is_ascii_digit()) => Ok(format!("127.0.0.1:{v}")),
+        Some(v) => {
+            use std::net::ToSocketAddrs;
+            // Validate eagerly so a typo fails with a parse error here
+            // instead of a bind error later.
+            v.to_socket_addrs()
+                .map_err(|e| format!("invalid listen address '{v}': {e}"))?;
+            Ok(v.to_string())
+        }
+    }
+}
+
 /// Parses the `GOPIM_FAULT_SEED` environment value (default 7).
 ///
 /// # Errors
@@ -174,6 +196,14 @@ mod tests {
         assert!(parse_fault_spares(Some("-0.1")).is_err());
         assert!(parse_fault_spares(Some("2")).is_err());
         assert!(parse_fault_spares(Some("few")).is_err());
+    }
+
+    #[test]
+    fn serve_addr_defaults_and_accepts_bare_ports() {
+        assert_eq!(parse_serve_addr(None).unwrap(), "127.0.0.1:4857");
+        assert_eq!(parse_serve_addr(Some("9000")).unwrap(), "127.0.0.1:9000");
+        assert_eq!(parse_serve_addr(Some("0.0.0.0:80")).unwrap(), "0.0.0.0:80");
+        assert!(parse_serve_addr(Some("not an address")).is_err());
     }
 
     #[test]

@@ -1,0 +1,574 @@
+//! Library-callable job handlers: the runner/experiments entry points
+//! repackaged as self-describing jobs a `gopim-serve` server executes.
+//!
+//! Each [`JobRequest`] is a value — it encodes to codec bytes for the
+//! wire ([`JobRequest::to_bytes`]), hashes to a canonical request key
+//! for result reuse ([`JobRequest::cache_key`]), prices itself for
+//! fair-share scheduling ([`JobRequest::predicted_cost_ns`], via the
+//! predictor's host-cost model), and executes to the same codec bytes
+//! the in-process API would produce ([`JobRequest::execute`]).
+//!
+//! **Key coherence.** `Simulate` and `Ablation` jobs deliberately
+//! reuse the runner's own canonical keys ([`run_key`] /
+//! [`ablation_key`]), and their result bytes are exactly the
+//! [`SystemRun`] codec bytes [`run_system_cached`] stores. A result
+//! computed by a local sweep is therefore served to a socket client
+//! without recomputation, and vice versa — one cache, two front doors.
+//! The differential harness (`tests/serve_differential.rs`) pins that
+//! socket-served bytes equal in-process bytes bitwise, cold and warm.
+
+use gopim_cache::{CacheKey, CacheValue, CanonicalHash, CanonicalHasher, Decoder, Encoder};
+use gopim_graph::datasets::Dataset;
+use gopim_predictor::{profiling, HostCostModel};
+use gopim_serve::JobHandler;
+
+use crate::runner::{
+    ablation_key, allocation_plan, build_workload, run_ablation_cached, run_key, run_system_cached,
+    run_systems, RunConfig,
+};
+use crate::system::{Ablation, System};
+
+/// The wire-serializable subset of [`RunConfig`]: everything except
+/// the estimator, which is always `Exact` for served jobs (a trained
+/// ML predictor has no canonical content hash, so an ML job could
+/// neither be cached nor proven equal across the socket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobConfig {
+    /// Micro-batch size (paper default 64).
+    pub micro_batch: usize,
+    /// Crossbar budget; `None` = the full chip.
+    pub crossbar_budget: Option<usize>,
+    /// Seed for synthetic degree profiles.
+    pub profile_seed: u64,
+    /// Batches to simulate.
+    pub num_batches: usize,
+    /// SlimGNN-like's retained edge fraction.
+    pub slimgnn_prune_retain: f64,
+    /// ReFlip's repeated loads per edge.
+    pub reflip_reload_rows_per_edge: f64,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig::from_run_config(&RunConfig::default())
+    }
+}
+
+impl JobConfig {
+    /// Captures the serializable fields of a [`RunConfig`].
+    pub fn from_run_config(config: &RunConfig) -> Self {
+        JobConfig {
+            micro_batch: config.micro_batch,
+            crossbar_budget: config.crossbar_budget,
+            profile_seed: config.profile_seed,
+            num_batches: config.num_batches,
+            slimgnn_prune_retain: config.slimgnn_prune_retain,
+            reflip_reload_rows_per_edge: config.reflip_reload_rows_per_edge,
+        }
+    }
+
+    /// Expands back to a [`RunConfig`] with the exact estimator.
+    pub fn to_run_config(&self) -> RunConfig {
+        RunConfig {
+            micro_batch: self.micro_batch,
+            crossbar_budget: self.crossbar_budget,
+            profile_seed: self.profile_seed,
+            estimator: crate::runner::Estimator::Exact,
+            num_batches: self.num_batches,
+            slimgnn_prune_retain: self.slimgnn_prune_retain,
+            reflip_reload_rows_per_edge: self.reflip_reload_rows_per_edge,
+        }
+    }
+}
+
+impl CacheValue for JobConfig {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(self.micro_batch);
+        match self.crossbar_budget {
+            Some(b) => {
+                e.put_bool(true);
+                e.put_usize(b);
+            }
+            None => e.put_bool(false),
+        }
+        e.put_u64(self.profile_seed);
+        e.put_usize(self.num_batches);
+        e.put_f64(self.slimgnn_prune_retain);
+        e.put_f64(self.reflip_reload_rows_per_edge);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        let micro_batch = d.take_usize()?;
+        let crossbar_budget = if d.take_bool()? {
+            Some(d.take_usize()?)
+        } else {
+            None
+        };
+        Some(JobConfig {
+            micro_batch,
+            crossbar_budget,
+            profile_seed: d.take_u64()?,
+            num_batches: d.take_usize()?,
+            slimgnn_prune_retain: d.take_f64()?,
+            reflip_reload_rows_per_edge: d.take_f64()?,
+        })
+    }
+}
+
+fn dataset_index(d: Dataset) -> u8 {
+    Dataset::ALL.iter().position(|&x| x == d).unwrap_or(0) as u8
+}
+
+fn system_index(s: System) -> u8 {
+    System::ALL.iter().position(|&x| x == s).unwrap_or(0) as u8
+}
+
+fn ablation_index(a: Ablation) -> u8 {
+    Ablation::ALL.iter().position(|&x| x == a).unwrap_or(0) as u8
+}
+
+/// One job a client can submit over the serve protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobRequest {
+    /// One `(dataset, system)` simulation — a [`run_system_cached`]
+    /// call; result bytes are the [`SystemRun`] codec encoding.
+    ///
+    /// [`SystemRun`]: crate::runner::SystemRun
+    Simulate {
+        /// Dataset to simulate.
+        dataset: Dataset,
+        /// System to simulate.
+        system: System,
+        /// Run configuration.
+        config: JobConfig,
+    },
+    /// A whole sweep — one [`run_systems`] call (sweep dedup and the
+    /// `gopim-par` fan-out included); result bytes encode the
+    /// `Vec<SystemRun>` in cell order.
+    Sweep {
+        /// The `(dataset, system)` cells in order.
+        cells: Vec<(Dataset, System)>,
+        /// Run configuration shared by every cell.
+        config: JobConfig,
+    },
+    /// One Fig. 14 ablation variant — [`run_ablation_cached`].
+    Ablation {
+        /// Dataset to simulate.
+        dataset: Dataset,
+        /// Ablation variant.
+        variant: Ablation,
+        /// Run configuration.
+        config: JobConfig,
+    },
+    /// Replica allocation only (no schedule simulation) — the
+    /// [`allocation_plan`] entry point; result bytes encode
+    /// `(Vec<usize> replicas, Vec<usize> footprints)`.
+    Allocate {
+        /// Dataset whose workload to allocate for.
+        dataset: Dataset,
+        /// System whose policy to allocate with.
+        system: System,
+        /// Run configuration.
+        config: JobConfig,
+    },
+    /// A profiling/prediction pass over the built workload — per-stage
+    /// times plus the simulated collection cost (Table VII's
+    /// trade-off); result bytes encode `(Vec<f64>, f64)`.
+    Predict {
+        /// Dataset whose workload to profile.
+        dataset: Dataset,
+        /// System whose workload shape to profile.
+        system: System,
+        /// Run configuration.
+        config: JobConfig,
+    },
+}
+
+impl CacheValue for JobRequest {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            JobRequest::Simulate {
+                dataset,
+                system,
+                config,
+            } => {
+                e.put_u8(0);
+                e.put_u8(dataset_index(*dataset));
+                e.put_u8(system_index(*system));
+                config.encode(e);
+            }
+            JobRequest::Sweep { cells, config } => {
+                e.put_u8(1);
+                e.put_usize(cells.len());
+                for &(d, s) in cells {
+                    e.put_u8(dataset_index(d));
+                    e.put_u8(system_index(s));
+                }
+                config.encode(e);
+            }
+            JobRequest::Ablation {
+                dataset,
+                variant,
+                config,
+            } => {
+                e.put_u8(2);
+                e.put_u8(dataset_index(*dataset));
+                e.put_u8(ablation_index(*variant));
+                config.encode(e);
+            }
+            JobRequest::Allocate {
+                dataset,
+                system,
+                config,
+            } => {
+                e.put_u8(3);
+                e.put_u8(dataset_index(*dataset));
+                e.put_u8(system_index(*system));
+                config.encode(e);
+            }
+            JobRequest::Predict {
+                dataset,
+                system,
+                config,
+            } => {
+                e.put_u8(4);
+                e.put_u8(dataset_index(*dataset));
+                e.put_u8(system_index(*system));
+                config.encode(e);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        let take_dataset = |d: &mut Decoder<'_>| -> Option<Dataset> {
+            Dataset::ALL.get(d.take_u8()? as usize).copied()
+        };
+        let take_system = |d: &mut Decoder<'_>| -> Option<System> {
+            System::ALL.get(d.take_u8()? as usize).copied()
+        };
+        match d.take_u8()? {
+            0 => Some(JobRequest::Simulate {
+                dataset: take_dataset(d)?,
+                system: take_system(d)?,
+                config: JobConfig::decode(d)?,
+            }),
+            1 => {
+                let n = d.take_usize()?;
+                // A hostile length cannot drive allocation: cells are
+                // collected element-by-element, so a short payload
+                // simply fails decode.
+                let mut cells = Vec::new();
+                for _ in 0..n {
+                    cells.push((take_dataset(d)?, take_system(d)?));
+                }
+                Some(JobRequest::Sweep {
+                    cells,
+                    config: JobConfig::decode(d)?,
+                })
+            }
+            2 => Some(JobRequest::Ablation {
+                dataset: take_dataset(d)?,
+                variant: Ablation::ALL.get(d.take_u8()? as usize).copied()?,
+                config: JobConfig::decode(d)?,
+            }),
+            3 => Some(JobRequest::Allocate {
+                dataset: take_dataset(d)?,
+                system: take_system(d)?,
+                config: JobConfig::decode(d)?,
+            }),
+            4 => Some(JobRequest::Predict {
+                dataset: take_dataset(d)?,
+                system: take_system(d)?,
+                config: JobConfig::decode(d)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl JobRequest {
+    /// The canonical request key for result reuse; `None` never occurs
+    /// for well-formed served jobs today (every served config uses the
+    /// exact estimator), but the type keeps the door open.
+    ///
+    /// `Simulate`/`Ablation` reuse the runner's own keys, so the serve
+    /// cache and the in-process run cache are one namespace.
+    pub fn cache_key(&self) -> Option<CacheKey> {
+        match self {
+            JobRequest::Simulate {
+                dataset,
+                system,
+                config,
+            } => run_key(*dataset, *system, &config.to_run_config()),
+            JobRequest::Sweep { cells, config } => {
+                let rc = config.to_run_config();
+                let mut h = CanonicalHasher::new();
+                h.write_tag("serve.job.sweep/v1");
+                h.write_usize(cells.len());
+                for &(d, s) in cells {
+                    match run_key(d, s, &rc) {
+                        Some(k) => k.as_u128().canonical_hash(&mut h),
+                        None => return None,
+                    }
+                }
+                Some(h.finish())
+            }
+            JobRequest::Ablation {
+                dataset,
+                variant,
+                config,
+            } => {
+                let rc = config.to_run_config();
+                match variant {
+                    // Serial/Full share the plain system-run entries.
+                    Ablation::Serial => run_key(*dataset, System::Serial, &rc),
+                    Ablation::Full => run_key(*dataset, System::Gopim, &rc),
+                    _ => ablation_key(*dataset, *variant, &rc),
+                }
+            }
+            JobRequest::Allocate {
+                dataset,
+                system,
+                config,
+            } => {
+                let mut h = CanonicalHasher::new();
+                h.write_tag("serve.job.alloc/v1");
+                run_key(*dataset, *system, &config.to_run_config())?
+                    .as_u128()
+                    .canonical_hash(&mut h);
+                Some(h.finish())
+            }
+            JobRequest::Predict {
+                dataset,
+                system,
+                config,
+            } => {
+                let mut h = CanonicalHasher::new();
+                h.write_tag("serve.job.predict/v1");
+                run_key(*dataset, *system, &config.to_run_config())?
+                    .as_u128()
+                    .canonical_hash(&mut h);
+                Some(h.finish())
+            }
+        }
+    }
+
+    /// Predicted host runtime in nanoseconds (the fair-share queue's
+    /// ordering input), from the predictor's closed-form host-cost
+    /// model.
+    pub fn predicted_cost_ns(&self) -> f64 {
+        let m = HostCostModel::default();
+        match self {
+            JobRequest::Simulate {
+                dataset, config, ..
+            } => m.simulate_ns(&dataset.stats(), config.micro_batch, config.num_batches),
+            JobRequest::Sweep { cells, config } => {
+                let stats: Vec<_> = cells.iter().map(|&(d, _)| d.stats()).collect();
+                m.sweep_ns(stats.iter(), config.micro_batch, config.num_batches)
+            }
+            JobRequest::Ablation {
+                dataset, config, ..
+            } => m.simulate_ns(&dataset.stats(), config.micro_batch, config.num_batches),
+            JobRequest::Allocate {
+                dataset, config, ..
+            } => m.allocate_ns(&dataset.stats(), config.micro_batch),
+            JobRequest::Predict { dataset, .. } => m.predict_ns(&dataset.stats()),
+        }
+    }
+
+    /// Executes the job, producing the same codec bytes the in-process
+    /// entry point yields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for the client's `Failed` reply; today's job
+    /// kinds are total over decodable requests, so errors surface only
+    /// for semantically impossible inputs.
+    pub fn execute(&self) -> Result<Vec<u8>, String> {
+        match self {
+            JobRequest::Simulate {
+                dataset,
+                system,
+                config,
+            } => Ok(run_system_cached(*dataset, *system, &config.to_run_config()).to_bytes()),
+            JobRequest::Sweep { cells, config } => {
+                if cells.is_empty() {
+                    return Err("sweep job with zero cells".to_string());
+                }
+                Ok(run_systems(cells, &config.to_run_config()).to_bytes())
+            }
+            JobRequest::Ablation {
+                dataset,
+                variant,
+                config,
+            } => Ok(run_ablation_cached(*dataset, *variant, &config.to_run_config()).to_bytes()),
+            JobRequest::Allocate {
+                dataset,
+                system,
+                config,
+            } => Ok(allocation_plan(*dataset, *system, &config.to_run_config()).to_bytes()),
+            JobRequest::Predict {
+                dataset,
+                system,
+                config,
+            } => {
+                let workload = build_workload(*dataset, *system, &config.to_run_config());
+                let run = profiling::profile(&workload);
+                Ok((run.stage_times_ns, run.collection_cost_ns).to_bytes())
+            }
+        }
+    }
+}
+
+/// The production [`JobHandler`]: decodes [`JobRequest`] payloads and
+/// dispatches to the runner/experiments entry points. An undecodable
+/// payload prices at the minimum (it will fail fast in `execute` with
+/// a typed `Failed` reply rather than being dropped silently).
+pub struct CoreJobHandler;
+
+impl JobHandler for CoreJobHandler {
+    fn predicted_cost_ns(&self, payload: &[u8]) -> f64 {
+        JobRequest::from_bytes(payload)
+            .map(|j| j.predicted_cost_ns())
+            .unwrap_or(1.0)
+    }
+
+    fn cache_key(&self, payload: &[u8]) -> Option<CacheKey> {
+        JobRequest::from_bytes(payload)?.cache_key()
+    }
+
+    fn execute(&self, payload: &[u8]) -> Result<Vec<u8>, String> {
+        match JobRequest::from_bytes(payload) {
+            Some(job) => job.execute(),
+            None => Err("malformed job payload (not a JobRequest)".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> JobConfig {
+        JobConfig {
+            crossbar_budget: Some(300_000),
+            ..JobConfig::default()
+        }
+    }
+
+    #[test]
+    fn job_requests_round_trip_through_the_codec() {
+        let jobs = [
+            JobRequest::Simulate {
+                dataset: Dataset::Ddi,
+                system: System::Gopim,
+                config: quick(),
+            },
+            JobRequest::Sweep {
+                cells: vec![
+                    (Dataset::Ddi, System::Serial),
+                    (Dataset::Cora, System::Gopim),
+                ],
+                config: quick(),
+            },
+            JobRequest::Ablation {
+                dataset: Dataset::Ddi,
+                variant: Ablation::PlusPp,
+                config: quick(),
+            },
+            JobRequest::Allocate {
+                dataset: Dataset::Collab,
+                system: System::ReGraphX,
+                config: quick(),
+            },
+            JobRequest::Predict {
+                dataset: Dataset::Arxiv,
+                system: System::Gopim,
+                config: quick(),
+            },
+        ];
+        for job in jobs {
+            let bytes = job.to_bytes();
+            assert_eq!(JobRequest::from_bytes(&bytes), Some(job));
+        }
+    }
+
+    #[test]
+    fn simulate_key_matches_the_runners_key() {
+        let config = quick();
+        let job = JobRequest::Simulate {
+            dataset: Dataset::Ddi,
+            system: System::Gopim,
+            config: config.clone(),
+        };
+        assert_eq!(
+            job.cache_key(),
+            run_key(Dataset::Ddi, System::Gopim, &config.to_run_config())
+        );
+    }
+
+    #[test]
+    fn job_kinds_have_distinct_keys() {
+        let config = quick();
+        let alloc = JobRequest::Allocate {
+            dataset: Dataset::Ddi,
+            system: System::Gopim,
+            config: config.clone(),
+        };
+        let predict = JobRequest::Predict {
+            dataset: Dataset::Ddi,
+            system: System::Gopim,
+            config: config.clone(),
+        };
+        let sim = JobRequest::Simulate {
+            dataset: Dataset::Ddi,
+            system: System::Gopim,
+            config,
+        };
+        let keys = [alloc.cache_key(), predict.cache_key(), sim.cache_key()];
+        assert!(keys.iter().all(|k| k.is_some()));
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[1], keys[2]);
+        assert_ne!(keys[0], keys[2]);
+    }
+
+    #[test]
+    fn sweeps_price_above_their_cells() {
+        let config = quick();
+        let cell = JobRequest::Simulate {
+            dataset: Dataset::Ddi,
+            system: System::Gopim,
+            config: config.clone(),
+        };
+        let sweep = JobRequest::Sweep {
+            cells: vec![
+                (Dataset::Ddi, System::Gopim),
+                (Dataset::Products, System::Gopim),
+            ],
+            config,
+        };
+        assert!(sweep.predicted_cost_ns() > cell.predicted_cost_ns());
+    }
+
+    #[test]
+    fn handler_rejects_garbage_payloads_cleanly() {
+        let handler = CoreJobHandler;
+        assert!(handler.execute(b"definitely not a job").is_err());
+        assert_eq!(handler.cache_key(b"garbage"), None);
+        assert_eq!(handler.predicted_cost_ns(b""), 1.0);
+    }
+
+    #[test]
+    fn execute_bytes_equal_in_process_bytes() {
+        let config = quick();
+        let job = JobRequest::Simulate {
+            dataset: Dataset::Cora,
+            system: System::Serial,
+            config: config.clone(),
+        };
+        let served = job.execute().unwrap();
+        let local =
+            crate::runner::run_system(Dataset::Cora, System::Serial, &config.to_run_config())
+                .to_bytes();
+        assert_eq!(served, local, "job bytes differ from in-process bytes");
+    }
+}

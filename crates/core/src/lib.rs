@@ -12,6 +12,8 @@
 //!   replicas, simulates the pipeline and accounts energy.
 //! - [`experiments`]: one module per paper table/figure, returning
 //!   typed rows the `gopim-bench` binaries print.
+//! - [`jobs`]: the same entry points as self-describing jobs for the
+//!   `gopim-serve` job server (`gopim serve`).
 //! - [`report`]: plain-text table formatting.
 //!
 //! # Quickstart
@@ -33,6 +35,7 @@
 pub mod benchdiff;
 pub mod cli;
 pub mod experiments;
+pub mod jobs;
 pub mod paper;
 pub mod report;
 pub mod runner;

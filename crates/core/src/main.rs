@@ -32,6 +32,14 @@ COMMANDS:
     faults <dataset> [B]          fault-injection degradation campaign
                                   (env: GOPIM_FAULT_SEED, GOPIM_FAULT_RATES,
                                    GOPIM_FAULT_SPARES)
+    serve [addr]                  persistent job server (default
+                                  127.0.0.1:4857; ':0' = ephemeral):
+                                  simulation/allocation/prediction jobs
+                                  over the gopim-serve wire protocol,
+                                  fair-share scheduled, cache-backed
+                                  (env: GOPIM_SERVE_WORKERS,
+                                   GOPIM_SERVE_QUEUE,
+                                   GOPIM_SERVE_READ_TIMEOUT_MS)
     lint [--update-baseline]      determinism & hermeticity linter
                                   (ratchets against lint-baseline.json;
                                    GOPIM_LINT_JSON=<path> writes a JSON report)
@@ -54,7 +62,7 @@ The paper's full 16 GB chip is assumed; see the gopim-bench binaries
 
 use gopim::cli::{
     parse_dataset, parse_fault_rates, parse_fault_seed, parse_fault_spares, parse_micro_batch,
-    parse_system,
+    parse_serve_addr, parse_system,
 };
 
 fn cmd_datasets() {
@@ -197,6 +205,34 @@ fn cmd_faults(dataset: Dataset, micro_batch: usize) -> Result<(), String> {
     println!(
         "Retry pays latency for transient faults; remap also re-steers dead crossbars to\n\
          the allocator's spares, trading write time and energy for accuracy."
+    );
+    Ok(())
+}
+
+fn cmd_serve(addr: &str) -> Result<(), String> {
+    use gopim::jobs::CoreJobHandler;
+    use gopim_serve::{Server, ServerConfig};
+    use std::sync::Arc;
+
+    let cfg = ServerConfig::from_env();
+    let server = Server::bind(addr, Arc::new(CoreJobHandler), cfg)
+        .map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
+    println!(
+        "gopim-serve listening on {} — send jobs with the gopim-serve client \
+         (see README 'Serving'); Ctrl-C or a protocol Shutdown stops it.",
+        server.local_addr()
+    );
+    server.wait();
+    let stats = server.stats();
+    println!(
+        "gopim-serve drained: {} submitted, {} completed ({} from cache), \
+         {} busy-rejected, {} cancelled, {} expired",
+        stats.submitted,
+        stats.completed,
+        stats.cache_served,
+        stats.busy_rejections,
+        stats.cancelled,
+        stats.expired
     );
     Ok(())
 }
@@ -395,6 +431,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "faults" => {
             let dataset = parse_dataset(args.get(1).ok_or("faults needs a dataset")?)?;
             cmd_faults(dataset, micro_batch_at(2)?)
+        }
+        "serve" => {
+            let addr = parse_serve_addr(args.get(1).map(String::as_str))?;
+            cmd_serve(&addr)
         }
         "bench-diff" => cmd_bench_diff(&args[1..]),
         "lint" => {

@@ -453,6 +453,37 @@ pub fn build_workload(dataset: Dataset, system: System, config: &RunConfig) -> G
     (*workload).clone()
 }
 
+/// Replica allocation without schedule simulation — the serve layer's
+/// `Allocate` job and any caller that wants the plan cheaper than a
+/// full run. Returns per-stage `(replicas, crossbars_per_replica)`.
+pub fn allocation_plan(
+    dataset: Dataset,
+    system: System,
+    config: &RunConfig,
+) -> (Vec<usize>, Vec<usize>) {
+    let base = dataset_profile(dataset, config.profile_seed);
+    let profile = if system == System::SlimGnnLike {
+        scaled_profile(&base, config.slimgnn_prune_retain)
+    } else {
+        (*base).clone()
+    };
+    let options = workload_options(system, &profile, config);
+    let (_, workload) = memo_workload(dataset.name(), &profile, &dataset.model(), &options);
+    let spec = AcceleratorSpec::paper();
+    let total = config
+        .crossbar_budget
+        .unwrap_or_else(|| spec.total_crossbars());
+    let budget = total.saturating_sub(workload.base_crossbars());
+    let input = alloc_input(&workload, profile.avg_degree(), budget, &config.estimator);
+    let plan = allocate(system, &input, &workload);
+    let footprints = workload
+        .stages()
+        .iter()
+        .map(|s| s.crossbars_per_replica)
+        .collect();
+    (plan.replicas, footprints)
+}
+
 /// Runs one system on a custom (profile, model) pair — the entry point
 /// for user-supplied graphs (see the CLI's `custom` command).
 pub fn run_system_custom(

@@ -83,7 +83,14 @@ pub const RULES: &[Rule] = &[
                   (bit-determinism across runs and thread counts)",
         matchers: &[Matcher::IdentAny(&["Instant", "SystemTime"])],
         applies: Applies::Lib,
-        exempt_paths: &["crates/obs/", "crates/testkit/src/bench.rs"],
+        // The serve crate owns real deadlines, read timeouts and
+        // latency measurement — wall-clock use is its job; the
+        // simulation results it transports stay deterministic.
+        exempt_paths: &[
+            "crates/obs/",
+            "crates/testkit/src/bench.rs",
+            "crates/serve/",
+        ],
     },
     Rule {
         name: "no-unordered-hash-iteration",

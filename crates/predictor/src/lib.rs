@@ -18,6 +18,8 @@
 //! - [`eval`]: RMSE / split / prediction-accuracy utilities.
 //! - [`profiling`]: the profiling-based alternative (ground truth at
 //!   high collection cost) used by Table VII.
+//! - [`runtime`]: closed-form *host*-runtime estimates (not simulated
+//!   accelerator time) feeding `gopim-serve`'s fair-share scheduler.
 //!
 //! # Example
 //!
@@ -40,7 +42,9 @@ pub mod features;
 pub mod models;
 pub mod predictor;
 pub mod profiling;
+pub mod runtime;
 
 pub use dataset_gen::SampleSet;
 pub use features::{stage_features, Normalizer, NUM_FEATURES};
 pub use predictor::TimePredictor;
+pub use runtime::HostCostModel;

@@ -1,0 +1,148 @@
+//! Host-runtime estimation for scheduling, not simulation.
+//!
+//! The paper's predictor (§V-A) estimates *simulated accelerator
+//! time* — what the modeled hardware would take. A job server needs a
+//! different number: how long the **host** will spend computing a job,
+//! so the fair-share queue can order work by predicted cost and keep
+//! cheap interactive requests from queuing behind sweep bulldozers.
+//!
+//! Training an MLP at admission time would cost more than most jobs,
+//! so this is a closed-form model of where the simulator's host time
+//! actually goes, per `gopim-core`'s runner:
+//!
+//! - **profile + workload build** — sorting and scanning the degree
+//!   profile, laying out per-stage/per-micro-batch write matrices:
+//!   linear in vertices, linear in micro-batch count;
+//! - **allocation** — the greedy allocator's replica auction: linear
+//!   in micro-batches per candidate step;
+//! - **schedule simulation** — the event loop: proportional to
+//!   `stages × micro-batches × batches`.
+//!
+//! Absolute calibration only has to be right within a small factor;
+//! what admission control needs is the *ordering* (products ≫ ddi,
+//! sweep ≫ single run, prediction ≈ free), which the structural terms
+//! give for any sane constants. Estimates are pure functions of the
+//! job description — deterministic, no clocks, no measurement.
+
+use gopim_graph::datasets::DatasetStats;
+
+/// Closed-form host-cost model. Constants are per-unit nanosecond
+/// weights of the runner's dominant loops on a contemporary core.
+#[derive(Debug, Clone, Copy)]
+pub struct HostCostModel {
+    /// Fixed per-job overhead (dispatch, memo lookups), ns.
+    pub base_ns: f64,
+    /// Per-vertex cost of profile + workload construction, ns.
+    pub per_vertex_ns: f64,
+    /// Per (stage × micro-batch × batch) cost of the event loop, ns.
+    pub per_cell_ns: f64,
+    /// Per-micro-batch cost of one allocator auction step, ns.
+    pub per_alloc_step_ns: f64,
+}
+
+impl Default for HostCostModel {
+    fn default() -> Self {
+        HostCostModel {
+            base_ns: 200_000.0,
+            per_vertex_ns: 25.0,
+            per_cell_ns: 120.0,
+            per_alloc_step_ns: 40.0,
+        }
+    }
+}
+
+/// Pipeline stage count the runner's workloads carry (2 layers × 4
+/// stage kinds); the model only needs the order of magnitude.
+const STAGES: f64 = 8.0;
+
+/// Allocator auction steps observed for full-chip budgets; replica
+/// auctions terminate long before the budget on every shipped dataset.
+const ALLOC_STEPS: f64 = 512.0;
+
+impl HostCostModel {
+    /// Predicted host cost of simulating one `(dataset, system)` cell,
+    /// in nanoseconds.
+    pub fn simulate_ns(&self, stats: &DatasetStats, micro_batch: usize, num_batches: usize) -> f64 {
+        let micro_batches = (stats.num_vertices as f64 / micro_batch.max(1) as f64).max(1.0);
+        self.base_ns
+            + self.per_vertex_ns * stats.num_vertices as f64
+            + self.per_cell_ns * STAGES * micro_batches * num_batches.max(1) as f64
+            + self.per_alloc_step_ns * ALLOC_STEPS * micro_batches.min(64.0)
+    }
+
+    /// Predicted host cost of a sweep: the sum of its cells. (The
+    /// runner dedups identical cells, but an admission-time estimate
+    /// must not undercount a sweep that happens to miss the cache.)
+    pub fn sweep_ns<'a>(
+        &self,
+        cells: impl IntoIterator<Item = &'a DatasetStats>,
+        micro_batch: usize,
+        num_batches: usize,
+    ) -> f64 {
+        cells
+            .into_iter()
+            .map(|s| self.simulate_ns(s, micro_batch, num_batches))
+            .sum::<f64>()
+            .max(self.base_ns)
+    }
+
+    /// Predicted host cost of a replica-allocation-only job: workload
+    /// build plus the auction, no schedule simulation.
+    pub fn allocate_ns(&self, stats: &DatasetStats, micro_batch: usize) -> f64 {
+        let micro_batches = (stats.num_vertices as f64 / micro_batch.max(1) as f64).max(1.0);
+        self.base_ns
+            + self.per_vertex_ns * stats.num_vertices as f64
+            + self.per_alloc_step_ns * ALLOC_STEPS * micro_batches.min(64.0)
+    }
+
+    /// Predicted host cost of a profiling/prediction job (feature
+    /// extraction over an already-built workload): cheap and nearly
+    /// size-independent next to simulation.
+    pub fn predict_ns(&self, stats: &DatasetStats) -> f64 {
+        self.base_ns + self.per_vertex_ns * 0.1 * stats.num_vertices as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopim_graph::datasets::Dataset;
+
+    #[test]
+    fn bigger_datasets_cost_more() {
+        let m = HostCostModel::default();
+        let small = m.simulate_ns(&Dataset::Cora.stats(), 64, 1);
+        let big = m.simulate_ns(&Dataset::Products.stats(), 64, 1);
+        assert!(big > 10.0 * small, "products {big} vs cora {small}");
+    }
+
+    #[test]
+    fn sweeps_cost_more_than_their_largest_cell() {
+        let m = HostCostModel::default();
+        let cells: Vec<_> = Dataset::ALL.iter().map(|d| d.stats()).collect();
+        let sweep = m.sweep_ns(cells.iter(), 64, 1);
+        let max_cell = cells
+            .iter()
+            .map(|s| m.simulate_ns(s, 64, 1))
+            .fold(0.0, f64::max);
+        assert!(sweep > max_cell);
+    }
+
+    #[test]
+    fn prediction_is_cheap_relative_to_simulation() {
+        let m = HostCostModel::default();
+        let stats = Dataset::Arxiv.stats();
+        assert!(m.predict_ns(&stats) < 0.2 * m.simulate_ns(&stats, 64, 1));
+    }
+
+    #[test]
+    fn estimates_are_finite_positive_and_deterministic() {
+        let m = HostCostModel::default();
+        for d in Dataset::ALL {
+            let a = m.simulate_ns(&d.stats(), 64, 4);
+            let b = m.simulate_ns(&d.stats(), 64, 4);
+            assert!(a.is_finite() && a > 0.0);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! A blocking client for the serve wire protocol.
+//!
+//! The protocol is asynchronous on the wire: a `Done` for an earlier
+//! job may arrive between a `Submit` and its `Accepted`. The client
+//! therefore exposes the honest primitive pair — [`Client::send`]
+//! writes one request, [`Client::recv`] reads the next response,
+//! whatever it is — plus small conveniences ([`Client::connect`]
+//! performs the `Hello` handshake, [`Client::recv_matching`] skips
+//! interleaved traffic) that loadgen, the differential harness and the
+//! robustness tests build on.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::frame::{decode_frame, DecodeStep, FrameError};
+use crate::proto::{Request, Response, PROTO_SCHEMA};
+
+/// Every way a client call can fail.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server sent bytes that do not parse as a response frame.
+    Frame(FrameError),
+    /// The server closed the connection mid-stream.
+    Disconnected,
+    /// The handshake failed: the server replied something other than
+    /// `HelloAck` (its message is carried verbatim).
+    Handshake(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Handshake(msg) => write!(f, "handshake rejected: {msg}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// One connection to a job server.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to `addr` and performs the `Hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Handshake`] when the server rejects the schema;
+    /// I/O and frame errors propagate.
+    pub fn connect(addr: &str, client_name: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client {
+            stream,
+            buf: Vec::new(),
+        };
+        client.send(&Request::Hello {
+            client_name: client_name.to_string(),
+            schema: PROTO_SCHEMA,
+        })?;
+        match client.recv()? {
+            Response::HelloAck { .. } => Ok(client),
+            Response::ProtoError { message } => Err(ClientError::Handshake(message)),
+            other => Err(ClientError::Handshake(format!(
+                "unexpected handshake reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Sets a receive timeout for subsequent [`Client::recv`] calls
+    /// (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Writes one request frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        self.stream.write_all(&req.to_frame_bytes())?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next response, whichever job it belongs to.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] on EOF; I/O and frame errors
+    /// propagate.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut tmp = [0u8; 16 * 1024];
+        loop {
+            match decode_frame(&self.buf)? {
+                DecodeStep::Complete { frame, consumed } => {
+                    self.buf.drain(..consumed);
+                    return Ok(Response::from_frame(&frame)?);
+                }
+                DecodeStep::Incomplete { .. } => {
+                    let n = self.stream.read(&mut tmp)?;
+                    if n == 0 {
+                        return Err(ClientError::Disconnected);
+                    }
+                    self.buf.extend_from_slice(&tmp[..n]);
+                }
+            }
+        }
+    }
+
+    /// Reads responses until `pred` accepts one, returning it.
+    /// Interleaved responses for other jobs are handed to `spill` in
+    /// arrival order so the caller never loses them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::recv`] failures.
+    pub fn recv_matching(
+        &mut self,
+        mut pred: impl FnMut(&Response) -> bool,
+        mut spill: impl FnMut(Response),
+    ) -> Result<Response, ClientError> {
+        loop {
+            let resp = self.recv()?;
+            if pred(&resp) {
+                return Ok(resp);
+            }
+            spill(resp);
+        }
+    }
+
+    /// Submits one job and blocks until its terminal response (`Done`,
+    /// `Failed`, `Cancelled`, `Expired`) or an admission refusal
+    /// (`Busy`, `ShuttingDown`). Interleaved responses for other jobs
+    /// go to `spill`. The simple path for sequential callers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::send`] / [`Client::recv`] failures.
+    pub fn submit_blocking(
+        &mut self,
+        client_job_id: u64,
+        deadline_ms: u64,
+        payload: Vec<u8>,
+        mut spill: impl FnMut(Response),
+    ) -> Result<Response, ClientError> {
+        self.send(&Request::Submit {
+            client_job_id,
+            deadline_ms,
+            payload,
+        })?;
+        let mine = |r: &Response| match r {
+            Response::Accepted {
+                client_job_id: c, ..
+            }
+            | Response::Busy {
+                client_job_id: c, ..
+            }
+            | Response::Done {
+                client_job_id: c, ..
+            }
+            | Response::Failed {
+                client_job_id: c, ..
+            }
+            | Response::Cancelled {
+                client_job_id: c, ..
+            }
+            | Response::Expired {
+                client_job_id: c, ..
+            } => *c == client_job_id,
+            Response::ShuttingDown | Response::ProtoError { .. } => true,
+            _ => false,
+        };
+        loop {
+            let resp = self.recv_matching(mine, &mut spill)?;
+            match resp {
+                // Acceptance is an interim reply; keep waiting for the
+                // terminal one.
+                Response::Accepted { .. } => continue,
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Requests server statistics, spilling interleaved job traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/recv failures.
+    pub fn stats(
+        &mut self,
+        mut spill: impl FnMut(Response),
+    ) -> Result<crate::proto::ServerStats, ClientError> {
+        self.send(&Request::Stats)?;
+        match self.recv_matching(|r| matches!(r, Response::StatsReply(_)), &mut spill)? {
+            Response::StatsReply(s) => Ok(s),
+            // recv_matching only returns on the predicate.
+            _ => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Asks the server to shut down and waits for acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/recv failures.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        let _ = self.recv_matching(|r| matches!(r, Response::ShuttingDown), |_| {})?;
+        Ok(())
+    }
+}

@@ -1,0 +1,313 @@
+//! The length-prefixed, checksummed wire frame.
+//!
+//! Every message on a serve connection travels inside one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"GPS1"
+//! 4       2     wire version, little-endian (WIRE_VERSION)
+//! 6       1     opcode (message discriminant, see proto.rs)
+//! 7       1     flags (reserved, must be 0)
+//! 8       4     payload length, little-endian (≤ MAX_PAYLOAD)
+//! 12      n     payload bytes
+//! 12+n    8     FNV-1a 64 checksum over bytes 4..12+n, little-endian
+//! ```
+//!
+//! Decoding is **total**: any byte sequence either yields a frame, a
+//! typed [`FrameError`], or an `Incomplete{needed}` request for more
+//! bytes — never a panic, never an allocation proportional to a
+//! length field that the checksum has not vouched for (the length cap
+//! is enforced *before* the payload is read). The adversarial property
+//! suite in `crates/serve/tests/codec_props.rs` pins this on random
+//! valid frames, truncations, oversized lengths, duplicated magic and
+//! garbage streams.
+
+/// Frame magic: "GoPim Serve v1".
+pub const MAGIC: [u8; 4] = *b"GPS1";
+
+/// Wire protocol version carried in every frame.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Hard cap on a frame payload (16 MiB). A length field beyond this is
+/// rejected before any payload is read, so a hostile 4 GiB length
+/// cannot drive allocation.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Bytes before the payload (magic + version + opcode + flags + len).
+pub const HEADER_LEN: usize = 12;
+
+/// Trailing checksum bytes.
+pub const TRAILER_LEN: usize = 8;
+
+/// One decoded frame: an opcode plus its payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message discriminant (interpreted by `proto.rs`).
+    pub opcode: u8,
+    /// Message body (interpreted by `proto.rs`).
+    pub payload: Vec<u8>,
+}
+
+/// Every way a byte stream can fail to be a frame. Each variant maps
+/// to a clean per-connection error; none of them can take the server
+/// down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version field names a protocol we do not speak.
+    BadVersion(u16),
+    /// The flags byte is nonzero (reserved for future use).
+    BadFlags(u8),
+    /// The length field exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The trailing checksum does not match the frame contents.
+    BadChecksum {
+        /// Checksum the frame carried.
+        found: u64,
+        /// Checksum the bytes actually hash to.
+        computed: u64,
+    },
+    /// The opcode is not a known message discriminant (raised by the
+    /// message layer, shares the frame error namespace).
+    BadOpcode(u8),
+    /// The payload does not decode as the message its opcode names
+    /// (raised by the message layer).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(found) => write!(f, "bad frame magic {found:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            FrameError::BadFlags(b) => write!(f, "nonzero reserved flags {b:#04x}"),
+            FrameError::Oversized(n) => {
+                write!(f, "payload length {n} exceeds cap {MAX_PAYLOAD}")
+            }
+            FrameError::BadChecksum { found, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame {found:#018x}, computed {computed:#018x}"
+                )
+            }
+            FrameError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            FrameError::Malformed(what) => write!(f, "malformed {what} body"),
+        }
+    }
+}
+
+/// Outcome of [`decode_frame`] on a prefix of a byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeStep {
+    /// Not enough bytes yet; at least `needed` total bytes are
+    /// required before decoding can progress past the current field.
+    Incomplete {
+        /// Minimum total buffer length needed for the next decision.
+        needed: usize,
+    },
+    /// A full frame decoded, consuming `consumed` bytes.
+    Complete {
+        /// The decoded frame.
+        frame: Frame,
+        /// Bytes of the buffer the frame occupied.
+        consumed: usize,
+    },
+}
+
+/// FNV-1a 64 over a byte slice — the same construction the cache's
+/// disk records use; cheap, dependency-free and adequate for
+/// corruption (not adversary) detection.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes one frame: header, payload, trailing checksum.
+///
+/// Oversized payloads are truncation-proofed at the type level by the
+/// caller contract (`proto.rs` bodies are far below the cap); should a
+/// caller ever exceed it, the peer rejects the frame with
+/// [`FrameError::Oversized`] rather than misparsing.
+pub fn encode_frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.push(opcode);
+    out.push(0); // flags
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a(&out[4..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+fn le_u16(b: &[u8]) -> u16 {
+    u16::from_le_bytes([b[0], b[1]])
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Decodes the first frame from `buf`.
+///
+/// Field checks run in stream order so garbage is rejected at the
+/// earliest byte that proves it garbage: magic before version, version
+/// before length, length cap before the payload is awaited, checksum
+/// last. Total over all inputs: returns [`DecodeStep::Incomplete`]
+/// when `buf` is a (possibly empty) prefix of some well-formed frame.
+///
+/// # Errors
+///
+/// Returns a typed [`FrameError`] for any prefix that can never extend
+/// to a valid frame.
+pub fn decode_frame(buf: &[u8]) -> Result<DecodeStep, FrameError> {
+    // Magic: checked byte-by-byte so a wrong byte fails even before
+    // four bytes arrive.
+    for (i, &expect) in MAGIC.iter().enumerate() {
+        match buf.get(i) {
+            None => return Ok(DecodeStep::Incomplete { needed: HEADER_LEN }),
+            Some(&got) if got != expect => {
+                let mut found = [0u8; 4];
+                for (slot, &b) in found.iter_mut().zip(buf.iter()) {
+                    *slot = b;
+                }
+                return Err(FrameError::BadMagic(found));
+            }
+            Some(_) => {}
+        }
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(DecodeStep::Incomplete { needed: HEADER_LEN });
+    }
+    let version = le_u16(&buf[4..6]);
+    if version != WIRE_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let opcode = buf[6];
+    let flags = buf[7];
+    if flags != 0 {
+        return Err(FrameError::BadFlags(flags));
+    }
+    let len = le_u32(&buf[8..12]);
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(len));
+    }
+    let total = HEADER_LEN + len as usize + TRAILER_LEN;
+    if buf.len() < total {
+        return Ok(DecodeStep::Incomplete { needed: total });
+    }
+    let body_end = HEADER_LEN + len as usize;
+    let computed = fnv1a(&buf[4..body_end]);
+    let found = le_u64(&buf[body_end..total]);
+    if computed != found {
+        return Err(FrameError::BadChecksum { found, computed });
+    }
+    Ok(DecodeStep::Complete {
+        frame: Frame {
+            opcode,
+            payload: buf[HEADER_LEN..body_end].to_vec(),
+        },
+        consumed: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let bytes = encode_frame(0x42, b"hello");
+        match decode_frame(&bytes).unwrap() {
+            DecodeStep::Complete { frame, consumed } => {
+                assert_eq!(frame.opcode, 0x42);
+                assert_eq!(frame.payload, b"hello");
+                assert_eq!(consumed, bytes.len());
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let bytes = encode_frame(0, b"");
+        assert!(matches!(
+            decode_frame(&bytes),
+            Ok(DecodeStep::Complete { consumed, .. }) if consumed == bytes.len()
+        ));
+    }
+
+    #[test]
+    fn every_prefix_is_incomplete() {
+        let bytes = encode_frame(7, b"prefix-safety");
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    decode_frame(&bytes[..cut]),
+                    Ok(DecodeStep::Incomplete { .. })
+                ),
+                "prefix of {cut} bytes must be incomplete, not an error"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let mut bytes = encode_frame(7, b"payload");
+        bytes[HEADER_LEN] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_rejected_early() {
+        assert!(matches!(
+            decode_frame(b"XPS1whatever"),
+            Err(FrameError::BadMagic(_))
+        ));
+        // A wrong byte fails before the full header arrives.
+        assert!(matches!(decode_frame(b"GX"), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_payload() {
+        let mut bytes = encode_frame(7, b"x");
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes[..HEADER_LEN]),
+            Err(FrameError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode_frame(7, b"x");
+        bytes[4..6].copy_from_slice(&9999u16.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::BadVersion(9999))
+        ));
+    }
+
+    #[test]
+    fn magic_inside_payload_is_fine() {
+        let payload = [&MAGIC[..], &MAGIC[..], b"tail"].concat();
+        let bytes = encode_frame(1, &payload);
+        match decode_frame(&bytes).unwrap() {
+            DecodeStep::Complete { frame, .. } => assert_eq!(frame.payload, payload),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+}

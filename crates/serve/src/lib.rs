@@ -1,0 +1,50 @@
+//! Multi-tenant job serving for the GoPIM reproduction.
+//!
+//! A reproduction sweep is traditionally a batch affair: one process,
+//! one figure, results on stdout. This crate turns the same entry
+//! points into a **persistent service**: a TCP server accepting
+//! simulation, allocation and prediction jobs from many concurrent
+//! clients, with the properties a shared instance needs —
+//!
+//! - a **versioned, checksummed wire protocol** ([`frame`], [`proto`])
+//!   whose decoder is total: malformed bytes produce a clean per-
+//!   connection error, never a panic and never the server's death;
+//! - **admission control** ([`server`]): a bounded queue with explicit
+//!   `Busy` backpressure instead of unbounded memory growth;
+//! - **fair-share scheduling** ([`queue`]): start-time fair queuing
+//!   ordered by the predictor's runtime estimates, so one client's
+//!   burst cannot starve another's interactive request, and cheap jobs
+//!   are not stuck behind expensive ones;
+//! - **deadlines and cancellation**: a job whose deadline lapses in
+//!   the queue is answered `Expired` without burning a worker; a
+//!   client can cancel queued (slot freed immediately) or running
+//!   (result discarded) jobs;
+//! - **result reuse**: jobs carry canonical request hashes into the
+//!   `gopim-cache` store, so a repeated request is served from cache —
+//!   bitwise identical to fresh computation, per the differential
+//!   harness in `tests/serve_differential.rs`.
+//!
+//! The crate is deliberately **policy, not physics**: it knows nothing
+//! about GCNs or PIM. Job semantics enter through the [`JobHandler`]
+//! trait, which `gopim-core` implements over its runner/experiments
+//! entry points (`gopim serve` subcommand). That keeps the dependency
+//! arrow core → serve and lets the robustness tests drive the server
+//! with toy handlers.
+//!
+//! Determinism contract: serving changes *where* a result is computed,
+//! never *what* it is. Job payloads and results travel as the same
+//! codec bytes the in-process APIs produce, and the cache key is the
+//! same canonical hash — so a socket round-trip is byte-identical to a
+//! local call.
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use frame::{decode_frame, encode_frame, DecodeStep, Frame, FrameError};
+pub use proto::{Request, Response, ServerStats, PROTO_SCHEMA};
+pub use queue::{FairQueue, Popped};
+pub use server::{JobHandler, Server, ServerConfig};

@@ -1,0 +1,526 @@
+//! The message layer: typed requests and responses over [`crate::frame`].
+//!
+//! Bodies reuse the cache crate's length-prefixed byte codec
+//! ([`gopim_cache::Encoder`]/[`Decoder`]) — the same total, panic-free
+//! decode discipline the disk cache uses, so a malformed body is a
+//! typed [`FrameError::Malformed`], never a crash. Job payloads and
+//! job results are opaque byte strings at this layer; the server's
+//! [`crate::server::JobHandler`] gives them meaning.
+
+use gopim_cache::{Decoder, Encoder};
+
+use crate::frame::{decode_frame, encode_frame, DecodeStep, Frame, FrameError};
+
+/// Schema tag folded into every Hello exchange; bump when message
+/// bodies change shape.
+pub const PROTO_SCHEMA: u32 = 1;
+
+// Request opcodes (client → server).
+const OP_HELLO: u8 = 0x01;
+const OP_SUBMIT: u8 = 0x02;
+const OP_CANCEL: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_SHUTDOWN: u8 = 0x05;
+
+// Response opcodes (server → client).
+const OP_HELLO_ACK: u8 = 0x81;
+const OP_ACCEPTED: u8 = 0x82;
+const OP_BUSY: u8 = 0x83;
+const OP_DONE: u8 = 0x84;
+const OP_FAILED: u8 = 0x85;
+const OP_CANCELLED: u8 = 0x86;
+const OP_EXPIRED: u8 = 0x87;
+const OP_STATS_REPLY: u8 = 0x88;
+const OP_SHUTTING_DOWN: u8 = 0x89;
+const OP_PROTO_ERROR: u8 = 0x8a;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Connection handshake; must be the first frame on a connection.
+    Hello {
+        /// Client-chosen display name (metrics/log labeling only).
+        client_name: String,
+        /// The client's [`PROTO_SCHEMA`].
+        schema: u32,
+    },
+    /// Submit one job.
+    Submit {
+        /// Client-side correlation id, echoed in every reply about
+        /// this job.
+        client_job_id: u64,
+        /// Milliseconds from admission until the job expires; 0 means
+        /// no deadline.
+        deadline_ms: u64,
+        /// Opaque job payload (decoded by the server's job handler).
+        payload: Vec<u8>,
+    },
+    /// Cancel a previously accepted job by its server-assigned id.
+    Cancel {
+        /// Server-assigned job id from `Accepted`.
+        job_id: u64,
+    },
+    /// Request a point-in-time server statistics snapshot.
+    Stats,
+    /// Ask the server to drain accepted jobs and exit.
+    Shutdown,
+}
+
+/// Point-in-time server statistics carried by [`Response::StatsReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Jobs currently queued (admission-relevant depth).
+    pub queued: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs accepted since startup.
+    pub submitted: u64,
+    /// Jobs completed successfully (including cache-served).
+    pub completed: u64,
+    /// Jobs answered straight from the result cache.
+    pub cache_served: u64,
+    /// Submissions rejected with `Busy`.
+    pub busy_rejections: u64,
+    /// Jobs cancelled by clients.
+    pub cancelled: u64,
+    /// Jobs that missed their deadline.
+    pub expired: u64,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Handshake acknowledgment.
+    HelloAck {
+        /// The server's [`PROTO_SCHEMA`].
+        schema: u32,
+        /// Server display name.
+        server_name: String,
+    },
+    /// The job was admitted to the queue (or served from cache — a
+    /// `Done` follows immediately in that case).
+    Accepted {
+        /// Echoed client correlation id.
+        client_job_id: u64,
+        /// Server-assigned job id (use for `Cancel`).
+        job_id: u64,
+    },
+    /// Admission control rejected the submission; retry later.
+    Busy {
+        /// Echoed client correlation id.
+        client_job_id: u64,
+        /// Queue depth at rejection time.
+        queue_depth: u64,
+    },
+    /// The job finished; `result` is the handler's encoded output.
+    Done {
+        /// Server-assigned job id.
+        job_id: u64,
+        /// Echoed client correlation id.
+        client_job_id: u64,
+        /// Whether the result came from the canonical-hash cache
+        /// without executing.
+        cache_served: bool,
+        /// Handler-encoded result bytes.
+        result: Vec<u8>,
+    },
+    /// The job's handler returned an error.
+    Failed {
+        /// Server-assigned job id (0 when the failure precedes
+        /// admission, e.g. an unknown `Cancel` target).
+        job_id: u64,
+        /// Echoed client correlation id (0 when not job-scoped).
+        client_job_id: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The job was cancelled before a result was delivered.
+    Cancelled {
+        /// Server-assigned job id.
+        job_id: u64,
+        /// Echoed client correlation id.
+        client_job_id: u64,
+    },
+    /// The job missed its deadline and was dropped.
+    Expired {
+        /// Server-assigned job id.
+        job_id: u64,
+        /// Echoed client correlation id.
+        client_job_id: u64,
+    },
+    /// Statistics snapshot.
+    StatsReply(ServerStats),
+    /// The server is draining and accepts no further submissions.
+    ShuttingDown,
+    /// The peer sent a frame or body this server could not parse; the
+    /// connection closes after this reply.
+    ProtoError {
+        /// Human-readable description of the decode failure.
+        message: String,
+    },
+}
+
+impl Request {
+    /// Encodes this request into one wire frame.
+    pub fn to_frame_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        let opcode = match self {
+            Request::Hello {
+                client_name,
+                schema,
+            } => {
+                e.put_str(client_name);
+                e.put_u32(*schema);
+                OP_HELLO
+            }
+            Request::Submit {
+                client_job_id,
+                deadline_ms,
+                payload,
+            } => {
+                e.put_u64(*client_job_id);
+                e.put_u64(*deadline_ms);
+                e.put_bytes(payload);
+                OP_SUBMIT
+            }
+            Request::Cancel { job_id } => {
+                e.put_u64(*job_id);
+                OP_CANCEL
+            }
+            Request::Stats => OP_STATS,
+            Request::Shutdown => OP_SHUTDOWN,
+        };
+        encode_frame(opcode, &e.into_bytes())
+    }
+
+    /// Decodes a request from a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadOpcode`] for response/unknown opcodes,
+    /// [`FrameError::Malformed`] when the body does not decode.
+    pub fn from_frame(frame: &Frame) -> Result<Request, FrameError> {
+        let mut d = Decoder::new(&frame.payload);
+        let req = match frame.opcode {
+            OP_HELLO => Request::Hello {
+                client_name: d.take_str().ok_or(FrameError::Malformed("Hello"))?,
+                schema: d.take_u32().ok_or(FrameError::Malformed("Hello"))?,
+            },
+            OP_SUBMIT => Request::Submit {
+                client_job_id: d.take_u64().ok_or(FrameError::Malformed("Submit"))?,
+                deadline_ms: d.take_u64().ok_or(FrameError::Malformed("Submit"))?,
+                payload: d
+                    .take_bytes()
+                    .ok_or(FrameError::Malformed("Submit"))?
+                    .to_vec(),
+            },
+            OP_CANCEL => Request::Cancel {
+                job_id: d.take_u64().ok_or(FrameError::Malformed("Cancel"))?,
+            },
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            op => return Err(FrameError::BadOpcode(op)),
+        };
+        if !d.is_exhausted() {
+            return Err(FrameError::Malformed("request trailing bytes"));
+        }
+        Ok(req)
+    }
+}
+
+impl ServerStats {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u64(self.queued);
+        e.put_u64(self.running);
+        e.put_u64(self.submitted);
+        e.put_u64(self.completed);
+        e.put_u64(self.cache_served);
+        e.put_u64(self.busy_rejections);
+        e.put_u64(self.cancelled);
+        e.put_u64(self.expired);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Option<ServerStats> {
+        Some(ServerStats {
+            queued: d.take_u64()?,
+            running: d.take_u64()?,
+            submitted: d.take_u64()?,
+            completed: d.take_u64()?,
+            cache_served: d.take_u64()?,
+            busy_rejections: d.take_u64()?,
+            cancelled: d.take_u64()?,
+            expired: d.take_u64()?,
+        })
+    }
+}
+
+impl Response {
+    /// Encodes this response into one wire frame.
+    pub fn to_frame_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        let opcode = match self {
+            Response::HelloAck {
+                schema,
+                server_name,
+            } => {
+                e.put_u32(*schema);
+                e.put_str(server_name);
+                OP_HELLO_ACK
+            }
+            Response::Accepted {
+                client_job_id,
+                job_id,
+            } => {
+                e.put_u64(*client_job_id);
+                e.put_u64(*job_id);
+                OP_ACCEPTED
+            }
+            Response::Busy {
+                client_job_id,
+                queue_depth,
+            } => {
+                e.put_u64(*client_job_id);
+                e.put_u64(*queue_depth);
+                OP_BUSY
+            }
+            Response::Done {
+                job_id,
+                client_job_id,
+                cache_served,
+                result,
+            } => {
+                e.put_u64(*job_id);
+                e.put_u64(*client_job_id);
+                e.put_bool(*cache_served);
+                e.put_bytes(result);
+                OP_DONE
+            }
+            Response::Failed {
+                job_id,
+                client_job_id,
+                message,
+            } => {
+                e.put_u64(*job_id);
+                e.put_u64(*client_job_id);
+                e.put_str(message);
+                OP_FAILED
+            }
+            Response::Cancelled {
+                job_id,
+                client_job_id,
+            } => {
+                e.put_u64(*job_id);
+                e.put_u64(*client_job_id);
+                OP_CANCELLED
+            }
+            Response::Expired {
+                job_id,
+                client_job_id,
+            } => {
+                e.put_u64(*job_id);
+                e.put_u64(*client_job_id);
+                OP_EXPIRED
+            }
+            Response::StatsReply(stats) => {
+                stats.encode(&mut e);
+                OP_STATS_REPLY
+            }
+            Response::ShuttingDown => OP_SHUTTING_DOWN,
+            Response::ProtoError { message } => {
+                e.put_str(message);
+                OP_PROTO_ERROR
+            }
+        };
+        encode_frame(opcode, &e.into_bytes())
+    }
+
+    /// Decodes a response from a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadOpcode`] for request/unknown opcodes,
+    /// [`FrameError::Malformed`] when the body does not decode.
+    pub fn from_frame(frame: &Frame) -> Result<Response, FrameError> {
+        let mut d = Decoder::new(&frame.payload);
+        let resp = match frame.opcode {
+            OP_HELLO_ACK => Response::HelloAck {
+                schema: d.take_u32().ok_or(FrameError::Malformed("HelloAck"))?,
+                server_name: d.take_str().ok_or(FrameError::Malformed("HelloAck"))?,
+            },
+            OP_ACCEPTED => Response::Accepted {
+                client_job_id: d.take_u64().ok_or(FrameError::Malformed("Accepted"))?,
+                job_id: d.take_u64().ok_or(FrameError::Malformed("Accepted"))?,
+            },
+            OP_BUSY => Response::Busy {
+                client_job_id: d.take_u64().ok_or(FrameError::Malformed("Busy"))?,
+                queue_depth: d.take_u64().ok_or(FrameError::Malformed("Busy"))?,
+            },
+            OP_DONE => Response::Done {
+                job_id: d.take_u64().ok_or(FrameError::Malformed("Done"))?,
+                client_job_id: d.take_u64().ok_or(FrameError::Malformed("Done"))?,
+                cache_served: d.take_bool().ok_or(FrameError::Malformed("Done"))?,
+                result: d
+                    .take_bytes()
+                    .ok_or(FrameError::Malformed("Done"))?
+                    .to_vec(),
+            },
+            OP_FAILED => Response::Failed {
+                job_id: d.take_u64().ok_or(FrameError::Malformed("Failed"))?,
+                client_job_id: d.take_u64().ok_or(FrameError::Malformed("Failed"))?,
+                message: d.take_str().ok_or(FrameError::Malformed("Failed"))?,
+            },
+            OP_CANCELLED => Response::Cancelled {
+                job_id: d.take_u64().ok_or(FrameError::Malformed("Cancelled"))?,
+                client_job_id: d.take_u64().ok_or(FrameError::Malformed("Cancelled"))?,
+            },
+            OP_EXPIRED => Response::Expired {
+                job_id: d.take_u64().ok_or(FrameError::Malformed("Expired"))?,
+                client_job_id: d.take_u64().ok_or(FrameError::Malformed("Expired"))?,
+            },
+            OP_STATS_REPLY => Response::StatsReply(
+                ServerStats::decode(&mut d).ok_or(FrameError::Malformed("StatsReply"))?,
+            ),
+            OP_SHUTTING_DOWN => Response::ShuttingDown,
+            OP_PROTO_ERROR => Response::ProtoError {
+                message: d.take_str().ok_or(FrameError::Malformed("ProtoError"))?,
+            },
+            op => return Err(FrameError::BadOpcode(op)),
+        };
+        if !d.is_exhausted() {
+            return Err(FrameError::Malformed("response trailing bytes"));
+        }
+        Ok(resp)
+    }
+}
+
+/// Decodes the first complete frame of `buf` as a request (the
+/// server-side read path in one call, shared with the fuzz suite).
+///
+/// # Errors
+///
+/// Propagates frame- and message-layer errors unchanged.
+pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, FrameError> {
+    match decode_frame(buf)? {
+        DecodeStep::Incomplete { .. } => Ok(None),
+        DecodeStep::Complete { frame, consumed } => {
+            Ok(Some((Request::from_frame(&frame)?, consumed)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let bytes = req.to_frame_bytes();
+        let (back, consumed) = decode_request(&bytes).unwrap().unwrap();
+        assert_eq!(back, req);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Hello {
+            client_name: "loadgen-3".into(),
+            schema: PROTO_SCHEMA,
+        });
+        round_trip_request(Request::Submit {
+            client_job_id: 42,
+            deadline_ms: 1500,
+            payload: vec![1, 2, 3, 255],
+        });
+        round_trip_request(Request::Cancel { job_id: 7 });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::HelloAck {
+                schema: PROTO_SCHEMA,
+                server_name: "gopim-serve".into(),
+            },
+            Response::Accepted {
+                client_job_id: 1,
+                job_id: 2,
+            },
+            Response::Busy {
+                client_job_id: 1,
+                queue_depth: 128,
+            },
+            Response::Done {
+                job_id: 2,
+                client_job_id: 1,
+                cache_served: true,
+                result: vec![9; 100],
+            },
+            Response::Failed {
+                job_id: 2,
+                client_job_id: 1,
+                message: "no such dataset".into(),
+            },
+            Response::Cancelled {
+                job_id: 2,
+                client_job_id: 1,
+            },
+            Response::Expired {
+                job_id: 2,
+                client_job_id: 1,
+            },
+            Response::StatsReply(ServerStats {
+                queued: 3,
+                running: 2,
+                submitted: 40,
+                completed: 35,
+                cache_served: 12,
+                busy_rejections: 4,
+                cancelled: 1,
+                expired: 2,
+            }),
+            Response::ShuttingDown,
+            Response::ProtoError {
+                message: "checksum mismatch".into(),
+            },
+        ];
+        for resp in cases {
+            let bytes = resp.to_frame_bytes();
+            match decode_frame(&bytes).unwrap() {
+                DecodeStep::Complete { frame, .. } => {
+                    assert_eq!(Response::from_frame(&frame).unwrap(), resp);
+                }
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn opcode_layers_do_not_cross() {
+        let req_frame = Request::Stats.to_frame_bytes();
+        match decode_frame(&req_frame).unwrap() {
+            DecodeStep::Complete { frame, .. } => {
+                assert!(matches!(
+                    Response::from_frame(&frame),
+                    Err(FrameError::BadOpcode(_))
+                ));
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut e = Encoder::new();
+        e.put_u64(7);
+        e.put_u8(99); // one byte too many for Cancel
+        let frame = Frame {
+            opcode: OP_CANCEL,
+            payload: e.into_bytes(),
+        };
+        assert!(matches!(
+            Request::from_frame(&frame),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,407 @@
+//! Adversarial property suite for the serve wire codec.
+//!
+//! The frame decoder claims to be **total**: every byte sequence maps
+//! to a frame, a typed [`FrameError`], or an `Incomplete{needed}` —
+//! never a panic, never an allocation a hostile length field controls.
+//! These properties attack that claim with the testkit harness
+//! (`gopim_testkit::prop`, seeded and shrinkable via `GOPIM_PT_SEED` /
+//! `GOPIM_PT_CASES`): random valid frames must round-trip bit-exactly;
+//! truncations, oversized lengths, duplicated magic, single-byte
+//! corruption and pure garbage must come back as typed errors or
+//! honest incompleteness.
+//!
+//! The message layer rides the same discipline: random requests and
+//! responses round-trip through frames; bodies with trailing or
+//! missing bytes are `Malformed`, not misparsed.
+
+use gopim_serve::frame::{HEADER_LEN, MAGIC, MAX_PAYLOAD, TRAILER_LEN, WIRE_VERSION};
+use gopim_serve::{
+    decode_frame, encode_frame, DecodeStep, Frame, FrameError, Request, Response, ServerStats,
+    PROTO_SCHEMA,
+};
+use gopim_testkit::prop::{check, check_with, Config, Draw};
+
+/// Draws a payload with adversarial structure: empty, magic-laden, or
+/// plain random bytes. Shrinks toward empty.
+fn draw_payload(d: &mut Draw, max_len: usize) -> Vec<u8> {
+    if d.bool_with("embed_magic", 0.3) {
+        // Payloads that contain the frame magic (possibly repeatedly)
+        // probe resynchronization bugs: a decoder that scans for magic
+        // instead of tracking frame boundaries would desync here.
+        let reps = d.draw("magic_reps", 1usize..4);
+        let mut p = Vec::new();
+        for _ in 0..reps {
+            p.extend_from_slice(&MAGIC);
+            p.extend(d.vec("filler", 0usize..8, |d| d.draw("b", 0u8..=255)));
+        }
+        p
+    } else {
+        d.vec("payload", 0..max_len.max(1), |d| d.draw("b", 0u8..=255))
+    }
+}
+
+#[test]
+fn arbitrary_valid_frames_round_trip() {
+    check("frame_round_trip", |d| {
+        let opcode = d.draw("opcode", 0u8..=255);
+        let payload = draw_payload(d, 2048);
+        let bytes = encode_frame(opcode, &payload);
+        match decode_frame(&bytes) {
+            Ok(DecodeStep::Complete { frame, consumed }) => {
+                assert_eq!(frame.opcode, opcode);
+                assert_eq!(frame.payload, payload);
+                assert_eq!(consumed, bytes.len());
+            }
+            other => panic!("valid frame did not decode: {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn every_truncation_of_a_valid_frame_is_incomplete() {
+    check("truncation_is_incomplete", |d| {
+        let opcode = d.draw("opcode", 0u8..=255);
+        let payload = draw_payload(d, 512);
+        let bytes = encode_frame(opcode, &payload);
+        let cut = d.draw("cut", 0..bytes.len());
+        match decode_frame(&bytes[..cut]) {
+            Ok(DecodeStep::Incomplete { needed }) => {
+                // The decoder may ask for the next field boundary
+                // rather than the whole frame, but never for less than
+                // it already has, and never beyond the true total.
+                assert!(needed > cut, "needed {needed} <= have {cut}");
+                assert!(
+                    needed <= bytes.len(),
+                    "needed {needed} > frame {}",
+                    bytes.len()
+                );
+            }
+            other => panic!("truncation at {cut} must be Incomplete, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn concatenated_frame_streams_decode_in_order() {
+    check_with("stream_decodes_in_order", Config::cases(48), |d| {
+        // A stream of K frames delivered in adversarial chunk sizes
+        // must come back as exactly those K frames, in order — the
+        // accumulate/drain loop both server and client run.
+        let frames: Vec<(u8, Vec<u8>)> = (0..d.draw("k", 1usize..5))
+            .map(|_| (d.draw("opcode", 0u8..=255), draw_payload(d, 128)))
+            .collect();
+        let mut wire = Vec::new();
+        for (op, p) in &frames {
+            wire.extend_from_slice(&encode_frame(*op, p));
+        }
+        let mut buf: Vec<u8> = Vec::new();
+        let mut decoded: Vec<Frame> = Vec::new();
+        let mut fed = 0;
+        while fed < wire.len() || !buf.is_empty() {
+            match decode_frame(&buf).expect("valid stream never errors") {
+                DecodeStep::Complete { frame, consumed } => {
+                    buf.drain(..consumed);
+                    decoded.push(frame);
+                }
+                DecodeStep::Incomplete { .. } => {
+                    if fed == wire.len() {
+                        break;
+                    }
+                    let chunk = d.draw("chunk", 1usize..64).min(wire.len() - fed);
+                    buf.extend_from_slice(&wire[fed..fed + chunk]);
+                    fed += chunk;
+                }
+            }
+        }
+        assert_eq!(decoded.len(), frames.len());
+        for (got, (op, p)) in decoded.iter().zip(&frames) {
+            assert_eq!(got.opcode, *op);
+            assert_eq!(&got.payload, p);
+        }
+        assert!(buf.is_empty(), "trailing bytes after a whole stream");
+    });
+}
+
+#[test]
+fn single_byte_corruption_never_yields_a_frame() {
+    check("corruption_is_typed", |d| {
+        let opcode = d.draw("opcode", 0u8..=255);
+        let payload = draw_payload(d, 256);
+        let mut bytes = encode_frame(opcode, &payload);
+        let pos = d.draw("pos", 0..bytes.len());
+        let flip = d.draw("flip", 1u8..=255);
+        bytes[pos] ^= flip;
+        // A corrupted frame must surface as a typed error or (when the
+        // flip inflates the length field within the cap) an Incomplete
+        // that asks for more bytes — never a successfully decoded
+        // frame, and never a panic.
+        match decode_frame(&bytes) {
+            Err(_) => {}
+            Ok(DecodeStep::Incomplete { .. }) => {
+                assert!(
+                    (8..12).contains(&pos),
+                    "only a length-field flip may extend the frame; flipped byte {pos}"
+                );
+            }
+            Ok(DecodeStep::Complete { .. }) => {
+                panic!("corrupted byte {pos} (xor {flip:#04x}) still decoded")
+            }
+        }
+    });
+}
+
+#[test]
+fn oversized_length_is_rejected_before_the_payload_exists() {
+    check("oversized_rejected_early", |d| {
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        header.push(d.draw("opcode", 0u8..=255));
+        header.push(0);
+        let len = d.draw("len", MAX_PAYLOAD + 1..=u32::MAX);
+        header.extend_from_slice(&len.to_le_bytes());
+        // Only the 12 header bytes exist — a decoder that believed the
+        // length field would wait for (or allocate) gigabytes.
+        assert_eq!(header.len(), HEADER_LEN);
+        assert!(matches!(
+            decode_frame(&header),
+            Err(FrameError::Oversized(n)) if n == len
+        ));
+    });
+}
+
+#[test]
+fn garbage_streams_never_panic_and_errors_are_stable() {
+    check("garbage_is_total", |d| {
+        let bytes = d.vec("garbage", 0usize..256, |d| d.draw("b", 0u8..=255));
+        // Totality: any outcome is fine, panicking is not (the harness
+        // converts a panic into a counterexample). Determinism: the
+        // same bytes must decode to the same outcome.
+        let first = decode_frame(&bytes);
+        let second = decode_frame(&bytes);
+        assert_eq!(first, second, "decode is not a pure function");
+        if let Ok(DecodeStep::Complete { consumed, .. }) = first {
+            assert!(consumed <= bytes.len());
+        }
+    });
+}
+
+#[test]
+fn duplicate_magic_prefix_is_a_typed_error() {
+    check_with("duplicate_magic", Config::cases(32), |d| {
+        // b"GPS1GPS1…" puts magic where the version belongs; the
+        // second copy must not be mistaken for a frame start.
+        let reps = d.draw("reps", 2usize..6);
+        let mut bytes = Vec::new();
+        for _ in 0..reps {
+            bytes.extend_from_slice(&MAGIC);
+        }
+        bytes.extend(d.vec("tail", 0usize..32, |d| d.draw("b", 0u8..=255)));
+        if bytes.len() < HEADER_LEN {
+            // Until the header is whole the stream is an honest prefix;
+            // the version field cannot be judged yet.
+            assert!(matches!(
+                decode_frame(&bytes),
+                Ok(DecodeStep::Incomplete { .. })
+            ));
+        } else {
+            assert!(
+                matches!(decode_frame(&bytes), Err(FrameError::BadVersion(_))),
+                "magic-where-version-belongs must be BadVersion"
+            );
+        }
+    });
+}
+
+#[test]
+fn wrong_magic_fails_at_the_earliest_proving_byte() {
+    check("magic_fails_early", |d| {
+        let pos = d.draw("pos", 0usize..4);
+        let mut bytes = MAGIC[..=pos].to_vec();
+        let wrong = d.draw("wrong", 1u8..=255) ^ MAGIC[pos];
+        // xor with a nonzero value guarantees a mismatch at `pos`.
+        bytes[pos] = wrong;
+        assert!(
+            matches!(decode_frame(&bytes), Err(FrameError::BadMagic(_))),
+            "a provably-wrong magic byte must fail without waiting for a full header"
+        );
+    });
+}
+
+fn draw_request(d: &mut Draw) -> Request {
+    match d.draw("req_kind", 0u32..5) {
+        0 => Request::Hello {
+            client_name: String::from_utf8_lossy(
+                &d.vec("name", 0usize..24, |d| d.draw("c", b'a'..=b'z')),
+            )
+            .into_owned(),
+            schema: d.draw("schema", 0u32..=u32::MAX),
+        },
+        1 => Request::Submit {
+            client_job_id: d.draw("cjid", 0u64..=u64::MAX),
+            deadline_ms: d.draw("deadline", 0u64..100_000),
+            payload: d.vec("job", 0usize..512, |d| d.draw("b", 0u8..=255)),
+        },
+        2 => Request::Cancel {
+            job_id: d.draw("job_id", 0u64..=u64::MAX),
+        },
+        3 => Request::Stats,
+        _ => Request::Shutdown,
+    }
+}
+
+fn draw_response(d: &mut Draw) -> Response {
+    let ids = |d: &mut Draw| {
+        (
+            d.draw("job_id", 0u64..=u64::MAX),
+            d.draw("cjid", 0u64..=u64::MAX),
+        )
+    };
+    match d.draw("resp_kind", 0u32..10) {
+        0 => Response::HelloAck {
+            schema: PROTO_SCHEMA,
+            server_name: "prop".to_string(),
+        },
+        1 => {
+            let (job_id, client_job_id) = ids(d);
+            Response::Accepted {
+                client_job_id,
+                job_id,
+            }
+        }
+        2 => Response::Busy {
+            client_job_id: d.draw("cjid", 0u64..=u64::MAX),
+            queue_depth: d.draw("depth", 0u64..10_000),
+        },
+        3 => {
+            let (job_id, client_job_id) = ids(d);
+            Response::Done {
+                job_id,
+                client_job_id,
+                cache_served: d.any_bool("cache_served"),
+                result: d.vec("result", 0usize..512, |d| d.draw("b", 0u8..=255)),
+            }
+        }
+        4 => {
+            let (job_id, client_job_id) = ids(d);
+            Response::Failed {
+                job_id,
+                client_job_id,
+                message: "x".repeat(d.draw("msg_len", 0usize..64)),
+            }
+        }
+        5 => {
+            let (job_id, client_job_id) = ids(d);
+            Response::Cancelled {
+                job_id,
+                client_job_id,
+            }
+        }
+        6 => {
+            let (job_id, client_job_id) = ids(d);
+            Response::Expired {
+                job_id,
+                client_job_id,
+            }
+        }
+        7 => Response::StatsReply(ServerStats {
+            queued: d.draw("queued", 0u64..1000),
+            running: d.draw("running", 0u64..64),
+            submitted: d.draw("submitted", 0u64..=u64::MAX),
+            completed: d.draw("completed", 0u64..=u64::MAX),
+            cache_served: d.draw("cache_served", 0u64..=u64::MAX),
+            busy_rejections: d.draw("busy", 0u64..=u64::MAX),
+            cancelled: d.draw("cancelled", 0u64..=u64::MAX),
+            expired: d.draw("expired", 0u64..=u64::MAX),
+        }),
+        8 => Response::ShuttingDown,
+        _ => Response::ProtoError {
+            message: "y".repeat(d.draw("msg_len", 0usize..64)),
+        },
+    }
+}
+
+fn complete(bytes: &[u8]) -> Frame {
+    match decode_frame(bytes) {
+        Ok(DecodeStep::Complete { frame, consumed }) => {
+            assert_eq!(consumed, bytes.len());
+            frame
+        }
+        other => panic!("message frame did not decode: {other:?}"),
+    }
+}
+
+#[test]
+fn arbitrary_requests_and_responses_round_trip() {
+    check("messages_round_trip", |d| {
+        let req = draw_request(d);
+        assert_eq!(
+            Request::from_frame(&complete(&req.to_frame_bytes())).expect("request decodes"),
+            req
+        );
+        let resp = draw_response(d);
+        assert_eq!(
+            Response::from_frame(&complete(&resp.to_frame_bytes())).expect("response decodes"),
+            resp
+        );
+    });
+}
+
+#[test]
+fn truncated_or_padded_message_bodies_are_malformed() {
+    check("mutated_bodies_are_malformed", |d| {
+        let (opcode, body) = {
+            let req = draw_request(d);
+            let f = complete(&req.to_frame_bytes());
+            (f.opcode, f.payload)
+        };
+        let mutated = if d.any_bool("pad") {
+            let mut b = body.clone();
+            b.extend(d.vec("padding", 1usize..16, |d| d.draw("b", 0u8..=255)));
+            Some(b)
+        } else if body.is_empty() {
+            // Stats/Shutdown carry no body; nothing to truncate.
+            None
+        } else {
+            Some(body[..d.draw("keep", 0..body.len())].to_vec())
+        };
+        if let Some(payload) = mutated {
+            match Request::from_frame(&Frame { opcode, payload }) {
+                Err(FrameError::Malformed(_)) => {}
+                Ok(req) => panic!("mutated body still parsed as {req:?}"),
+                Err(e) => panic!("expected Malformed, got {e:?}"),
+            }
+        }
+    });
+}
+
+#[test]
+fn request_and_response_opcode_spaces_are_disjoint() {
+    check_with("opcode_spaces_disjoint", Config::cases(32), |d| {
+        let req_frame = complete(&draw_request(d).to_frame_bytes());
+        assert!(
+            matches!(
+                Response::from_frame(&req_frame),
+                Err(FrameError::BadOpcode(_))
+            ),
+            "a request opcode parsed as a response"
+        );
+        let resp_frame = complete(&draw_response(d).to_frame_bytes());
+        assert!(
+            matches!(
+                Request::from_frame(&resp_frame),
+                Err(FrameError::BadOpcode(_))
+            ),
+            "a response opcode parsed as a request"
+        );
+    });
+}
+
+#[test]
+fn frame_overhead_is_exactly_header_plus_trailer() {
+    check_with("overhead_is_constant", Config::cases(16), |d| {
+        let payload = draw_payload(d, 1024);
+        let bytes = encode_frame(0, &payload);
+        assert_eq!(bytes.len(), HEADER_LEN + payload.len() + TRAILER_LEN);
+    });
+}

@@ -18,11 +18,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE="bench-baseline.jsonl"
-RATCHET_DIR=$(mktemp -d)
-trap 'rm -rf "$RATCHET_DIR"' EXIT
+# With GOPIM_RESULTS_DIR set, the freshly measured records are kept
+# there (perf_ratchet_current.jsonl) instead of a throwaway tmpdir, so
+# CI can archive what the ratchet actually compared.
+if [ -n "${GOPIM_RESULTS_DIR:-}" ]; then
+    mkdir -p "$GOPIM_RESULTS_DIR"
+    RATCHET_DIR="$(cd "$GOPIM_RESULTS_DIR" && pwd)"
+else
+    RATCHET_DIR=$(mktemp -d)
+    trap 'rm -rf "$RATCHET_DIR"' EXIT
+fi
 # Absolute path: cargo runs bench binaries with the package directory
 # as their cwd (see scripts/reproduce.sh).
-CURRENT="$RATCHET_DIR/current.jsonl"
+CURRENT="$RATCHET_DIR/perf_ratchet_current.jsonl"
+rm -f "$CURRENT"
 
 echo "== perf-ratchet: smoke-bench suite (linalg + aggregate) =="
 GOPIM_BENCH_FAST=1 GOPIM_BENCH_SAMPLES="${GOPIM_BENCH_SAMPLES:-11}" \

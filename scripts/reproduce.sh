@@ -7,7 +7,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 EXTRA="${1:-}"
 
-mkdir -p results
+# Output directory override: set GOPIM_RESULTS_DIR to write somewhere
+# other than ./results (e.g. a per-run scratch dir on CI). Resolved to
+# an absolute path because cargo runs the bench binaries with the
+# package directory as their cwd.
+RESULTS_DIR="${GOPIM_RESULTS_DIR:-$PWD/results}"
+mkdir -p "$RESULTS_DIR"
+RESULTS_DIR="$(cd "$RESULTS_DIR" && pwd)"
 METRICS_DIR=$(mktemp -d)
 trap 'rm -rf "$METRICS_DIR"' EXIT
 BINARIES=(table02 table03 fig04 fig05 fig06 fig09 fig10 fig13 fig14 \
@@ -21,9 +27,9 @@ for bin in "${BINARIES[@]}"; do
     # (config hash, thread count, env, metrics, span aggregates).
     # Absolute manifest path: cargo runs these binaries with the package
     # directory as their cwd.
-    GOPIM_METRICS=1 GOPIM_MANIFEST="$PWD/results/$bin.manifest.json" \
+    GOPIM_METRICS=1 GOPIM_MANIFEST="$RESULTS_DIR/$bin.manifest.json" \
         cargo run --release -p gopim-bench --bin "$bin" -- $EXTRA \
-        2> "$METRICS_DIR/$bin.err" | tee "results/$bin.txt" \
+        2> "$METRICS_DIR/$bin.err" | tee "$RESULTS_DIR/$bin.txt" \
         || { cat "$METRICS_DIR/$bin.err" >&2; exit 1; }
 done
 
@@ -43,16 +49,16 @@ done
 # Microbenchmarks: human summary to the console, JSON-lines trajectory
 # appended under results/ for trend tracking across runs.
 echo "== microbenchmarks =="
-rm -f results/bench.jsonl
+rm -f "$RESULTS_DIR/bench.jsonl"
 # Absolute path: cargo runs bench binaries with the *package* directory
 # as their cwd, so a relative GOPIM_BENCH_JSON would land (or fail) in
 # crates/bench/ instead of the repo root.
-BENCH_JSON="$PWD/results/bench.jsonl"
+BENCH_JSON="$RESULTS_DIR/bench.jsonl"
 if [ "$EXTRA" = "--quick" ]; then
     GOPIM_BENCH_FAST=1 GOPIM_BENCH_JSON="$BENCH_JSON" \
         cargo bench --offline -p gopim-bench
 else
     GOPIM_BENCH_JSON="$BENCH_JSON" cargo bench --offline -p gopim-bench
 fi
-echo "All outputs written to results/ (bench trajectories: results/bench.jsonl,"
-echo "run manifests: results/<experiment>.manifest.json)."
+echo "All outputs written to $RESULTS_DIR (bench trajectories: bench.jsonl,"
+echo "run manifests: <experiment>.manifest.json)."

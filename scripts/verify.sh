@@ -114,6 +114,34 @@ awk '$1 == "counter" && $2 == "cache.disk_hits" && $3 > 0 { found = 1 }
      END { exit !found }' "$SMOKE_DIR/cache_warm.err" \
     || { echo "verify: warm fig04 run never touched the disk tier"; exit 1; }
 
+if [ "${GOPIM_NO_SERVE:-0}" != "1" ]; then
+    echo "== serve smoke (loadgen --quick; skip with GOPIM_NO_SERVE=1) =="
+    # The job server must survive a mixed burst over the wire protocol:
+    # loadgen binds an ephemeral in-process server, drives a seeded
+    # simulation/allocation/prediction mix from concurrent clients, and
+    # exits nonzero unless every job completed and the server drained
+    # cleanly. The metrics report must carry nonzero serve.* counters
+    # and the manifest must validate with the serve fields recorded.
+    GOPIM_METRICS=1 GOPIM_MANIFEST="$SMOKE_DIR/serve_manifest.json" \
+        cargo run --release --offline -p gopim-bench --bin loadgen -- --quick \
+        > "$SMOKE_DIR/serve.out" 2> "$SMOKE_DIR/serve.err"
+    grep -q "jobs done" "$SMOKE_DIR/serve.out" \
+        || { echo "verify: loadgen printed no completion line"; exit 1; }
+    grep -q "p50" "$SMOKE_DIR/serve.out" \
+        || { echo "verify: loadgen printed no latency quantiles"; exit 1; }
+    awk '$1 == "counter" && $2 == "serve.jobs_submitted" && $3 > 0 { s = 1 }
+         $1 == "counter" && $2 == "serve.jobs_completed" && $3 > 0 { c = 1 }
+         $1 == "counter" && $2 == "serve.connections"    && $3 > 0 { n = 1 }
+         END { exit !(s && c && n) }' "$SMOKE_DIR/serve.err" \
+        || { echo "verify: serve smoke reported no serve.* counters"; exit 1; }
+    cargo run --release --offline -p gopim-obs --example validate_manifest -- \
+        "$SMOKE_DIR/serve_manifest.json"
+    grep -q '"serve.workers"' "$SMOKE_DIR/serve_manifest.json" \
+        || { echo "verify: serve manifest is missing the server config"; exit 1; }
+else
+    echo "== serve smoke skipped (GOPIM_NO_SERVE=1) =="
+fi
+
 echo "== seeded fault-campaign smoke (faults --quick) =="
 # Two fault rates on a small graph; the JSON-lines output must pass the
 # in-repo parser's schema check, and a second run under the same seed
