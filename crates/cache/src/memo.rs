@@ -19,7 +19,9 @@
 //! key pins every input.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use gopim_obs::{DepMutex, DepMutexGuard};
 
 use gopim_obs::metrics::LazyCounter;
 
@@ -38,7 +40,7 @@ struct Table<T> {
 /// A bounded, keyed, `Arc`-sharing memo table. Designed to live in a
 /// `static`: construction is `const`.
 pub struct Memo<T> {
-    table: Mutex<Table<T>>,
+    table: DepMutex<Table<T>>,
     cap_entries: usize,
 }
 
@@ -48,18 +50,21 @@ impl<T> Memo<T> {
     /// `Arc`s).
     pub const fn new(cap_entries: usize) -> Self {
         Memo {
-            table: Mutex::new(Table {
-                map: BTreeMap::new(),
-                order: Vec::new(),
-            }),
+            table: DepMutex::new(
+                "cache::table",
+                Table {
+                    map: BTreeMap::new(),
+                    order: Vec::new(),
+                },
+            ),
             cap_entries,
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Table<T>> {
+    fn lock(&self) -> DepMutexGuard<'_, Table<T>> {
         // Same recovery idiom as the store: a poisoned memo is still a
         // valid map; worst case is a spurious rebuild.
-        self.table.lock().unwrap_or_else(|e| e.into_inner())
+        self.table.lock()
     }
 
     /// Returns the memoized value for `key`, building it with `build`

@@ -18,7 +18,9 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use gopim_obs::{DepMutex, DepMutexGuard};
 
 use gopim_obs::metrics::LazyCounter;
 
@@ -116,7 +118,7 @@ struct MemTier {
 
 /// The two-tier content-addressed store.
 pub struct RunCache {
-    mem: Mutex<MemTier>,
+    mem: DepMutex<MemTier>,
     disk: Option<PathBuf>,
     cap_bytes: usize,
     enabled: bool,
@@ -128,11 +130,14 @@ impl RunCache {
     /// runner uses [`global`]).
     pub fn new(disk: Option<PathBuf>, cap_bytes: usize) -> Self {
         RunCache {
-            mem: Mutex::new(MemTier {
-                map: BTreeMap::new(),
-                order: VecDeque::new(),
-                bytes: 0,
-            }),
+            mem: DepMutex::new(
+                "cache::mem",
+                MemTier {
+                    map: BTreeMap::new(),
+                    order: VecDeque::new(),
+                    bytes: 0,
+                },
+            ),
             disk,
             cap_bytes,
             enabled: true,
@@ -180,11 +185,12 @@ impl RunCache {
         }
     }
 
-    fn lock_mem(&self) -> std::sync::MutexGuard<'_, MemTier> {
-        // A poisoned lock only means another thread panicked mid-insert;
-        // the map itself is still structurally sound, and the worst
-        // outcome of a torn insert is a spurious miss.
-        self.mem.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock_mem(&self) -> DepMutexGuard<'_, MemTier> {
+        // DepMutex recovers from poisoning: a poisoned lock only means
+        // another thread panicked mid-insert; the map itself is still
+        // structurally sound, and the worst outcome of a torn insert
+        // is a spurious miss.
+        self.mem.lock()
     }
 
     /// Raw lookup across both tiers; promotes disk hits into memory.

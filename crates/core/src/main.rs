@@ -43,6 +43,14 @@ COMMANDS:
     lint [--update-baseline]      determinism & hermeticity linter
                                   (ratchets against lint-baseline.json;
                                    GOPIM_LINT_JSON=<path> writes a JSON report)
+         [--prune-stale]          drop baseline budget no finding still uses
+    lint --locks                  static lock-order/deadlock analysis:
+                                  prints the lock-acquisition graph and any
+                                  concurrency findings; exit 1 on findings
+                                  [--dot | --json] graph dump format
+                                  [--root <path>] analyze another workspace
+                                  [--check-witness <f>] require a
+                                  GOPIM_LOCKDEP_DUMP witness ⊆ static graph
     bench-diff <old> <new>        statistical comparison of two bench record
                                   files (JSON-lines or BENCH_pr*.json):
                                   median±MAD overlap test, each id classified
@@ -237,7 +245,7 @@ fn cmd_serve(addr: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_lint(update_baseline: bool) -> Result<(), String> {
+fn cmd_lint(update_baseline: bool, prune_stale: bool) -> Result<(), String> {
     let cwd = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
     let root = gopim_lint::find_workspace_root(&cwd)?;
     let outcome = gopim_lint::lint_workspace(&root)?;
@@ -257,9 +265,92 @@ fn cmd_lint(update_baseline: bool) -> Result<(), String> {
         );
         return Ok(());
     }
+    if prune_stale {
+        let pruned = gopim_lint::prune_baseline(&root, &outcome)?;
+        println!("lint: {pruned} stale baseline entr{} pruned", {
+            if pruned == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        });
+    }
     if !outcome.clean() {
         // A distinct exit path from usage errors: findings beyond the
         // baseline fail the run without reprinting the help text.
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// `gopim lint --locks`: the static concurrency pass on its own, with
+/// graph dumps and the runtime-witness subgraph check.
+fn cmd_lint_locks(args: &[String]) -> Result<(), String> {
+    let mut dot = false;
+    let mut json = false;
+    let mut root_arg: Option<String> = None;
+    let mut witness_paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dot" => dot = true,
+            "--json" => json = true,
+            "--root" => {
+                root_arg = Some(
+                    it.next()
+                        .ok_or("lint --locks: --root needs a path")?
+                        .clone(),
+                );
+            }
+            "--check-witness" => {
+                witness_paths.push(
+                    it.next()
+                        .ok_or("lint --locks: --check-witness needs a path")?
+                        .clone(),
+                );
+            }
+            other => return Err(format!("lint --locks: unknown argument '{other}'")),
+        }
+    }
+    let root = match root_arg {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+            gopim_lint::find_workspace_root(&cwd)?
+        }
+    };
+    let analysis = gopim_lint::lock_graph(&root)?;
+    if dot {
+        print!("{}", analysis.graph.render_dot());
+    } else if json {
+        print!("{}", analysis.graph.render_json());
+    } else {
+        print!("{}", analysis.graph.render_human());
+    }
+    for f in &analysis.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    let mut failed = !analysis.findings.is_empty();
+    for path in &witness_paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("lint --locks: read {path}: {e}"))?;
+        let witness = gopim_lint::lockgraph::parse_witness(&text)
+            .map_err(|e| format!("lint --locks: {path}: {e}"))?;
+        let problems = gopim_lint::lockgraph::check_witness(&analysis.graph, &witness);
+        if problems.is_empty() {
+            println!(
+                "lint --locks: witness {path} OK ({} classes, {} edges ⊆ static graph)",
+                witness.classes.len(),
+                witness.edges.len()
+            );
+        } else {
+            failed = true;
+            for p in problems {
+                println!("lint --locks: witness {path}: {p}");
+            }
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     Ok(())
@@ -438,12 +529,16 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         }
         "bench-diff" => cmd_bench_diff(&args[1..]),
         "lint" => {
-            let update = match args.get(1).map(String::as_str) {
-                None => false,
-                Some("--update-baseline") => true,
+            if args.get(1).map(String::as_str) == Some("--locks") {
+                return cmd_lint_locks(&args[2..]);
+            }
+            let (update, prune) = match args.get(1).map(String::as_str) {
+                None => (false, false),
+                Some("--update-baseline") => (true, false),
+                Some("--prune-stale") => (false, true),
                 Some(other) => return Err(format!("lint: unknown argument '{other}'")),
             };
-            cmd_lint(update)
+            cmd_lint(update, prune)
         }
         other => Err(format!("unknown command '{other}'")),
     }

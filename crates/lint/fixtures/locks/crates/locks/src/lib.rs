@@ -1,0 +1,31 @@
+//! A deliberate ABBA lock-order inversion — the seeded deadlock both
+//! halves of the concurrency analyzer must flag with the same cycle:
+//! the static pass (`gopim lint --locks --root
+//! crates/lint/fixtures/locks`) and the runtime lockdep witness
+//! (`crates/lint/tests/lockdep_differential.rs` replays the same two
+//! orders on named `DepMutex`es). Never compiled, only parsed.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// First lock of the seeded pair.
+pub static LOCK_A: Mutex<u32> = Mutex::new(0);
+/// Second lock of the seeded pair.
+pub static LOCK_B: Mutex<u32> = Mutex::new(0);
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Takes `LOCK_A`, then `LOCK_B` while A's guard is live.
+pub fn ab() -> u32 {
+    let a = lock_recover(&LOCK_A);
+    let b = lock_recover(&LOCK_B);
+    *a + *b
+}
+
+/// Takes `LOCK_B`, then `LOCK_A` — the inversion closing the cycle.
+pub fn ba() -> u32 {
+    let b = lock_recover(&LOCK_B);
+    let a = lock_recover(&LOCK_A);
+    *a + *b
+}

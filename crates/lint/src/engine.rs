@@ -13,8 +13,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::{count_findings, Baseline};
-use crate::context::FileContext;
+use crate::context::{FileContext, FileKind};
 use crate::lexer::{lex, Token, TokenKind};
+use crate::lockgraph;
 use crate::manifest::check_manifest;
 use crate::report::Outcome;
 use crate::rules::{check_tokens, Finding, MALFORMED_SUPPRESSION};
@@ -37,13 +38,24 @@ pub fn lint_root(root: &Path, baseline: &Baseline) -> Result<Outcome, String> {
         findings.extend(check_manifest(&relative(root, &manifest), &text));
         files_scanned += 1;
     }
+    let mut lib_files: Vec<(String, String)> = Vec::new();
     for source in find_sources(root)? {
         let text = read(&source)?;
-        let (mut file_findings, file_suppressed) = lint_source(&relative(root, &source), &text);
+        let rel = relative(root, &source);
+        let (mut file_findings, file_suppressed) = lint_source(&rel, &text);
         findings.append(&mut file_findings);
         suppressed += file_suppressed;
         files_scanned += 1;
+        if FileKind::classify(&rel) == FileKind::Lib {
+            lib_files.push((rel, text));
+        }
     }
+
+    // The concurrency pass runs over library code as a whole (the
+    // lock graph spans files); its findings share the pipeline.
+    let analysis = lockgraph::analyze(&lib_files);
+    findings.extend(analysis.findings);
+    suppressed += analysis.suppressed;
 
     findings.sort_by(|a, b| {
         (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
@@ -94,6 +106,24 @@ pub fn lint_source(path: &str, src: &str) -> (Vec<Finding>, usize) {
         }
     }
     (findings, suppressed)
+}
+
+/// Every `FileKind::Lib` source under `root`, as workspace-relative
+/// `(path, text)` pairs — the concurrency pass's input (used directly
+/// by `gopim lint --locks`).
+///
+/// # Errors
+///
+/// Returns a message on I/O failure.
+pub fn lib_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for source in find_sources(root)? {
+        let rel = relative(root, &source);
+        if FileKind::classify(&rel) == FileKind::Lib {
+            out.push((rel, read(&source)?));
+        }
+    }
+    Ok(out)
 }
 
 /// Every manifest to scan: the root `Cargo.toml` plus one per crate

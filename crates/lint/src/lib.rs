@@ -29,9 +29,12 @@ pub mod baseline;
 pub mod context;
 pub mod engine;
 pub mod lexer;
+pub mod lockgraph;
 pub mod manifest;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 
 use std::path::{Path, PathBuf};
 
@@ -108,4 +111,48 @@ pub fn update_baseline(root: &Path, outcome: &Outcome) -> Result<usize, String> 
     std::fs::write(&path, Baseline::render(&counts))
         .map_err(|e| format!("write {}: {e}", path.display()))?;
     Ok(counts.len())
+}
+
+/// Shrinks `lint-baseline.json` at `root` to what `outcome` still
+/// justifies: each `(file, rule)` budget drops to the actual count
+/// (zeros are removed) and never grows. Returns the number of stale
+/// entries pruned. Unlike [`update_baseline`], this can never
+/// grandfather a new finding.
+///
+/// # Errors
+///
+/// Returns a message on an unreadable/unwritable baseline file.
+pub fn prune_baseline(root: &Path, outcome: &Outcome) -> Result<usize, String> {
+    let actual = baseline::count_findings(&outcome.findings);
+    let old = load_baseline(root)?;
+    let mut pruned = 0usize;
+    let mut counts = baseline::Counts::new();
+    for (key, &budget) in &old.counts {
+        let kept = budget.min(actual.get(key).copied().unwrap_or(0));
+        if kept < budget {
+            pruned += 1;
+        }
+        if kept > 0 {
+            counts.insert(key.clone(), kept);
+        }
+    }
+    if pruned > 0 {
+        let path = root.join(BASELINE_FILE);
+        std::fs::write(&path, Baseline::render(&counts))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(pruned)
+}
+
+/// Builds the lock-acquisition graph for the workspace at `root` —
+/// the static half of the concurrency-safety analyzer, exposed for
+/// `gopim lint --locks`. Findings in the result have already been
+/// filtered through inline suppressions.
+///
+/// # Errors
+///
+/// Returns a message on I/O failure.
+pub fn lock_graph(root: &Path) -> Result<lockgraph::Analysis, String> {
+    let sources = engine::lib_sources(root)?;
+    Ok(lockgraph::analyze(&sources))
 }

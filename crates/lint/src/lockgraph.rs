@@ -1,0 +1,1211 @@
+//! The lock-acquisition graph and the concurrency rules.
+//!
+//! Built over the parse layer ([`crate::parse`]) and the symbol pass
+//! ([`crate::symbols`]): **node** = a named lock class
+//! (`<crate>::<field-or-static>`), **edge** A → B = somewhere in
+//! library code, lock B is acquired while A's guard is live. Liveness
+//! is lexical — a `let`-bound guard lives to the end of its scope (or
+//! an explicit `drop`), a statement-temporary guard to the end of its
+//! statement — and closures are barriers: a closure body starts with
+//! an empty held set, because it may run on another thread, later, or
+//! never. Within a crate, calls resolve one level deep: a call site
+//! holding locks inherits the callee's *direct* acquisitions, and a
+//! guard-returning helper (`Memo::lock`, `lock_recover`) acquires on
+//! behalf of its caller.
+//!
+//! Three rules fall out of the walk (DESIGN.md §15):
+//!
+//! - `lock-order-inversion` — an edge that participates in a cycle
+//!   (including recursive self-acquisition, a single-thread deadlock);
+//! - `guard-held-across-blocking-call` — a guard live across `recv`/
+//!   `join`/`accept`/socket reads;
+//! - `condvar-wait-without-loop` — a condvar wait with no enclosing
+//!   `loop`/`while` (spurious wakeups break the predicate).
+//!
+//! The same class names are used by the runtime lockdep witness in
+//! `gopim-obs`, so a witnessed order matrix can be checked as a
+//! subgraph of this static graph ([`check_witness`]).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use gopim_obs::export::{escape_json, parse_json, Json};
+
+use crate::context::FileContext;
+use crate::lexer::{lex, LineIndex, Token, TokenKind};
+use crate::parse::{parse, CallEvent, Event, FnItem, Opener, ParsedFile};
+use crate::rules::Finding;
+use crate::symbols::{collect, crate_of, CrateSymbols, LockKind};
+
+/// Rule name: a lock-graph cycle.
+pub const LOCK_ORDER_INVERSION: &str = "lock-order-inversion";
+/// Rule name: a live guard across a blocking call.
+pub const GUARD_HELD_ACROSS_BLOCKING_CALL: &str = "guard-held-across-blocking-call";
+/// Rule name: a condvar wait with no enclosing loop.
+pub const CONDVAR_WAIT_WITHOUT_LOOP: &str = "condvar-wait-without-loop";
+
+/// Files the concurrency pass never analyzes: the lockdep
+/// instrumentation itself (its wrapper internals *are* the probe — the
+/// `inner` mutex behind every `DepMutex` would otherwise alias into
+/// one false class).
+pub const EXEMPT_PATHS: &[&str] = &["crates/obs/src/lockdep.rs"];
+
+/// Calls that block the thread while any held guard stays held.
+/// `read` only counts with arguments (argument-less `.read()` is an
+/// `RwLock` acquisition, `.read(buf)` is socket/file I/O).
+const BLOCKING_CALLS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "join",
+    "accept",
+    "read",
+    "read_exact",
+    "read_to_end",
+];
+
+/// Update methods on the `Lazy*` metric statics. Each resolves the
+/// instrument through the global registry, which takes the matching
+/// `obs::*` registry lock (on first use) and releases it before
+/// returning — an instantaneous acquisition, never a held guard.
+/// (`timer` records at guard drop; modeling it at the call site is
+/// faithful for LIFO drop order, which statement temporaries and
+/// reverse-declaration drops guarantee.)
+const METRIC_METHODS: &[&str] = &["add", "set", "record_max", "record", "record_ns", "timer"];
+
+/// One node of the lock graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Mutex vs RwLock.
+    pub kind: LockKind,
+    /// Declaration site.
+    pub file: String,
+    /// Declaration line.
+    pub line: usize,
+}
+
+/// One edge of the lock graph (first site wins; files are walked in
+/// sorted order, so the choice is deterministic).
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Acquisition site (workspace-relative file).
+    pub file: String,
+    /// Acquisition line.
+    pub line: usize,
+    /// The callee this edge was inlined through, when not direct.
+    pub via: Option<String>,
+    /// Whether the edge participates in a cycle.
+    pub cyclic: bool,
+}
+
+/// The workspace lock-acquisition graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Class name → declaration.
+    pub nodes: BTreeMap<String, Node>,
+    /// (holder, acquired) → site.
+    pub edges: BTreeMap<(String, String), Edge>,
+}
+
+/// What [`analyze`] returns: findings (suppressions already applied),
+/// the number of suppressed findings, and the graph.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Unsuppressed findings, sorted.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by well-formed `lint:allow` comments.
+    pub suppressed: usize,
+    /// The lock graph.
+    pub graph: LockGraph,
+}
+
+/// Per-function facts shared by the summary and walk passes.
+struct FnFacts<'a> {
+    item: &'a FnItem,
+    file: &'a str,
+}
+
+/// Merged per-crate call summaries (one level of inlining).
+#[derive(Default)]
+struct Summaries {
+    /// Method name → summary (fns with a self type).
+    methods: BTreeMap<String, FnSum>,
+    /// Free-fn name → summary.
+    frees: BTreeMap<String, FnSum>,
+}
+
+#[derive(Default, Clone)]
+struct FnSum {
+    acquires: BTreeSet<String>,
+    returns_guard: bool,
+}
+
+/// Runs the concurrency pass over library sources. `files` are
+/// `(workspace-relative path, text)` pairs — the engine passes every
+/// `FileKind::Lib` file outside [`EXEMPT_PATHS`]; `#[cfg(test)]`
+/// regions are skipped here (tests create deliberate inversions).
+pub fn analyze(files: &[(String, String)]) -> Analysis {
+    let mut per_file: Vec<(String, ParsedFile, FileContext, LineIndex)> = Vec::new();
+    let mut crates: BTreeMap<String, CrateSymbols> = BTreeMap::new();
+
+    for (path, src) in files {
+        if EXEMPT_PATHS.contains(&path.as_str()) {
+            continue;
+        }
+        let tokens = lex(src);
+        let ctx = FileContext::new(path, src, &tokens);
+        let sig: Vec<Token> = tokens
+            .iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .copied()
+            .collect();
+        let mut parsed = parse(src, &sig);
+        // Test regions declare fixture locks and deliberate
+        // inversions; drop everything they contain.
+        parsed.fns.retain(|f| !ctx.in_test_region(f.offset));
+        parsed.statics.retain(|s| !ctx.in_test_region(s.offset));
+        parsed.structs.retain(|s| {
+            s.fields
+                .first()
+                .is_none_or(|f| !ctx.in_test_region(f.offset))
+        });
+        let lines = LineIndex::new(src);
+        let krate = crate_of(path);
+        let syms = crates.entry(krate.clone()).or_insert_with(|| CrateSymbols {
+            krate,
+            ..CrateSymbols::default()
+        });
+        collect(syms, path, &parsed, |o| lines.line_of(o));
+        per_file.push((path.clone(), parsed, ctx, lines));
+    }
+
+    // Pass A: per-crate call summaries from direct acquisitions.
+    let mut summaries: BTreeMap<String, Summaries> = BTreeMap::new();
+    for (path, parsed, _, _) in &per_file {
+        let krate = crate_of(path);
+        let Some(syms) = crates.get(&krate) else {
+            continue;
+        };
+        let sums = summaries.entry(krate).or_default();
+        for f in &parsed.fns {
+            let mut sum = FnSum {
+                returns_guard: f.ret.iter().any(|t| t.ends_with("Guard")),
+                ..FnSum::default()
+            };
+            for e in &f.events {
+                if let Event::Call(c) = e {
+                    if let Some(class) =
+                        resolve_acquisition(c, syms).or_else(|| resolve_metric(c, syms))
+                    {
+                        sum.acquires.insert(class);
+                    }
+                }
+            }
+            let map = if f.self_ty.is_some() {
+                &mut sums.methods
+            } else {
+                &mut sums.frees
+            };
+            let entry = map.entry(f.name.clone()).or_default();
+            entry.acquires.extend(sum.acquires);
+            entry.returns_guard |= sum.returns_guard;
+        }
+    }
+
+    // Pass B: the liveness walk — edges plus the walk-time rules.
+    let mut graph = LockGraph::default();
+    for syms in crates.values() {
+        for lock in syms.locks.values() {
+            graph.nodes.insert(
+                lock.class.clone(),
+                Node {
+                    kind: lock.kind,
+                    file: lock.file.clone(),
+                    line: lock.line,
+                },
+            );
+        }
+    }
+    let mut raw_findings: Vec<Finding> = Vec::new();
+    for (path, parsed, _, lines) in &per_file {
+        let krate = crate_of(path);
+        let (Some(syms), Some(sums)) = (crates.get(&krate), summaries.get(&krate)) else {
+            continue;
+        };
+        for f in &parsed.fns {
+            walk_fn(
+                &FnFacts {
+                    item: f,
+                    file: path,
+                },
+                syms,
+                sums,
+                lines,
+                &mut graph.edges,
+                &mut raw_findings,
+            );
+        }
+    }
+
+    // Cycle detection: an edge is cyclic iff its target reaches its
+    // source.
+    let mut adjacency: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (from, to) in graph.edges.keys() {
+        adjacency
+            .entry(from.clone())
+            .or_default()
+            .insert(to.clone());
+    }
+    let cyclic: Vec<(String, String)> = graph
+        .edges
+        .keys()
+        .filter(|(from, to)| reaches(&adjacency, to, from))
+        .cloned()
+        .collect();
+    for key in &cyclic {
+        let cycle = cycle_path(&adjacency, &key.0, &key.1);
+        if let Some(edge) = graph.edges.get_mut(key) {
+            edge.cyclic = true;
+            let message = if key.0 == key.1 {
+                format!(
+                    "recursive acquisition: `{}` is taken while already held \
+                     — a single-thread self-deadlock",
+                    key.0
+                )
+            } else {
+                format!(
+                    "acquiring `{}` while holding `{}` closes the cycle {cycle}",
+                    key.1, key.0
+                )
+            };
+            let message = match &edge.via {
+                Some(callee) => format!("{message} (via call to `{callee}`)"),
+                None => message,
+            };
+            raw_findings.push(Finding {
+                file: edge.file.clone(),
+                line: edge.line,
+                rule: LOCK_ORDER_INVERSION.to_string(),
+                message,
+            });
+        }
+    }
+
+    // Suppressions, against each finding's own file context.
+    let ctx_by_path: BTreeMap<&str, &FileContext> = per_file
+        .iter()
+        .map(|(path, _, ctx, _)| (path.as_str(), ctx))
+        .collect();
+    let mut out = Analysis {
+        graph,
+        ..Analysis::default()
+    };
+    raw_findings.sort();
+    for finding in raw_findings {
+        let silenced = ctx_by_path
+            .get(finding.file.as_str())
+            .is_some_and(|ctx| ctx.suppressed(&finding.rule, finding.line));
+        if silenced {
+            out.suppressed += 1;
+        } else {
+            out.findings.push(finding);
+        }
+    }
+    out
+}
+
+/// Resolves a call event to a lock class when it is an acquisition:
+/// `.lock()` / argument-less `.read()` / `.write()` on a receiver path
+/// ending in a known lock, or a passthrough helper
+/// (`lock_recover(&core.state)`).
+fn resolve_acquisition(c: &CallEvent, syms: &CrateSymbols) -> Option<String> {
+    if c.method {
+        let field = c.recv.last()?;
+        let lock = syms.locks.get(field)?;
+        let acquires = match (c.name.as_str(), lock.kind) {
+            ("lock", LockKind::Mutex) => true,
+            ("read" | "write", LockKind::RwLock) => c.args_empty,
+            _ => false,
+        };
+        return acquires.then(|| lock.class.clone());
+    }
+    if syms.lock_passthroughs.contains(&c.name) {
+        let field = c.arg_path.last()?;
+        return Some(syms.locks.get(field)?.class.clone());
+    }
+    None
+}
+
+/// Resolves a call event to the registry class a `Lazy*` metric
+/// update acquires (`MEMO_HITS.add(1)` → `obs::counters`).
+fn resolve_metric(c: &CallEvent, syms: &CrateSymbols) -> Option<String> {
+    if !c.method || !METRIC_METHODS.contains(&c.name.as_str()) {
+        return None;
+    }
+    let field = c.recv.last()?;
+    syms.metric_statics
+        .get(field)
+        .map(|class| (*class).to_string())
+}
+
+/// Whether a call event is a condvar wait.
+fn is_wait(c: &CallEvent, syms: &CrateSymbols) -> bool {
+    if c.method {
+        c.name == "wait" && c.recv.last().is_some_and(|r| syms.condvars.contains(r))
+    } else {
+        syms.wait_passthroughs.contains(&c.name)
+            && c.arg_path.last().is_some_and(|r| syms.condvars.contains(r))
+    }
+}
+
+struct Guard {
+    class: String,
+    binding: Option<String>,
+    depth: usize,
+}
+
+/// Walks one function body tracking guard liveness.
+fn walk_fn(
+    facts: &FnFacts<'_>,
+    syms: &CrateSymbols,
+    sums: &Summaries,
+    lines: &LineIndex,
+    edges: &mut BTreeMap<(String, String), Edge>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut frames: Vec<Opener> = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut pending_let: Option<Option<String>> = None;
+
+    for event in &facts.item.events {
+        match event {
+            Event::Open { opener, .. } => {
+                frames.push(*opener);
+                pending_let = None;
+            }
+            Event::ClosureStart { .. } => {
+                frames.push(Opener::Closure);
+                pending_let = None;
+            }
+            Event::Close { .. } | Event::ClosureEnd { .. } => {
+                frames.pop();
+                guards.retain(|g| g.depth <= frames.len());
+                pending_let = None;
+            }
+            Event::StmtEnd { .. } => {
+                guards.retain(|g| g.binding.is_some() || g.depth < frames.len());
+                pending_let = None;
+            }
+            Event::Let { binding, .. } => {
+                pending_let = Some(binding.clone());
+            }
+            Event::Call(c) => {
+                let held = held_classes(&frames, &guards);
+                if let Some(class) = resolve_acquisition(c, syms) {
+                    acquire(
+                        facts,
+                        c,
+                        class,
+                        None,
+                        &held,
+                        &mut guards,
+                        &mut pending_let,
+                        &frames,
+                        lines,
+                        edges,
+                    );
+                    continue;
+                }
+                if let Some(class) = resolve_metric(c, syms) {
+                    // Instantaneous: the registry lock is released
+                    // before the update returns, so record the edges
+                    // without pushing a guard.
+                    let line = lines.line_of(c.offset);
+                    for from in &held {
+                        record_edge(edges, from, &class, facts.file, line, None);
+                    }
+                    continue;
+                }
+                if is_wait(c, syms) {
+                    let in_loop = enclosing_loop(&frames);
+                    if !in_loop {
+                        findings.push(Finding {
+                            file: facts.file.to_string(),
+                            line: lines.line_of(c.offset),
+                            rule: CONDVAR_WAIT_WITHOUT_LOOP.to_string(),
+                            message: format!(
+                                "`{}` outside any loop — condvar wakeups are spurious; \
+                                 re-check the predicate in a `while`/`loop`",
+                                c.name
+                            ),
+                        });
+                    }
+                    continue;
+                }
+                if !c.method && c.name == "drop" && c.arg_path.len() == 1 {
+                    guards.retain(|g| g.binding.as_deref() != Some(c.arg_path[0].as_str()));
+                    continue;
+                }
+                if !held.is_empty()
+                    && BLOCKING_CALLS.contains(&c.name.as_str())
+                    && (c.name != "read" || !c.args_empty)
+                {
+                    findings.push(Finding {
+                        file: facts.file.to_string(),
+                        line: lines.line_of(c.offset),
+                        rule: GUARD_HELD_ACROSS_BLOCKING_CALL.to_string(),
+                        message: format!(
+                            "`.{}()` blocks while holding {} — park the guard first",
+                            c.name,
+                            held.iter()
+                                .map(|h| format!("`{h}`"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    });
+                    continue;
+                }
+                // One level of intra-crate inlining.
+                let sum = if c.method {
+                    sums.methods.get(&c.name)
+                } else if syms.lock_passthroughs.contains(&c.name)
+                    || syms.wait_passthroughs.contains(&c.name)
+                {
+                    None
+                } else {
+                    sums.frees.get(&c.name)
+                };
+                let Some(sum) = sum else { continue };
+                if sum.returns_guard && sum.acquires.len() == 1 {
+                    // A guard-returning helper acquires for its caller
+                    // (`Memo::lock`, `Store::lock_mem`).
+                    if let Some(class) = sum.acquires.iter().next().cloned() {
+                        acquire(
+                            facts,
+                            c,
+                            class,
+                            Some(c.name.clone()),
+                            &held,
+                            &mut guards,
+                            &mut pending_let,
+                            &frames,
+                            lines,
+                            edges,
+                        );
+                    }
+                } else if !held.is_empty() {
+                    for to in &sum.acquires {
+                        for from in &held {
+                            record_edge(
+                                edges,
+                                from,
+                                to,
+                                facts.file,
+                                lines.line_of(c.offset),
+                                Some(c.name.clone()),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Classes visibly held: guards above the innermost closure barrier,
+/// deduplicated in acquisition order.
+fn held_classes(frames: &[Opener], guards: &[Guard]) -> Vec<String> {
+    let barrier = frames
+        .iter()
+        .rposition(|o| *o == Opener::Closure)
+        .map_or(0, |i| i + 1);
+    let mut seen = BTreeSet::new();
+    let mut held = Vec::new();
+    for g in guards {
+        if g.depth >= barrier && seen.insert(g.class.as_str()) {
+            held.push(g.class.clone());
+        }
+    }
+    held
+}
+
+/// Whether any scope between the innermost closure barrier and the
+/// current position is a loop.
+fn enclosing_loop(frames: &[Opener]) -> bool {
+    let barrier = frames
+        .iter()
+        .rposition(|o| *o == Opener::Closure)
+        .map_or(0, |i| i + 1);
+    frames[barrier.min(frames.len())..]
+        .iter()
+        .any(|o| matches!(o, Opener::Loop | Opener::While | Opener::For))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    facts: &FnFacts<'_>,
+    c: &CallEvent,
+    class: String,
+    via: Option<String>,
+    held: &[String],
+    guards: &mut Vec<Guard>,
+    pending_let: &mut Option<Option<String>>,
+    frames: &[Opener],
+    lines: &LineIndex,
+    edges: &mut BTreeMap<(String, String), Edge>,
+) {
+    let line = lines.line_of(c.offset);
+    for from in held {
+        record_edge(edges, from, &class, facts.file, line, via.clone());
+    }
+    let binding = if c.terminal {
+        pending_let.take().flatten()
+    } else {
+        None
+    };
+    guards.push(Guard {
+        class,
+        binding,
+        depth: frames.len(),
+    });
+}
+
+fn record_edge(
+    edges: &mut BTreeMap<(String, String), Edge>,
+    from: &str,
+    to: &str,
+    file: &str,
+    line: usize,
+    via: Option<String>,
+) {
+    edges
+        .entry((from.to_string(), to.to_string()))
+        .or_insert(Edge {
+            file: file.to_string(),
+            line,
+            via,
+            cyclic: false,
+        });
+}
+
+/// BFS reachability over the adjacency map.
+fn reaches(adjacency: &BTreeMap<String, BTreeSet<String>>, from: &str, to: &str) -> bool {
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    queue.push_back(from);
+    seen.insert(from);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            return true;
+        }
+        if let Some(next) = adjacency.get(n) {
+            for m in next {
+                if seen.insert(m.as_str()) {
+                    queue.push_back(m.as_str());
+                }
+            }
+        }
+    }
+    false
+}
+
+/// A representative cycle string `a → b → .. → a` for the cyclic edge
+/// `(a, b)` (shortest path b → a by BFS over sorted adjacency, so the
+/// choice is deterministic).
+fn cycle_path(adjacency: &BTreeMap<String, BTreeSet<String>>, a: &str, b: &str) -> String {
+    let mut parents: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    queue.push_back(b);
+    while let Some(n) = queue.pop_front() {
+        if n == a {
+            break;
+        }
+        if let Some(next) = adjacency.get(n) {
+            for m in next {
+                if m != b && !parents.contains_key(m.as_str()) {
+                    parents.insert(m.as_str(), n);
+                    queue.push_back(m.as_str());
+                }
+            }
+        }
+    }
+    let mut rev = vec![a];
+    let mut cur = a;
+    while let Some(p) = parents.get(cur) {
+        rev.push(p);
+        cur = p;
+        if *p == b {
+            break;
+        }
+    }
+    if rev.last() != Some(&b) {
+        rev.push(b);
+    }
+    rev.push(a);
+    rev.reverse();
+    format!("`{}`", rev.join("` → `"))
+}
+
+impl LockGraph {
+    /// Whether the graph has any cyclic edge (call after [`analyze`],
+    /// which marks them).
+    pub fn has_cycles(&self) -> bool {
+        self.edges.values().any(|e| e.cyclic)
+    }
+
+    /// Graphviz DOT rendering (cyclic edges in red).
+    pub fn render_dot(&self) -> String {
+        let mut out = String::from("digraph locks {\n    rankdir=LR;\n");
+        for (class, node) in &self.nodes {
+            out.push_str(&format!(
+                "    \"{class}\" [label=\"{class}\\n{}:{}\"];\n",
+                node.file, node.line
+            ));
+        }
+        for ((from, to), edge) in &self.edges {
+            let attrs = if edge.cyclic {
+                " [color=red, penwidth=2]"
+            } else {
+                ""
+            };
+            out.push_str(&format!("    \"{from}\" -> \"{to}\"{attrs};\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// JSON rendering (parses with `gopim_obs::export::parse_json`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"nodes\": [\n");
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|(class, n)| {
+                format!(
+                    "    {{\"class\": \"{}\", \"kind\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+                    escape_json(class),
+                    match n.kind {
+                        LockKind::Mutex => "mutex",
+                        LockKind::RwLock => "rwlock",
+                    },
+                    escape_json(&n.file),
+                    n.line
+                )
+            })
+            .collect();
+        out.push_str(&nodes.join(",\n"));
+        out.push_str("\n  ],\n  \"edges\": [\n");
+        let edges: Vec<String> = self
+            .edges
+            .iter()
+            .map(|((from, to), e)| {
+                let via = match &e.via {
+                    Some(v) => format!("\"{}\"", escape_json(v)),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "    {{\"from\": \"{}\", \"to\": \"{}\", \"file\": \"{}\", \
+                     \"line\": {}, \"via\": {via}, \"cyclic\": {}}}",
+                    escape_json(from),
+                    escape_json(to),
+                    escape_json(&e.file),
+                    e.line,
+                    e.cyclic
+                )
+            })
+            .collect();
+        out.push_str(&edges.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Human one-screen summary.
+    pub fn render_human(&self) -> String {
+        let cycles = self.edges.values().filter(|e| e.cyclic).count();
+        let mut out = format!(
+            "lock graph: {} classes, {} edges, {} cyclic\n",
+            self.nodes.len(),
+            self.edges.len(),
+            cycles
+        );
+        for (class, node) in &self.nodes {
+            out.push_str(&format!("  node {class}  ({}:{})\n", node.file, node.line));
+        }
+        for ((from, to), edge) in &self.edges {
+            let via = edge
+                .via
+                .as_ref()
+                .map(|v| format!(" via `{v}`"))
+                .unwrap_or_default();
+            let mark = if edge.cyclic { "  CYCLE" } else { "" };
+            out.push_str(&format!(
+                "  edge {from} -> {to}{via}  ({}:{}){mark}\n",
+                edge.file, edge.line
+            ));
+        }
+        out
+    }
+}
+
+/// A parsed runtime lockdep dump (`GOPIM_LOCKDEP_DUMP`).
+#[derive(Debug, Default)]
+pub struct Witness {
+    /// Every class acquired at least once.
+    pub classes: Vec<String>,
+    /// Witnessed (first, second) acquisition orders.
+    pub edges: Vec<(String, String)>,
+    /// Order-contradiction reports.
+    pub violations: Vec<String>,
+}
+
+/// Parses a runtime lockdep dump.
+///
+/// # Errors
+///
+/// Returns a message when the text is not a dump in the expected
+/// shape.
+pub fn parse_witness(text: &str) -> Result<Witness, String> {
+    let json = parse_json(text)?;
+    let mut w = Witness::default();
+    let classes = json
+        .get("classes")
+        .and_then(Json::as_arr)
+        .ok_or("lockdep dump: missing \"classes\" array")?;
+    for c in classes {
+        w.classes.push(
+            c.as_str()
+                .ok_or("lockdep dump: non-string class")?
+                .to_string(),
+        );
+    }
+    let edges = json
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or("lockdep dump: missing \"edges\" array")?;
+    for e in edges {
+        let from = e.get("from").and_then(Json::as_str);
+        let to = e.get("to").and_then(Json::as_str);
+        match (from, to) {
+            (Some(f), Some(t)) => w.edges.push((f.to_string(), t.to_string())),
+            _ => return Err("lockdep dump: edge without from/to".to_string()),
+        }
+    }
+    if let Some(violations) = json.get("violations").and_then(Json::as_arr) {
+        for v in violations {
+            w.violations.push(
+                v.get("what")
+                    .and_then(Json::as_str)
+                    .unwrap_or("order violation")
+                    .to_string(),
+            );
+        }
+    }
+    Ok(w)
+}
+
+/// Checks a runtime witness against the static graph: every witnessed
+/// class must be a static node, every witnessed order edge a static
+/// edge, and the run must be violation-free. Returns the list of
+/// discrepancies (empty = the witness is a subgraph, as required).
+pub fn check_witness(graph: &LockGraph, witness: &Witness) -> Vec<String> {
+    let mut problems = Vec::new();
+    for class in &witness.classes {
+        if !graph.nodes.contains_key(class) {
+            problems.push(format!(
+                "witnessed class `{class}` is not a static lock-graph node \
+                 (wrapper name drifted from the declaration?)"
+            ));
+        }
+    }
+    for (from, to) in &witness.edges {
+        if !graph.edges.contains_key(&(from.clone(), to.clone())) {
+            problems.push(format!(
+                "witnessed order `{from}` → `{to}` has no static edge \
+                 (the analyzer missed an acquisition path)"
+            ));
+        }
+    }
+    for v in &witness.violations {
+        problems.push(format!("runtime order violation: {v}"));
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> Vec<(String, String)> {
+        vec![("crates/x/src/lib.rs".to_string(), src.to_string())]
+    }
+
+    const ABBA: &str = "\
+use std::sync::Mutex;
+pub static LOCK_A: Mutex<u32> = Mutex::new(0);
+pub static LOCK_B: Mutex<u32> = Mutex::new(0);
+fn lock_recover<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+pub fn ab() -> u32 {
+    let a = lock_recover(&LOCK_A);
+    let b = lock_recover(&LOCK_B);
+    *a + *b
+}
+pub fn ba() -> u32 {
+    let b = lock_recover(&LOCK_B);
+    let a = lock_recover(&LOCK_A);
+    *a + *b
+}
+";
+
+    #[test]
+    fn abba_is_a_cycle() {
+        let analysis = analyze(&lib(ABBA));
+        assert!(analysis.graph.has_cycles());
+        let inversions: Vec<&Finding> = analysis
+            .findings
+            .iter()
+            .filter(|f| f.rule == LOCK_ORDER_INVERSION)
+            .collect();
+        assert_eq!(inversions.len(), 2, "{:?}", analysis.findings);
+        assert!(inversions[0].message.contains("x::LOCK_A"));
+        assert!(inversions[0].message.contains("x::LOCK_B"));
+        assert!(analysis
+            .graph
+            .edges
+            .contains_key(&("x::LOCK_A".to_string(), "x::LOCK_B".to_string())));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "\
+use std::sync::Mutex;
+pub static A: Mutex<u32> = Mutex::new(0);
+pub static B: Mutex<u32> = Mutex::new(0);
+pub fn f() -> u32 {
+    let a = A.lock();
+    let b = B.lock();
+    *a + *b
+}
+pub fn g() -> u32 {
+    let a = A.lock();
+    let b = B.lock();
+    *a + *b
+}
+";
+        let analysis = analyze(&lib(src));
+        assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+        assert!(!analysis.graph.has_cycles());
+        assert_eq!(analysis.graph.edges.len(), 1);
+    }
+
+    #[test]
+    fn recursive_acquisition_is_a_self_cycle() {
+        let src = "\
+struct Core { conns: Mutex<u32> }
+impl Core {
+    fn f(&self) {
+        self.conns.lock().insert(make(self.conns.lock().get()));
+    }
+}
+";
+        let analysis = analyze(&lib(src));
+        let inversion = analysis
+            .findings
+            .iter()
+            .find(|f| f.rule == LOCK_ORDER_INVERSION);
+        assert!(
+            inversion.is_some_and(|f| f.message.contains("recursive")),
+            "{:?}",
+            analysis.findings
+        );
+    }
+
+    #[test]
+    fn statement_temporaries_do_not_overlap() {
+        let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn f(&self) {
+        self.a.lock().insert(1);
+        self.b.lock().insert(2);
+    }
+    fn g(&self) {
+        self.b.lock().insert(1);
+        self.a.lock().insert(2);
+    }
+}
+";
+        let analysis = analyze(&lib(src));
+        assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+        assert!(analysis.graph.edges.is_empty());
+    }
+
+    #[test]
+    fn drop_kills_liveness() {
+        let src = "\
+use std::sync::Mutex;
+pub static A: Mutex<u32> = Mutex::new(0);
+pub static B: Mutex<u32> = Mutex::new(0);
+pub fn f() {
+    let a = A.lock();
+    drop(a);
+    let b = B.lock();
+}
+pub fn g() {
+    let b = B.lock();
+    drop(b);
+    let a = A.lock();
+}
+";
+        let analysis = analyze(&lib(src));
+        assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+        assert!(analysis.graph.edges.is_empty());
+    }
+
+    #[test]
+    fn closures_are_barriers() {
+        let src = "\
+struct S { handles: Mutex<u32> }
+impl S {
+    fn bind(&self) {
+        let h = self.handles.lock();
+        spawn(move || {
+            let inner = self.handles.lock();
+        });
+    }
+}
+";
+        let analysis = analyze(&lib(src));
+        assert!(
+            !analysis
+                .graph
+                .edges
+                .contains_key(&("x::handles".to_string(), "x::handles".to_string())),
+            "{:?}",
+            analysis.graph.edges
+        );
+    }
+
+    #[test]
+    fn one_level_inlining_sees_helper_acquisitions() {
+        let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn take_b(&self) -> u32 { let g = self.b.lock(); *g }
+    fn f(&self) -> u32 {
+        let a = self.a.lock();
+        self.take_b()
+    }
+    fn g(&self) -> u32 {
+        let b = self.b.lock();
+        let a = self.a.lock();
+        *a + *b
+    }
+}
+";
+        let analysis = analyze(&lib(src));
+        assert!(analysis.graph.has_cycles(), "{:?}", analysis.graph.edges);
+        let edge = analysis
+            .graph
+            .edges
+            .get(&("x::a".to_string(), "x::b".to_string()));
+        assert!(edge.is_some_and(|e| e.via.as_deref() == Some("take_b")));
+    }
+
+    #[test]
+    fn guard_returning_helpers_acquire_for_their_caller() {
+        let src = "\
+struct Memo { table: Mutex<u32>, other: Mutex<u32> }
+impl Memo {
+    fn lock(&self) -> std::sync::MutexGuard<'_, u32> {
+        self.table.lock()
+    }
+    fn f(&self) {
+        let t = self.lock();
+        let o = self.other.lock();
+    }
+    fn g(&self) {
+        let o = self.other.lock();
+        let t = self.lock();
+    }
+}
+";
+        let analysis = analyze(&lib(src));
+        assert!(analysis.graph.has_cycles(), "{:?}", analysis.graph.edges);
+    }
+
+    #[test]
+    fn metric_updates_under_a_guard_edge_into_the_registry_class() {
+        let src = "\
+static HITS: LazyCounter = LazyCounter::new(\"cache.hits\");
+static DEPTH: LazyGauge = LazyGauge::new(\"serve.queue_depth\");
+struct S { table: Mutex<u32>, mem: Mutex<u32> }
+impl S {
+    fn hit(&self) { HITS.add(1); }
+    fn f(&self) {
+        let g = self.table.lock();
+        HITS.add(1);
+    }
+    fn g(&self) {
+        let g = self.mem.lock();
+        self.hit();
+    }
+    fn bare(&self) { DEPTH.set(0); }
+}
+";
+        let analysis = analyze(&lib(src));
+        assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+        let direct = analysis
+            .graph
+            .edges
+            .get(&("x::table".to_string(), "obs::counters".to_string()));
+        assert!(
+            direct.is_some_and(|e| e.via.is_none()),
+            "{:?}",
+            analysis.graph.edges
+        );
+        let inlined = analysis
+            .graph
+            .edges
+            .get(&("x::mem".to_string(), "obs::counters".to_string()));
+        assert!(
+            inlined.is_some_and(|e| e.via.as_deref() == Some("hit")),
+            "{:?}",
+            analysis.graph.edges
+        );
+        // The update is instantaneous: no guard sticks around, so no
+        // `obs::counters -> *` back-edge ever appears.
+        assert!(!analysis
+            .graph
+            .edges
+            .keys()
+            .any(|(from, _)| from == "obs::counters"));
+        // `bare` holds nothing: no edge into obs::gauges.
+        assert!(!analysis
+            .graph
+            .edges
+            .keys()
+            .any(|(_, to)| to == "obs::gauges"));
+    }
+
+    #[test]
+    fn blocking_calls_under_guards_are_flagged() {
+        let src = "\
+struct S { state: Mutex<u32> }
+impl S {
+    fn f(&self, rx: Receiver<u32>) {
+        let st = self.state.lock();
+        let x = rx.recv();
+    }
+    fn ok(&self, stream: TcpStream) {
+        let mut buf = [0u8; 4];
+        let st = self.state.lock();
+        let n = st.read();
+    }
+}
+";
+        let analysis = analyze(&lib(src));
+        let blocking: Vec<&Finding> = analysis
+            .findings
+            .iter()
+            .filter(|f| f.rule == GUARD_HELD_ACROSS_BLOCKING_CALL)
+            .collect();
+        assert_eq!(blocking.len(), 1, "{:?}", analysis.findings);
+        assert!(blocking[0].message.contains("x::state"));
+    }
+
+    #[test]
+    fn condvar_wait_needs_a_loop() {
+        let src = "\
+struct S { m: Mutex<bool>, cv: Condvar }
+impl S {
+    fn bad(&self) {
+        let g = self.m.lock();
+        let g = self.cv.wait(g);
+    }
+    fn good(&self) {
+        let mut g = self.m.lock();
+        while !*g {
+            g = self.cv.wait(g);
+        }
+    }
+}
+";
+        let analysis = analyze(&lib(src));
+        let waits: Vec<&Finding> = analysis
+            .findings
+            .iter()
+            .filter(|f| f.rule == CONDVAR_WAIT_WITHOUT_LOOP)
+            .collect();
+        assert_eq!(waits.len(), 1, "{:?}", analysis.findings);
+        assert_eq!(waits[0].line, 5);
+    }
+
+    #[test]
+    fn suppressions_and_test_regions_apply() {
+        let src = "\
+struct S { m: Mutex<bool>, cv: Condvar }
+impl S {
+    fn bad(&self) {
+        let g = self.m.lock();
+        // lint:allow(condvar-wait-without-loop): predicate is monotonic
+        let g = self.cv.wait(g);
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn abba() {
+        let a = super::A.lock();
+        let b = super::B.lock();
+    }
+}
+";
+        let analysis = analyze(&lib(src));
+        assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+        assert_eq!(analysis.suppressed, 1);
+    }
+
+    #[test]
+    fn witness_subgraph_check() {
+        let analysis = analyze(&lib(ABBA));
+        let witness = Witness {
+            classes: vec!["x::LOCK_A".to_string(), "x::LOCK_B".to_string()],
+            edges: vec![("x::LOCK_A".to_string(), "x::LOCK_B".to_string())],
+            violations: Vec::new(),
+        };
+        assert!(check_witness(&analysis.graph, &witness).is_empty());
+        let bad = Witness {
+            classes: vec!["x::GHOST".to_string()],
+            edges: vec![("x::LOCK_B".to_string(), "x::GHOST".to_string())],
+            violations: vec!["abba".to_string()],
+        };
+        assert_eq!(check_witness(&analysis.graph, &bad).len(), 3);
+    }
+
+    #[test]
+    fn witness_json_round_trips() {
+        let text = "{\"version\": 1, \"classes\": [\"a\", \"b\"], \
+                    \"edges\": [{\"from\": \"a\", \"to\": \"b\"}], \
+                    \"violations\": []}";
+        let w = parse_witness(text).unwrap();
+        assert_eq!(w.classes.len(), 2);
+        assert_eq!(w.edges[0], ("a".to_string(), "b".to_string()));
+        assert!(parse_witness("{}").is_err());
+    }
+
+    #[test]
+    fn graph_renders_parse_and_dot() {
+        let analysis = analyze(&lib(ABBA));
+        let json = analysis.graph.render_json();
+        let parsed = parse_json(&json).unwrap();
+        assert!(parsed.get("nodes").and_then(Json::as_arr).is_some());
+        let dot = analysis.graph.render_dot();
+        assert!(dot.contains("digraph locks"));
+        assert!(dot.contains("color=red"));
+        assert!(analysis.graph.render_human().contains("CYCLE"));
+    }
+}

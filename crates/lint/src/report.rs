@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use crate::baseline::Ratchet;
-use crate::rules::{Finding, RULES};
+use crate::rules::{Finding, ANALYSIS_RULES, RULES};
 
 /// Escapes a string for embedding in a JSON document.
 pub fn escape_json(s: &str) -> String {
@@ -79,8 +79,15 @@ impl Outcome {
                     out.push_str(&format!("  {:>4}  {}\n", n, rule.name));
                 }
             }
+            for (name, _) in ANALYSIS_RULES {
+                if let Some(n) = per_rule.get(name) {
+                    out.push_str(&format!("  {n:>4}  {name}\n"));
+                }
+            }
             for (rule, n) in &per_rule {
-                if crate::rules::rule_named(rule).is_none() {
+                if crate::rules::rule_named(rule).is_none()
+                    && !ANALYSIS_RULES.iter().any(|(name, _)| name == rule)
+                {
                     out.push_str(&format!("  {n:>4}  {rule}\n"));
                 }
             }
@@ -128,11 +135,15 @@ impl Outcome {
             self.new_findings().len()
         ));
         out.push_str("  \"rules\": [");
-        for (i, rule) in RULES.iter().enumerate() {
+        let rule_names = RULES
+            .iter()
+            .map(|r| r.name)
+            .chain(ANALYSIS_RULES.iter().map(|(name, _)| *name));
+        for (i, name) in rule_names.enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
-            out.push_str(&format!("\"{}\"", escape_json(rule.name)));
+            out.push_str(&format!("\"{}\"", escape_json(name)));
         }
         out.push_str("],\n  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {

@@ -75,6 +75,38 @@ pub const MALFORMED_SUPPRESSION: &str = "malformed-suppression";
 /// manifest scanner, not the token matcher).
 pub const NO_EXTERNAL_DEPS: &str = "no-external-deps";
 
+/// The concurrency rules: findings come from the lock-graph pass
+/// ([`crate::lockgraph`]), not the token matcher, but they share the
+/// rule namespace so suppressions, reports and the baseline treat
+/// them like any other rule. Library code only; `#[cfg(test)]`
+/// regions are skipped (tests seed deliberate inversions).
+pub const ANALYSIS_RULES: &[(&str, &str)] = &[
+    (
+        crate::lockgraph::LOCK_ORDER_INVERSION,
+        "the lock-acquisition graph must be cycle-free; a cycle is a \
+         lock-order inversion — a potential deadlock",
+    ),
+    (
+        crate::lockgraph::GUARD_HELD_ACROSS_BLOCKING_CALL,
+        "a lock guard must not stay live across recv/join/accept/\
+         socket-read calls",
+    ),
+    (
+        crate::lockgraph::CONDVAR_WAIT_WITHOUT_LOOP,
+        "condvar waits re-check their predicate in a while/loop \
+         (wakeups are spurious)",
+    ),
+];
+
+/// Whether `name` is any rule the linter can emit (token, manifest,
+/// suppression or analysis).
+pub fn known_rule(name: &str) -> bool {
+    rule_named(name).is_some()
+        || name == MALFORMED_SUPPRESSION
+        || name == NO_EXTERNAL_DEPS
+        || ANALYSIS_RULES.iter().any(|(n, _)| *n == name)
+}
+
 /// The registry. Order is the report's per-rule summary order.
 pub const RULES: &[Rule] = &[
     Rule {

@@ -1,0 +1,270 @@
+//! Per-crate lock symbol resolution.
+//!
+//! Walks the parse layer's items and names every lock the crate
+//! declares: `Mutex`/`RwLock` (and their instrumented `DepMutex`/
+//! `DepRwLock` wrappers from `gopim-obs`) behind struct fields or
+//! statics, plus `Condvar`/`DepCondvar` declarations. Each lock gets a
+//! stable **class name** `<crate>::<field-or-static>` — the same name
+//! the runtime lockdep witness uses, so the static graph and the
+//! witnessed order matrix speak one vocabulary (DESIGN.md §15).
+//!
+//! The pass also recognizes *passthrough* helpers — free functions
+//! like `lock_recover(&Mutex<T>) -> MutexGuard<..>` that acquire on
+//! behalf of their caller — so call sites resolve through them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parse::{FnItem, ParsedFile};
+
+/// What flavor of lock a class is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `Mutex` / `DepMutex` — exclusive.
+    Mutex,
+    /// `RwLock` / `DepRwLock` — readers are not distinguished from
+    /// writers (conservative: any acquisition is an acquisition).
+    RwLock,
+}
+
+/// One declared lock.
+#[derive(Debug, Clone)]
+pub struct LockSym {
+    /// Stable class name, `<crate>::<name>`.
+    pub class: String,
+    /// Mutex vs RwLock.
+    pub kind: LockKind,
+    /// Workspace-relative file of the declaration.
+    pub file: String,
+    /// 1-based declaration line.
+    pub line: usize,
+}
+
+/// Everything the symbol pass resolved for one crate.
+#[derive(Debug, Default)]
+pub struct CrateSymbols {
+    /// Crate short name (`par`, `serve`, ..), from the path.
+    pub krate: String,
+    /// Field/static name → lock. Two same-named lock fields in one
+    /// crate share a class (conservative merge; keep lock field names
+    /// unique per crate).
+    pub locks: BTreeMap<String, LockSym>,
+    /// Field/static names declared as `Condvar`/`DepCondvar`.
+    pub condvars: BTreeSet<String>,
+    /// Free functions that take a `&Mutex`-family reference and
+    /// return a guard (`lock_recover`): calling one acquires the lock
+    /// named by its first argument.
+    pub lock_passthroughs: BTreeSet<String>,
+    /// Free functions that take a `&Condvar` and a guard
+    /// (`wait_recover`): calling one is a condvar wait.
+    pub wait_passthroughs: BTreeSet<String>,
+    /// Static/field names declared as `LazyCounter`/`LazyGauge`/
+    /// `LazyHistogram`, mapped to the `obs::*` registry class their
+    /// updates resolve through (the global registry takes that lock
+    /// on first use). Modeling the update as an acquisition keeps the
+    /// runtime witness a subgraph of the static graph even for runs
+    /// with metrics enabled.
+    pub metric_statics: BTreeMap<String, &'static str>,
+}
+
+/// Lock-type identifiers, with their kinds.
+const MUTEX_TYPES: &[&str] = &["Mutex", "DepMutex"];
+const RWLOCK_TYPES: &[&str] = &["RwLock", "DepRwLock"];
+const CONDVAR_TYPES: &[&str] = &["Condvar", "DepCondvar"];
+
+/// Lazy metric instruments → the registry lock class behind them.
+const METRIC_TYPES: &[(&str, &str)] = &[
+    ("LazyCounter", "obs::counters"),
+    ("LazyGauge", "obs::gauges"),
+    ("LazyHistogram", "obs::histograms"),
+];
+
+/// The crate short name for a workspace-relative path:
+/// `crates/<name>/src/..` → `<name>`, anything else → `crate`.
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "crate".to_string()
+}
+
+fn lock_kind(ty: &[String]) -> Option<LockKind> {
+    // The *first* lock-type identifier wins, so `Arc<Mutex<..>>`
+    // resolves and `Mutex<Vec<RwLock<..>>>` stays a Mutex.
+    for t in ty {
+        if MUTEX_TYPES.contains(&t.as_str()) {
+            return Some(LockKind::Mutex);
+        }
+        if RWLOCK_TYPES.contains(&t.as_str()) {
+            return Some(LockKind::RwLock);
+        }
+    }
+    None
+}
+
+fn is_condvar(ty: &[String]) -> bool {
+    ty.iter().any(|t| CONDVAR_TYPES.contains(&t.as_str()))
+}
+
+fn metric_class(ty: &[String]) -> Option<&'static str> {
+    ty.iter().find_map(|t| {
+        METRIC_TYPES
+            .iter()
+            .find(|(name, _)| t == name)
+            .map(|(_, class)| *class)
+    })
+}
+
+fn mentions(tokens: &[String], names: &[&str]) -> bool {
+    tokens.iter().any(|t| names.contains(&t.as_str()))
+}
+
+fn is_lock_passthrough(f: &FnItem) -> bool {
+    f.self_ty.is_none()
+        && (mentions(&f.params, MUTEX_TYPES) || mentions(&f.params, RWLOCK_TYPES))
+        && f.ret.iter().any(|t| t.ends_with("Guard"))
+}
+
+fn is_wait_passthrough(f: &FnItem) -> bool {
+    f.self_ty.is_none()
+        && mentions(&f.params, CONDVAR_TYPES)
+        && f.params.iter().any(|t| t.ends_with("Guard"))
+}
+
+/// Folds one parsed file into its crate's symbol table. `line_of`
+/// maps a byte offset to a 1-based line in this file.
+pub fn collect(
+    syms: &mut CrateSymbols,
+    path: &str,
+    parsed: &ParsedFile,
+    line_of: impl Fn(usize) -> usize,
+) {
+    let declare = |syms: &mut CrateSymbols, name: &str, ty: &[String], offset: usize| {
+        if let Some(kind) = lock_kind(ty) {
+            let class = format!("{}::{}", syms.krate, name);
+            syms.locks.entry(name.to_string()).or_insert(LockSym {
+                class,
+                kind,
+                file: path.to_string(),
+                line: line_of(offset),
+            });
+        } else if is_condvar(ty) {
+            syms.condvars.insert(name.to_string());
+        } else if let Some(class) = metric_class(ty) {
+            syms.metric_statics.insert(name.to_string(), class);
+        }
+    };
+    for s in &parsed.structs {
+        for f in &s.fields {
+            declare(syms, &f.name, &f.ty, f.offset);
+        }
+    }
+    for s in &parsed.statics {
+        declare(syms, &s.name, &s.ty, s.offset);
+    }
+    for f in &parsed.fns {
+        if is_lock_passthrough(f) {
+            syms.lock_passthroughs.insert(f.name.clone());
+        }
+        if is_wait_passthrough(f) {
+            syms.wait_passthroughs.insert(f.name.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, LineIndex, Token, TokenKind};
+    use crate::parse::parse;
+
+    fn symbols(path: &str, src: &str) -> CrateSymbols {
+        let tokens = lex(src);
+        let sig: Vec<Token> = tokens
+            .iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .copied()
+            .collect();
+        let parsed = parse(src, &sig);
+        let lines = LineIndex::new(src);
+        let mut syms = CrateSymbols {
+            krate: crate_of(path),
+            ..CrateSymbols::default()
+        };
+        collect(&mut syms, path, &parsed, |o| lines.line_of(o));
+        syms
+    }
+
+    #[test]
+    fn fields_statics_and_condvars_resolve() {
+        let src = "\
+static SINKS: Mutex<Vec<Sink>> = Mutex::new(Vec::new());
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    flags: AtomicBool,
+    table: Arc<RwLock<u32>>,
+}
+";
+        let syms = symbols("crates/par/src/pool.rs", src);
+        assert_eq!(syms.krate, "par");
+        assert_eq!(syms.locks.len(), 3);
+        assert_eq!(syms.locks["queue"].class, "par::queue");
+        assert_eq!(syms.locks["queue"].kind, LockKind::Mutex);
+        assert_eq!(syms.locks["SINKS"].line, 1);
+        assert_eq!(syms.locks["table"].kind, LockKind::RwLock);
+        assert!(syms.condvars.contains("work_ready"));
+        assert!(!syms.locks.contains_key("flags"));
+    }
+
+    #[test]
+    fn dep_wrappers_count_as_locks() {
+        let src = "struct Core { state: DepMutex<SchedState>, work_cv: DepCondvar }";
+        let syms = symbols("crates/serve/src/server.rs", src);
+        assert_eq!(syms.locks["state"].class, "serve::state");
+        assert!(syms.condvars.contains("work_cv"));
+    }
+
+    #[test]
+    fn passthrough_helpers_are_recognized() {
+        let src = "\
+fn lock_recover<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> { m.lock().unwrap_or_else(|e| e.into_inner()) }
+fn wait_recover<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> { cv.wait(g).unwrap_or_else(|e| e.into_inner()) }
+fn plain(m: &Mutex<u32>) -> u32 { 0 }
+";
+        let syms = symbols("crates/serve/src/server.rs", src);
+        assert!(syms.lock_passthroughs.contains("lock_recover"));
+        assert!(syms.wait_passthroughs.contains("wait_recover"));
+        assert!(!syms.lock_passthroughs.contains("plain"));
+        assert!(!syms.wait_passthroughs.contains("lock_recover"));
+    }
+
+    #[test]
+    fn metric_statics_map_to_registry_classes() {
+        let src = "\
+static MEMO_HITS: LazyCounter = LazyCounter::new(\"cache.memo_hits\");
+static QUEUE_DEPTH: LazyGauge = LazyGauge::new(\"serve.queue_depth\");
+static WAIT_NS: LazyHistogram = LazyHistogram::new(\"serve.wait_ns\");
+static PLAIN: AtomicU64 = AtomicU64::new(0);
+";
+        let syms = symbols("crates/cache/src/memo.rs", src);
+        assert_eq!(syms.metric_statics["MEMO_HITS"], "obs::counters");
+        assert_eq!(syms.metric_statics["QUEUE_DEPTH"], "obs::gauges");
+        assert_eq!(syms.metric_statics["WAIT_NS"], "obs::histograms");
+        assert!(!syms.metric_statics.contains_key("PLAIN"));
+        assert!(syms.locks.is_empty());
+    }
+
+    #[test]
+    fn paths_outside_crates_get_a_fallback_name() {
+        assert_eq!(crate_of("src/lib.rs"), "crate");
+        assert_eq!(crate_of("crates/cache/src/store.rs"), "cache");
+    }
+}

@@ -1,0 +1,125 @@
+//! The differential contract between the two halves of the
+//! concurrency-safety analyzer: the *static* lock-graph pass and the
+//! *runtime* lockdep witness must flag the **same** seeded ABBA
+//! cycle, by name. The fixture at `fixtures/locks` declares the
+//! inversion in source; this test replays the identical acquisition
+//! orders on named `DepMutex`es (sequentially, on one thread — real
+//! ABBA interleaving would deadlock for real) and compares the two
+//! verdicts. It then feeds the runtime matrix back through
+//! `check_witness` to prove the witness is a subgraph of the static
+//! graph — the property the verify.sh lockdep leg asserts over full
+//! `fig04`/`loadgen` runs.
+
+use std::collections::BTreeSet;
+
+use gopim_lint::lockgraph::{self, Witness};
+use gopim_obs::lockdep;
+use gopim_obs::DepMutex;
+use gopim_testkit::workspace_root;
+
+/// Class names the fixture's declarations map to, shared verbatim by
+/// the runtime locks below.
+const CLASS_A: &str = "locks::LOCK_A";
+const CLASS_B: &str = "locks::LOCK_B";
+
+/// The backtick-quoted class names inside a finding/violation message
+/// that belong to the fixture.
+fn named_classes(message: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for part in message.split('`').skip(1).step_by(2) {
+        if part.starts_with("locks::") {
+            out.insert(part.to_string());
+        }
+    }
+    out
+}
+
+// One #[test] fn: the witness matrix is process-global, so the
+// static/runtime/subgraph stages must run in a fixed order.
+#[test]
+fn static_and_runtime_flag_the_same_cycle() {
+    // --- static half: analyze the seeded fixture workspace ---
+    let root = workspace_root().join("crates/lint/fixtures/locks");
+    let analysis = gopim_lint::lock_graph(&root).expect("fixture analyzes");
+    assert!(
+        analysis.graph.has_cycles(),
+        "the fixture must seed a cycle: {:?}",
+        analysis.graph
+    );
+    let inversions: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == lockgraph::LOCK_ORDER_INVERSION)
+        .collect();
+    assert!(!inversions.is_empty(), "{:?}", analysis.findings);
+    let mut static_cycle = BTreeSet::new();
+    for f in &inversions {
+        static_cycle.extend(named_classes(&f.message));
+    }
+    assert_eq!(
+        static_cycle,
+        BTreeSet::from([CLASS_A.to_string(), CLASS_B.to_string()]),
+        "static cycle names the seeded pair"
+    );
+
+    // --- runtime half: replay the fixture's two orders, same names ---
+    static A: DepMutex<u32> = DepMutex::new(CLASS_A, 0);
+    static B: DepMutex<u32> = DepMutex::new(CLASS_B, 0);
+    lockdep::set_lockdep_enabled(true);
+    lockdep::reset();
+    {
+        // ab(): A then B.
+        let _a = A.lock();
+        let _b = B.lock();
+    }
+    {
+        // ba(): B then A — contradicts the witnessed order.
+        let _b = B.lock();
+        let _a = A.lock();
+    }
+    let violations = lockdep::violations();
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    let runtime_cycle = named_classes(&violations[0]);
+
+    // --- the differential assertion: same cycle, both halves ---
+    assert_eq!(
+        static_cycle, runtime_cycle,
+        "static pass and runtime witness must name the same cycle"
+    );
+
+    // --- the witnessed matrix is a subgraph of the static graph ---
+    // (Both orders exist statically in the fixture, so classes and
+    // edges check out; the run's violation is the only discrepancy —
+    // exactly what `--check-witness` must surface.)
+    let witness = Witness {
+        classes: lockdep::witnessed_classes(),
+        edges: lockdep::witnessed_edges(),
+        violations: Vec::new(),
+    };
+    assert!(
+        lockgraph::check_witness(&analysis.graph, &witness).is_empty(),
+        "witnessed matrix must be a subgraph of the fixture's static graph"
+    );
+    let with_violations = Witness {
+        violations: violations.clone(),
+        ..witness
+    };
+    let problems = lockgraph::check_witness(&analysis.graph, &with_violations);
+    assert_eq!(problems.len(), 1, "{problems:?}");
+    assert!(
+        problems[0].contains("runtime order violation"),
+        "{problems:?}"
+    );
+
+    // --- and the real workspace's static graph is cycle-free ---
+    let repo = gopim_lint::lock_graph(&workspace_root()).expect("workspace analyzes");
+    assert!(
+        !repo.graph.has_cycles(),
+        "the real workspace must stay deadlock-free: {}",
+        repo.graph.render_human()
+    );
+    assert!(repo.findings.is_empty(), "{:?}", repo.findings);
+
+    lockdep::reset();
+    lockdep::set_lockdep_enabled(false);
+}

@@ -1,0 +1,204 @@
+//! Adversarial property tests for the item/expression parse layer
+//! behind the concurrency analyzer: parsing hostile source — raw
+//! strings full of braces and `//`, nested block comments inside
+//! macro bodies, `r#ident` raw identifiers, unterminated fragments —
+//! never panics, and every parsed function's event stream stays sane
+//! (offsets in bounds and non-decreasing, scope and closure events
+//! prefix-balanced). The lexer property suite proves tokens tile the
+//! source; this suite proves the layer above cannot be derailed by
+//! token content.
+
+use gopim_lint::lexer::{lex, Token, TokenKind};
+use gopim_lint::parse::{parse, Event, ParsedFile};
+use gopim_testkit::prop::{check_with, Config};
+
+fn significant(src: &str) -> Vec<Token> {
+    lex(src)
+        .into_iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect()
+}
+
+fn event_offset(e: &Event) -> usize {
+    match e {
+        Event::Open { offset, .. }
+        | Event::Close { offset }
+        | Event::StmtEnd { offset }
+        | Event::Let { offset, .. }
+        | Event::ClosureStart { offset }
+        | Event::ClosureEnd { offset } => *offset,
+        Event::Call(c) => c.offset,
+    }
+}
+
+/// Parses `src` and checks every structural invariant the lock-graph
+/// walker relies on.
+fn assert_sane(src: &str) -> ParsedFile {
+    let sig = significant(src);
+    let parsed = parse(src, &sig);
+    for f in &parsed.fns {
+        let mut depth = 0i64;
+        let mut closures = 0i64;
+        let mut last = 0usize;
+        for e in &f.events {
+            let off = event_offset(e);
+            assert!(off <= src.len(), "offset {off} out of bounds in {src:?}");
+            assert!(
+                off >= last,
+                "event offsets regressed ({last} -> {off}) in {src:?}"
+            );
+            last = off;
+            match e {
+                Event::Open { .. } => depth += 1,
+                Event::Close { .. } => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unmatched close in {src:?}");
+                }
+                Event::ClosureStart { .. } => closures += 1,
+                Event::ClosureEnd { .. } => {
+                    closures -= 1;
+                    assert!(closures >= 0, "unmatched closure end in {src:?}");
+                }
+                _ => {}
+            }
+        }
+    }
+    parsed
+}
+
+#[test]
+fn raw_strings_full_of_braces_do_not_derail_scopes() {
+    // The raw string closes three scopes' worth of braces and opens a
+    // line comment — all inert content. A confused brace counter
+    // would swallow `after`.
+    let src = r####"
+pub fn tricky() {
+    let s = r#"} } } { // not a comment " \ "#;
+    let g = m.lock();
+}
+pub fn after() {}
+"####;
+    let parsed = assert_sane(src);
+    let names: Vec<&str> = parsed.fns.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, vec!["tricky", "after"]);
+    let has_lock = parsed.fns[0]
+        .events
+        .iter()
+        .any(|e| matches!(e, Event::Call(c) if c.name == "lock" && c.method));
+    assert!(has_lock, "{:?}", parsed.fns[0].events);
+}
+
+#[test]
+fn nested_block_comments_inside_macro_bodies_stay_inert() {
+    let src = "
+macro_rules! weird {
+    () => { /* outer /* inner } } { */ still outer */ };
+}
+pub fn real() { let q = r\"}\"; }
+";
+    let parsed = assert_sane(src);
+    assert!(
+        parsed.fns.iter().any(|f| f.name == "real"),
+        "{:?}",
+        parsed.fns
+    );
+}
+
+#[test]
+fn raw_identifiers_parse_as_names() {
+    let src = "
+pub fn r#match(r#else: u32) -> u32 { r#else }
+pub struct r#struct { pub r#type: u32 }
+pub static r#static: u32 = 0;
+";
+    // `r#ident` lexes as one identifier token; the parse layer must
+    // treat it like any other name, not a raw-string opener.
+    let parsed = assert_sane(src);
+    assert_eq!(parsed.fns.len(), 1, "{:?}", parsed.fns);
+    assert_eq!(parsed.structs.len(), 1, "{:?}", parsed.structs);
+    assert_eq!(parsed.statics.len(), 1, "{:?}", parsed.statics);
+}
+
+/// Rust-flavored fragments, well-formed and hostile alike: item
+/// skeletons, guard-shaped statements, raw strings hiding braces and
+/// comment openers, nested comments, closures, and degenerate tails.
+const FRAGMENTS: &[&str] = &[
+    "pub fn f() {\n",
+    "fn g(x: u32) -> u32 {\n",
+    "}\n",
+    "{ ",
+    "let g = m.lock();\n",
+    "let a = lock_recover(&LOCK_A);\n",
+    "drop(g);\n",
+    "let v = rx.recv();\n",
+    "while *g == 0 { g = cv.wait(g); }\n",
+    "let s = r#\"} } { // \" \\ \"#;\n",
+    "let t = \"{ } // /* \";\n",
+    "/* /* nested } */ { */\n",
+    "// line { } \"\n",
+    "macro_rules! m { () => { fn not_an_item() {} } }\n",
+    "|x| x + 1",
+    "move || { inner() }",
+    ".map(|e| e.into_inner())",
+    "struct S { m: Mutex<u32>, cv: Condvar }\n",
+    "static LOCK: Mutex<Vec<u8>> = Mutex::new(Vec::new());\n",
+    "impl S { fn lock(&self) -> MutexGuard<'_, u32> { self.m.lock() } }\n",
+    "match x { Some(_) => {} None => {} }\n",
+    "if let Ok(v) = r { v } else { 0 }\n",
+    "for i in 0..n { body(i); }\n",
+    "pub fn r#match() {}\n",
+    "let r#let = r#fn();\n",
+    "#[derive(Debug)]\n",
+    "type Alias = BTreeMap<String, Vec<u8>>;\n",
+    "where T: Send + 'static",
+    "-> Result<(), String> {",
+    "::<u32, _>(",
+    ");\n",
+    ";",
+    ",",
+    // Degenerate / unterminated pieces.
+    "fn broken(",
+    "r#\"open brace { and no close",
+    "\"unterminated { //",
+    "/* open /* deeper {",
+    "r#",
+    "let",
+    "impl",
+    "|",
+    "||",
+    "'a",
+];
+
+#[test]
+fn parsing_rust_flavored_soup_never_panics_and_events_stay_sane() {
+    check_with(
+        "parsing_rust_flavored_soup_never_panics_and_events_stay_sane",
+        Config::cases(200),
+        |d| {
+            let parts = d.vec("parts", 0usize..30, |d| d.pick("frag", FRAGMENTS));
+            let src: String = parts.concat();
+            assert_sane(&src);
+        },
+    );
+}
+
+#[test]
+fn parsing_arbitrary_char_salad_never_panics() {
+    check_with(
+        "parsing_arbitrary_char_salad_never_panics",
+        Config::cases(200),
+        |d| {
+            let chars = d.vec("chars", 0usize..120, |d| {
+                let c = d.draw("c", 0u32..0x2_0000);
+                char::from_u32(c).unwrap_or('\u{FFFD}')
+            });
+            let src: String = chars.into_iter().collect();
+            assert_sane(&src);
+        },
+    );
+}

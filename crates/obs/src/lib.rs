@@ -56,6 +56,7 @@
 
 pub mod aggregate;
 pub mod export;
+pub mod lockdep;
 pub mod log;
 pub mod manifest;
 pub mod metrics;
@@ -66,6 +67,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+pub use lockdep::{lockdep_enabled, set_lockdep_enabled, DepCondvar, DepMutex, DepMutexGuard};
 pub use span::SpanGuard;
 
 /// Tri-state cached enablement flag: 0 = unread, 1 = off, 2 = on.
@@ -292,6 +294,11 @@ impl Drop for TelemetryGuard {
             let snapshot = metrics::global().snapshot();
             if !snapshot.is_empty() {
                 eprintln!("{}", snapshot.render());
+            }
+        }
+        if lockdep_enabled() {
+            if let Some(path) = lockdep::dump_path() {
+                write_artifact("lockdep witness", &path, &lockdep::render_witness());
             }
         }
     }

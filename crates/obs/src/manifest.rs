@@ -11,8 +11,8 @@
 //! run). Everything is gated on [`crate::manifest_enabled`]; when
 //! `GOPIM_MANIFEST` is unset each call is one relaxed load.
 
+use crate::lockdep::DepMutex;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
 use crate::aggregate::SpanAggregate;
 use crate::export::{escape_json, parse_json, Json};
@@ -46,17 +46,14 @@ impl Value {
 /// A late-bound field source, called at render time.
 pub type Provider = fn() -> Vec<(String, Value)>;
 
-static FIELDS: Mutex<BTreeMap<String, Value>> = Mutex::new(BTreeMap::new());
-static PROVIDERS: Mutex<Vec<Provider>> = Mutex::new(Vec::new());
+static FIELDS: DepMutex<BTreeMap<String, Value>> = DepMutex::new("obs::FIELDS", BTreeMap::new());
+static PROVIDERS: DepMutex<Vec<Provider>> = DepMutex::new("obs::PROVIDERS", Vec::new());
 
 fn record(key: &str, value: Value) {
     if !crate::manifest_enabled() {
         return;
     }
-    FIELDS
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .insert(key.to_string(), value);
+    FIELDS.lock().insert(key.to_string(), value);
 }
 
 /// Records an integer manifest field (last write wins).
@@ -81,15 +78,12 @@ pub fn register_provider(provider: Provider) {
     if !crate::manifest_enabled() {
         return;
     }
-    PROVIDERS
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .push(provider);
+    PROVIDERS.lock().push(provider);
 }
 
 fn collected_fields() -> BTreeMap<String, Value> {
-    let mut fields = FIELDS.lock().unwrap_or_else(|e| e.into_inner()).clone();
-    let providers = PROVIDERS.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let mut fields = FIELDS.lock().clone();
+    let providers = PROVIDERS.lock().clone();
     for provider in providers {
         for (k, v) in provider() {
             fields.insert(k, v);
@@ -377,7 +371,7 @@ mod tests {
         // Off: the record is dropped before touching the map.
         crate::set_manifest_enabled(false);
         record_str("test.gated_off", "x");
-        assert!(!FIELDS.lock().unwrap().contains_key("test.gated_off"));
+        assert!(!FIELDS.lock().contains_key("test.gated_off"));
         crate::set_manifest_enabled(true);
         record_u64("test.gated_on", 7);
         record_f64("test.float", 1.5);

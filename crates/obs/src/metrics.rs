@@ -15,7 +15,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use crate::lockdep::DepMutex;
 
 /// A monotonically increasing sum (relaxed atomic).
 #[derive(Debug, Default)]
@@ -237,22 +239,33 @@ impl HistogramSnapshot {
 }
 
 /// The registry all lazy instruments resolve against.
-#[derive(Default)]
 pub struct Registry {
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    counters: DepMutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: DepMutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: DepMutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
 }
 
 impl Registry {
     /// An empty registry (tests; production code uses [`global`]).
+    /// Instance registries share the global lock classes — for the
+    /// `GOPIM_LOCKDEP` witness they are the same locks.
     pub fn new() -> Self {
-        Registry::default()
+        Registry {
+            counters: DepMutex::new("obs::counters", BTreeMap::new()),
+            gauges: DepMutex::new("obs::gauges", BTreeMap::new()),
+            histograms: DepMutex::new("obs::histograms", BTreeMap::new()),
+        }
     }
 
     /// The counter registered under `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let mut map = self.counters.lock();
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Counter::new())),
@@ -261,7 +274,7 @@ impl Registry {
 
     /// The gauge registered under `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        let mut map = self.gauges.lock();
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Gauge::new())),
@@ -270,7 +283,7 @@ impl Registry {
 
     /// The histogram registered under `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        let mut map = self.histograms.lock();
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new())),
@@ -283,21 +296,18 @@ impl Registry {
             counters: self
                 .counters
                 .lock()
-                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: self
                 .gauges
                 .lock()
-                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             histograms: self
                 .histograms
                 .lock()
-                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),

@@ -24,6 +24,8 @@ use std::cell::OnceCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::lockdep::DepMutex;
+
 use crate::metrics::LazyCounter;
 
 /// Chrome-trace process id of the wall-clock timeline.
@@ -75,7 +77,9 @@ impl SpanEvent {
 
 type Sink = Arc<Mutex<Vec<SpanEvent>>>;
 
-static SINKS: Mutex<Vec<Sink>> = Mutex::new(Vec::new());
+// The per-thread sink mutexes stay plain `std` locks (uncontended,
+// hot path); only the registry of sinks joins the lockdep witness.
+static SINKS: DepMutex<Vec<Sink>> = DepMutex::new("obs::SINKS", Vec::new());
 static RECORDED: AtomicU64 = AtomicU64::new(0);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
@@ -89,10 +93,7 @@ fn with_local<R>(f: impl FnOnce(u64, &Sink) -> R) -> R {
     LOCAL.with(|cell| {
         let (tid, sink) = cell.get_or_init(|| {
             let sink: Sink = Arc::new(Mutex::new(Vec::new()));
-            SINKS
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(Arc::clone(&sink));
+            SINKS.lock().push(Arc::clone(&sink));
             (NEXT_TID.fetch_add(1, Ordering::Relaxed), sink)
         });
         f(*tid, sink)
@@ -143,7 +144,7 @@ pub fn dropped() -> u64 {
 /// Takes every buffered event out of every thread's buffer. The
 /// buffers stay registered, so threads keep recording afterwards.
 pub fn drain() -> Vec<SpanEvent> {
-    let sinks = SINKS.lock().unwrap_or_else(|e| e.into_inner());
+    let sinks = SINKS.lock();
     let mut out = Vec::new();
     for sink in sinks.iter() {
         out.append(&mut sink.lock().unwrap_or_else(|e| e.into_inner()));

@@ -11,11 +11,12 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock};
 // lint:allow(no-nondeterministic-time): pool busy/idle telemetry below is metrics-gated wall-clock only
 use std::time::Instant;
 
 use gopim_obs::metrics::{LazyCounter, LazyGauge};
+use gopim_obs::{DepCondvar, DepMutex};
 
 // Pool-internal telemetry is metrics-only (no spans): task placement
 // and queue dynamics are inherently thread-count-dependent, and the
@@ -31,23 +32,13 @@ static WORKER_IDLE_NS: LazyCounter = LazyCounter::new("par.worker.idle_ns");
 /// borrow discipline the type system can no longer see.
 type Job = Box<dyn FnOnce() + Send>;
 
-/// Locks `m`, recovering from poisoning: every mutex in this module
-/// guards state that stays structurally valid mid-update (a job queue,
-/// a task counter, a panic slot), and `scope` already forwards the
-/// first task panic to the caller — a second panic from a poisoned
-/// lock would only mask it.
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// [`Condvar::wait`] with the same poison recovery as [`lock_recover`].
-fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
-}
-
+// Every lock in this module sits on `gopim_obs::DepMutex`, which
+// recovers from poisoning (state here stays structurally valid
+// mid-update, and `scope` already forwards the first task panic) and
+// feeds the `GOPIM_LOCKDEP=1` order witness.
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
-    work_ready: Condvar,
+    queue: DepMutex<VecDeque<Job>>,
+    work_ready: DepCondvar,
     shutdown: AtomicBool,
 }
 
@@ -75,9 +66,9 @@ pub struct Pool {
 
 /// Tracks one scope's outstanding tasks and its first panic.
 struct ScopeState {
-    remaining: Mutex<usize>,
-    all_done: Condvar,
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    remaining: DepMutex<usize>,
+    all_done: DepCondvar,
+    panic: DepMutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 impl Pool {
@@ -86,8 +77,8 @@ impl Pool {
     pub fn new(threads: usize) -> Pool {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
-            work_ready: Condvar::new(),
+            queue: DepMutex::new("par::queue", VecDeque::new()),
+            work_ready: DepCondvar::new(),
             shutdown: AtomicBool::new(false),
         });
         let mut contexts = 1;
@@ -133,22 +124,22 @@ impl Pool {
             return;
         }
         let state = Arc::new(ScopeState {
-            remaining: Mutex::new(tasks.len()),
-            all_done: Condvar::new(),
-            panic: Mutex::new(None),
+            remaining: DepMutex::new("par::remaining", tasks.len()),
+            all_done: DepCondvar::new(),
+            panic: DepMutex::new("par::panic", None),
         });
         {
-            let mut queue = lock_recover(&self.inner.shared.queue);
+            let mut queue = self.inner.shared.queue.lock();
             for task in tasks {
                 let state = Arc::clone(&state);
                 let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
                     if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                        let mut slot = lock_recover(&state.panic);
+                        let mut slot = state.panic.lock();
                         if slot.is_none() {
                             *slot = Some(payload);
                         }
                     }
-                    let mut remaining = lock_recover(&state.remaining);
+                    let mut remaining = state.remaining.lock();
                     *remaining -= 1;
                     if *remaining == 0 {
                         state.all_done.notify_all();
@@ -169,19 +160,19 @@ impl Pool {
         // scopes — work conservation) until this scope's tasks are
         // done and the queue offers nothing else to help with.
         loop {
-            let job = lock_recover(&self.inner.shared.queue).pop_front();
+            let job = self.inner.shared.queue.lock().pop_front();
             match job {
                 Some(job) => job(),
                 None => {
-                    let mut remaining = lock_recover(&state.remaining);
+                    let mut remaining = state.remaining.lock();
                     while *remaining != 0 {
-                        remaining = wait_recover(&state.all_done, remaining);
+                        remaining = state.all_done.wait(remaining);
                     }
                     break;
                 }
             }
         }
-        let payload = lock_recover(&state.panic).take();
+        let payload = state.panic.lock().take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
@@ -206,7 +197,7 @@ fn worker(shared: Arc<Shared>) {
         // lint:allow(no-nondeterministic-time): metrics-gated wall-clock telemetry, never feeds simulation state
         let idle_from = gopim_obs::metrics_enabled().then(Instant::now);
         let job = {
-            let mut queue = lock_recover(&shared.queue);
+            let mut queue = shared.queue.lock();
             loop {
                 if let Some(job) = queue.pop_front() {
                     break Some(job);
@@ -214,7 +205,7 @@ fn worker(shared: Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = wait_recover(&shared.work_ready, queue);
+                queue = shared.work_ready.wait(queue);
             }
         };
         if let Some(t) = idle_from {

@@ -26,12 +26,13 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gopim_cache::CacheKey;
 use gopim_obs::metrics::{LazyCounter, LazyGauge, LazyHistogram};
+use gopim_obs::{DepCondvar, DepMutex};
 
 use crate::frame::{decode_frame, DecodeStep};
 use crate::proto::{Request, Response, ServerStats, PROTO_SCHEMA};
@@ -52,17 +53,6 @@ static INFLIGHT: LazyGauge = LazyGauge::new("serve.inflight");
 static WAIT_NS: LazyHistogram = LazyHistogram::new("serve.wait_ns");
 static EXEC_NS: LazyHistogram = LazyHistogram::new("serve.exec_ns");
 static LATENCY_NS: LazyHistogram = LazyHistogram::new("serve.latency_ns");
-
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    // A poisoned lock means a handler panicked; the scheduler state is
-    // guarded against torn updates by performing every multi-field
-    // transition before releasing the guard, so recovery is safe.
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
-}
 
 /// Executes jobs and prices them for the scheduler. Implemented by
 /// `gopim::jobs` over the runner/experiments entry points; tests plug
@@ -196,17 +186,21 @@ struct Handles {
 struct Core {
     cfg: ServerConfig,
     handler: Arc<dyn JobHandler>,
-    state: Mutex<SchedState>,
-    work_cv: Condvar,
-    conns: Mutex<BTreeMap<u64, ConnHandle>>,
-    handles: Mutex<Handles>,
+    // Every lock sits on `gopim_obs::DepMutex`: poison recovery (a
+    // poisoned lock means a handler panicked; every multi-field
+    // transition completes before its guard drops, so the state is
+    // never torn) plus the `GOPIM_LOCKDEP=1` order witness.
+    state: DepMutex<SchedState>,
+    work_cv: DepCondvar,
+    conns: DepMutex<BTreeMap<u64, ConnHandle>>,
+    handles: DepMutex<Handles>,
     counters: Counters,
     addr: SocketAddr,
     shutting_down: AtomicBool,
     next_job: AtomicU64,
     next_conn: AtomicU64,
-    done: Mutex<bool>,
-    done_cv: Condvar,
+    done: DepMutex<bool>,
+    done_cv: DepCondvar,
 }
 
 /// A running job server. Bind with [`Server::bind`], stop with
@@ -233,27 +227,33 @@ impl Server {
         let core = Arc::new(Core {
             cfg: cfg.clone(),
             handler,
-            state: Mutex::new(SchedState {
-                queue: FairQueue::new(),
-                jobs: BTreeMap::new(),
-                running: 0,
-                accepting: true,
-            }),
-            work_cv: Condvar::new(),
-            conns: Mutex::new(BTreeMap::new()),
-            handles: Mutex::new(Handles {
-                accept: None,
-                workers: Vec::new(),
-                readers: Vec::new(),
-                writers: Vec::new(),
-            }),
+            state: DepMutex::new(
+                "serve::state",
+                SchedState {
+                    queue: FairQueue::new(),
+                    jobs: BTreeMap::new(),
+                    running: 0,
+                    accepting: true,
+                },
+            ),
+            work_cv: DepCondvar::new(),
+            conns: DepMutex::new("serve::conns", BTreeMap::new()),
+            handles: DepMutex::new(
+                "serve::handles",
+                Handles {
+                    accept: None,
+                    workers: Vec::new(),
+                    readers: Vec::new(),
+                    writers: Vec::new(),
+                },
+            ),
             counters: Counters::default(),
             addr: local,
             shutting_down: AtomicBool::new(false),
             next_job: AtomicU64::new(1),
             next_conn: AtomicU64::new(1),
-            done: Mutex::new(false),
-            done_cv: Condvar::new(),
+            done: DepMutex::new("serve::done", false),
+            done_cv: DepCondvar::new(),
         });
         if gopim_obs::manifest_enabled() {
             gopim_obs::manifest::record_u64("serve.workers", cfg.workers as u64);
@@ -261,7 +261,7 @@ impl Server {
             gopim_obs::manifest::record_str("serve.addr", local.to_string());
         }
         {
-            let mut handles = lock_recover(&core.handles);
+            let mut handles = core.handles.lock();
             for i in 0..cfg.workers.max(1) {
                 let c = Arc::clone(&core);
                 handles.workers.push(
@@ -307,9 +307,9 @@ impl Server {
     /// Blocks until the server shuts down — via [`Server::shutdown`]
     /// or a client's protocol `Shutdown` message.
     pub fn wait(&self) {
-        let mut done = lock_recover(&self.core.done);
+        let mut done = self.core.done.lock();
         while !*done {
-            done = wait_recover(&self.core.done_cv, done);
+            done = self.core.done_cv.wait(done);
         }
     }
 }
@@ -317,7 +317,7 @@ impl Server {
 impl Core {
     fn stats(&self) -> ServerStats {
         let (queued, running) = {
-            let st = lock_recover(&self.state);
+            let st = self.state.lock();
             (st.queue.depth() as u64, st.running as u64)
         };
         ServerStats {
@@ -336,7 +336,7 @@ impl Core {
     /// connection is gone (the client hung up — nobody is listening).
     fn send(&self, conn: u64, resp: &Response) {
         let bytes = resp.to_frame_bytes();
-        let tx = lock_recover(&self.conns).get(&conn).map(|c| c.tx.clone());
+        let tx = self.conns.lock().get(&conn).map(|c| c.tx.clone());
         if let Some(tx) = tx {
             let _ = tx.send(bytes);
         }
@@ -347,26 +347,26 @@ impl Core {
         // protocol-triggered ones racing an explicit shutdown) just
         // wait for `done`.
         if self.shutting_down.swap(true, Ordering::SeqCst) {
-            let mut done = lock_recover(&self.done);
+            let mut done = self.done.lock();
             while !*done {
-                done = wait_recover(&self.done_cv, done);
+                done = self.done_cv.wait(done);
             }
             return;
         }
         {
-            let mut st = lock_recover(&self.state);
+            let mut st = self.state.lock();
             st.accepting = false;
         }
         self.work_cv.notify_all();
         // Workers drain the queue, answering every accepted job, then
         // exit on the shutdown flag.
-        let workers = std::mem::take(&mut lock_recover(&self.handles).workers);
+        let workers = std::mem::take(&mut self.handles.lock().workers);
         for w in workers {
             let _ = w.join();
         }
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        let accept = lock_recover(&self.handles).accept.take();
+        let accept = self.handles.lock().accept.take();
         if let Some(a) = accept {
             let _ = a.join();
         }
@@ -376,13 +376,13 @@ impl Core {
         // the wire before any socket is cut. Acceptance stays a
         // delivery promise through shutdown.
         let streams: Vec<TcpStream> = {
-            let mut conns = lock_recover(&self.conns);
+            let mut conns = self.conns.lock();
             std::mem::take(&mut *conns)
                 .into_values()
                 .map(|h| h.stream)
                 .collect()
         };
-        let writers = std::mem::take(&mut lock_recover(&self.handles).writers);
+        let writers = std::mem::take(&mut self.handles.lock().writers);
         for w in writers {
             let _ = w.join();
         }
@@ -390,12 +390,12 @@ impl Core {
         for s in &streams {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
-        let readers = std::mem::take(&mut lock_recover(&self.handles).readers);
+        let readers = std::mem::take(&mut self.handles.lock().readers);
         for r in readers {
             let _ = r.join();
         }
         gopim_obs::log_info!("serve: drained and shut down");
-        let mut done = lock_recover(&self.done);
+        let mut done = self.done.lock();
         *done = true;
         self.done_cv.notify_all();
     }
@@ -420,17 +420,18 @@ fn accept_loop(core: &Arc<Core>, listener: TcpListener) {
             Ok(s) => s,
             Err(_) => continue,
         };
-        lock_recover(&core.conns).insert(
+        // Clone before taking the lock: cloning inside the `insert`
+        // argument would re-enter `core.conns` on the failure path (a
+        // single-thread self-deadlock, caught by lock-order-inversion).
+        let handle_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        core.conns.lock().insert(
             conn_id,
             ConnHandle {
                 tx,
-                stream: match stream.try_clone() {
-                    Ok(s) => s,
-                    Err(_) => {
-                        lock_recover(&core.conns).remove(&conn_id);
-                        continue;
-                    }
-                },
+                stream: handle_stream,
             },
         );
         let c = Arc::clone(core);
@@ -448,7 +449,7 @@ fn accept_loop(core: &Arc<Core>, listener: TcpListener) {
                 }
                 let _ = stream.flush();
             });
-        let mut handles = lock_recover(&core.handles);
+        let mut handles = core.handles.lock();
         if let Ok(r) = reader {
             handles.readers.push(r);
         }
@@ -547,9 +548,9 @@ fn conn_loop(core: &Arc<Core>, conn_id: u64, stream: TcpStream) {
 /// Removes the connection and abandons its still-queued jobs so a dead
 /// client's backlog stops consuming queue slots and worker time.
 fn disconnect(core: &Arc<Core>, conn_id: u64) {
-    let removed = lock_recover(&core.conns).remove(&conn_id);
+    let removed = core.conns.lock().remove(&conn_id);
     drop(removed); // closes the writer channel once job senders drain
-    let mut st = lock_recover(&core.state);
+    let mut st = core.state.lock();
     let orphaned: Vec<u64> = st
         .jobs
         .iter()
@@ -662,7 +663,7 @@ fn submit(core: &Arc<Core>, conn_id: u64, client_job_id: u64, deadline_ms: u64, 
     let cost = core.handler.predicted_cost_ns(&payload);
     let deadline = (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
     let (verdict, depth) = {
-        let mut st = lock_recover(&core.state);
+        let mut st = core.state.lock();
         if !st.accepting {
             (None, 0)
         } else if st.queue.depth() >= core.cfg.max_queue {
@@ -725,7 +726,7 @@ fn submit(core: &Arc<Core>, conn_id: u64, client_job_id: u64, deadline_ms: u64, 
 
 fn cancel(core: &Arc<Core>, conn_id: u64, job_id: u64) {
     let reply = {
-        let mut st = lock_recover(&core.state);
+        let mut st = core.state.lock();
         match st.jobs.get_mut(&job_id) {
             Some(meta) if meta.phase == Phase::Queued => {
                 let client_job_id = meta.client_job_id;
@@ -766,7 +767,7 @@ fn cancel(core: &Arc<Core>, conn_id: u64, job_id: u64) {
 fn worker_loop(core: &Arc<Core>) {
     loop {
         let popped = {
-            let mut st = lock_recover(&core.state);
+            let mut st = core.state.lock();
             loop {
                 if let Some(p) = st.queue.pop() {
                     break Some(p);
@@ -774,7 +775,7 @@ fn worker_loop(core: &Arc<Core>) {
                 if core.shutting_down.load(Ordering::SeqCst) {
                     break None;
                 }
-                st = wait_recover(&core.work_cv, st);
+                st = core.work_cv.wait(st);
             }
         };
         let Some(popped) = popped else { return };
@@ -785,7 +786,7 @@ fn worker_loop(core: &Arc<Core>) {
         // waited past its deadline is dropped with a typed reply
         // instead of burning a worker.
         if job.deadline.is_some_and(|d| Instant::now() > d) {
-            lock_recover(&core.state).jobs.remove(&job_id);
+            core.state.lock().jobs.remove(&job_id);
             EXPIRED.add(1);
             core.counters.expired.fetch_add(1, Ordering::Relaxed);
             core.send(
@@ -798,7 +799,7 @@ fn worker_loop(core: &Arc<Core>) {
             continue;
         }
         {
-            let mut st = lock_recover(&core.state);
+            let mut st = core.state.lock();
             match st.jobs.get_mut(&job_id) {
                 Some(meta) => {
                     meta.phase = Phase::Running;
@@ -836,7 +837,7 @@ fn worker_loop(core: &Arc<Core>) {
         };
         EXEC_NS.record_ns(exec_start.elapsed().as_nanos() as f64);
         let meta = {
-            let mut st = lock_recover(&core.state);
+            let mut st = core.state.lock();
             st.running -= 1;
             st.jobs.remove(&job_id)
         };

@@ -142,6 +142,53 @@ else
     echo "== serve smoke skipped (GOPIM_NO_SERVE=1) =="
 fi
 
+if [ "${GOPIM_NO_LOCKDEP:-0}" != "1" ]; then
+    echo "== lockdep leg (static lock graph × runtime witness; skip with GOPIM_NO_LOCKDEP=1) =="
+    # The two halves of the concurrency analyzer must agree. First the
+    # seeded ABBA fixture: the static pass must flag the inversion and
+    # exit nonzero.
+    if cargo run --release --offline -p gopim --bin gopim -- lint --locks \
+        --root crates/lint/fixtures/locks > "$SMOKE_DIR/lockfix.out" 2>&1; then
+        echo "verify: the seeded ABBA fixture was not flagged"
+        exit 1
+    fi
+    grep -q "lock-order-inversion" "$SMOKE_DIR/lockfix.out" \
+        || { echo "verify: fixture findings missing lock-order-inversion"; exit 1; }
+    # The real workspace graph must render (JSON parse/round-trip is
+    # covered by the gopim-lint unit suite) and stay cycle-free — a
+    # cycle would have failed the lint legs above already.
+    cargo run --release --offline -p gopim --bin gopim -- lint --locks --json \
+        > "$SMOKE_DIR/lockgraph.json"
+    grep -q '"edges"' "$SMOKE_DIR/lockgraph.json" \
+        || { echo "verify: lock-graph JSON rendered without an edges array"; exit 1; }
+    # A lockdep-instrumented fig04 must keep byte-identical stdout and
+    # dump a witness whose order matrix is a subgraph of the static
+    # graph.
+    GOPIM_LOCKDEP=1 GOPIM_LOCKDEP_DUMP="$SMOKE_DIR/fig04_witness.json" \
+        cargo run --release --offline -p gopim-bench --bin fig04 -- --quick \
+        > "$SMOKE_DIR/lockdep_fig04.out"
+    diff -u "$SMOKE_DIR/plain.out" "$SMOKE_DIR/lockdep_fig04.out" \
+        || { echo "verify: lockdep changed fig04 stdout"; exit 1; }
+    WITNESSES=("$SMOKE_DIR/fig04_witness.json")
+    if [ "${GOPIM_NO_SERVE:-0}" != "1" ]; then
+        # loadgen exercises the serve/par/cache lock stacks with the
+        # metrics registry enabled — the densest witness we can record.
+        # (Its stdout carries real ports and wall-clock quantiles, so
+        # no byte-identity check here; fig04 above covers that.)
+        GOPIM_LOCKDEP=1 GOPIM_LOCKDEP_DUMP="$SMOKE_DIR/loadgen_witness.json" \
+            cargo run --release --offline -p gopim-bench --bin loadgen -- --quick \
+            > /dev/null
+        WITNESSES+=("$SMOKE_DIR/loadgen_witness.json")
+    fi
+    CHECK_ARGS=()
+    for w in "${WITNESSES[@]}"; do CHECK_ARGS+=(--check-witness "$w"); done
+    cargo run --release --offline -p gopim --bin gopim -- lint --locks \
+        "${CHECK_ARGS[@]}" > "$SMOKE_DIR/lockdep_check.out" \
+        || { cat "$SMOKE_DIR/lockdep_check.out"; echo "verify: a runtime witness escaped the static lock graph"; exit 1; }
+else
+    echo "== lockdep leg skipped (GOPIM_NO_LOCKDEP=1) =="
+fi
+
 echo "== seeded fault-campaign smoke (faults --quick) =="
 # Two fault rates on a small graph; the JSON-lines output must pass the
 # in-repo parser's schema check, and a second run under the same seed
